@@ -1,0 +1,325 @@
+//! The engine traits and the built-in file-mode engines.
+//!
+//! "Conceptually, the FlexIO interface allows simulations to pass data to
+//! analytics via files, and to operate on these files in either file or
+//! stream modes. [...] stream mode is compatible with file I/O in that it
+//! can be switched with file mode without code changes." (§II.B)
+//!
+//! Applications program against [`WriteEngine`] / [`ReadEngine`]. This
+//! module ships the **file mode** implementations (BP container on disk);
+//! the `flexio` crate ships the **stream mode** implementations of the
+//! same traits. Which one an application gets is decided by the XML
+//! configuration, not by its code.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::bp::{BpBuilder, BpError, BpFile};
+use crate::group::ProcessGroup;
+use crate::hyperslab::BoxSel;
+use crate::var::{LocalBlock, VarValue};
+
+/// What a reader asks for within the current step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Selection {
+    /// A specific writing rank's process group (the GTS pattern).
+    ProcessGroup(usize),
+    /// A global-array box (the S3D pattern, Fig. 3).
+    GlobalBox(BoxSel),
+    /// A scalar (first writer's value wins).
+    Scalar,
+}
+
+/// Result of [`ReadEngine::begin_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// A step is available; its index.
+    Step(u64),
+    /// The writer closed the stream/file: no more steps.
+    EndOfStream,
+}
+
+/// Writer-side engine: one instance per writing rank.
+pub trait WriteEngine: Send {
+    /// Start an output timestep.
+    fn begin_step(&mut self, step: u64);
+
+    /// Write one variable into the current step.
+    fn write(&mut self, name: &str, value: VarValue);
+
+    /// Finish the current step (data becomes visible/movable).
+    fn end_step(&mut self);
+
+    /// Close: no more steps will be written (readers observe
+    /// end-of-stream / the file is finalized).
+    fn close(&mut self);
+}
+
+/// Reader-side engine: one instance per reading rank.
+pub trait ReadEngine: Send {
+    /// Advance to the next step; blocks in stream mode until the writer
+    /// produces one (or closes).
+    fn begin_step(&mut self) -> StepStatus;
+
+    /// Read a variable from the current step under a selection.
+    fn read(&mut self, name: &str, sel: &Selection) -> Option<VarValue>;
+
+    /// Finish with the current step (stream mode may release buffers).
+    fn end_step(&mut self);
+
+    /// Close the reader.
+    fn close(&mut self);
+}
+
+// ------------------------------------------------------------- file mode
+
+/// File-mode writer: ranks append process groups to a shared [`BpBuilder`]
+/// (the aggregation a collective MPI-IO write performs), and `close`
+/// finalizes the `.bp` container on disk. Clone one per rank.
+pub struct FileWriteEngine {
+    builder: BpBuilder,
+    path: PathBuf,
+    rank: usize,
+    nranks: usize,
+    /// Collective close: the last rank to close writes the container.
+    closed_count: Arc<AtomicUsize>,
+    current: Option<ProcessGroup>,
+}
+
+impl FileWriteEngine {
+    /// Create the shared builder + per-rank engines for `nranks` writers
+    /// targeting `path`.
+    pub fn create(path: &Path, nranks: usize) -> Vec<FileWriteEngine> {
+        let builder = BpBuilder::new();
+        let closed_count = Arc::new(AtomicUsize::new(0));
+        (0..nranks)
+            .map(|rank| FileWriteEngine {
+                builder: builder.clone(),
+                path: path.to_path_buf(),
+                rank,
+                nranks,
+                closed_count: Arc::clone(&closed_count),
+                current: None,
+            })
+            .collect()
+    }
+
+    /// This engine's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Finalize explicitly with error reporting (close panics on I/O
+    /// failure, matching the trait's infallible signature).
+    pub fn finalize(&mut self) -> Result<(), BpError> {
+        if let Some(group) = self.current.take() {
+            self.builder.append(group);
+        }
+        // The last rank to close acts as the aggregator and writes the
+        // container — mirroring a collective MPI-IO close.
+        if self.closed_count.fetch_add(1, Ordering::SeqCst) + 1 == self.nranks {
+            self.builder.write_file(&self.path)?;
+        }
+        Ok(())
+    }
+}
+
+impl WriteEngine for FileWriteEngine {
+    fn begin_step(&mut self, step: u64) {
+        assert!(self.current.is_none(), "begin_step without end_step");
+        self.current = Some(ProcessGroup::new(self.rank, step));
+    }
+
+    fn write(&mut self, name: &str, value: VarValue) {
+        self.current
+            .as_mut()
+            .expect("write outside begin_step/end_step")
+            .push(name, value);
+    }
+
+    fn end_step(&mut self) {
+        let group = self.current.take().expect("end_step without begin_step");
+        self.builder.append(group);
+    }
+
+    fn close(&mut self) {
+        self.finalize().expect("failed to write BP container");
+    }
+}
+
+/// File-mode reader over a finalized `.bp` container.
+pub struct FileReadEngine {
+    file: BpFile,
+    steps: Vec<u64>,
+    cursor: usize,
+    in_step: bool,
+}
+
+impl FileReadEngine {
+    /// Open a container from disk.
+    pub fn open(path: &Path) -> Result<FileReadEngine, BpError> {
+        let file = BpFile::open(path)?;
+        let steps = file.steps();
+        Ok(FileReadEngine { file, steps, cursor: 0, in_step: false })
+    }
+
+    /// Open from in-memory bytes (used with the simulated file system).
+    pub fn from_bytes(bytes: &[u8]) -> Result<FileReadEngine, BpError> {
+        let file = BpFile::parse(bytes)?;
+        let steps = file.steps();
+        Ok(FileReadEngine { file, steps, cursor: 0, in_step: false })
+    }
+
+    fn current_step(&self) -> Option<u64> {
+        if self.in_step {
+            self.steps.get(self.cursor).copied()
+        } else {
+            None
+        }
+    }
+}
+
+impl ReadEngine for FileReadEngine {
+    fn begin_step(&mut self) -> StepStatus {
+        assert!(!self.in_step, "begin_step without end_step");
+        match self.steps.get(self.cursor) {
+            Some(&s) => {
+                self.in_step = true;
+                StepStatus::Step(s)
+            }
+            None => StepStatus::EndOfStream,
+        }
+    }
+
+    fn read(&mut self, name: &str, sel: &Selection) -> Option<VarValue> {
+        let step = self.current_step().expect("read outside a step");
+        match sel {
+            Selection::ProcessGroup(rank) => {
+                self.file.group(step, *rank)?.get(name).cloned()
+            }
+            Selection::GlobalBox(b) => {
+                self.file.read_box(step, name, b).map(VarValue::Block)
+            }
+            Selection::Scalar => self
+                .file
+                .groups_of_step(step)
+                .iter()
+                .find_map(|g| match g.get(name) {
+                    Some(v @ VarValue::Scalar(_)) => Some(v.clone()),
+                    _ => None,
+                }),
+        }
+    }
+
+    fn end_step(&mut self) {
+        assert!(self.in_step, "end_step without begin_step");
+        self.in_step = false;
+        self.cursor += 1;
+    }
+
+    fn close(&mut self) {}
+}
+
+/// Read a full global array variable back as one block (convenience for
+/// offline analytics and tests).
+pub fn read_whole_array(
+    engine: &mut dyn ReadEngine,
+    name: &str,
+    global_shape: &[u64],
+) -> Option<LocalBlock> {
+    match engine.read(name, &Selection::GlobalBox(BoxSel::whole(global_shape)))? {
+        VarValue::Block(b) => Some(b),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::{ArrayData, ScalarValue};
+
+    fn write_two_steps(dir: &Path) -> PathBuf {
+        let path = dir.join("coupled.bp");
+        let mut engines = FileWriteEngine::create(&path, 2);
+        for step in 0..2u64 {
+            for e in engines.iter_mut() {
+                let rank = e.rank();
+                e.begin_step(step);
+                e.write("tstep", VarValue::Scalar(ScalarValue::U64(step)));
+                e.write(
+                    "grid",
+                    VarValue::Block(
+                        LocalBlock {
+                            global_shape: vec![2, 4],
+                            offset: vec![rank as u64, 0],
+                            count: vec![1, 4],
+                            data: ArrayData::F64(vec![rank as f64; 4]),
+                        }
+                        .validated(),
+                    ),
+                );
+                e.end_step();
+            }
+        }
+        for e in engines.iter_mut() {
+            e.close();
+        }
+        path
+    }
+
+    #[test]
+    fn file_mode_write_then_read() {
+        let dir = std::env::temp_dir().join("flexio-api-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_two_steps(&dir);
+
+        let mut reader = FileReadEngine::open(&path).unwrap();
+        let mut seen_steps = Vec::new();
+        loop {
+            match reader.begin_step() {
+                StepStatus::Step(s) => {
+                    seen_steps.push(s);
+                    // Scalar read.
+                    assert_eq!(
+                        reader.read("tstep", &Selection::Scalar),
+                        Some(VarValue::Scalar(ScalarValue::U64(s)))
+                    );
+                    // Process-group read.
+                    let pg = reader.read("grid", &Selection::ProcessGroup(1)).unwrap();
+                    let VarValue::Block(b) = pg else { panic!() };
+                    assert_eq!(b.data.as_f64(), &[1.0; 4]);
+                    // Global box read spanning both writers.
+                    let whole = read_whole_array(&mut reader, "grid", &[2, 4]).unwrap();
+                    assert_eq!(whole.data.as_f64(), &[0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+                    reader.end_step();
+                }
+                StepStatus::EndOfStream => break,
+            }
+        }
+        assert_eq!(seen_steps, vec![0, 1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_reports_missing_vars() {
+        let dir = std::env::temp_dir().join("flexio-api-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_two_steps(&dir);
+        let mut reader = FileReadEngine::open(&path).unwrap();
+        assert_eq!(reader.begin_step(), StepStatus::Step(0));
+        assert!(reader.read("nope", &Selection::Scalar).is_none());
+        assert!(reader
+            .read("grid", &Selection::ProcessGroup(42))
+            .is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "write outside")]
+    fn write_requires_open_step() {
+        let dir = std::env::temp_dir();
+        let mut engines = FileWriteEngine::create(&dir.join("x.bp"), 1);
+        engines[0].write("v", VarValue::Scalar(ScalarValue::U64(0)));
+    }
+}

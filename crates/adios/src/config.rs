@@ -1,0 +1,221 @@
+//! The external configuration file (ADIOS `config.xml` style).
+//!
+//! "The high-level API makes it easy to change underlying transports,
+//! without the need to change applications. A one-line update to the
+//! configuration file is sufficient to switch between file I/O and online
+//! data movement transports [...] To tune transports, transport-specific
+//! parameters specified as hints in an XML configuration file are passed
+//! to the FlexIO runtime." (§II.B)
+//!
+//! Example document:
+//!
+//! ```xml
+//! <adios-config>
+//!   <group name="particles">
+//!     <method transport="STREAM">
+//!       <hint name="caching" value="CACHING_ALL"/>
+//!       <hint name="batching" value="true"/>
+//!       <hint name="async" value="true"/>
+//!     </method>
+//!   </group>
+//!   <group name="restart">
+//!     <method transport="FILE"/>
+//!   </group>
+//! </adios-config>
+//! ```
+
+use std::collections::HashMap;
+
+use crate::xml::{parse, XmlError};
+
+/// Which I/O method a group uses — the axis the paper's "seamless
+/// online/offline switching" turns on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMethod {
+    /// File mode: write to the file system, read back later (offline).
+    File,
+    /// Stream mode: memory-to-memory movement to online analytics.
+    Stream,
+}
+
+/// Configuration for one variable group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupConfig {
+    /// Group name.
+    pub name: String,
+    /// Selected method.
+    pub method: IoMethod,
+    /// Transport hints (`caching`, `batching`, `async`, `queue_entries`,
+    /// scheduling window, ...), passed through to the FlexIO runtime.
+    pub hints: HashMap<String, String>,
+}
+
+impl GroupConfig {
+    /// Hint as string.
+    pub fn hint(&self, name: &str) -> Option<&str> {
+        self.hints.get(name).map(|s| s.as_str())
+    }
+
+    /// Hint parsed as bool (`"true"`/`"1"` → true).
+    pub fn hint_bool(&self, name: &str) -> bool {
+        matches!(self.hint(name), Some("true") | Some("1"))
+    }
+
+    /// Hint parsed as unsigned integer.
+    pub fn hint_u64(&self, name: &str) -> Option<u64> {
+        self.hint(name)?.parse().ok()
+    }
+}
+
+/// Whole-file configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IoConfig {
+    /// Per-group configurations in document order.
+    pub groups: Vec<GroupConfig>,
+}
+
+/// Configuration error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// XML malformed.
+    Xml(XmlError),
+    /// Structure/value error.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Xml(e) => write!(f, "{e}"),
+            ConfigError::Invalid(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<XmlError> for ConfigError {
+    fn from(e: XmlError) -> Self {
+        ConfigError::Xml(e)
+    }
+}
+
+impl IoConfig {
+    /// Parse a configuration document.
+    pub fn from_xml(source: &str) -> Result<IoConfig, ConfigError> {
+        let root = parse(source)?;
+        if root.name != "adios-config" {
+            return Err(ConfigError::Invalid(format!(
+                "root element must be <adios-config>, found <{}>",
+                root.name
+            )));
+        }
+        let mut groups = Vec::new();
+        for g in root.children_named("group") {
+            let name = g
+                .attr("name")
+                .ok_or_else(|| ConfigError::Invalid("<group> needs a name attribute".into()))?
+                .to_string();
+            let method_el = g
+                .child("method")
+                .ok_or_else(|| ConfigError::Invalid(format!("group `{name}` needs a <method>")))?;
+            let method = match method_el.attr("transport") {
+                Some("FILE") | Some("file") | Some("POSIX") | Some("MPI") => IoMethod::File,
+                Some("STREAM") | Some("stream") | Some("FLEXIO") => IoMethod::Stream,
+                Some(other) => {
+                    return Err(ConfigError::Invalid(format!(
+                        "unknown transport `{other}` for group `{name}`"
+                    )))
+                }
+                None => {
+                    return Err(ConfigError::Invalid(format!(
+                        "group `{name}` method needs a transport attribute"
+                    )))
+                }
+            };
+            let mut hints = HashMap::new();
+            for h in method_el.children_named("hint") {
+                let (Some(k), Some(v)) = (h.attr("name"), h.attr("value")) else {
+                    return Err(ConfigError::Invalid(format!(
+                        "hint in group `{name}` needs name and value"
+                    )));
+                };
+                hints.insert(k.to_string(), v.to_string());
+            }
+            groups.push(GroupConfig { name, method, hints });
+        }
+        Ok(IoConfig { groups })
+    }
+
+    /// Configuration for a group by name.
+    pub fn group(&self, name: &str) -> Option<&GroupConfig> {
+        self.groups.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+    <adios-config>
+      <group name="particles">
+        <method transport="STREAM">
+          <hint name="caching" value="CACHING_ALL"/>
+          <hint name="batching" value="true"/>
+          <hint name="queue_entries" value="128"/>
+        </method>
+      </group>
+      <group name="restart">
+        <method transport="FILE"/>
+      </group>
+    </adios-config>"#;
+
+    #[test]
+    fn parses_groups_and_hints() {
+        let cfg = IoConfig::from_xml(SAMPLE).unwrap();
+        assert_eq!(cfg.groups.len(), 2);
+        let p = cfg.group("particles").unwrap();
+        assert_eq!(p.method, IoMethod::Stream);
+        assert_eq!(p.hint("caching"), Some("CACHING_ALL"));
+        assert!(p.hint_bool("batching"));
+        assert_eq!(p.hint_u64("queue_entries"), Some(128));
+        assert_eq!(cfg.group("restart").unwrap().method, IoMethod::File);
+    }
+
+    #[test]
+    fn one_line_switch_file_to_stream() {
+        // The paper's headline claim: changing one attribute flips the
+        // placement mode without touching application code.
+        let file_cfg = r#"<adios-config><group name="g"><method transport="FILE"/></group></adios-config>"#;
+        let stream_cfg = file_cfg.replace("FILE", "STREAM");
+        assert_eq!(IoConfig::from_xml(file_cfg).unwrap().group("g").unwrap().method, IoMethod::File);
+        assert_eq!(
+            IoConfig::from_xml(&stream_cfg).unwrap().group("g").unwrap().method,
+            IoMethod::Stream
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(IoConfig::from_xml("<wrong-root/>").is_err());
+        assert!(IoConfig::from_xml(
+            r#"<adios-config><group><method transport="FILE"/></group></adios-config>"#
+        )
+        .is_err());
+        assert!(IoConfig::from_xml(
+            r#"<adios-config><group name="g"><method transport="CARRIER_PIGEON"/></group></adios-config>"#
+        )
+        .is_err());
+        assert!(IoConfig::from_xml(
+            r#"<adios-config><group name="g"/></adios-config>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn missing_group_lookup() {
+        let cfg = IoConfig::from_xml(SAMPLE).unwrap();
+        assert!(cfg.group("nope").is_none());
+    }
+}

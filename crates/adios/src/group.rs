@@ -1,0 +1,125 @@
+//! Process Groups: one rank's variables for one I/O timestep.
+
+use evpath::{FieldValue, Record};
+
+use crate::var::VarValue;
+
+/// "During each I/O timestep, the variables written from each simulation
+/// process are conceptually packed into a group, called Process Group, and
+/// the analytics specifies the process groups it wants to read by
+/// simulation processes' MPI ranks." (§II.B)
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcessGroup {
+    /// Writing rank.
+    pub rank: usize,
+    /// I/O timestep index.
+    pub step: u64,
+    /// Variables in write order.
+    pub vars: Vec<(String, VarValue)>,
+}
+
+impl ProcessGroup {
+    /// New empty group for `(rank, step)`.
+    pub fn new(rank: usize, step: u64) -> ProcessGroup {
+        ProcessGroup { rank, step, vars: Vec::new() }
+    }
+
+    /// Append a variable.
+    pub fn push(&mut self, name: &str, value: VarValue) {
+        self.vars.push((name.to_string(), value));
+    }
+
+    /// Find a variable by name.
+    pub fn get(&self, name: &str) -> Option<&VarValue> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Total payload bytes across variables.
+    pub fn payload_bytes(&self) -> u64 {
+        self.vars.iter().map(|(_, v)| v.payload_bytes()).sum()
+    }
+
+    /// Encode to the wire/disk representation.
+    pub fn to_record(&self) -> Record {
+        let mut r = Record::new()
+            .with("rank", FieldValue::U64(self.rank as u64))
+            .with("step", FieldValue::U64(self.step))
+            .with("nvars", FieldValue::U64(self.vars.len() as u64));
+        for (i, (name, value)) in self.vars.iter().enumerate() {
+            r.set(&format!("name.{i}"), FieldValue::Str(name.clone()));
+            r.set(&format!("var.{i}"), FieldValue::Record(value.to_record()));
+        }
+        r
+    }
+
+    /// Decode; `None` on malformed input.
+    pub fn from_record(r: &Record) -> Option<ProcessGroup> {
+        let rank = r.get_u64("rank")? as usize;
+        let step = r.get_u64("step")?;
+        let nvars = r.get_u64("nvars")? as usize;
+        let mut vars = Vec::with_capacity(nvars);
+        for i in 0..nvars {
+            let name = r.get_str(&format!("name.{i}"))?.to_string();
+            let value = VarValue::from_record(r.get_record(&format!("var.{i}"))?)?;
+            vars.push((name, value));
+        }
+        Some(ProcessGroup { rank, step, vars })
+    }
+
+    /// Encode straight to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_record().encode()
+    }
+
+    /// Decode straight from bytes.
+    pub fn decode(bytes: &[u8]) -> Option<ProcessGroup> {
+        ProcessGroup::from_record(&Record::decode(bytes).ok()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::{ArrayData, LocalBlock, ScalarValue};
+
+    fn sample() -> ProcessGroup {
+        let mut g = ProcessGroup::new(3, 7);
+        g.push("nparticles", VarValue::Scalar(ScalarValue::U64(4)));
+        g.push(
+            "zion",
+            VarValue::Block(
+                LocalBlock {
+                    global_shape: vec![8, 2],
+                    offset: vec![6, 0],
+                    count: vec![2, 2],
+                    data: ArrayData::F64(vec![1.0, 2.0, 3.0, 4.0]),
+                }
+                .validated(),
+            ),
+        );
+        g
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let decoded = ProcessGroup::decode(&g.encode()).unwrap();
+        assert_eq!(g, decoded);
+    }
+
+    #[test]
+    fn lookup_and_sizes() {
+        let g = sample();
+        assert!(matches!(g.get("nparticles"), Some(VarValue::Scalar(_))));
+        assert!(g.get("absent").is_none());
+        assert_eq!(g.payload_bytes(), 8 + 32);
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(ProcessGroup::decode(b"junk").is_none());
+        // A record missing fields.
+        let r = Record::new().with("rank", FieldValue::U64(1));
+        assert!(ProcessGroup::from_record(&r).is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! N-dimensional box selections: intersection and strided copies.
+//!
+//! This module is the geometric heart of the paper's Fig. 3: when a 2-D
+//! array distributed over 9 simulation processes is read by 2 analytics
+//! processes with a different decomposition, each sender computes the
+//! overlap of its block with each reader's requested box and copies the
+//! overlapping *strides*. The same machinery serves file-mode subset
+//! reads.
+
+use crate::var::{ArrayData, LocalBlock};
+
+/// An axis-aligned box in global index space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BoxSel {
+    /// Starting global index per dimension.
+    pub offset: Vec<u64>,
+    /// Extent per dimension.
+    pub count: Vec<u64>,
+}
+
+impl BoxSel {
+    /// Construct (offsets and counts must have equal rank).
+    pub fn new(offset: Vec<u64>, count: Vec<u64>) -> BoxSel {
+        assert_eq!(offset.len(), count.len(), "rank mismatch");
+        BoxSel { offset, count }
+    }
+
+    /// The whole array of the given shape.
+    pub fn whole(shape: &[u64]) -> BoxSel {
+        BoxSel { offset: vec![0; shape.len()], count: shape.to_vec() }
+    }
+
+    /// Dimensionality.
+    pub fn rank(&self) -> usize {
+        self.offset.len()
+    }
+
+    /// Number of elements selected.
+    pub fn num_elements(&self) -> u64 {
+        self.count.iter().product()
+    }
+
+    /// True if any dimension has zero extent.
+    pub fn is_empty(&self) -> bool {
+        self.count.contains(&0)
+    }
+
+    /// Intersection with another box; `None` when disjoint (or empty).
+    pub fn intersect(&self, other: &BoxSel) -> Option<BoxSel> {
+        assert_eq!(self.rank(), other.rank(), "rank mismatch");
+        let mut offset = Vec::with_capacity(self.rank());
+        let mut count = Vec::with_capacity(self.rank());
+        for d in 0..self.rank() {
+            let lo = self.offset[d].max(other.offset[d]);
+            let hi = (self.offset[d] + self.count[d]).min(other.offset[d] + other.count[d]);
+            if hi <= lo {
+                return None;
+            }
+            offset.push(lo);
+            count.push(hi - lo);
+        }
+        Some(BoxSel { offset, count })
+    }
+
+    /// Row-major linear index of a global coordinate *within this box*.
+    /// `coord` must lie inside the box.
+    pub fn linearize(&self, coord: &[u64]) -> u64 {
+        debug_assert_eq!(coord.len(), self.rank());
+        let mut idx = 0u64;
+        for d in 0..self.rank() {
+            debug_assert!(coord[d] >= self.offset[d] && coord[d] < self.offset[d] + self.count[d]);
+            idx = idx * self.count[d] + (coord[d] - self.offset[d]);
+        }
+        idx
+    }
+
+    /// Iterate the box's contiguous row-major runs: yields
+    /// `(start_coord, run_len)` where each run spans the last dimension.
+    /// Rank-0 boxes yield a single run of length 1.
+    pub fn rows(&self) -> RowIter<'_> {
+        RowIter { sel: self, cursor: Some(self.offset.clone()), done: self.is_empty() }
+    }
+}
+
+/// Iterator over contiguous last-dimension runs of a box.
+pub struct RowIter<'a> {
+    sel: &'a BoxSel,
+    cursor: Option<Vec<u64>>,
+    done: bool,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = (Vec<u64>, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let sel = self.sel;
+        if sel.rank() == 0 {
+            self.done = true;
+            return Some((Vec::new(), 1));
+        }
+        let current = self.cursor.clone()?;
+        let run = sel.count[sel.rank() - 1];
+        // Advance all but the last dimension, odometer-style.
+        let mut next = current.clone();
+        let mut d = sel.rank().wrapping_sub(2);
+        loop {
+            if sel.rank() == 1 {
+                self.done = true;
+                break;
+            }
+            next[d] += 1;
+            if next[d] < sel.offset[d] + sel.count[d] {
+                break;
+            }
+            next[d] = sel.offset[d];
+            if d == 0 {
+                self.done = true;
+                break;
+            }
+            d -= 1;
+        }
+        if !self.done {
+            self.cursor = Some(next);
+        }
+        Some((current, run))
+    }
+}
+
+/// Copy the elements of `region` (a box in global space, fully contained
+/// in both blocks' extents) from `src` into `dst`. Both blocks are
+/// row-major in their own local extents.
+pub fn copy_region(src: &LocalBlock, dst: &mut LocalBlock, region: &BoxSel) {
+    let src_box = BoxSel::new(src.offset.clone(), src.count.clone());
+    let dst_box = BoxSel::new(dst.offset.clone(), dst.count.clone());
+    debug_assert!(src_box.intersect(region).map(|b| b == *region).unwrap_or(region.is_empty()));
+    debug_assert!(dst_box.intersect(region).map(|b| b == *region).unwrap_or(region.is_empty()));
+    for (start, run) in region.rows() {
+        let s = src_box.linearize(&start) as usize;
+        let d = dst_box.linearize(&start) as usize;
+        src.data.copy_into(s, &mut dst.data, d, run as usize);
+    }
+}
+
+/// Extract `region` of `src` into a fresh minimal block whose extent is
+/// exactly `region` — the "packed strides" a sender ships to a receiver.
+pub fn extract_region(src: &LocalBlock, region: &BoxSel) -> LocalBlock {
+    let mut out = LocalBlock {
+        global_shape: src.global_shape.clone(),
+        offset: region.offset.clone(),
+        count: region.count.clone(),
+        data: ArrayData::zeros(src.data.data_type(), region.num_elements() as usize),
+    };
+    copy_region(src, &mut out, region);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::DataType;
+
+    fn block_2d(offset: [u64; 2], count: [u64; 2]) -> LocalBlock {
+        // Data value = global row * 100 + global col, for easy checking.
+        let mut data = Vec::new();
+        for r in offset[0]..offset[0] + count[0] {
+            for c in offset[1]..offset[1] + count[1] {
+                data.push((r * 100 + c) as f64);
+            }
+        }
+        LocalBlock {
+            global_shape: vec![10, 10],
+            offset: offset.to_vec(),
+            count: count.to_vec(),
+            data: ArrayData::F64(data),
+        }
+        .validated()
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = BoxSel::new(vec![0, 0], vec![5, 5]);
+        let b = BoxSel::new(vec![3, 3], vec![5, 5]);
+        assert_eq!(a.intersect(&b), Some(BoxSel::new(vec![3, 3], vec![2, 2])));
+        let c = BoxSel::new(vec![5, 0], vec![2, 2]);
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_contained() {
+        let a = BoxSel::new(vec![1, 2, 0], vec![4, 3, 7]);
+        let b = BoxSel::new(vec![0, 4, 3], vec![3, 6, 2]);
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        assert_eq!(ab, ba);
+        let i = ab.unwrap();
+        assert_eq!(i.intersect(&a).as_ref(), Some(&i));
+        assert_eq!(i.intersect(&b).as_ref(), Some(&i));
+    }
+
+    #[test]
+    fn rows_cover_the_box_exactly_once() {
+        let b = BoxSel::new(vec![2, 3], vec![2, 4]);
+        let rows: Vec<_> = b.rows().collect();
+        assert_eq!(rows, vec![(vec![2, 3], 4), (vec![3, 3], 4)]);
+        let b3 = BoxSel::new(vec![0, 1, 2], vec![2, 2, 3]);
+        let total: u64 = b3.rows().map(|(_, run)| run).sum();
+        assert_eq!(total, b3.num_elements());
+    }
+
+    #[test]
+    fn rows_of_1d_and_empty() {
+        let b = BoxSel::new(vec![5], vec![3]);
+        assert_eq!(b.rows().collect::<Vec<_>>(), vec![(vec![5], 3)]);
+        let e = BoxSel::new(vec![0, 0], vec![0, 4]);
+        assert_eq!(e.rows().count(), 0);
+    }
+
+    #[test]
+    fn extract_and_copy_region_preserve_values() {
+        let src = block_2d([2, 2], [4, 4]);
+        let region = BoxSel::new(vec![3, 3], vec![2, 2]);
+        let extracted = extract_region(&src, &region);
+        assert_eq!(
+            extracted.data.as_f64(),
+            &[303.0, 304.0, 403.0, 404.0],
+            "values carry their global coordinates"
+        );
+
+        // Copy into a differently-shaped destination block.
+        let mut dst = LocalBlock {
+            global_shape: vec![10, 10],
+            offset: vec![3, 0],
+            count: vec![3, 6],
+            data: ArrayData::zeros(DataType::F64, 18),
+        }
+        .validated();
+        copy_region(&extracted, &mut dst, &region);
+        // dst rows are global rows 3..6, cols 0..6.
+        let d = dst.data.as_f64();
+        assert_eq!(d[3], 303.0); // row 3, col 3
+        assert_eq!(d[4], 304.0);
+        assert_eq!(d[9], 403.0); // row 4 starts at index 6; col 3 => 6+3
+        assert_eq!(d[10], 404.0);
+        assert_eq!(d[0], 0.0, "untouched cells stay zero");
+    }
+
+    #[test]
+    fn linearize_matches_row_major() {
+        let b = BoxSel::new(vec![0, 0], vec![3, 4]);
+        assert_eq!(b.linearize(&[0, 0]), 0);
+        assert_eq!(b.linearize(&[0, 3]), 3);
+        assert_eq!(b.linearize(&[1, 0]), 4);
+        assert_eq!(b.linearize(&[2, 3]), 11);
+    }
+
+    #[test]
+    fn whole_selection() {
+        let w = BoxSel::whole(&[4, 5]);
+        assert_eq!(w.num_elements(), 20);
+        assert_eq!(w.offset, vec![0, 0]);
+    }
+}

@@ -1,0 +1,374 @@
+//! The ADIOS data model: scalar and array variables.
+
+use evpath::{FieldValue, Record};
+
+/// Element type of an array variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit float.
+    F64,
+    /// 64-bit unsigned integer.
+    U64,
+    /// 64-bit signed integer.
+    I64,
+    /// Raw bytes.
+    U8,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub fn elem_bytes(&self) -> u64 {
+        match self {
+            DataType::U8 => 1,
+            _ => 8,
+        }
+    }
+
+    /// Stable wire tag.
+    pub fn tag(&self) -> u64 {
+        match self {
+            DataType::F64 => 0,
+            DataType::U64 => 1,
+            DataType::I64 => 2,
+            DataType::U8 => 3,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`].
+    pub fn from_tag(tag: u64) -> Option<DataType> {
+        Some(match tag {
+            0 => DataType::F64,
+            1 => DataType::U64,
+            2 => DataType::I64,
+            3 => DataType::U8,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed array payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayData {
+    /// Doubles.
+    F64(Vec<f64>),
+    /// Unsigned integers.
+    U64(Vec<u64>),
+    /// Signed integers.
+    I64(Vec<i64>),
+    /// Raw bytes.
+    U8(Vec<u8>),
+}
+
+impl ArrayData {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrayData::F64(v) => v.len(),
+            ArrayData::U64(v) => v.len(),
+            ArrayData::I64(v) => v.len(),
+            ArrayData::U8(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The element type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ArrayData::F64(_) => DataType::F64,
+            ArrayData::U64(_) => DataType::U64,
+            ArrayData::I64(_) => DataType::I64,
+            ArrayData::U8(_) => DataType::U8,
+        }
+    }
+
+    /// Allocate a zero-filled array of `len` elements of type `dtype`.
+    pub fn zeros(dtype: DataType, len: usize) -> ArrayData {
+        match dtype {
+            DataType::F64 => ArrayData::F64(vec![0.0; len]),
+            DataType::U64 => ArrayData::U64(vec![0; len]),
+            DataType::I64 => ArrayData::I64(vec![0; len]),
+            DataType::U8 => ArrayData::U8(vec![0; len]),
+        }
+    }
+
+    /// Copy `count` elements from `self[src_start..]` into
+    /// `dst[dst_start..]`. Panics on type mismatch or out-of-range (these
+    /// are internal invariants of the redistribution code).
+    pub fn copy_into(&self, src_start: usize, dst: &mut ArrayData, dst_start: usize, count: usize) {
+        match (self, dst) {
+            (ArrayData::F64(s), ArrayData::F64(d)) => {
+                d[dst_start..dst_start + count].copy_from_slice(&s[src_start..src_start + count])
+            }
+            (ArrayData::U64(s), ArrayData::U64(d)) => {
+                d[dst_start..dst_start + count].copy_from_slice(&s[src_start..src_start + count])
+            }
+            (ArrayData::I64(s), ArrayData::I64(d)) => {
+                d[dst_start..dst_start + count].copy_from_slice(&s[src_start..src_start + count])
+            }
+            (ArrayData::U8(s), ArrayData::U8(d)) => {
+                d[dst_start..dst_start + count].copy_from_slice(&s[src_start..src_start + count])
+            }
+            (s, d) => panic!("type mismatch: {:?} into {:?}", s.data_type(), d.data_type()),
+        }
+    }
+
+    /// View as `f64` slice (panics otherwise — caller checked the type).
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            ArrayData::F64(v) => v,
+            other => panic!("expected f64 array, got {:?}", other.data_type()),
+        }
+    }
+
+    /// View as `u64` slice.
+    pub fn as_u64(&self) -> &[u64] {
+        match self {
+            ArrayData::U64(v) => v,
+            other => panic!("expected u64 array, got {:?}", other.data_type()),
+        }
+    }
+
+    fn to_field(&self) -> FieldValue {
+        match self {
+            ArrayData::F64(v) => FieldValue::F64Array(v.clone()),
+            ArrayData::U64(v) => FieldValue::U64Array(v.clone()),
+            ArrayData::I64(v) => FieldValue::I64Array(v.clone()),
+            ArrayData::U8(v) => FieldValue::Bytes(v.clone()),
+        }
+    }
+
+    fn from_field(f: &FieldValue) -> Option<ArrayData> {
+        Some(match f {
+            FieldValue::F64Array(v) => ArrayData::F64(v.clone()),
+            FieldValue::U64Array(v) => ArrayData::U64(v.clone()),
+            FieldValue::I64Array(v) => ArrayData::I64(v.clone()),
+            FieldValue::Bytes(v) => ArrayData::U8(v.clone()),
+            _ => return None,
+        })
+    }
+}
+
+/// Scalar variable value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarValue {
+    /// Double scalar.
+    F64(f64),
+    /// Unsigned scalar.
+    U64(u64),
+    /// Signed scalar.
+    I64(i64),
+    /// String scalar (run metadata etc.).
+    Str(String),
+}
+
+/// One process's block of a (possibly distributed) array variable:
+/// the global shape plus this block's offset and count per dimension,
+/// row-major data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalBlock {
+    /// Global array shape.
+    pub global_shape: Vec<u64>,
+    /// This block's starting index per dimension.
+    pub offset: Vec<u64>,
+    /// This block's extent per dimension.
+    pub count: Vec<u64>,
+    /// Row-major elements, `count.product()` of them.
+    pub data: ArrayData,
+}
+
+impl LocalBlock {
+    /// Validate shape consistency; returns `self` for chaining.
+    pub fn validated(self) -> LocalBlock {
+        assert_eq!(self.global_shape.len(), self.offset.len(), "rank mismatch");
+        assert_eq!(self.global_shape.len(), self.count.len(), "rank mismatch");
+        let elems: u64 = self.count.iter().product();
+        assert_eq!(elems as usize, self.data.len(), "data length != count product");
+        for d in 0..self.global_shape.len() {
+            assert!(
+                self.offset[d] + self.count[d] <= self.global_shape[d],
+                "block exceeds global shape in dim {d}"
+            );
+        }
+        self
+    }
+
+    /// Number of elements in the block.
+    pub fn num_elements(&self) -> u64 {
+        self.count.iter().product()
+    }
+
+    /// Payload size in bytes.
+    pub fn num_bytes(&self) -> u64 {
+        self.num_elements() * self.data.data_type().elem_bytes()
+    }
+}
+
+/// A variable's value as written: scalar, or one local block of a global
+/// array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VarValue {
+    /// Scalar.
+    Scalar(ScalarValue),
+    /// Array block.
+    Block(LocalBlock),
+}
+
+impl VarValue {
+    /// Encode into an FFS record (the wire/disk representation).
+    pub fn to_record(&self) -> Record {
+        match self {
+            VarValue::Scalar(s) => {
+                let r = Record::new().with("kind", FieldValue::U64(0));
+                match s {
+                    ScalarValue::F64(v) => r.with("stype", FieldValue::U64(0)).with("v", FieldValue::F64(*v)),
+                    ScalarValue::U64(v) => r.with("stype", FieldValue::U64(1)).with("v", FieldValue::U64(*v)),
+                    ScalarValue::I64(v) => r.with("stype", FieldValue::U64(2)).with("v", FieldValue::I64(*v)),
+                    ScalarValue::Str(v) => {
+                        r.with("stype", FieldValue::U64(3)).with("v", FieldValue::Str(v.clone()))
+                    }
+                }
+            }
+            VarValue::Block(b) => Record::new()
+                .with("kind", FieldValue::U64(1))
+                .with("dtype", FieldValue::U64(b.data.data_type().tag()))
+                .with("shape", FieldValue::U64Array(b.global_shape.clone()))
+                .with("offset", FieldValue::U64Array(b.offset.clone()))
+                .with("count", FieldValue::U64Array(b.count.clone()))
+                .with("data", b.data.to_field()),
+        }
+    }
+
+    /// Decode from an FFS record.
+    pub fn from_record(r: &Record) -> Option<VarValue> {
+        match r.get_u64("kind")? {
+            0 => {
+                let v = r.get("v")?;
+                Some(VarValue::Scalar(match r.get_u64("stype")? {
+                    0 => ScalarValue::F64(r.get_f64("v")?),
+                    1 => ScalarValue::U64(r.get_u64("v")?),
+                    2 => ScalarValue::I64(r.get_i64("v")?),
+                    3 => match v {
+                        FieldValue::Str(s) => ScalarValue::Str(s.clone()),
+                        _ => return None,
+                    },
+                    _ => return None,
+                }))
+            }
+            1 => {
+                let data = ArrayData::from_field(r.get("data")?)?;
+                let expected = DataType::from_tag(r.get_u64("dtype")?)?;
+                if data.data_type() != expected {
+                    return None;
+                }
+                Some(VarValue::Block(
+                    LocalBlock {
+                        global_shape: r.get_u64_array("shape")?.to_vec(),
+                        offset: r.get_u64_array("offset")?.to_vec(),
+                        count: r.get_u64_array("count")?.to_vec(),
+                        data,
+                    }
+                    .validated(),
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// Payload bytes (0 metadata not counted).
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            VarValue::Scalar(_) => 8,
+            VarValue::Block(b) => b.num_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> LocalBlock {
+        LocalBlock {
+            global_shape: vec![4, 6],
+            offset: vec![2, 0],
+            count: vec![2, 3],
+            data: ArrayData::F64((0..6).map(|i| i as f64).collect()),
+        }
+        .validated()
+    }
+
+    #[test]
+    fn scalar_roundtrip() {
+        for s in [
+            ScalarValue::F64(3.25),
+            ScalarValue::U64(9),
+            ScalarValue::I64(-4),
+            ScalarValue::Str("meta".into()),
+        ] {
+            let v = VarValue::Scalar(s);
+            let r = v.to_record();
+            assert_eq!(VarValue::from_record(&r), Some(v));
+        }
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let v = VarValue::Block(block());
+        let encoded = v.to_record().encode();
+        let decoded = VarValue::from_record(&evpath::Record::decode(&encoded).unwrap());
+        assert_eq!(decoded, Some(v));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length != count product")]
+    fn bad_block_rejected() {
+        LocalBlock {
+            global_shape: vec![4],
+            offset: vec![0],
+            count: vec![4],
+            data: ArrayData::F64(vec![0.0; 3]),
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds global shape")]
+    fn out_of_shape_block_rejected() {
+        LocalBlock {
+            global_shape: vec![4],
+            offset: vec![3],
+            count: vec![2],
+            data: ArrayData::F64(vec![0.0; 2]),
+        }
+        .validated();
+    }
+
+    #[test]
+    fn sizes() {
+        let b = block();
+        assert_eq!(b.num_elements(), 6);
+        assert_eq!(b.num_bytes(), 48);
+        assert_eq!(VarValue::Block(b).payload_bytes(), 48);
+    }
+
+    #[test]
+    fn copy_into_moves_elements() {
+        let src = ArrayData::F64(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut dst = ArrayData::zeros(DataType::F64, 4);
+        src.copy_into(1, &mut dst, 0, 2);
+        assert_eq!(dst.as_f64(), &[2.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn corrupted_record_returns_none() {
+        let r = Record::new().with("kind", FieldValue::U64(7));
+        assert_eq!(VarValue::from_record(&r), None);
+        // dtype tag disagreeing with the actual array type.
+        let r = VarValue::Block(block()).to_record().with("dtype", FieldValue::U64(1));
+        assert_eq!(VarValue::from_record(&r), None);
+    }
+}

@@ -1,0 +1,307 @@
+//! A minimal XML reader for the ADIOS-style configuration file.
+//!
+//! Supports exactly what ADIOS config files use: nested elements,
+//! double-quoted attributes, self-closing tags, comments, and text
+//! content. No namespaces, entities (beyond the five predefined ones),
+//! DTDs or processing instructions. Hand-written because no XML crate is
+//! on this project's allowed dependency list (see DESIGN.md §3).
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+    /// Concatenated text content (trimmed).
+    pub text: String,
+}
+
+impl XmlElement {
+    /// First attribute with the given name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Children with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a XmlElement> {
+        let name = name.to_string();
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// First child with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XmlError {
+    /// Description.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xml error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse a document; returns the root element.
+pub fn parse(source: &str) -> Result<XmlElement, XmlError> {
+    let mut p = XmlParser { src: source.as_bytes(), pos: 0 };
+    p.skip_prolog();
+    let root = p.element()?;
+    p.skip_ws_and_comments();
+    if p.pos != p.src.len() {
+        return Err(p.error("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn error(&self, message: &str) -> XmlError {
+        XmlError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                match find_from(self.src, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => {
+                        self.pos = self.src.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) {
+        self.skip_ws_and_comments();
+        if self.starts_with("<?xml") {
+            if let Some(end) = find_from(self.src, self.pos, b"?>") {
+                self.pos = end + 2;
+            }
+        }
+        self.skip_ws_and_comments();
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' || c == b':' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<XmlElement, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.error("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = XmlElement { name, ..Default::default() };
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.error("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(el); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(self.error("expected quoted attribute value"));
+                    }
+                    let quote = quote.unwrap();
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    el.attrs.push((attr_name, unescape(&raw)));
+                }
+                None => return Err(self.error("unexpected end inside tag")),
+            }
+        }
+        // Content.
+        loop {
+            // Text until next '<'.
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c != b'<') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let t = String::from_utf8_lossy(&self.src[start..self.pos]);
+                let t = t.trim();
+                if !t.is_empty() {
+                    if !el.text.is_empty() {
+                        el.text.push(' ');
+                    }
+                    el.text.push_str(&unescape(t));
+                }
+            }
+            if self.peek().is_none() {
+                return Err(self.error(&format!("unterminated element <{}>", el.name)));
+            }
+            if self.starts_with("<!--") {
+                match find_from(self.src, self.pos + 4, b"-->") {
+                    Some(end) => {
+                        self.pos = end + 3;
+                        continue;
+                    }
+                    None => return Err(self.error("unterminated comment")),
+                }
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != el.name {
+                    return Err(self.error(&format!(
+                        "mismatched close tag </{close}> for <{}>",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.error("expected `>` in close tag"));
+                }
+                self.pos += 1;
+                return Ok(el);
+            }
+            el.children.push(self.element()?);
+        }
+    }
+}
+
+fn find_from(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let doc = parse(r#"<adios-config host-language="Fortran"><group name="particles"/></adios-config>"#).unwrap();
+        assert_eq!(doc.name, "adios-config");
+        assert_eq!(doc.attr("host-language"), Some("Fortran"));
+        assert_eq!(doc.children.len(), 1);
+        assert_eq!(doc.children[0].attr("name"), Some("particles"));
+    }
+
+    #[test]
+    fn nesting_text_and_comments() {
+        let doc = parse(
+            r#"<?xml version="1.0"?>
+            <!-- top comment -->
+            <a>
+              <b k="v">hello <!-- inner --> world</b>
+              <b k2='single'/>
+            </a>"#,
+        )
+        .unwrap();
+        let bs: Vec<_> = doc.children_named("b").collect();
+        assert_eq!(bs.len(), 2);
+        assert_eq!(bs[0].text, "hello world");
+        assert_eq!(bs[1].attr("k2"), Some("single"));
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let doc = parse(r#"<x v="a&amp;b&lt;c">1 &gt; 0</x>"#).unwrap();
+        assert_eq!(doc.attr("v"), Some("a&b<c"));
+        assert_eq!(doc.text, "1 > 0");
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("<a><b></a>").is_err()); // mismatched close
+        assert!(parse("<a>").is_err()); // unterminated
+        assert!(parse("<a b=c/>").is_err()); // unquoted attribute
+        assert!(parse("<a/><b/>").is_err()); // two roots
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn child_lookup_helpers() {
+        let doc = parse("<root><m name=\"one\"/><n/><m name=\"two\"/></root>").unwrap();
+        assert_eq!(doc.children_named("m").count(), 2);
+        assert_eq!(doc.child("n").unwrap().name, "n");
+        assert!(doc.child("zzz").is_none());
+    }
+}

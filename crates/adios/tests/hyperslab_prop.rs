@@ -1,0 +1,114 @@
+//! Property tests on the hyperslab machinery — the geometric core of both
+//! file-mode reads and FlexIO's MxN redistribution.
+
+use adios::hyperslab::{copy_region, extract_region};
+use adios::{ArrayData, BoxSel, LocalBlock};
+use proptest::prelude::*;
+
+/// A random 2-D block within an 8×8 global array, with values encoding
+/// their global coordinates.
+fn arb_block() -> impl Strategy<Value = LocalBlock> {
+    (0u64..6, 0u64..6).prop_flat_map(|(ox, oy)| {
+        (1u64..=8 - ox, 1u64..=8 - oy).prop_map(move |(cx, cy)| {
+            let mut data = Vec::new();
+            for r in ox..ox + cx {
+                for c in oy..oy + cy {
+                    data.push((r * 100 + c) as f64);
+                }
+            }
+            LocalBlock {
+                global_shape: vec![8, 8],
+                offset: vec![ox, oy],
+                count: vec![cx, cy],
+                data: ArrayData::F64(data),
+            }
+            .validated()
+        })
+    })
+}
+
+fn arb_box() -> impl Strategy<Value = BoxSel> {
+    (0u64..8, 0u64..8).prop_flat_map(|(ox, oy)| {
+        (1u64..=8 - ox, 1u64..=8 - oy)
+            .prop_map(move |(cx, cy)| BoxSel::new(vec![ox, oy], vec![cx, cy]))
+    })
+}
+
+proptest! {
+    /// Extracting any overlap region preserves each element's global
+    /// coordinate encoding.
+    #[test]
+    fn extract_preserves_coordinates(block in arb_block(), sel in arb_box()) {
+        let have = BoxSel::new(block.offset.clone(), block.count.clone());
+        if let Some(region) = have.intersect(&sel) {
+            let extracted = extract_region(&block, &region);
+            prop_assert_eq!(extracted.num_elements(), region.num_elements());
+            let vals = extracted.data.as_f64();
+            let mut idx = 0;
+            for r in region.offset[0]..region.offset[0] + region.count[0] {
+                for c in region.offset[1]..region.offset[1] + region.count[1] {
+                    prop_assert_eq!(vals[idx], (r * 100 + c) as f64);
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    /// Splitting a block into the pieces that overlap a set of disjoint
+    /// reader boxes and copying them into a target reconstructs the
+    /// target's covered portion exactly (the MxN invariant).
+    #[test]
+    fn split_and_reassemble_roundtrip(block in arb_block()) {
+        // Readers split the global array into two column bands.
+        let readers = [
+            BoxSel::new(vec![0, 0], vec![8, 4]),
+            BoxSel::new(vec![0, 4], vec![8, 4]),
+        ];
+        let have = BoxSel::new(block.offset.clone(), block.count.clone());
+        // Reassembly target: a copy of the block, zeroed.
+        let mut target = LocalBlock {
+            global_shape: block.global_shape.clone(),
+            offset: block.offset.clone(),
+            count: block.count.clone(),
+            data: ArrayData::zeros(adios::DataType::F64, block.num_elements() as usize),
+        }
+        .validated();
+        let mut covered = 0u64;
+        for reader in &readers {
+            if let Some(region) = have.intersect(reader) {
+                let piece = extract_region(&block, &region);
+                copy_region(&piece, &mut target, &region);
+                covered += region.num_elements();
+            }
+        }
+        // The two bands tile the global space: full coverage, exact data.
+        prop_assert_eq!(covered, block.num_elements());
+        prop_assert_eq!(target.data.as_f64(), block.data.as_f64());
+    }
+
+    /// Intersection is commutative, associative-compatible and contained
+    /// in both operands.
+    #[test]
+    fn intersection_laws(a in arb_box(), b in arb_box(), c in arb_box()) {
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        if let Some(ab) = a.intersect(&b) {
+            prop_assert!(ab.num_elements() <= a.num_elements());
+            prop_assert!(ab.num_elements() <= b.num_elements());
+            // (a∩b)∩c == a∩(b∩c)
+            let left = ab.intersect(&c);
+            let right = b.intersect(&c).and_then(|bc| a.intersect(&bc));
+            prop_assert_eq!(left, right);
+        }
+    }
+
+    /// Row iteration covers exactly the selected elements.
+    #[test]
+    fn rows_cover_exactly(sel in arb_box()) {
+        let total: u64 = sel.rows().map(|(_, run)| run).sum();
+        prop_assert_eq!(total, sel.num_elements());
+        // And every run stays in bounds on the last dimension.
+        for (start, run) in sel.rows() {
+            prop_assert!(start[1] + run <= sel.offset[1] + sel.count[1]);
+        }
+    }
+}

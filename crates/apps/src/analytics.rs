@@ -1,0 +1,164 @@
+//! The GTS analytics chain (paper §IV.A).
+//!
+//! "The particle data is processed by a series of analysis steps,
+//! including the calculation of particle distribution function and a range
+//! query on the velocity attributes of all particles. The query result is
+//! ~20% of the original output particles. 1D and 2D histograms are
+//! generated from the query results and written to files which can then
+//! be used for parallel coordinates visualization."
+
+use crate::gts::{ATTRS, VPAR, VPERP};
+use crate::histogram::{Histogram1D, Histogram2D};
+
+/// The velocity-space particle distribution function: a weighted 1-D
+/// histogram of `v_par` over the particle population.
+pub fn distribution_function(particles: &[f64], nbins: usize, v_range: (f64, f64)) -> Histogram1D {
+    assert!(particles.len().is_multiple_of(ATTRS), "not an n×7 particle array");
+    let mut h = Histogram1D::new(v_range.0, v_range.1, nbins);
+    for p in particles.chunks_exact(ATTRS) {
+        h.add_weighted(p[VPAR], p[5]);
+    }
+    h
+}
+
+/// A velocity range query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    /// Inclusive lower bound on `v_par`.
+    pub v_par_min: f64,
+    /// Exclusive upper bound on `v_par`.
+    pub v_par_max: f64,
+}
+
+impl RangeQuery {
+    /// Build the paper's ~20%-selectivity query from the distribution
+    /// function: keep particles between the 40th and 60th percentile of
+    /// `v_par` (the thermal core).
+    pub fn twenty_percent_core(dist: &Histogram1D) -> RangeQuery {
+        RangeQuery { v_par_min: dist.quantile(0.40), v_par_max: dist.quantile(0.60) }
+    }
+
+    /// True if a particle row passes.
+    pub fn matches(&self, particle: &[f64]) -> bool {
+        let v = particle[VPAR];
+        v >= self.v_par_min && v < self.v_par_max
+    }
+}
+
+/// Run the range query, returning the selected particles (dense copy, all
+/// seven attributes preserved).
+pub fn range_query(particles: &[f64], query: &RangeQuery) -> Vec<f64> {
+    assert!(particles.len().is_multiple_of(ATTRS));
+    let mut out = Vec::new();
+    for p in particles.chunks_exact(ATTRS) {
+        if query.matches(p) {
+            out.extend_from_slice(p);
+        }
+    }
+    out
+}
+
+/// The downstream products: 1-D histograms per velocity attribute and the
+/// 2-D `v_par × v_perp` histogram, built from the query result.
+#[derive(Debug, Clone)]
+pub struct HistogramSet {
+    /// `v_par` histogram of the selected particles.
+    pub v_par: Histogram1D,
+    /// `v_perp` histogram of the selected particles.
+    pub v_perp: Histogram1D,
+    /// Joint velocity histogram.
+    pub joint: Histogram2D,
+}
+
+impl HistogramSet {
+    /// Build from a selected particle array.
+    pub fn build(selected: &[f64], v_range: (f64, f64), nbins: usize) -> HistogramSet {
+        assert!(selected.len().is_multiple_of(ATTRS));
+        let mut v_par = Histogram1D::new(v_range.0, v_range.1, nbins);
+        let mut v_perp = Histogram1D::new(0.0, v_range.1.max(1e-9), nbins);
+        let mut joint = Histogram2D::new(v_range, (0.0, v_range.1.max(1e-9)), nbins, nbins);
+        for p in selected.chunks_exact(ATTRS) {
+            v_par.add(p[VPAR]);
+            v_perp.add(p[VPERP]);
+            joint.add(p[VPAR], p[VPERP]);
+        }
+        HistogramSet { v_par, v_perp, joint }
+    }
+
+    /// Merge results from another analytics rank.
+    pub fn merge(&mut self, other: &HistogramSet) {
+        self.v_par.merge(&other.v_par);
+        self.v_perp.merge(&other.v_perp);
+        self.joint.merge(&other.joint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gts::{Gts, GtsConfig};
+
+    fn particles() -> Vec<f64> {
+        Gts::new(0, GtsConfig { particles_per_rank: 5000, ..Default::default() })
+            .zion()
+            .data
+            .clone()
+    }
+
+    #[test]
+    fn distribution_function_covers_population() {
+        let p = particles();
+        let d = distribution_function(&p, 64, (-2.0, 2.0));
+        // Weighted by the weight attribute (uniform in [0,1), mean 0.5).
+        let total = d.total() + d.underflow + d.overflow;
+        assert!((total / (p.len() / ATTRS) as f64 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn range_query_selects_about_twenty_percent() {
+        // The paper's headline number: "The query result is ~20% of the
+        // original output particles."
+        let p = particles();
+        let d = distribution_function(&p, 256, (-2.0, 2.0));
+        let q = RangeQuery::twenty_percent_core(&d);
+        let selected = range_query(&p, &q);
+        let fraction = (selected.len() / ATTRS) as f64 / (p.len() / ATTRS) as f64;
+        assert!(
+            (0.12..=0.30).contains(&fraction),
+            "selectivity {fraction} out of the ~20% band"
+        );
+    }
+
+    #[test]
+    fn query_preserves_attribute_rows() {
+        let p = particles();
+        let q = RangeQuery { v_par_min: -0.1, v_par_max: 0.1 };
+        let s = range_query(&p, &q);
+        assert!(s.len().is_multiple_of(ATTRS));
+        for row in s.chunks_exact(ATTRS) {
+            assert!(q.matches(row));
+            assert!(row[6] >= 0.0, "particle id survives");
+        }
+    }
+
+    #[test]
+    fn empty_selection() {
+        let p = particles();
+        let q = RangeQuery { v_par_min: 100.0, v_par_max: 101.0 };
+        assert!(range_query(&p, &q).is_empty());
+    }
+
+    #[test]
+    fn histogram_set_merge_matches_union() {
+        let p = particles();
+        let q = RangeQuery { v_par_min: -0.5, v_par_max: 0.5 };
+        let s = range_query(&p, &q);
+        let half = (s.len() / ATTRS / 2) * ATTRS;
+        let mut a = HistogramSet::build(&s[..half], (-2.0, 2.0), 32);
+        let b = HistogramSet::build(&s[half..], (-2.0, 2.0), 32);
+        let whole = HistogramSet::build(&s, (-2.0, 2.0), 32);
+        a.merge(&b);
+        assert_eq!(a.v_par.bins, whole.v_par.bins);
+        assert_eq!(a.joint.bins, whole.joint.bins);
+    }
+}

@@ -1,0 +1,34 @@
+//! `apps` — the two leadership applications of the paper's evaluation,
+//! rebuilt as laptop-scale skeletons with the same data shapes.
+//!
+//! * [`gts`] — a gyrokinetic particle-in-cell skeleton standing in for
+//!   GTS (paper §IV.A): per rank, two 2-D particle arrays (`zion`,
+//!   `electrons`) of seven attributes each (coordinates, velocities,
+//!   weight, particle ID), pushed through a toroidal field each cycle and
+//!   written out every second cycle, exactly the output pattern the paper
+//!   describes (110 MB/process in production; configurable here).
+//! * [`analytics`] — the GTS analytics chain: particle distribution
+//!   function, a range query over the velocity attributes selecting ~20%
+//!   of particles, and 1-D/2-D histograms for parallel-coordinates
+//!   visualization.
+//! * [`s3d`] — an S3D_Box-like reaction–diffusion solver: 22
+//!   double-precision 3-D species arrays per rank (1.7 MB/process/output
+//!   in the paper's configuration), stepped with a periodic stencil and
+//!   written every tenth cycle.
+//! * [`render`] — the parallel volume renderer the species data feeds
+//!   (paper cites \[49\]): per-rank slab ray-casting with front-to-back
+//!   compositing and PPM output ("writing rendered image to files in PPM
+//!   format").
+//! * [`histogram`] — shared histogram utilities.
+
+pub mod analytics;
+pub mod gts;
+pub mod histogram;
+pub mod render;
+pub mod s3d;
+
+pub use analytics::{distribution_function, range_query, RangeQuery};
+pub use gts::{Gts, GtsConfig, ATTRS, ATTR_NAMES};
+pub use histogram::{Histogram1D, Histogram2D};
+pub use render::{composite_slabs, render_slab, write_ppm, Image, TransferFunction};
+pub use s3d::{S3dBox, S3dConfig};

@@ -1,0 +1,237 @@
+//! Parallel volume renderer (the S3D analytics, paper §IV.B).
+//!
+//! "The species data is fed into a parallel volume rendering code to
+//! visualize images for each every species. [...] running simulation and
+//! visualization computation (and writing rendered image to files in PPM
+//! format) as a two-stage pipeline."
+//!
+//! The classic distributed approach, reproduced here: each analytics rank
+//! holds a *slab* of the volume (a contiguous Z-range), ray-casts it
+//! front-to-back into a partial RGBA image, and the partial images are
+//! composited in depth order — the compositing operator is associative,
+//! which is what makes the parallelization exact.
+
+use adios::LocalBlock;
+
+/// An RGBA image, row-major, f32 components in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// `width × height × 4` components (RGBA).
+    pub pixels: Vec<f32>,
+}
+
+impl Image {
+    /// Transparent black image.
+    pub fn new(width: usize, height: usize) -> Image {
+        Image { width, height, pixels: vec![0.0; width * height * 4] }
+    }
+
+    /// Pixel accessor (RGBA slice).
+    pub fn pixel(&self, x: usize, y: usize) -> &[f32] {
+        let i = (y * self.width + x) * 4;
+        &self.pixels[i..i + 4]
+    }
+
+    fn pixel_mut(&mut self, x: usize, y: usize) -> &mut [f32] {
+        let i = (y * self.width + x) * 4;
+        &mut self.pixels[i..i + 4]
+    }
+
+    /// Mean alpha — a cheap "is anything visible" probe for tests.
+    pub fn coverage(&self) -> f32 {
+        let n = (self.width * self.height) as f32;
+        self.pixels.chunks_exact(4).map(|p| p[3]).sum::<f32>() / n
+    }
+}
+
+/// Maps a scalar sample to RGBA (classic piecewise-linear transfer
+/// function over `[lo, hi]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferFunction {
+    /// Value mapped to fully transparent.
+    pub lo: f64,
+    /// Value mapped to the hottest colour.
+    pub hi: f64,
+    /// Opacity scale per sample (controls how quickly rays saturate).
+    pub opacity: f32,
+}
+
+impl TransferFunction {
+    /// Classify one sample.
+    pub fn classify(&self, v: f64) -> [f32; 4] {
+        let t = (((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)) as f32;
+        // Blue → green → red ramp.
+        let r = (2.0 * t - 1.0).clamp(0.0, 1.0);
+        let g = (1.0 - (2.0 * t - 1.0).abs()).clamp(0.0, 1.0);
+        let b = (1.0 - 2.0 * t).clamp(0.0, 1.0);
+        [r, g, b, self.opacity * t]
+    }
+}
+
+/// Front-to-back accumulation of one *classified sample* (straight
+/// colour + alpha) behind the accumulated pixel.
+fn over_sample(dst: &mut [f32], src: &[f32; 4]) {
+    let a = dst[3];
+    for c in 0..3 {
+        dst[c] += (1.0 - a) * src[3] * src[c];
+    }
+    dst[3] += (1.0 - a) * src[3];
+}
+
+/// Front-to-back compositing of an already-accumulated partial pixel
+/// (**premultiplied** colour) behind the accumulated pixel. Associative —
+/// the property that makes slab-parallel rendering exact.
+fn over_image(dst: &mut [f32], src: &[f32]) {
+    let a = dst[3];
+    for c in 0..3 {
+        dst[c] += (1.0 - a) * src[c];
+    }
+    dst[3] += (1.0 - a) * src[3];
+}
+
+/// Ray-cast one slab of the volume along +Z. The block's X×Y extent maps
+/// to the image (one pixel per cell); rays accumulate samples through the
+/// block's Z range front-to-back.
+pub fn render_slab(block: &LocalBlock, tf: &TransferFunction) -> Image {
+    assert_eq!(block.global_shape.len(), 3, "volume rendering needs 3-D data");
+    let [gx, gy] = [block.global_shape[0] as usize, block.global_shape[1] as usize];
+    let (cx, cy, cz) = (
+        block.count[0] as usize,
+        block.count[1] as usize,
+        block.count[2] as usize,
+    );
+    let (ox, oy) = (block.offset[0] as usize, block.offset[1] as usize);
+    let data = block.data.as_f64();
+    let mut img = Image::new(gx, gy);
+    for x in 0..cx {
+        for y in 0..cy {
+            let px = img.pixel_mut(ox + x, oy + y);
+            for z in 0..cz {
+                if px[3] >= 0.995 {
+                    break; // early ray termination
+                }
+                let v = data[(x * cy + y) * cz + z];
+                let rgba = tf.classify(v);
+                over_sample(px, &rgba);
+            }
+        }
+    }
+    img
+}
+
+/// Composite per-slab partial images in depth order (index 0 nearest).
+/// All images must have identical dimensions.
+pub fn composite_slabs(slabs: &[Image]) -> Image {
+    assert!(!slabs.is_empty());
+    let mut out = slabs[0].clone();
+    for s in &slabs[1..] {
+        assert_eq!((s.width, s.height), (out.width, out.height));
+        for (d, p) in out.pixels.chunks_exact_mut(4).zip(s.pixels.chunks_exact(4)) {
+            over_image(d, p);
+        }
+    }
+    out
+}
+
+/// Serialize as a binary PPM (P6) over a black background — the format
+/// the paper's pipeline writes.
+pub fn write_ppm(img: &Image) -> Vec<u8> {
+    let mut out = format!("P6\n{} {}\n255\n", img.width, img.height).into_bytes();
+    for p in img.pixels.chunks_exact(4) {
+        for c in 0..3 {
+            out.push((p[c].clamp(0.0, 1.0) * 255.0) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adios::ArrayData;
+
+    fn volume_block(offset_z: u64, count_z: u64, value: f64) -> LocalBlock {
+        let (nx, ny) = (4u64, 4u64);
+        LocalBlock {
+            global_shape: vec![nx, ny, 8],
+            offset: vec![0, 0, offset_z],
+            count: vec![nx, ny, count_z],
+            data: ArrayData::F64(vec![value; (nx * ny * count_z) as usize]),
+        }
+        .validated()
+    }
+
+    fn tf() -> TransferFunction {
+        TransferFunction { lo: 0.0, hi: 1.0, opacity: 0.3 }
+    }
+
+    #[test]
+    fn empty_volume_renders_transparent() {
+        let img = render_slab(&volume_block(0, 8, 0.0), &tf());
+        assert_eq!(img.coverage(), 0.0);
+    }
+
+    #[test]
+    fn dense_volume_saturates() {
+        let img = render_slab(&volume_block(0, 8, 1.0), &tf());
+        assert!(img.coverage() > 0.9, "coverage {}", img.coverage());
+        // Hot values are red.
+        let p = img.pixel(0, 0);
+        assert!(p[0] > p[2], "hot should be red over blue: {p:?}");
+    }
+
+    #[test]
+    fn compositing_two_slabs_equals_single_full_render() {
+        // The associativity property that makes the parallel renderer
+        // exact: render [0,4) and [4,8) separately and composite — must
+        // equal rendering [0,8) at once.
+        let value = 0.6;
+        let full = render_slab(&volume_block(0, 8, value), &tf());
+        let near = render_slab(&volume_block(0, 4, value), &tf());
+        let far = render_slab(&volume_block(4, 4, value), &tf());
+        let composed = composite_slabs(&[near, far]);
+        for (a, b) in full.pixels.iter().zip(&composed.pixels) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn depth_order_matters() {
+        // A red-hot near slab should dominate over a cool far slab, and
+        // the reverse order should differ.
+        let hot = render_slab(&volume_block(0, 4, 1.0), &tf());
+        let cool = render_slab(&volume_block(4, 4, 0.3), &tf());
+        let near_hot = composite_slabs(&[hot.clone(), cool.clone()]);
+        let near_cool = composite_slabs(&[cool, hot]);
+        assert_ne!(near_hot.pixels, near_cool.pixels);
+        let p = near_hot.pixel(0, 0);
+        assert!(p[0] > 0.3, "hot-in-front keeps red dominant: {p:?}");
+    }
+
+    #[test]
+    fn ppm_output_shape() {
+        let img = render_slab(&volume_block(0, 8, 0.8), &tf());
+        let ppm = write_ppm(&img);
+        assert!(ppm.starts_with(b"P6\n4 4\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 4 * 3);
+    }
+
+    #[test]
+    fn partial_xy_blocks_render_into_their_region() {
+        // A block covering only x in [2,4) must leave other pixels empty.
+        let block = LocalBlock {
+            global_shape: vec![4, 4, 4],
+            offset: vec![2, 0, 0],
+            count: vec![2, 4, 4],
+            data: ArrayData::F64(vec![1.0; 2 * 4 * 4]),
+        }
+        .validated();
+        let img = render_slab(&block, &tf());
+        assert_eq!(img.pixel(0, 0)[3], 0.0);
+        assert!(img.pixel(3, 0)[3] > 0.5);
+    }
+}

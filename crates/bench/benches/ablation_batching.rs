@@ -1,0 +1,87 @@
+//! **Ablation** — per-variable vs batched data movement (paper §II.C.2's
+//! second optimization, and the S3D tuning of §IV.B.1: "we also enable
+//! batching so that all 22 arrays are packed and sent together").
+
+use std::thread;
+
+use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexio::{CachingLevel, FlexIo, StreamHints};
+use machine::{laptop, CoreLocation};
+
+const STEPS: u64 = 10;
+const VARS: usize = 22;
+const ELEMS: usize = 512;
+
+fn run(batching: bool) {
+    let io = FlexIo::single_node(laptop());
+    let hints = StreamHints {
+        batching,
+        caching: CachingLevel::CachingAll,
+        ..StreamHints::default()
+    };
+    let io_w = io.clone();
+    let io_r = io.clone();
+    let hints_r = hints.clone();
+    let wt = thread::spawn(move || {
+        rankrt::launch(2, move |comm| {
+            let rank = comm.rank();
+            let roster: Vec<CoreLocation> =
+                (0..2).map(|r| laptop().node.location_of(r)).collect();
+            let mut w = io_w
+                .open_writer("batch", rank, 2, roster[rank], roster, hints.clone())
+                .unwrap();
+            for step in 0..STEPS {
+                w.begin_step(step);
+                for v in 0..VARS {
+                    w.write(
+                        &format!("species{v:02}"),
+                        VarValue::Block(
+                            LocalBlock {
+                                global_shape: vec![2 * ELEMS as u64],
+                                offset: vec![rank as u64 * ELEMS as u64],
+                                count: vec![ELEMS as u64],
+                                data: ArrayData::F64(vec![step as f64; ELEMS]),
+                            }
+                            .validated(),
+                        ),
+                    );
+                }
+                w.end_step();
+            }
+            w.close();
+        })
+    });
+    let rt = thread::spawn(move || {
+        rankrt::launch(1, move |_| {
+            let core = laptop().node.location_of(15);
+            let mut r = io_r.open_reader("batch", 0, 1, core, vec![core], hints_r.clone()).unwrap();
+            for v in 0..VARS {
+                r.subscribe(
+                    &format!("species{v:02}"),
+                    Selection::GlobalBox(BoxSel::whole(&[2 * ELEMS as u64])),
+                );
+            }
+            while let StepStatus::Step(_) = r.begin_step() {
+                r.end_step();
+            }
+        })
+    });
+    wt.join().unwrap();
+    rt.join().unwrap();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batching_ablation");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(STEPS * VARS as u64));
+    for (label, batching) in [("per_variable", false), ("batched", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &batching, |b, &batching| {
+            b.iter(|| run(batching));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! **Ablation** — cost of the FM refinement inside the partitioner: how
+//! much time the SCOTCH-stand-in spends, naive BFS bisection vs refined,
+//! and the full graph-to-tree mapping. Cut *quality* is reported by the
+//! `ablation_partition` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machine::smoky;
+use placement::partition::{bisect, partition_k};
+use placement::{map_to_tree, CommGraph};
+
+fn workload(nsim: usize, nana: usize) -> CommGraph {
+    CommGraph::coupled(nsim, 4, 50_000.0, nana, 110_000_000.0, 100_000.0)
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioner");
+    for (nsim, nana) in [(24usize, 8usize), (96, 32)] {
+        let graph = workload(nsim, nana);
+        let n = graph.len();
+        let vertices: Vec<usize> = (0..n).collect();
+        g.bench_with_input(
+            BenchmarkId::new("bisect", n),
+            &graph,
+            |b, graph| {
+                b.iter(|| criterion::black_box(bisect(graph, &vertices, n / 2)));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("partition_k4", n),
+            &graph,
+            |b, graph| {
+                b.iter(|| criterion::black_box(partition_k(graph, 4)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_tree_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_mapping");
+    let m = smoky();
+    for nodes in [2usize, 8] {
+        let cores = nodes * m.node.cores_per_node();
+        let graph = workload(cores * 3 / 4, cores / 4);
+        let tree = m.topology_tree(nodes);
+        g.bench_with_input(BenchmarkId::new("topology_tree", cores), &graph, |b, graph| {
+            b.iter(|| criterion::black_box(map_to_tree(graph, &tree)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_tree_mapping);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **Ablation** — buffer-pool reuse vs fresh allocation per message
+//! (paper §II.D/E: the free-list pool and the registration cache both
+//! exist to avoid per-transfer allocation; Fig. 4 shows the same effect
+//! on the RDMA side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use shm::BufferPool;
+
+const MSGS: u64 = 2_000;
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buffer_pool_ablation");
+    for size in [4 << 10, 256 << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(MSGS * size as u64));
+        g.bench_with_input(BenchmarkId::new("pool_reuse", size), &size, |b, &size| {
+            let pool = BufferPool::new(1 << 30);
+            let src = vec![5u8; size];
+            b.iter(|| {
+                for _ in 0..MSGS {
+                    let mut buf = pool.acquire(size);
+                    buf.as_mut_slice()[..size].copy_from_slice(&src);
+                    criterion::black_box(buf.as_slice()[0]);
+                    pool.give_back(buf);
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("fresh_alloc", size), &size, |b, &size| {
+            let src = vec![5u8; size];
+            b.iter(|| {
+                for _ in 0..MSGS {
+                    let mut buf = vec![0u8; size];
+                    buf.copy_from_slice(&src);
+                    criterion::black_box(buf[0]);
+                    drop(buf);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

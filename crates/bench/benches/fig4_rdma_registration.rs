@@ -1,0 +1,37 @@
+//! **Fig. 4 (microbenchmark form)** — the executable cost of the
+//! simulated RDMA Get path with dynamic vs cached registration. Wall
+//! time here measures the protocol implementation (cache lookups, slab,
+//! channel hops); the *modelled* bandwidth curves are printed by
+//! `cargo run -p bench --bin fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use machine::InterconnectParams;
+use netsim::{NetSim, Registration};
+
+fn bench_get_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rdma_get_registration");
+    for size in [64 << 10, 1 << 20] {
+        g.throughput(Throughput::Bytes(size as u64));
+        for (label, reg) in [("cached", Registration::Cached), ("dynamic", Registration::Dynamic)]
+        {
+            g.bench_with_input(
+                BenchmarkId::new(label, size),
+                &(size, reg),
+                |b, &(size, reg)| {
+                    let net = NetSim::new(InterconnectParams::gemini(), 2);
+                    let mut src = net.open_port(0);
+                    let mut dst = net.open_port(1);
+                    let payload = vec![9u8; size];
+                    b.iter(|| {
+                        src.send(&dst.address(), &payload, reg);
+                        criterion::black_box(dst.recv());
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_get_paths);
+criterion_main!(benches);

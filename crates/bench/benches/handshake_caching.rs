@@ -1,0 +1,80 @@
+//! **MICRO-CACHING** — end-to-end step rate of the stream protocol under
+//! the three handshake caching levels (paper §II.C.2). `CACHING_ALL`
+//! should push the most steps per second; `NO_CACHING` pays the full
+//! gather/exchange/broadcast every step.
+
+use std::thread;
+
+use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flexio::{CachingLevel, FlexIo, StreamHints};
+use machine::{laptop, CoreLocation};
+
+const WRITERS: usize = 3;
+const STEPS: u64 = 40;
+
+fn run_steps(level: CachingLevel) {
+    let io = FlexIo::single_node(laptop());
+    let hints = StreamHints { caching: level, ..StreamHints::default() };
+    let io_w = io.clone();
+    let io_r = io.clone();
+    let hints_r = hints.clone();
+    let wt = thread::spawn(move || {
+        rankrt::launch(WRITERS, move |comm| {
+            let rank = comm.rank();
+            let roster: Vec<CoreLocation> =
+                (0..WRITERS).map(|r| laptop().node.location_of(r)).collect();
+            let mut w = io_w
+                .open_writer("bench", rank, WRITERS, roster[rank], roster, hints.clone())
+                .unwrap();
+            for step in 0..STEPS {
+                w.begin_step(step);
+                w.write(
+                    "v",
+                    VarValue::Block(
+                        LocalBlock {
+                            global_shape: vec![WRITERS as u64 * 64],
+                            offset: vec![rank as u64 * 64],
+                            count: vec![64],
+                            data: ArrayData::F64(vec![step as f64; 64]),
+                        }
+                        .validated(),
+                    ),
+                );
+                w.end_step();
+            }
+            w.close();
+        })
+    });
+    let rt = thread::spawn(move || {
+        rankrt::launch(1, move |_| {
+            let core = laptop().node.location_of(15);
+            let mut r = io_r.open_reader("bench", 0, 1, core, vec![core], hints_r.clone()).unwrap();
+            r.subscribe("v", Selection::GlobalBox(BoxSel::whole(&[WRITERS as u64 * 64])));
+            while let StepStatus::Step(_) = r.begin_step() {
+                r.end_step();
+            }
+        })
+    });
+    wt.join().unwrap();
+    rt.join().unwrap();
+}
+
+fn bench_caching_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("handshake_caching");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(STEPS));
+    for (label, level) in [
+        ("NO_CACHING", CachingLevel::NoCaching),
+        ("CACHING_LOCAL", CachingLevel::CachingLocal),
+        ("CACHING_ALL", CachingLevel::CachingAll),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &level, |b, &level| {
+            b.iter(|| run_steps(level));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_caching_levels);
+criterion_main!(benches);

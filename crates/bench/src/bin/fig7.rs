@@ -1,0 +1,46 @@
+//! **Fig. 7** — "Detailed Timing of GTS and Analytics. GTS runs with 128
+//! MPI processes on Smoky": per-step phase breakdown (Sim. Cycle1, Sim.
+//! Cycle2, I/O, Analysis, Idle) for the three cases.
+//!
+//! Run: `cargo run --release -p bench --bin fig7`
+
+use dessim::gts_fig7_cases;
+use machine::smoky;
+
+fn main() {
+    let machine = smoky();
+    let rows = gts_fig7_cases(&machine);
+    println!("Fig. 7 — GTS detailed timing, 128 MPI processes on Smoky (seconds per output step)");
+    println!(
+        "{:<52} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "case", "cycle1", "cycle2", "I/O", "analysis", "idle"
+    );
+    for (label, c1, c2, io, ana, idle) in &rows {
+        println!("{label:<52} {c1:>9.2} {c2:>9.2} {io:>8.3} {ana:>9.2} {idle:>8.2}");
+    }
+
+    let helper_total = rows[0].1 + rows[0].2 + rows[0].3;
+    let inline_total = rows[1].1 + rows[1].2 + rows[1].4;
+    let solo3_total = rows[2].1 + rows[2].2;
+    println!("\nderived observations (paper §IV.A):");
+    println!(
+        "  inline analysis weighs {:.1}% of GTS runtime (paper: 23.6%)",
+        rows[1].4 / inline_total * 100.0
+    );
+    println!(
+        "  helper-core sim cycles are {:.1}% longer than solo 3-thread cycles (paper: ~4.1%)",
+        (rows[0].1 / rows[2].1 - 1.0) * 100.0
+    );
+    println!(
+        "  helper-core step I/O is {:.2}% of the step (paper: 'nearly invisible')",
+        rows[0].3 / helper_total * 100.0
+    );
+    println!(
+        "  analytics idle fraction on the helper core: {:.0}% (paper: 67%)",
+        rows[0].5 / helper_total * 100.0
+    );
+    println!(
+        "  offloading wins: helper-core step {helper_total:.1}s vs inline step {inline_total:.1}s \
+         (solo 3-thread: {solo3_total:.1}s)"
+    );
+}

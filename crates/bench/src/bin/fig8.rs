@@ -1,0 +1,35 @@
+//! **Fig. 8** — "Last Level Cache Miss Rates of GTS on Smoky": L3 misses
+//! per thousand instructions for GTS solo vs GTS sharing its L3 with
+//! helper-core analytics, reproduced on the `memsim` set-associative
+//! cache simulator.
+//!
+//! Run: `cargo run --release -p bench --bin fig8 [--machine titan]`
+
+use dessim::gts_corun_mpki;
+
+fn main() {
+    let machine = bench::machine_arg();
+    let result = gts_corun_mpki(&machine, 1_500_000);
+    println!(
+        "Fig. 8 — GTS L3 misses per 1K instructions on {} ({} MiB shared L3)",
+        machine.name,
+        machine.node.l3.size_bytes >> 20
+    );
+    println!("{:<56} {:>10}", "configuration", "L3 MPKI");
+    println!(
+        "{:<56} {:>10.3}",
+        "GTS (3 OpenMP threads) solo", result.solo_mpki
+    );
+    println!(
+        "{:<56} {:>10.3}",
+        "GTS (3 OpenMP threads) with analytics on helper core", result.corun_mpki
+    );
+    println!(
+        "{:<56} {:>10.3}",
+        "  (the analytics' own streaming MPKI)", result.analytics_mpki
+    );
+    println!(
+        "\nGTS suffers {:.0}% more L3 misses when co-running (paper: 47%).",
+        result.inflation() * 100.0
+    );
+}

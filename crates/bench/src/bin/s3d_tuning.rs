@@ -1,0 +1,176 @@
+//! **§IV.B.1 table** — "Tuning Data Movement" for S3D: the
+//! simulation-visible data movement time per output step, untuned
+//! (NO_CACHING, per-variable messages, synchronous) vs tuned
+//! (CACHING_ALL + batching of all 22 arrays + asynchronous writes).
+//!
+//! Paper numbers at 1K cores: Titan 1.2 s → 0.053 s; Smoky 4.0 s →
+//! 0.077 s, "enforced through setting hints in external XML configuration
+//! file and requires no changes to simulation or visualization source
+//! code."
+//!
+//! Two parts:
+//! 1. a **model** at 1024 processes (coordinator-serialized handshake
+//!    messages dominate the untuned path; the tuned path is bounded by
+//!    the marshal+copy of the 1.7 MB batch);
+//! 2. a **real run** of the full FlexIO stack at laptop scale (8 writers,
+//!    22 variables) under both hint sets, with wall-clock step times and
+//!    the protocol message counters.
+//!
+//! Run: `cargo run --release -p bench --bin s3d_tuning`
+
+use std::thread;
+use std::time::Instant;
+
+use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use flexio::{CachingLevel, FlexIo, StreamHints, WriteMode};
+use machine::{laptop, smoky, titan, CoreLocation, MachineModel};
+
+/// Modelled untuned movement time per step, per writer rank: 22 variables
+/// each re-running the full handshake, whose gather/broadcast serialize
+/// at the coordinator across W ranks; data then moves synchronously.
+fn modelled_untuned(m: &MachineModel, procs: usize) -> f64 {
+    // Per-message software + injection overhead at the coordinator,
+    // calibrated to the paper's measurement (Smoky's slower fabric and
+    // older software stack pays more per message).
+    let c_msg = if m.name == "titan" { 27e-6 } else { 89e-6 };
+    let vars = 22.0;
+    let handshake = vars * 2.0 * procs as f64 * c_msg; // gather + bcast rounds
+    let data_sync = vars
+        * (m.interconnect.latency_ns / 1e9
+            + (1.7e6 / vars) / m.interconnect.link_bw
+            + 2.0 * m.interconnect.latency_ns / 1e9); // ack round trip
+    handshake + data_sync
+}
+
+/// Modelled tuned movement time per step: one asynchronous batched
+/// message; the visible cost is marshalling + copying the 1.7 MB batch
+/// into the registered send buffer (the bandwidth of that path is
+/// calibrated to the paper's residual 53/77 ms).
+fn modelled_tuned(m: &MachineModel) -> f64 {
+    let marshal_bw = if m.name == "titan" { 32e6 } else { 22e6 };
+    1.7e6 / marshal_bw
+}
+
+fn real_run(hints: StreamHints) -> (f64, (u64, u64, u64, u64, u64, u64, u64)) {
+    const WRITERS: usize = 8;
+    const STEPS: u64 = 6;
+    const ELEMS: usize = 1200; // ~9.6 kB/var ≈ the paper's per-var size
+    let io = FlexIo::single_node(laptop());
+    let io_w = io.clone();
+    let io_r = io.clone();
+    let hints_r = hints.clone();
+    let wt = thread::spawn(move || {
+        rankrt::launch(WRITERS, move |comm| {
+            let rank = comm.rank();
+            let roster: Vec<CoreLocation> =
+                (0..WRITERS).map(|r| laptop().node.location_of(r)).collect();
+            let mut w = io_w
+                .open_writer("tune", rank, WRITERS, roster[rank], roster, hints.clone())
+                .unwrap();
+            let mut visible = 0.0;
+            for step in 0..STEPS {
+                w.begin_step(step);
+                for v in 0..22 {
+                    w.write(
+                        &format!("species{v:02}"),
+                        VarValue::Block(
+                            LocalBlock {
+                                global_shape: vec![(WRITERS * ELEMS) as u64],
+                                offset: vec![(rank * ELEMS) as u64],
+                                count: vec![ELEMS as u64],
+                                data: ArrayData::F64(vec![step as f64; ELEMS]),
+                            }
+                            .validated(),
+                        ),
+                    );
+                }
+                let t = Instant::now();
+                w.end_step(); // the simulation-visible movement time
+                visible += t.elapsed().as_secs_f64();
+            }
+            let link = w.link().clone();
+            w.close();
+            (visible / STEPS as f64, link)
+        })
+    });
+    let rt = thread::spawn(move || {
+        rankrt::launch(1, move |_| {
+            let core = laptop().node.location_of(15);
+            let mut r = io_r.open_reader("tune", 0, 1, core, vec![core], hints_r.clone()).unwrap();
+            for v in 0..22 {
+                r.subscribe(
+                    &format!("species{v:02}"),
+                    Selection::GlobalBox(BoxSel::whole(&[(8 * 1200) as u64])),
+                );
+            }
+            while let StepStatus::Step(_) = r.begin_step() {
+                r.end_step();
+            }
+        })
+    });
+    let writer_results = wt.join().unwrap();
+    rt.join().unwrap();
+    // Max visible time across ranks; counters read only after both
+    // programs have fully drained (they are shared and still moving
+    // while other ranks run).
+    let max_visible = writer_results.iter().map(|(v, _)| *v).fold(0.0, f64::max);
+    let counters = writer_results[0].1.counters.snapshot();
+    (max_visible, counters)
+}
+
+fn main() {
+    println!("§IV.B.1 — S3D data-movement tuning (simulation-visible time per output step)\n");
+    println!("model at 1024 processes:");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10} {:>18}",
+        "machine", "untuned (s)", "tuned (s)", "speedup", "paper (un→tuned)"
+    );
+    for (m, paper) in [(titan(), "1.2 → 0.053"), (smoky(), "4.0 → 0.077")] {
+        let u = modelled_untuned(&m, 1024);
+        let t = modelled_tuned(&m);
+        println!(
+            "{:<10} {:>14.3} {:>14.3} {:>9.0}x {:>18}",
+            m.name,
+            u,
+            t,
+            u / t,
+            paper
+        );
+    }
+
+    println!("\nreal FlexIO stack at laptop scale (8 writers, 22 variables, 6 steps):");
+    let untuned = StreamHints {
+        caching: CachingLevel::NoCaching,
+        batching: false,
+        write_mode: WriteMode::Sync,
+        ..StreamHints::default()
+    };
+    let tuned = StreamHints {
+        caching: CachingLevel::CachingAll,
+        batching: true,
+        write_mode: WriteMode::Async,
+        ..StreamHints::default()
+    };
+    let (u_time, u_counters) = real_run(untuned);
+    let (t_time, t_counters) = real_run(tuned);
+    println!(
+        "{:<10} {:>16} {:>10} {:>10} {:>10} {:>10}",
+        "config", "visible s/step", "gathers", "exchanges", "bcasts", "data msgs"
+    );
+    println!(
+        "{:<10} {:>16.6} {:>10} {:>10} {:>10} {:>10}",
+        "untuned", u_time, u_counters.0, u_counters.1, u_counters.2, u_counters.3
+    );
+    println!(
+        "{:<10} {:>16.6} {:>10} {:>10} {:>10} {:>10}",
+        "tuned", t_time, t_counters.0, t_counters.1, t_counters.2, t_counters.3
+    );
+    println!(
+        "\ntuning cut the visible movement time by {:.0}x and the handshake\n\
+         messages from {} to {} — the same lever the paper pulls, with no\n\
+         change to simulation or visualization code (hints only).",
+        u_time / t_time.max(1e-9),
+        u_counters.0 + u_counters.1 + u_counters.2,
+        t_counters.0 + t_counters.1 + t_counters.2,
+    );
+}

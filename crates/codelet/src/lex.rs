@@ -1,0 +1,346 @@
+//! Lexer for the codelet language.
+
+/// A lexical token with its source position (byte offset, for errors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source where the token starts.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `return`
+    Return,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `!`
+    Not,
+    /// `..`
+    DotDot,
+    /// End of input.
+    Eof,
+}
+
+/// Lexing error with byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the offending character.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string. Line (`//`) comments are skipped.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A '.' starts a float only if followed by a digit ( `0..n`
+                // must lex as Int DotDot Ident ).
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    // Optional exponent.
+                    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < bytes.len() && bytes[j].is_ascii_digit() {
+                            i = j;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &source[start..i];
+                    let value = text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal `{text}`"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Float(value), offset: start });
+                } else {
+                    let text = &source[start..i];
+                    let value = text.parse().map_err(|_| LexError {
+                        message: format!("bad integer literal `{text}`"),
+                        offset: start,
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(value), offset: start });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = match word {
+                    "let" => TokenKind::Let,
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "while" => TokenKind::While,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "return" => TokenKind::Return,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".to_string(),
+                            offset: start,
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            match bytes.get(i) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                other => {
+                                    return Err(LexError {
+                                        message: format!("bad escape {other:?}"),
+                                        offset: i,
+                                    })
+                                }
+                            }
+                            i += 1;
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let (kind, advance) = match two {
+                    "==" => (TokenKind::Eq, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "&&" => (TokenKind::And, 2),
+                    "||" => (TokenKind::Or, 2),
+                    ".." => (TokenKind::DotDot, 2),
+                    _ => match c {
+                        b'(' => (TokenKind::LParen, 1),
+                        b')' => (TokenKind::RParen, 1),
+                        b'{' => (TokenKind::LBrace, 1),
+                        b'}' => (TokenKind::RBrace, 1),
+                        b'[' => (TokenKind::LBracket, 1),
+                        b']' => (TokenKind::RBracket, 1),
+                        b',' => (TokenKind::Comma, 1),
+                        b';' => (TokenKind::Semi, 1),
+                        b'=' => (TokenKind::Assign, 1),
+                        b'+' => (TokenKind::Plus, 1),
+                        b'-' => (TokenKind::Minus, 1),
+                        b'*' => (TokenKind::Star, 1),
+                        b'/' => (TokenKind::Slash, 1),
+                        b'%' => (TokenKind::Percent, 1),
+                        b'<' => (TokenKind::Lt, 1),
+                        b'>' => (TokenKind::Gt, 1),
+                        b'!' => (TokenKind::Not, 1),
+                        other => {
+                            return Err(LexError {
+                                message: format!("unexpected character `{}`", other as char),
+                                offset: start,
+                            })
+                        }
+                    },
+                };
+                tokens.push(Token { kind, offset: start });
+                i += advance;
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: source.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            kinds("0..10"),
+            vec![TokenKind::Int(0), TokenKind::DotDot, TokenKind::Int(10), TokenKind::Eof]
+        );
+        assert_eq!(kinds("3.5"), vec![TokenKind::Float(3.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3")[0], TokenKind::Int(1)); // exponent needs a '.'
+        assert_eq!(kinds("1.5e3")[0], TokenKind::Float(1500.0));
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("let form in_ if0"),
+            vec![
+                TokenKind::Let,
+                TokenKind::Ident("form".into()),
+                TokenKind::Ident("in_".into()),
+                TokenKind::Ident("if0".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("1 // comment\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || ="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Assign,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("let x = @").unwrap_err();
+        assert_eq!(err.offset, 8);
+        let err = tokenize("\"unterminated").unwrap_err();
+        assert_eq!(err.offset, 0);
+    }
+}

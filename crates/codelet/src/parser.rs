@@ -1,0 +1,376 @@
+//! Recursive-descent / Pratt parser for the codelet language.
+
+use crate::ast::{BinOp, Expr, Stmt, UnOp};
+use crate::lex::{tokenize, LexError, Token, TokenKind};
+
+/// Parse error with byte offset into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What was expected / found.
+    pub message: String,
+    /// Byte offset.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, offset: e.offset }
+    }
+}
+
+/// Parse a full program (a statement list).
+pub fn parse(source: &str) -> Result<Vec<Stmt>, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !p.check(&TokenKind::Eof) {
+        stmts.push(p.statement()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.check(&kind) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {kind:?}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn error(&self, message: &str) -> ParseError {
+        ParseError { message: message.to_string(), offset: self.peek().offset }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.error(&format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Let => {
+                self.advance();
+                let name = self.ident()?;
+                self.eat(TokenKind::Assign)?;
+                let value = self.expression()?;
+                self.eat(TokenKind::Semi)?;
+                Ok(Stmt::Let { name, value })
+            }
+            TokenKind::If => {
+                self.advance();
+                let cond = self.expression()?;
+                let then_block = self.block()?;
+                let else_block = if self.check(&TokenKind::Else) {
+                    self.advance();
+                    if self.check(&TokenKind::If) {
+                        // else-if chains desugar to a nested if in the else.
+                        vec![self.statement()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_block, else_block })
+            }
+            TokenKind::While => {
+                self.advance();
+                let cond = self.expression()?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::For => {
+                self.advance();
+                let var = self.ident()?;
+                self.eat(TokenKind::In)?;
+                let start = self.expression()?;
+                self.eat(TokenKind::DotDot)?;
+                let end = self.expression()?;
+                let body = self.block()?;
+                Ok(Stmt::For { var, start, end, body })
+            }
+            TokenKind::Return => {
+                self.advance();
+                self.eat(TokenKind::Semi)?;
+                Ok(Stmt::Return)
+            }
+            TokenKind::Ident(name) => {
+                // Could be assignment, index-assignment, or a call
+                // expression statement; decide by lookahead.
+                let next = &self.tokens[self.pos + 1].kind;
+                match next {
+                    TokenKind::Assign => {
+                        self.advance();
+                        self.advance();
+                        let value = self.expression()?;
+                        self.eat(TokenKind::Semi)?;
+                        Ok(Stmt::Assign { name, value })
+                    }
+                    TokenKind::LBracket => {
+                        // Ambiguous: `a[i] = v;` vs expression `a[i];`.
+                        // Parse the index, then look for `=`.
+                        let save = self.pos;
+                        self.advance(); // ident
+                        self.advance(); // [
+                        let index = self.expression()?;
+                        self.eat(TokenKind::RBracket)?;
+                        if self.check(&TokenKind::Assign) {
+                            self.advance();
+                            let value = self.expression()?;
+                            self.eat(TokenKind::Semi)?;
+                            Ok(Stmt::IndexAssign { array: name, index, value })
+                        } else {
+                            self.pos = save;
+                            let expr = self.expression()?;
+                            self.eat(TokenKind::Semi)?;
+                            Ok(Stmt::Expr(expr))
+                        }
+                    }
+                    _ => {
+                        let expr = self.expression()?;
+                        self.eat(TokenKind::Semi)?;
+                        Ok(Stmt::Expr(expr))
+                    }
+                }
+            }
+            other => Err(self.error(&format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            if self.check(&TokenKind::Eof) {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.eat(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    /// Pratt-style precedence climbing.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek().kind {
+                TokenKind::Or => (BinOp::Or, 1),
+                TokenKind::And => (BinOp::And, 2),
+                TokenKind::Eq => (BinOp::Eq, 3),
+                TokenKind::Ne => (BinOp::Ne, 3),
+                TokenKind::Lt => (BinOp::Lt, 4),
+                TokenKind::Le => (BinOp::Le, 4),
+                TokenKind::Gt => (BinOp::Gt, 4),
+                TokenKind::Ge => (BinOp::Ge, 4),
+                TokenKind::Plus => (BinOp::Add, 5),
+                TokenKind::Minus => (BinOp::Sub, 5),
+                TokenKind::Star => (BinOp::Mul, 6),
+                TokenKind::Slash => (BinOp::Div, 6),
+                TokenKind::Percent => (BinOp::Rem, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.advance();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind {
+            TokenKind::Minus => {
+                self.advance();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(expr) })
+            }
+            TokenKind::Not => {
+                self.advance();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(expr) })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary_expr()?;
+        while self.check(&TokenKind::LBracket) {
+            self.advance();
+            let index = self.expression()?;
+            self.eat(TokenKind::RBracket)?;
+            expr = Expr::Index { array: Box::new(expr), index: Box::new(index) };
+        }
+        Ok(expr)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Expr::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expression()?;
+                self.eat(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.check(&TokenKind::LParen) {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !self.check(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expression()?);
+                            if self.check(&TokenKind::Comma) {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat(TokenKind::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.error(&format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn let_and_arithmetic_precedence() {
+        let stmts = parse("let x = 1 + 2 * 3;").unwrap();
+        let Stmt::Let { name, value } = &stmts[0] else { panic!() };
+        assert_eq!(name, "x");
+        // 1 + (2 * 3)
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else { panic!("{value:?}") };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arithmetic() {
+        let stmts = parse("let b = 1 + 1 < 3;").unwrap();
+        let Stmt::Let { value, .. } = &stmts[0] else { panic!() };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn logical_operators_lowest() {
+        let stmts = parse("let b = 1 < 2 && 3 < 4 || false;").unwrap();
+        let Stmt::Let { value, .. } = &stmts[0] else { panic!() };
+        assert!(matches!(value, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn for_loop_with_body() {
+        let stmts = parse("for i in 0..len(v) { push(out, v[i]); }").unwrap();
+        let Stmt::For { var, body, .. } = &stmts[0] else { panic!() };
+        assert_eq!(var, "i");
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn if_else_if_chain() {
+        let stmts = parse("if a { x = 1; } else if b { x = 2; } else { x = 3; }").unwrap();
+        let Stmt::If { else_block, .. } = &stmts[0] else { panic!() };
+        assert!(matches!(&else_block[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn index_assign_vs_index_expr() {
+        let stmts = parse("a[0] = 5; noop(a[0]);").unwrap();
+        assert!(matches!(&stmts[0], Stmt::IndexAssign { .. }));
+        assert!(matches!(&stmts[1], Stmt::Expr(Expr::Call { .. })));
+    }
+
+    #[test]
+    fn nested_indexing_and_calls() {
+        let stmts = parse("let x = f(g(1), h()[2] + 3);").unwrap();
+        assert_eq!(stmts.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("let = 3;").is_err());
+        assert!(parse("if x { ").is_err());
+        assert!(parse("let x = ;").is_err());
+        assert!(parse("for i in 0 10 {}").is_err());
+    }
+
+    #[test]
+    fn unary_operators() {
+        let stmts = parse("let x = -a + !b;").unwrap();
+        let Stmt::Let { value, .. } = &stmts[0] else { panic!() };
+        let Expr::Binary { lhs, rhs, .. } = value else { panic!() };
+        assert!(matches!(**lhs, Expr::Unary { op: UnOp::Neg, .. }));
+        assert!(matches!(**rhs, Expr::Unary { op: UnOp::Not, .. }));
+    }
+}

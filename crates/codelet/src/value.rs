@@ -1,0 +1,125 @@
+//! Runtime values of the codelet VM.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A runtime value. Arrays have reference semantics (`push(out, x)`
+/// mutates the array bound to `out`), matching what C-like plug-in code
+//  expects of pointers.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Rc<String>),
+    /// Array of doubles.
+    FloatArr(Rc<RefCell<Vec<f64>>>),
+    /// Array of integers.
+    IntArr(Rc<RefCell<Vec<i64>>>),
+}
+
+impl Value {
+    /// Human-readable type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+            Value::FloatArr(_) => "float[]",
+            Value::IntArr(_) => "int[]",
+        }
+    }
+
+    /// Numeric view: ints widen to float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats do not silently truncate).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Truthiness: only `Bool` has one (no implicit int→bool).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Build a float array value.
+    pub fn float_arr(v: Vec<f64>) -> Value {
+        Value::FloatArr(Rc::new(RefCell::new(v)))
+    }
+
+    /// Build an int array value.
+    pub fn int_arr(v: Vec<i64>) -> Value {
+        Value::IntArr(Rc::new(RefCell::new(v)))
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+}
+
+/// Structural equality used by `==`/`!=` (numeric comparison widens ints).
+pub fn values_equal(a: &Value, b: &Value) -> Option<bool> {
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => Some(x == y),
+        (Value::Str(x), Value::Str(y)) => Some(x == y),
+        (Value::FloatArr(x), Value::FloatArr(y)) => Some(*x.borrow() == *y.borrow()),
+        (Value::IntArr(x), Value::IntArr(y)) => Some(*x.borrow() == *y.borrow()),
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+    }
+
+    #[test]
+    fn arrays_share_storage() {
+        let a = Value::float_arr(vec![1.0]);
+        let b = a.clone();
+        if let Value::FloatArr(arr) = &a {
+            arr.borrow_mut().push(2.0);
+        }
+        if let Value::FloatArr(arr) = &b {
+            assert_eq!(*arr.borrow(), vec![1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn equality_across_numeric_types() {
+        assert_eq!(values_equal(&Value::Int(2), &Value::Float(2.0)), Some(true));
+        assert_eq!(values_equal(&Value::Int(2), &Value::Str(Rc::new("2".into()))), None);
+        assert_eq!(
+            values_equal(&Value::float_arr(vec![1.0]), &Value::float_arr(vec![1.0])),
+            Some(true)
+        );
+    }
+}

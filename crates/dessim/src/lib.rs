@@ -1,0 +1,93 @@
+//! `dessim` — discrete-event co-simulation of the coupled pipeline.
+//!
+//! The paper's headline results (Figs. 6, 7, 9) are Total Execution Times
+//! of coupled simulation + analytics at up to thousands of cores on Titan
+//! and Smoky. Those machines are gone and a laptop cannot time 4096 ranks
+//! meaningfully, so scale experiments run on a **model**: the coupled
+//! system is a two-stage pipeline (paper §III.B: "simulation and analytics
+//! form a two-stage pipeline"), simulated step by step:
+//!
+//! * the simulation produces an output every `cycles_per_step` cycles,
+//!   each cycle taking a placement-dependent time (helper-core placements
+//!   surrender cores and suffer shared-cache interference; asynchronous
+//!   bulk movement interferes with MPI);
+//! * the output moves to the analytics through the placement's transport
+//!   (shared memory, RDMA with NIC contention, or the file system);
+//! * analytics processes consume steps at their allocated scale, applying
+//!   backpressure through a bounded step queue.
+//!
+//! [`pipeline`] is the generic step-event simulator; [`gts`] and [`s3d`]
+//! instantiate it for the two applications, deriving on-node efficiency
+//! differences **from the actual placement algorithms** in the
+//! `placement` crate (the modelled communication cost of each plan), and
+//! transport times from the `machine` parameters. [`cache`] instantiates
+//! the Fig. 8 shared-L3 interference experiment on the `memsim`
+//! simulator.
+
+pub mod cache;
+pub mod gts;
+pub mod pipeline;
+pub mod s3d;
+
+pub use cache::{gts_corun_mpki, GtsCacheResult};
+pub use gts::{gts_fig7_cases, gts_outcome, GtsScale};
+pub use pipeline::{simulate_pipeline, PipelineParams, PipelineReport};
+pub use s3d::{s3d_outcome, S3dScale};
+
+/// Which placement a scenario evaluates (paper Fig. 1's options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Analytics routines called directly from simulation processes.
+    Inline,
+    /// Analytics on dedicated cores of the compute nodes, bound by the
+    /// given policy.
+    HelperCore(placement::PolicyKind),
+    /// Analytics on separate staging nodes, bound by the given policy.
+    Staging(placement::PolicyKind),
+    /// The data-aware mapping's mixed outcome for S3D (paper §IV.B.2).
+    Hybrid,
+    /// No I/O, no analytics: the lower bound on the optimum.
+    LowerBound,
+}
+
+impl Placement {
+    /// Display label matching the paper's legends.
+    pub fn label(&self) -> String {
+        match self {
+            Placement::Inline => "Inline".to_string(),
+            Placement::HelperCore(p) => format!("Helper Core ({})", policy_label(*p)),
+            Placement::Staging(p) => format!("Staging ({})", policy_label(*p)),
+            Placement::Hybrid => "Hybrid (Data Aware Mapping)".to_string(),
+            Placement::LowerBound => "Lower Bound".to_string(),
+        }
+    }
+}
+
+fn policy_label(p: placement::PolicyKind) -> &'static str {
+    match p {
+        placement::PolicyKind::DataAware => "Data Aware Mapping",
+        placement::PolicyKind::Holistic => "Holistic",
+        placement::PolicyKind::TopologyAware => "Node Topo. Aware",
+    }
+}
+
+/// One scenario's result row (one point of a figure).
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Placement evaluated.
+    pub placement: Placement,
+    /// Simulation cores (the figures' x axis).
+    pub sim_cores: usize,
+    /// Total compute nodes occupied (simulation + staging).
+    pub nodes_used: usize,
+    /// Total Execution Time, seconds (§III.A).
+    pub total_s: f64,
+    /// Total CPU hours (§III.A).
+    pub cpu_hours: f64,
+    /// Bytes moved between the programs through the interconnect.
+    pub inter_node_bytes: f64,
+    /// Bytes moved between the programs within nodes.
+    pub intra_node_bytes: f64,
+    /// Detailed phase breakdown.
+    pub report: pipeline::PipelineReport,
+}

@@ -1,0 +1,470 @@
+//! FFS-like self-describing binary marshaling.
+//!
+//! Wire layout of an encoded record:
+//!
+//! ```text
+//! [MAGIC u32] [field_count u32] then per field:
+//!   [name_len u16][name bytes][type_tag u8][payload]
+//! ```
+//!
+//! Arrays carry a `u64` element count; strings and byte arrays a `u64`
+//! length; nested records recurse. All integers little-endian. The format
+//! is self-describing: decoding requires no out-of-band schema, which is
+//! what lets FlexIO's handshake messages evolve without lockstep upgrades
+//! on both sides (the property FFS provides the real system).
+
+use std::collections::BTreeMap;
+
+const MAGIC: u32 = 0x4646_5331; // "FFS1"
+
+const TAG_I64: u8 = 1;
+const TAG_U64: u8 = 2;
+const TAG_F64: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_F64_ARRAY: u8 = 5;
+const TAG_U64_ARRAY: u8 = 6;
+const TAG_BYTES: u8 = 7;
+const TAG_RECORD: u8 = 8;
+const TAG_I64_ARRAY: u8 = 9;
+
+/// A typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// IEEE-754 double.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Array of doubles (field data travels as these).
+    F64Array(Vec<f64>),
+    /// Array of unsigned integers (shape/offset vectors).
+    U64Array(Vec<u64>),
+    /// Array of signed integers.
+    I64Array(Vec<i64>),
+    /// Raw bytes (pre-packed payloads).
+    Bytes(Vec<u8>),
+    /// Nested record.
+    Record(Record),
+}
+
+/// Error decoding a byte stream into a [`Record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Stream shorter than a field required.
+    Truncated,
+    /// Magic number mismatch — not an FFS1 stream.
+    BadMagic,
+    /// Unknown type tag.
+    UnknownTag(u8),
+    /// Field name or string payload was not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "stream truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic (not an FFS1 stream)"),
+            DecodeError::UnknownTag(t) => write!(f, "unknown type tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in stream"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An ordered collection of named, typed fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl Record {
+    /// Empty record.
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Builder-style field append.
+    pub fn with(mut self, name: &str, value: FieldValue) -> Record {
+        self.set(name, value);
+        self
+    }
+
+    /// Insert or replace a field.
+    pub fn set(&mut self, name: &str, value: FieldValue) {
+        if let Some(slot) = self.fields.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((name.to_string(), value));
+        }
+    }
+
+    /// Look up a field by name.
+    pub fn get(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Field count.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FieldValue)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Typed accessor: `i64` (accepts `U64` that fits).
+    pub fn get_i64(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            FieldValue::I64(v) => Some(*v),
+            FieldValue::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: `u64` (accepts non-negative `I64`).
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            FieldValue::U64(v) => Some(*v),
+            FieldValue::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: `f64`.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            FieldValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: string slice.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        match self.get(name)? {
+            FieldValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: `u64` array.
+    pub fn get_u64_array(&self, name: &str) -> Option<&[u64]> {
+        match self.get(name)? {
+            FieldValue::U64Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: `f64` array.
+    pub fn get_f64_array(&self, name: &str) -> Option<&[f64]> {
+        match self.get(name)? {
+            FieldValue::F64Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: raw bytes.
+    pub fn get_bytes(&self, name: &str) -> Option<&[u8]> {
+        match self.get(name)? {
+            FieldValue::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor: nested record.
+    pub fn get_record(&self, name: &str) -> Option<&Record> {
+        match self.get(name)? {
+            FieldValue::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Encode to the self-describing wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        self.encode_body(&mut out);
+        out
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for (name, value) in &self.fields {
+            let name_bytes = name.as_bytes();
+            out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+            out.extend_from_slice(name_bytes);
+            encode_value(value, out);
+        }
+    }
+
+    /// Decode from the wire format.
+    pub fn decode(bytes: &[u8]) -> Result<Record, DecodeError> {
+        let mut cursor = Cursor { bytes, pos: 0 };
+        if cursor.u32()? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        decode_body(&mut cursor)
+    }
+
+    /// Group fields by a name prefix (`"dim.0"`, `"dim.1"` → `"dim"`):
+    /// handy for inspecting protocol messages in tests and tracing.
+    pub fn field_names_by_prefix(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for (name, _) in &self.fields {
+            let prefix = name.split('.').next().unwrap_or(name).to_string();
+            *out.entry(prefix).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+fn encode_value(value: &FieldValue, out: &mut Vec<u8>) {
+    match value {
+        FieldValue::I64(v) => {
+            out.push(TAG_I64);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldValue::U64(v) => {
+            out.push(TAG_U64);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldValue::F64(v) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        FieldValue::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        FieldValue::F64Array(a) => {
+            out.push(TAG_F64_ARRAY);
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            for v in a {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        FieldValue::U64Array(a) => {
+            out.push(TAG_U64_ARRAY);
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            for v in a {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        FieldValue::I64Array(a) => {
+            out.push(TAG_I64_ARRAY);
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            for v in a {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        FieldValue::Bytes(b) => {
+            out.push(TAG_BYTES);
+            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        FieldValue::Record(r) => {
+            out.push(TAG_RECORD);
+            r.encode_body(out);
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn decode_body(cursor: &mut Cursor<'_>) -> Result<Record, DecodeError> {
+    let count = cursor.u32()? as usize;
+    let mut record = Record::new();
+    for _ in 0..count {
+        let name_len = cursor.u16()? as usize;
+        let name = std::str::from_utf8(cursor.take(name_len)?)
+            .map_err(|_| DecodeError::BadUtf8)?
+            .to_string();
+        let value = decode_value(cursor)?;
+        record.fields.push((name, value));
+    }
+    Ok(record)
+}
+
+fn decode_value(cursor: &mut Cursor<'_>) -> Result<FieldValue, DecodeError> {
+    let tag = cursor.u8()?;
+    Ok(match tag {
+        TAG_I64 => FieldValue::I64(i64::from_le_bytes(cursor.take(8)?.try_into().unwrap())),
+        TAG_U64 => FieldValue::U64(cursor.u64()?),
+        TAG_F64 => FieldValue::F64(f64::from_le_bytes(cursor.take(8)?.try_into().unwrap())),
+        TAG_STR => {
+            let len = cursor.u64()? as usize;
+            FieldValue::Str(
+                std::str::from_utf8(cursor.take(len)?)
+                    .map_err(|_| DecodeError::BadUtf8)?
+                    .to_string(),
+            )
+        }
+        TAG_F64_ARRAY => {
+            let len = cursor.u64()? as usize;
+            let mut a = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                a.push(f64::from_le_bytes(cursor.take(8)?.try_into().unwrap()));
+            }
+            FieldValue::F64Array(a)
+        }
+        TAG_U64_ARRAY => {
+            let len = cursor.u64()? as usize;
+            let mut a = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                a.push(cursor.u64()?);
+            }
+            FieldValue::U64Array(a)
+        }
+        TAG_I64_ARRAY => {
+            let len = cursor.u64()? as usize;
+            let mut a = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                a.push(i64::from_le_bytes(cursor.take(8)?.try_into().unwrap()));
+            }
+            FieldValue::I64Array(a)
+        }
+        TAG_BYTES => {
+            let len = cursor.u64()? as usize;
+            FieldValue::Bytes(cursor.take(len)?.to_vec())
+        }
+        TAG_RECORD => FieldValue::Record(decode_body(cursor)?),
+        t => return Err(DecodeError::UnknownTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> Record {
+        Record::new()
+            .with("step", FieldValue::U64(42))
+            .with("name", FieldValue::Str("zion".into()))
+            .with("temp", FieldValue::F64(1.5e6))
+            .with("dims", FieldValue::U64Array(vec![128, 64, 32]))
+            .with("data", FieldValue::F64Array(vec![1.0, 2.0, 3.0]))
+            .with(
+                "meta",
+                FieldValue::Record(Record::new().with("rank", FieldValue::I64(-3))),
+            )
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        let r = sample();
+        let decoded = Record::decode(&r.encode()).unwrap();
+        assert_eq!(r, decoded);
+        assert_eq!(decoded.get_u64("step"), Some(42));
+        assert_eq!(decoded.get_str("name"), Some("zion"));
+        assert_eq!(decoded.get_record("meta").unwrap().get_i64("rank"), Some(-3));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Record::decode(b"\0\0\0\0\0\0\0\0"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().encode();
+        for cut in [4usize, 8, bytes.len() - 1] {
+            assert!(Record::decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn set_replaces_existing_field() {
+        let mut r = Record::new().with("x", FieldValue::U64(1));
+        r.set("x", FieldValue::U64(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get_u64("x"), Some(2));
+    }
+
+    #[test]
+    fn typed_accessor_mismatch_returns_none() {
+        let r = sample();
+        assert_eq!(r.get_f64("step"), None);
+        assert_eq!(r.get_str("temp"), None);
+        assert_eq!(r.get_u64_array("data"), None);
+    }
+
+    #[test]
+    fn cross_integer_accessors_coerce() {
+        let r = Record::new()
+            .with("a", FieldValue::I64(7))
+            .with("b", FieldValue::U64(9))
+            .with("neg", FieldValue::I64(-1));
+        assert_eq!(r.get_u64("a"), Some(7));
+        assert_eq!(r.get_i64("b"), Some(9));
+        assert_eq!(r.get_u64("neg"), None, "negative cannot coerce to u64");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_scalars(
+            step in any::<u64>(),
+            x in any::<f64>(),
+            s in "[a-zA-Z0-9 ]{0,40}",
+            arr in proptest::collection::vec(any::<u64>(), 0..32),
+        ) {
+            let r = Record::new()
+                .with("step", FieldValue::U64(step))
+                .with("x", FieldValue::F64(x))
+                .with("s", FieldValue::Str(s.clone()))
+                .with("arr", FieldValue::U64Array(arr.clone()));
+            let d = Record::decode(&r.encode()).unwrap();
+            prop_assert_eq!(d.get_u64("step"), Some(step));
+            let got_x = d.get_f64("x").unwrap();
+            prop_assert_eq!(got_x.to_bits(), x.to_bits());
+            prop_assert_eq!(d.get_str("s"), Some(s.as_str()));
+            prop_assert_eq!(d.get_u64_array("arr"), Some(arr.as_slice()));
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Record::decode(&bytes); // must not panic
+        }
+    }
+}

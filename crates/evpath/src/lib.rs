@@ -1,0 +1,32 @@
+//! `evpath` — the messaging layer of the FlexIO stack (paper Fig. 2).
+//!
+//! "FlexIO uses the EVPath messaging library to implement its data movement
+//! protocols. EVPath provides point-to-point messaging and data marshaling
+//! capabilities. Its modular architecture supports multiple messaging
+//! transports, and we have added to it the shared memory transport and the
+//! RDMA transport required by FlexIO." (§II.C)
+//!
+//! This crate reproduces those three capabilities:
+//!
+//! * [`ffs`] — self-describing binary marshaling in the spirit of FFS
+//!   (EVPath's format system): every message carries a compact schema so a
+//!   receiver can decode records it has never seen the layout of. Typed
+//!   fields cover scalars, strings, numeric arrays and nested records.
+//! * [`stones`] — EVPath's dataflow abstraction: *stones* are graph nodes
+//!   events flow through. Terminal stones invoke handlers, filter stones
+//!   drop events, split stones fan out, transform stones rewrite records,
+//!   and bridge stones forward events into a transport.
+//! * [`transport`] — the pluggable byte transports: in-process channels,
+//!   the [`shm`] lock-free shared-memory channel (intra-node), and the
+//!   [`netsim`] RDMA fabric (inter-node). FlexIO picks among them per the
+//!   analytics placement.
+
+pub mod ffs;
+pub mod stones;
+pub mod transport;
+
+pub use ffs::{DecodeError, FieldValue, Record};
+pub use stones::{EvGraph, StoneId};
+pub use transport::{
+    inproc_pair, BoxedReceiver, BoxedSender, EvReceiver, EvSender, NetTransport, ShmTransport,
+};

@@ -1,0 +1,174 @@
+//! The directory server (paper §II.C.1).
+//!
+//! "Before actual data movement, simulation and analytics programs connect
+//! to each other via assistance from an external directory server. To
+//! avoid overloading this server, simulation and analytics processes,
+//! respectively, elect a local coordinator. When creating a file in stream
+//! mode, the coordinator of the simulation registers with the directory
+//! server a file name associated with its own contact information. When
+//! the analytics opens that file, its coordinator looks up the server with
+//! the file name, retrieves the contact information of the simulation's
+//! coordinator, and makes a connection with it. The directory server is
+//! involved only in discovery and connection setup and is not in the
+//! critical path of actual data movements."
+//!
+//! In this in-process reproduction the "contact information" is an
+//! `Arc`-shared link-state handle; only the **coordinators** touch the
+//! directory, and only at open time — the avoid-overload property is
+//! enforced structurally and verified by the registration counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::link::LinkState;
+
+/// Lookup failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// No writer registered the name before the timeout.
+    LookupTimeout(String),
+    /// A writer already registered this name.
+    AlreadyRegistered(String),
+}
+
+impl std::fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryError::LookupTimeout(n) => write!(f, "no stream named `{n}` appeared in time"),
+            DirectoryError::AlreadyRegistered(n) => write!(f, "stream `{n}` already registered"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {}
+
+#[derive(Default)]
+struct State {
+    entries: HashMap<String, Arc<LinkState>>,
+}
+
+/// The directory server. Clone handles freely; they share one registry.
+#[derive(Clone, Default)]
+pub struct Directory {
+    state: Arc<(Mutex<State>, Condvar)>,
+    registrations: Arc<AtomicU64>,
+    lookups: Arc<AtomicU64>,
+}
+
+impl Directory {
+    /// Fresh empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Writer-coordinator registration of `name` → contact.
+    pub fn register(&self, name: &str, contact: Arc<LinkState>) -> Result<(), DirectoryError> {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        if st.entries.contains_key(name) {
+            return Err(DirectoryError::AlreadyRegistered(name.to_string()));
+        }
+        st.entries.insert(name.to_string(), contact);
+        self.registrations.fetch_add(1, Ordering::Relaxed);
+        cvar.notify_all();
+        Ok(())
+    }
+
+    /// Reader-coordinator lookup, blocking until the writer registers or
+    /// `timeout` expires.
+    pub fn lookup(&self, name: &str, timeout: Duration) -> Result<Arc<LinkState>, DirectoryError> {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(contact) = st.entries.get(name) {
+                self.lookups.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(contact));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(DirectoryError::LookupTimeout(name.to_string()));
+            }
+            cvar.wait_for(&mut st, deadline - now);
+        }
+    }
+
+    /// Remove a stream entry (writer close); returns whether it existed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.state.0.lock().entries.remove(name).is_some()
+    }
+
+    /// How many registrations the server handled — one per stream, never
+    /// per rank or per step (the "not in the critical path" property).
+    pub fn registration_count(&self) -> u64 {
+        self.registrations.load(Ordering::Relaxed)
+    }
+
+    /// How many successful lookups the server handled.
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn dummy_link() -> Arc<LinkState> {
+        crate::link::LinkState::for_tests()
+    }
+
+    #[test]
+    fn register_then_lookup() {
+        let d = Directory::new();
+        let link = dummy_link();
+        d.register("run42/particles", Arc::clone(&link)).unwrap();
+        let found = d.lookup("run42/particles", Duration::from_millis(10)).unwrap();
+        assert!(Arc::ptr_eq(&link, &found));
+    }
+
+    #[test]
+    fn lookup_blocks_until_registration() {
+        let d = Directory::new();
+        let d2 = d.clone();
+        let t = thread::spawn(move || d2.lookup("late", Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(30));
+        d.register("late", dummy_link()).unwrap();
+        assert!(t.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn lookup_times_out() {
+        let d = Directory::new();
+        let err = d.lookup("never", Duration::from_millis(30)).err();
+        assert_eq!(err, Some(DirectoryError::LookupTimeout("never".into())));
+    }
+
+    #[test]
+    fn double_registration_rejected() {
+        let d = Directory::new();
+        d.register("s", dummy_link()).unwrap();
+        assert_eq!(
+            d.register("s", dummy_link()),
+            Err(DirectoryError::AlreadyRegistered("s".into()))
+        );
+        assert!(d.unregister("s"));
+        d.register("s", dummy_link()).unwrap();
+    }
+
+    #[test]
+    fn counters_reflect_traffic() {
+        let d = Directory::new();
+        d.register("a", dummy_link()).unwrap();
+        d.register("b", dummy_link()).unwrap();
+        d.lookup("a", Duration::from_millis(5)).unwrap();
+        d.lookup("a", Duration::from_millis(5)).unwrap();
+        assert_eq!(d.registration_count(), 2);
+        assert_eq!(d.lookup_count(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! `flexio` — the FlexIO middleware (paper §II).
+//!
+//! FlexIO couples a running parallel simulation with online analytics and
+//! makes the analytics *location-flexible*: inline, on helper cores of the
+//! compute nodes, on dedicated staging nodes, or offline via files — all
+//! behind the unchanged ADIOS-style read/write API. This crate is the
+//! runtime that makes that work:
+//!
+//! * [`directory`] — the external directory server used for connection
+//!   management: the writer's coordinator registers a stream name with its
+//!   contact information; the reader's coordinator looks it up (§II.C.1).
+//! * [`link`] — the connection fabric between the two programs: per
+//!   `(writer rank, reader rank)` duplex channels whose transport (shared
+//!   memory vs RDMA) is **automatically selected from the placement** of
+//!   the two endpoints (§II.A).
+//! * [`protocol`] — the 4-step handshake (gather → exchange → broadcast →
+//!   transfer) with the three caching levels `NO_CACHING` /
+//!   `CACHING_LOCAL` / `CACHING_ALL`, batching, and sync/async write
+//!   modes (§II.C.2), instrumented so message counts are observable.
+//! * [`redistribute`] — MxN global-array redistribution (Fig. 3) on top
+//!   of `adios`' hyperslab machinery, plus the process-group pattern.
+//! * [`writer`] / [`reader`] — stream-mode [`adios::WriteEngine`] /
+//!   [`adios::ReadEngine`] implementations; swapping them with the file
+//!   engines is the paper's one-line-config placement switch.
+//! * [`plugins`] — Data Conditioning plug-in management: reader-side
+//!   creation, dynamic deployment into the writer's address space, and
+//!   runtime migration (§II.F).
+//! * [`monitor`] — performance monitoring of movement, plug-ins and
+//!   memory (§II.G); [`manager`] — the online decision loop that turns
+//!   monitoring data into dynamic plug-in placement (§II.G/§IV);
+//!   [`relay`] — the stone-graph relay that ships monitoring samples from
+//!   the simulation side to the analytics side online.
+//! * Resiliency (§II.H): the simple timeout-and-retry scheme the paper
+//!   ships lives in [`link::recv_record`]; the 2-phase-commit step
+//!   transaction it names as future work is implemented inside the
+//!   writer/reader step protocol (enable with `StreamHints::transactional`).
+
+pub mod directory;
+pub mod link;
+pub mod manager;
+pub mod monitor;
+pub mod plugins;
+pub mod protocol;
+pub mod reader;
+pub mod redistribute;
+pub mod relay;
+pub mod writer;
+
+pub use directory::Directory;
+pub use link::{FlexIo, StreamHints};
+pub use manager::{ManagerPolicy, PlacementManager, Recommendation};
+pub use monitor::{MonitorEvent, PerfMonitor};
+pub use plugins::{PluginPlacement, PluginSpec};
+pub use protocol::{CachingLevel, ProtocolCounters, WriteMode};
+pub use reader::StreamReader;
+pub use relay::{MonitorRelay, MonitorSink};
+pub use writer::StreamWriter;

@@ -1,0 +1,592 @@
+//! Connection management: the fabric of channels between the two coupled
+//! programs, with transports auto-selected from placement (paper §II.A:
+//! "intra- vs inter-node transports are automatically configured according
+//! to the placements of communicating simulation and online analytics
+//! processes").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adios::GroupConfig;
+use evpath::{
+    inproc_pair, BoxedReceiver, BoxedSender, NetTransport, Record, ShmTransport,
+};
+use machine::{CoreLocation, MachineModel};
+use netsim::NetSim;
+use parking_lot::{Condvar, Mutex};
+
+use crate::directory::{Directory, DirectoryError};
+use crate::monitor::PerfMonitor;
+use crate::protocol::{CachingLevel, ProtocolCounters, WriteMode};
+use crate::reader::StreamReader;
+use crate::writer::StreamWriter;
+
+/// Per-stream tuning hints, populated from the XML config (§II.B: "To
+/// tune transports, transport-specific parameters specified as hints in an
+/// XML configuration file are passed to the FlexIO runtime").
+#[derive(Debug, Clone)]
+pub struct StreamHints {
+    /// Handshake caching level.
+    pub caching: CachingLevel,
+    /// Pack all of a step's chunks per receiver into one message.
+    pub batching: bool,
+    /// Sync vs async write calls.
+    pub write_mode: WriteMode,
+    /// Shared-memory queue depth.
+    pub queue_entries: usize,
+    /// Shared-memory inline payload capacity.
+    pub inline_capacity: usize,
+    /// Receive timeout for the timeout-and-retry resiliency scheme.
+    pub recv_timeout: Duration,
+    /// Retry attempts before giving up.
+    pub retries: u32,
+    /// Run the 2-phase-commit step transaction protocol.
+    pub transactional: bool,
+}
+
+impl Default for StreamHints {
+    fn default() -> Self {
+        StreamHints {
+            caching: CachingLevel::NoCaching,
+            batching: false,
+            write_mode: WriteMode::Async,
+            queue_entries: 64,
+            inline_capacity: 512,
+            recv_timeout: Duration::from_secs(10),
+            retries: 3,
+            transactional: false,
+        }
+    }
+}
+
+impl StreamHints {
+    /// Derive hints from a parsed group configuration.
+    pub fn from_config(cfg: &GroupConfig) -> StreamHints {
+        let mut h = StreamHints::default();
+        if let Some(c) = cfg.hint("caching").and_then(CachingLevel::from_hint) {
+            h.caching = c;
+        }
+        h.batching = cfg.hint_bool("batching");
+        if cfg.hint_bool("async") {
+            h.write_mode = WriteMode::Async;
+        } else if cfg.hint("async").is_some() {
+            h.write_mode = WriteMode::Sync;
+        }
+        if let Some(q) = cfg.hint_u64("queue_entries") {
+            h.queue_entries = q as usize;
+        }
+        if let Some(ms) = cfg.hint_u64("timeout_ms") {
+            h.recv_timeout = Duration::from_millis(ms);
+        }
+        if let Some(r) = cfg.hint_u64("retries") {
+            h.retries = r as u32;
+        }
+        h.transactional = cfg.hint_bool("transactional");
+        h
+    }
+}
+
+/// Identifies one directed channel within a stream's link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelId {
+    /// Data: writer rank → reader rank.
+    Data {
+        /// Writer rank.
+        w: usize,
+        /// Reader rank.
+        r: usize,
+    },
+    /// Acks: reader rank → writer rank.
+    Ack {
+        /// Writer rank.
+        w: usize,
+        /// Reader rank.
+        r: usize,
+    },
+    /// Coordinator control, writer coord → reader coord.
+    ControlToReader,
+    /// Coordinator control, reader coord → writer coord.
+    ControlToWriter,
+    /// Side channel within the writer program: rank ↔ coordinator.
+    WriterSide {
+        /// Rank.
+        rank: usize,
+        /// Direction: true = rank→coordinator.
+        up: bool,
+    },
+    /// Side channel within the reader program: rank ↔ coordinator.
+    ReaderSide {
+        /// Rank.
+        rank: usize,
+        /// Direction: true = rank→coordinator.
+        up: bool,
+    },
+}
+
+enum ParkedHalf {
+    Sender(BoxedSender),
+    Receiver(BoxedReceiver),
+}
+
+struct Halves {
+    parked: HashMap<ChannelId, ParkedHalf>,
+}
+
+/// Shared state of one stream's link between the two programs. Created by
+/// the writer coordinator, found by the reader coordinator through the
+/// [`Directory`].
+pub struct LinkState {
+    /// Writer rank count.
+    pub writer_count: usize,
+    /// Writer rank core placements (index = rank).
+    pub writer_cores: Vec<CoreLocation>,
+    reader_info: Mutex<Option<(usize, Vec<CoreLocation>)>>,
+    reader_ready: Condvar,
+    halves: Mutex<Halves>,
+    half_ready: Condvar,
+    net: Option<NetSim>,
+    /// Protocol counters shared by both sides.
+    pub counters: Arc<ProtocolCounters>,
+    /// Performance monitor shared by both sides.
+    pub monitor: PerfMonitor,
+    hints_queue_entries: usize,
+    hints_inline_capacity: usize,
+}
+
+impl LinkState {
+    fn new(
+        writer_count: usize,
+        writer_cores: Vec<CoreLocation>,
+        net: Option<NetSim>,
+        hints: &StreamHints,
+    ) -> Arc<LinkState> {
+        Arc::new(LinkState {
+            writer_count,
+            writer_cores,
+            reader_info: Mutex::new(None),
+            reader_ready: Condvar::new(),
+            halves: Mutex::new(Halves { parked: HashMap::new() }),
+            half_ready: Condvar::new(),
+            net,
+            counters: ProtocolCounters::new_shared(),
+            monitor: PerfMonitor::new(),
+            hints_queue_entries: hints.queue_entries,
+            hints_inline_capacity: hints.inline_capacity,
+        })
+    }
+
+    /// Minimal link for unit tests.
+    pub fn for_tests() -> Arc<LinkState> {
+        LinkState::new(
+            1,
+            vec![CoreLocation { node: 0, numa: 0, core: 0 }],
+            None,
+            &StreamHints::default(),
+        )
+    }
+
+    /// The reader coordinator announces its side.
+    pub fn set_reader_info(&self, count: usize, cores: Vec<CoreLocation>) {
+        let mut ri = self.reader_info.lock();
+        assert!(ri.is_none(), "reader already attached to this stream");
+        *ri = Some((count, cores));
+        self.reader_ready.notify_all();
+    }
+
+    /// Wait until the reader side has attached; returns `(count, cores)`.
+    pub fn wait_reader_info(&self, timeout: Duration) -> Option<(usize, Vec<CoreLocation>)> {
+        let mut ri = self.reader_info.lock();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(info) = ri.clone() {
+                return Some(info);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.reader_ready.wait_for(&mut ri, deadline - now);
+        }
+    }
+
+    fn endpoints_of(&self, id: ChannelId) -> (CoreLocation, CoreLocation) {
+        let reader_cores = || {
+            self.reader_info
+                .lock()
+                .clone()
+                .expect("reader info needed for channel placement")
+                .1
+        };
+        match id {
+            ChannelId::Data { w, r } => (self.writer_cores[w], reader_cores()[r]),
+            ChannelId::Ack { w, r } => (reader_cores()[r], self.writer_cores[w]),
+            ChannelId::ControlToReader => (self.writer_cores[0], reader_cores()[0]),
+            ChannelId::ControlToWriter => (reader_cores()[0], self.writer_cores[0]),
+            ChannelId::WriterSide { rank, up } => {
+                let (a, b) = (self.writer_cores[rank], self.writer_cores[0]);
+                if up {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+            ChannelId::ReaderSide { rank, up } => {
+                let cores = reader_cores();
+                let (a, b) = (cores[rank], cores[0]);
+                if up {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+        }
+    }
+
+    /// Build the right transport for a channel given its endpoints'
+    /// placement: shared memory on-node, RDMA across nodes, in-proc when
+    /// both endpoints are the *same core* (inline placement).
+    fn make_transport(&self, src: CoreLocation, dst: CoreLocation) -> (BoxedSender, BoxedReceiver) {
+        if src == dst {
+            return inproc_pair();
+        }
+        if src.same_node(&dst) {
+            return ShmTransport::pair(self.hints_queue_entries, self.hints_inline_capacity);
+        }
+        match &self.net {
+            Some(net) => NetTransport::pair(net, src.node, dst.node),
+            // Without a network model (single-node tests), fall back to
+            // the in-process transport.
+            None => inproc_pair(),
+        }
+    }
+
+    /// Claim the sending half of a channel, creating the pair on first
+    /// claim and parking the other half for the peer.
+    pub fn claim_sender(&self, id: ChannelId) -> BoxedSender {
+        let mut halves = self.halves.lock();
+        if let Some(ParkedHalf::Sender(s)) = halves.parked.remove(&id) {
+            return s;
+        }
+        let (src, dst) = self.endpoints_of(id);
+        let (tx, rx) = self.make_transport(src, dst);
+        halves.parked.insert(id, ParkedHalf::Receiver(rx));
+        self.half_ready.notify_all();
+        tx
+    }
+
+    /// Claim the receiving half of a channel (see [`Self::claim_sender`]).
+    pub fn claim_receiver(&self, id: ChannelId) -> BoxedReceiver {
+        let mut halves = self.halves.lock();
+        if let Some(ParkedHalf::Receiver(r)) = halves.parked.remove(&id) {
+            return r;
+        }
+        let (src, dst) = self.endpoints_of(id);
+        let (tx, rx) = self.make_transport(src, dst);
+        halves.parked.insert(id, ParkedHalf::Sender(tx));
+        self.half_ready.notify_all();
+        rx
+    }
+}
+
+/// Receive a [`Record`] with the timeout-and-retry resiliency scheme
+/// (§II.H: "the current version uses simple timeout-and-retry schemes to
+/// cope with errors and failures during data movement").
+pub fn recv_record(
+    rx: &mut BoxedReceiver,
+    timeout: Duration,
+    retries: u32,
+) -> Result<Record, StreamError> {
+    for _attempt in 0..=retries {
+        let deadline = Instant::now() + timeout;
+        let mut spins = 0u32;
+        loop {
+            if let Some(bytes) = rx.try_recv() {
+                return Record::decode(&bytes).map_err(|e| StreamError::Corrupt(e.to_string()));
+            }
+            if Instant::now() >= deadline {
+                break; // retry
+            }
+            // Spin briefly for low latency, then back off to short sleeps
+            // so a reader blocked across a long simulation phase does not
+            // burn the very helper core the placement gave it.
+            if spins < 2_000 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+    Err(StreamError::Timeout)
+}
+
+/// Stream-layer error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// Peer did not produce a message within timeout × retries.
+    Timeout,
+    /// A message failed to decode.
+    Corrupt(String),
+    /// Protocol violation (unexpected message kind).
+    Protocol(String),
+    /// Directory failure at open.
+    Directory(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Timeout => write!(f, "receive timed out after retries"),
+            StreamError::Corrupt(m) => write!(f, "corrupt message: {m}"),
+            StreamError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            StreamError::Directory(m) => write!(f, "directory: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<DirectoryError> for StreamError {
+    fn from(e: DirectoryError) -> Self {
+        StreamError::Directory(e.to_string())
+    }
+}
+
+/// The FlexIO runtime context: directory + interconnect model + machine
+/// description. One per coupled-application deployment; clone freely.
+#[derive(Clone)]
+pub struct FlexIo {
+    directory: Directory,
+    net: Option<NetSim>,
+    machine: Arc<MachineModel>,
+    /// Program-local bulletin letting non-coordinator ranks find the link
+    /// their coordinator opened (the directory itself stays
+    /// coordinator-only, as in the paper).
+    bulletin: Arc<(Mutex<HashMap<String, Arc<LinkState>>>, Condvar)>,
+}
+
+impl FlexIo {
+    /// Build a runtime for `machine`, with an RDMA fabric spanning
+    /// `active_nodes` compute nodes.
+    pub fn new(machine: MachineModel, active_nodes: usize) -> FlexIo {
+        let net = NetSim::new(machine.interconnect, active_nodes.max(1));
+        FlexIo {
+            directory: Directory::new(),
+            net: Some(net),
+            machine: Arc::new(machine),
+            bulletin: Arc::new((Mutex::new(HashMap::new()), Condvar::new())),
+        }
+    }
+
+    /// Single-node runtime (no interconnect model) for tests and
+    /// helper-core/inline-only deployments.
+    pub fn single_node(machine: MachineModel) -> FlexIo {
+        FlexIo {
+            directory: Directory::new(),
+            net: None,
+            machine: Arc::new(machine),
+            bulletin: Arc::new((Mutex::new(HashMap::new()), Condvar::new())),
+        }
+    }
+
+    /// The directory server handle.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Open the writer side of stream `name` from one writer rank.
+    /// Rank 0 acts as coordinator: it creates the link and registers it.
+    /// Every rank passes its own `core` placement and the total count.
+    pub fn open_writer(
+        &self,
+        name: &str,
+        rank: usize,
+        nranks: usize,
+        core: CoreLocation,
+        all_cores: Vec<CoreLocation>,
+        hints: StreamHints,
+    ) -> Result<StreamWriter, StreamError> {
+        assert_eq!(all_cores.len(), nranks);
+        assert_eq!(all_cores[rank], core, "rank's own core must match the roster");
+        let link = if rank == 0 {
+            let link = LinkState::new(nranks, all_cores, self.net.clone(), &hints);
+            self.directory.register(name, Arc::clone(&link))?;
+            self.post_bulletin(&format!("w:{name}"), Arc::clone(&link));
+            link
+        } else {
+            self.wait_bulletin(&format!("w:{name}"), hints.recv_timeout)
+                .ok_or(StreamError::Timeout)?
+        };
+        Ok(StreamWriter::new(link, rank, nranks, name.to_string(), hints))
+    }
+
+    /// Open the reader side of stream `name` from one reader rank.
+    /// Rank 0 acts as coordinator: it looks the stream up in the
+    /// directory and attaches the reader side.
+    pub fn open_reader(
+        &self,
+        name: &str,
+        rank: usize,
+        nranks: usize,
+        core: CoreLocation,
+        all_cores: Vec<CoreLocation>,
+        hints: StreamHints,
+    ) -> Result<StreamReader, StreamError> {
+        assert_eq!(all_cores.len(), nranks);
+        assert_eq!(all_cores[rank], core, "rank's own core must match the roster");
+        let link = if rank == 0 {
+            let link = self.directory.lookup(name, hints.recv_timeout)?;
+            link.set_reader_info(nranks, all_cores);
+            self.post_bulletin(&format!("r:{name}"), Arc::clone(&link));
+            link
+        } else {
+            self.wait_bulletin(&format!("r:{name}"), hints.recv_timeout)
+                .ok_or(StreamError::Timeout)?
+        };
+        Ok(StreamReader::new(link, rank, nranks, name.to_string(), hints))
+    }
+
+    fn post_bulletin(&self, key: &str, link: Arc<LinkState>) {
+        let (lock, cvar) = &*self.bulletin;
+        lock.lock().insert(key.to_string(), link);
+        cvar.notify_all();
+    }
+
+    fn wait_bulletin(&self, key: &str, timeout: Duration) -> Option<Arc<LinkState>> {
+        let (lock, cvar) = &*self.bulletin;
+        let mut map = lock.lock();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(link) = map.get(key) {
+                return Some(Arc::clone(link));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            cvar.wait_for(&mut map, deadline - now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn link_with_cores() -> Arc<LinkState> {
+        let link = LinkState::new(
+            2,
+            vec![
+                CoreLocation { node: 0, numa: 0, core: 0 },
+                CoreLocation { node: 0, numa: 0, core: 1 },
+            ],
+            None,
+            &StreamHints::default(),
+        );
+        link.set_reader_info(
+            1,
+            vec![CoreLocation { node: 0, numa: 1, core: 0 }],
+        );
+        link
+    }
+
+    #[test]
+    fn claim_pairs_connect() {
+        let link = link_with_cores();
+        let id = ChannelId::Data { w: 1, r: 0 };
+        let mut tx = link.claim_sender(id);
+        let mut rx = link.claim_receiver(id);
+        tx.send(b"through the link");
+        assert_eq!(rx.recv(), b"through the link");
+    }
+
+    #[test]
+    fn claim_order_is_irrelevant() {
+        let link = link_with_cores();
+        let id = ChannelId::Ack { w: 0, r: 0 };
+        let link2 = Arc::clone(&link);
+        let t = thread::spawn(move || {
+            let mut rx = link2.claim_receiver(id);
+            rx.recv()
+        });
+        thread::sleep(Duration::from_millis(10));
+        let mut tx = link.claim_sender(id);
+        tx.send(b"late sender");
+        assert_eq!(t.join().unwrap(), b"late sender");
+    }
+
+    #[test]
+    fn same_core_uses_inproc_and_same_node_uses_shm() {
+        let link = link_with_cores();
+        // Writer rank 0 -> writer coordinator is the same core: inproc.
+        let tx = link.claim_sender(ChannelId::WriterSide { rank: 0, up: true });
+        assert_eq!(tx.transport_name(), "inproc");
+        // Writer 1 (node0/numa0) -> reader 0 (node0/numa1): shared memory.
+        let tx = link.claim_sender(ChannelId::Data { w: 1, r: 0 });
+        assert_eq!(tx.transport_name(), "shm");
+    }
+
+    #[test]
+    fn cross_node_uses_rdma() {
+        let link = LinkState::new(
+            1,
+            vec![CoreLocation { node: 0, numa: 0, core: 0 }],
+            Some(NetSim::new(machine::InterconnectParams::gemini(), 2)),
+            &StreamHints::default(),
+        );
+        link.set_reader_info(1, vec![CoreLocation { node: 1, numa: 0, core: 0 }]);
+        let tx = link.claim_sender(ChannelId::Data { w: 0, r: 0 });
+        assert_eq!(tx.transport_name(), "rdma");
+    }
+
+    #[test]
+    fn wait_reader_info_blocks_and_delivers() {
+        let link = LinkState::new(
+            1,
+            vec![CoreLocation { node: 0, numa: 0, core: 0 }],
+            None,
+            &StreamHints::default(),
+        );
+        let l2 = Arc::clone(&link);
+        let t = thread::spawn(move || l2.wait_reader_info(Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(10));
+        link.set_reader_info(3, vec![CoreLocation { node: 0, numa: 0, core: 1 }; 3]);
+        let (count, cores) = t.join().unwrap().unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(cores.len(), 3);
+    }
+
+    #[test]
+    fn recv_record_times_out() {
+        let (_tx, mut rx) = inproc_pair();
+        let err = recv_record(&mut rx, Duration::from_millis(5), 1);
+        assert_eq!(err, Err(StreamError::Timeout));
+    }
+
+    #[test]
+    fn hints_from_config() {
+        let cfg = adios::IoConfig::from_xml(
+            r#"<adios-config><group name="g"><method transport="STREAM">
+               <hint name="caching" value="CACHING_ALL"/>
+               <hint name="batching" value="true"/>
+               <hint name="async" value="true"/>
+               <hint name="queue_entries" value="256"/>
+               <hint name="timeout_ms" value="1234"/>
+            </method></group></adios-config>"#,
+        )
+        .unwrap();
+        let h = StreamHints::from_config(cfg.group("g").unwrap());
+        assert_eq!(h.caching, CachingLevel::CachingAll);
+        assert!(h.batching);
+        assert_eq!(h.write_mode, WriteMode::Async);
+        assert_eq!(h.queue_entries, 256);
+        assert_eq!(h.recv_timeout, Duration::from_millis(1234));
+    }
+}

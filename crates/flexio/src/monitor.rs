@@ -1,0 +1,234 @@
+//! Performance monitoring (paper §II.G).
+//!
+//! "There are measurement points at all levels of the FlexIO software
+//! stack to gather a variety of information, including the timing of data
+//! movement and DC Plug-in execution, as well as transferred data volumes.
+//! Dynamic memory allocation points within FlexIO are also instrumented
+//! [...] For offline performance tuning, monitoring information can be
+//! dumped to trace files [...] For runtime management, monitoring data
+//! captured from the simulation side can be gathered online and
+//! transferred to the analytics side."
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use evpath::{FieldValue, Record};
+use parking_lot::Mutex;
+
+/// What a measurement point observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// One data message sent (bytes on the wire).
+    DataSend,
+    /// One data message received.
+    DataRecv,
+    /// A handshake step executed.
+    Handshake,
+    /// A DC plug-in executed on a chunk.
+    PluginExec,
+    /// A buffer allocation inside the movement path.
+    Allocation,
+    /// A synchronous-mode wait for acknowledgements.
+    SyncWait,
+}
+
+impl MonitorEvent {
+    fn name(&self) -> &'static str {
+        match self {
+            MonitorEvent::DataSend => "data_send",
+            MonitorEvent::DataRecv => "data_recv",
+            MonitorEvent::Handshake => "handshake",
+            MonitorEvent::PluginExec => "plugin_exec",
+            MonitorEvent::Allocation => "allocation",
+            MonitorEvent::SyncWait => "sync_wait",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Sample {
+    event: MonitorEvent,
+    step: u64,
+    rank: usize,
+    bytes: u64,
+    nanos: u64,
+}
+
+/// Exact running aggregates per event class (never evicted).
+#[derive(Debug, Default, Clone, Copy)]
+struct Aggregate {
+    count: u64,
+    bytes: u64,
+    nanos: u64,
+}
+
+/// Detailed samples retained for per-step series and trace dumps. Bounded:
+/// a production-length coupled run records per message per step, and an
+/// unbounded store would be a slow leak over the multi-hour runs the paper
+/// targets. Aggregate queries stay exact; windowed queries (per-step
+/// series, trace dumps) see the most recent `capacity` samples.
+const DEFAULT_SAMPLE_CAPACITY: usize = 100_000;
+
+#[derive(Default)]
+struct Inner {
+    samples: std::collections::VecDeque<Sample>,
+    aggregates: [Aggregate; 6],
+    epoch: Option<Instant>,
+}
+
+fn event_index(event: MonitorEvent) -> usize {
+    match event {
+        MonitorEvent::DataSend => 0,
+        MonitorEvent::DataRecv => 1,
+        MonitorEvent::Handshake => 2,
+        MonitorEvent::PluginExec => 3,
+        MonitorEvent::Allocation => 4,
+        MonitorEvent::SyncWait => 5,
+    }
+}
+
+/// Shared monitor; cloning shares the sample store.
+#[derive(Clone, Default)]
+pub struct PerfMonitor {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl PerfMonitor {
+    /// Fresh monitor.
+    pub fn new() -> PerfMonitor {
+        PerfMonitor::default()
+    }
+
+    /// Record one event with its payload size and duration.
+    pub fn record(&self, event: MonitorEvent, step: u64, rank: usize, bytes: u64, nanos: u64) {
+        let mut inner = self.inner.lock();
+        inner.epoch.get_or_insert_with(Instant::now);
+        let agg = &mut inner.aggregates[event_index(event)];
+        agg.count += 1;
+        agg.bytes += bytes;
+        agg.nanos += nanos;
+        if inner.samples.len() >= DEFAULT_SAMPLE_CAPACITY {
+            inner.samples.pop_front();
+        }
+        inner.samples.push_back(Sample { event, step, rank, bytes, nanos });
+    }
+
+    /// Time a closure and record it.
+    pub fn timed<T>(
+        &self,
+        event: MonitorEvent,
+        step: u64,
+        rank: usize,
+        bytes: u64,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(event, step, rank, bytes, start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Total bytes recorded for an event class (exact over the whole run).
+    pub fn total_bytes(&self, event: MonitorEvent) -> u64 {
+        self.inner.lock().aggregates[event_index(event)].bytes
+    }
+
+    /// Total nanoseconds recorded for an event class (exact).
+    pub fn total_nanos(&self, event: MonitorEvent) -> u64 {
+        self.inner.lock().aggregates[event_index(event)].nanos
+    }
+
+    /// Number of samples of an event class (exact).
+    pub fn count(&self, event: MonitorEvent) -> u64 {
+        self.inner.lock().aggregates[event_index(event)].count
+    }
+
+    /// Dump the retained trace window as self-describing records, one per
+    /// sample (the "dumped to trace files" path; the caller decides the
+    /// sink — and should dump periodically on long runs, since only the
+    /// most recent samples are retained).
+    pub fn dump_trace(&self) -> Vec<Record> {
+        self.inner
+            .lock()
+            .samples
+            .iter()
+            .map(|s| {
+                Record::new()
+                    .with("event", FieldValue::Str(s.event.name().to_string()))
+                    .with("step", FieldValue::U64(s.step))
+                    .with("rank", FieldValue::U64(s.rank as u64))
+                    .with("bytes", FieldValue::U64(s.bytes))
+                    .with("nanos", FieldValue::U64(s.nanos))
+            })
+            .collect()
+    }
+
+    /// Per-step received-bytes series for one rank over the retained
+    /// sample window — the online feed a runtime manager uses for
+    /// placement decisions (§II.G).
+    pub fn bytes_per_step(&self, event: MonitorEvent, rank: usize) -> Vec<(u64, u64)> {
+        let inner = self.inner.lock();
+        let mut per_step: Vec<(u64, u64)> = Vec::new();
+        for s in inner.samples.iter().filter(|s| s.event == event && s.rank == rank) {
+            match per_step.iter_mut().find(|(st, _)| *st == s.step) {
+                Some((_, b)) => *b += s.bytes,
+                None => per_step.push((s.step, s.bytes)),
+            }
+        }
+        per_step.sort_by_key(|&(st, _)| st);
+        per_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let m = PerfMonitor::new();
+        m.record(MonitorEvent::DataSend, 0, 1, 1000, 50);
+        m.record(MonitorEvent::DataSend, 1, 1, 2000, 70);
+        m.record(MonitorEvent::DataRecv, 0, 2, 1000, 60);
+        assert_eq!(m.total_bytes(MonitorEvent::DataSend), 3000);
+        assert_eq!(m.total_nanos(MonitorEvent::DataSend), 120);
+        assert_eq!(m.count(MonitorEvent::DataRecv), 1);
+        assert_eq!(m.count(MonitorEvent::PluginExec), 0);
+    }
+
+    #[test]
+    fn timed_measures() {
+        let m = PerfMonitor::new();
+        let v = m.timed(MonitorEvent::PluginExec, 3, 0, 10, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(m.total_nanos(MonitorEvent::PluginExec) >= 1_000_000);
+    }
+
+    #[test]
+    fn trace_dump_is_decodable() {
+        let m = PerfMonitor::new();
+        m.record(MonitorEvent::Handshake, 5, 3, 0, 123);
+        let trace = m.dump_trace();
+        assert_eq!(trace.len(), 1);
+        let r = Record::decode(&trace[0].encode()).unwrap();
+        assert_eq!(r.get_str("event"), Some("handshake"));
+        assert_eq!(r.get_u64("step"), Some(5));
+        assert_eq!(r.get_u64("nanos"), Some(123));
+    }
+
+    #[test]
+    fn per_step_series() {
+        let m = PerfMonitor::new();
+        for step in [0u64, 0, 1, 2, 2, 2] {
+            m.record(MonitorEvent::DataRecv, step, 0, 10, 1);
+        }
+        m.record(MonitorEvent::DataRecv, 0, 9, 999, 1); // other rank
+        assert_eq!(
+            m.bytes_per_step(MonitorEvent::DataRecv, 0),
+            vec![(0, 20), (1, 10), (2, 30)]
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Protocol vocabulary: caching levels, write modes, message schemas and
+//! the instrumentation counters that make handshake behaviour observable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evpath::{FieldValue, Record};
+
+/// Handshake caching options (paper §II.C.2):
+///
+/// "i) NO_CACHING: perform the full handshaking protocol; ii)
+/// CACHING_LOCAL: re-use local side distribution information (skip Steps
+/// 1), but still exchange distribution information with peer side (perform
+/// Step 2 to 4); iii) CACHING_ALL: re-use both local and peer sides'
+/// distribution data, so that handshaking is completely avoided."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachingLevel {
+    /// Full handshake every step.
+    #[default]
+    NoCaching,
+    /// Skip the local gather (Step 1) after the first step.
+    CachingLocal,
+    /// Skip the whole handshake after the first step.
+    CachingAll,
+}
+
+impl CachingLevel {
+    /// Parse the hint string used in the XML config.
+    pub fn from_hint(s: &str) -> Option<CachingLevel> {
+        Some(match s {
+            "NO_CACHING" => CachingLevel::NoCaching,
+            "CACHING_LOCAL" => CachingLevel::CachingLocal,
+            "CACHING_ALL" => CachingLevel::CachingAll,
+            _ => return None,
+        })
+    }
+}
+
+/// Write-side call semantics (§II.C.2, first optimization): synchronous
+/// writes wait until every receiver has taken delivery (acked);
+/// asynchronous writes return once the data is handed to the transport,
+/// overlapping movement with the simulation's computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WriteMode {
+    /// Wait for per-reader acknowledgements at each step.
+    Sync,
+    /// Fire and forget (the transports buffer).
+    #[default]
+    Async,
+}
+
+/// Counters for every protocol message class; shared between both sides
+/// of a stream so tests and the monitoring layer can verify claims like
+/// "CACHING_ALL avoids the handshake entirely".
+#[derive(Debug, Default)]
+pub struct ProtocolCounters {
+    /// Step-1 messages: rank → coordinator distribution gathers.
+    pub gather_msgs: AtomicU64,
+    /// Step-2 messages: coordinator ↔ coordinator exchanges.
+    pub exchange_msgs: AtomicU64,
+    /// Step-3 messages: coordinator → rank broadcasts.
+    pub bcast_msgs: AtomicU64,
+    /// Step-4 messages: actual data chunks/batches.
+    pub data_msgs: AtomicU64,
+    /// Per-step step-header control messages (stream liveness/EOS channel;
+    /// not part of the 4-step variable handshake).
+    pub step_msgs: AtomicU64,
+    /// Synchronous-mode acknowledgements.
+    pub ack_msgs: AtomicU64,
+    /// Plug-in deployment/migration messages.
+    pub plugin_msgs: AtomicU64,
+}
+
+impl ProtocolCounters {
+    /// Fresh shared counter block.
+    pub fn new_shared() -> Arc<ProtocolCounters> {
+        Arc::new(ProtocolCounters::default())
+    }
+
+    /// Bump a counter.
+    pub fn bump(&self, which: &AtomicU64) {
+        which.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as plain numbers `(gather, exchange, bcast, data, step,
+    /// ack, plugin)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.gather_msgs.load(Ordering::Relaxed),
+            self.exchange_msgs.load(Ordering::Relaxed),
+            self.bcast_msgs.load(Ordering::Relaxed),
+            self.data_msgs.load(Ordering::Relaxed),
+            self.step_msgs.load(Ordering::Relaxed),
+            self.ack_msgs.load(Ordering::Relaxed),
+            self.plugin_msgs.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Handshake messages only (steps 1–3).
+    pub fn handshake_total(&self) -> u64 {
+        self.gather_msgs.load(Ordering::Relaxed)
+            + self.exchange_msgs.load(Ordering::Relaxed)
+            + self.bcast_msgs.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------- wire
+
+/// Message type tags on the control and data channels.
+pub mod msg {
+    /// Step header: writer coordinator → reader coordinator.
+    pub const STEP: &str = "step";
+    /// End of stream.
+    pub const EOS: &str = "eos";
+    /// Writer-side distribution metadata (exchange leg 1).
+    pub const WRITER_INFO: &str = "writer_info";
+    /// Reader-side selections (+ plugin specs) (exchange leg 2).
+    pub const READER_INFO: &str = "reader_info";
+    /// A data chunk (one variable region).
+    pub const CHUNK: &str = "chunk";
+    /// A batched set of chunks.
+    pub const BATCH: &str = "batch";
+    /// Synchronous-mode acknowledgement.
+    pub const ACK: &str = "ack";
+    /// Plug-in installation/migration update.
+    pub const PLUGIN_UPDATE: &str = "plugin_update";
+    /// 2PC: prepare a step.
+    pub const TXN_PREPARE: &str = "txn_prepare";
+    /// 2PC: participant vote.
+    pub const TXN_VOTE: &str = "txn_vote";
+    /// 2PC: commit decision.
+    pub const TXN_COMMIT: &str = "txn_commit";
+}
+
+/// Build a typed message skeleton.
+pub fn message(kind: &str) -> Record {
+    Record::new().with("type", FieldValue::Str(kind.to_string()))
+}
+
+/// Read the message type tag.
+pub fn kind_of(r: &Record) -> &str {
+    r.get_str("type").unwrap_or("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_hint_parsing() {
+        assert_eq!(CachingLevel::from_hint("NO_CACHING"), Some(CachingLevel::NoCaching));
+        assert_eq!(CachingLevel::from_hint("CACHING_LOCAL"), Some(CachingLevel::CachingLocal));
+        assert_eq!(CachingLevel::from_hint("CACHING_ALL"), Some(CachingLevel::CachingAll));
+        assert_eq!(CachingLevel::from_hint("bogus"), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = ProtocolCounters::new_shared();
+        c.bump(&c.gather_msgs);
+        c.bump(&c.gather_msgs);
+        c.bump(&c.data_msgs);
+        let (g, e, b, d, ..) = c.snapshot();
+        assert_eq!((g, e, b, d), (2, 0, 0, 1));
+        assert_eq!(c.handshake_total(), 2);
+    }
+
+    #[test]
+    fn message_tagging() {
+        let m = message(msg::STEP).with("step", FieldValue::U64(4));
+        assert_eq!(kind_of(&m), "step");
+        let round = Record::decode(&m.encode()).unwrap();
+        assert_eq!(kind_of(&round), "step");
+        assert_eq!(round.get_u64("step"), Some(4));
+    }
+}

@@ -1,0 +1,224 @@
+//! Online monitoring relay over EVPath stones (paper §II.G).
+//!
+//! "For runtime management, monitoring data captured from the simulation
+//! side can be gathered online and transferred to the analytics side."
+//! The relay is built exactly the way EVPath applications build event
+//! paths: monitoring samples are submitted to a stone graph —
+//!
+//! ```text
+//! [sample filter] → [annotate transform] → [bridge → transport]
+//! ```
+//!
+//! — and the analytics side decodes the arriving records into a
+//! [`PerfMonitor`] replica it can hand to the
+//! [`crate::manager::PlacementManager`]. The filter keeps the relay off
+//! the critical path: only every `stride`-th event crosses.
+
+use evpath::{BoxedReceiver, BoxedSender, EvGraph, FieldValue, Record, StoneId};
+
+use crate::monitor::{MonitorEvent, PerfMonitor};
+
+fn event_from_name(name: &str) -> Option<MonitorEvent> {
+    Some(match name {
+        "data_send" => MonitorEvent::DataSend,
+        "data_recv" => MonitorEvent::DataRecv,
+        "handshake" => MonitorEvent::Handshake,
+        "plugin_exec" => MonitorEvent::PluginExec,
+        "allocation" => MonitorEvent::Allocation,
+        "sync_wait" => MonitorEvent::SyncWait,
+        _ => return None,
+    })
+}
+
+/// The sending (simulation-side) half of the relay: a stone graph that
+/// samples, annotates and ships monitoring records.
+pub struct MonitorRelay {
+    graph: EvGraph,
+    entry: StoneId,
+    sent: u64,
+}
+
+impl MonitorRelay {
+    /// Build a relay over `transport`, forwarding every `stride`-th
+    /// sample, annotated with the producing `rank`.
+    pub fn new(transport: BoxedSender, rank: usize, stride: u64) -> MonitorRelay {
+        assert!(stride >= 1);
+        let mut graph = EvGraph::new();
+        let bridge = graph.bridge(transport);
+        let annotate = graph.transform(
+            move |r| r.with("relay_rank", FieldValue::U64(rank as u64)),
+            bridge,
+        );
+        // Sampling filter driven by a sequence number stamped on entry.
+        let sample = graph.filter(
+            move |r| r.get_u64("seq").is_some_and(|s| s.is_multiple_of(stride)),
+            annotate,
+        );
+        MonitorRelay { graph, entry: sample, sent: 0 }
+    }
+
+    /// Submit one monitoring sample into the relay.
+    pub fn publish(&mut self, event: MonitorEvent, step: u64, rank: usize, bytes: u64, nanos: u64) {
+        let name = match event {
+            MonitorEvent::DataSend => "data_send",
+            MonitorEvent::DataRecv => "data_recv",
+            MonitorEvent::Handshake => "handshake",
+            MonitorEvent::PluginExec => "plugin_exec",
+            MonitorEvent::Allocation => "allocation",
+            MonitorEvent::SyncWait => "sync_wait",
+        };
+        let record = Record::new()
+            .with("seq", FieldValue::U64(self.sent))
+            .with("event", FieldValue::Str(name.to_string()))
+            .with("step", FieldValue::U64(step))
+            .with("rank", FieldValue::U64(rank as u64))
+            .with("bytes", FieldValue::U64(bytes))
+            .with("nanos", FieldValue::U64(nanos));
+        self.sent += 1;
+        self.graph.submit(self.entry, record);
+    }
+
+    /// Forward an entire trace (e.g. [`PerfMonitor::dump_trace`] output).
+    pub fn publish_trace(&mut self, trace: &[Record]) {
+        for r in trace {
+            let (Some(event), Some(step), Some(rank), Some(bytes), Some(nanos)) = (
+                r.get_str("event").and_then(event_from_name),
+                r.get_u64("step"),
+                r.get_u64("rank"),
+                r.get_u64("bytes"),
+                r.get_u64("nanos"),
+            ) else {
+                continue;
+            };
+            self.publish(event, step, rank as usize, bytes, nanos);
+        }
+    }
+}
+
+/// The receiving (analytics-side) half: drains relayed records into a
+/// local [`PerfMonitor`] replica.
+pub struct MonitorSink {
+    rx: BoxedReceiver,
+    replica: PerfMonitor,
+}
+
+impl MonitorSink {
+    /// Wrap the receiving end of the relay transport.
+    pub fn new(rx: BoxedReceiver) -> MonitorSink {
+        MonitorSink { rx, replica: PerfMonitor::new() }
+    }
+
+    /// Drain every currently-available relayed sample; returns how many
+    /// were absorbed.
+    pub fn drain(&mut self) -> usize {
+        let mut absorbed = 0;
+        while let Some(bytes) = self.rx.try_recv() {
+            let Ok(r) = Record::decode(&bytes) else { continue };
+            let (Some(event), Some(step), Some(rank), Some(payload), Some(nanos)) = (
+                r.get_str("event").and_then(event_from_name),
+                r.get_u64("step"),
+                r.get_u64("rank"),
+                r.get_u64("bytes"),
+                r.get_u64("nanos"),
+            ) else {
+                continue;
+            };
+            self.replica.record(event, step, rank as usize, payload, nanos);
+            absorbed += 1;
+        }
+        absorbed
+    }
+
+    /// The local replica of the remote side's monitor — feed this to a
+    /// [`crate::manager::PlacementManager`].
+    pub fn monitor(&self) -> &PerfMonitor {
+        &self.replica
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{ManagerPolicy, PlacementManager};
+    use crate::plugins::PluginPlacement;
+    use evpath::inproc_pair;
+
+    #[test]
+    fn relay_ships_samples_across_a_transport() {
+        let (tx, rx) = inproc_pair();
+        let mut relay = MonitorRelay::new(tx, 3, 1);
+        let mut sink = MonitorSink::new(rx);
+        for step in 0..5 {
+            relay.publish(MonitorEvent::DataSend, step, 3, 1000, 50);
+        }
+        assert_eq!(sink.drain(), 5);
+        assert_eq!(sink.monitor().total_bytes(MonitorEvent::DataSend), 5000);
+        assert_eq!(sink.monitor().count(MonitorEvent::DataSend), 5);
+    }
+
+    #[test]
+    fn sampling_stride_thins_the_stream() {
+        let (tx, rx) = inproc_pair();
+        let mut relay = MonitorRelay::new(tx, 0, 4);
+        let mut sink = MonitorSink::new(rx);
+        for step in 0..20 {
+            relay.publish(MonitorEvent::Handshake, step, 0, 0, 10);
+        }
+        // Only seq 0, 4, 8, 12, 16 cross.
+        assert_eq!(sink.drain(), 5);
+    }
+
+    #[test]
+    fn trace_replay_reconstructs_the_remote_view() {
+        // Simulation side records into its monitor; the trace is relayed;
+        // the analytics-side replica agrees on aggregates.
+        let origin = PerfMonitor::new();
+        for step in 0..4 {
+            origin.record(MonitorEvent::DataSend, step, 1, 2048, 100);
+            origin.record(MonitorEvent::PluginExec, step, 1, 0, 7_000);
+        }
+        let (tx, rx) = inproc_pair();
+        let mut relay = MonitorRelay::new(tx, 1, 1);
+        relay.publish_trace(&origin.dump_trace());
+        let mut sink = MonitorSink::new(rx);
+        sink.drain();
+        let replica = sink.monitor();
+        assert_eq!(
+            replica.total_bytes(MonitorEvent::DataSend),
+            origin.total_bytes(MonitorEvent::DataSend)
+        );
+        assert_eq!(
+            replica.total_nanos(MonitorEvent::PluginExec),
+            origin.total_nanos(MonitorEvent::PluginExec)
+        );
+        assert_eq!(
+            replica.bytes_per_step(MonitorEvent::DataSend, 1),
+            origin.bytes_per_step(MonitorEvent::DataSend, 1)
+        );
+    }
+
+    #[test]
+    fn relayed_monitor_drives_placement_decisions() {
+        // The §II.G loop end to end: remote samples → replica → manager.
+        let (tx, rx) = inproc_pair();
+        let mut relay = MonitorRelay::new(tx, 0, 1);
+        for step in 0..5 {
+            relay.publish(MonitorEvent::DataSend, step, 0, 50 << 20, 0);
+        }
+        let mut sink = MonitorSink::new(rx);
+        sink.drain();
+        let mut mgr =
+            PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
+        let rec = mgr.decide(sink.monitor(), 0);
+        assert_eq!(rec.placement, PluginPlacement::WriterSide);
+    }
+
+    #[test]
+    fn garbage_on_the_relay_is_ignored() {
+        let (mut tx, rx) = inproc_pair();
+        tx.send(b"not a record");
+        tx.send(&Record::new().with("event", FieldValue::Str("bogus".into())).encode());
+        let mut sink = MonitorSink::new(rx);
+        assert_eq!(sink.drain(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! `fssim` — the shared parallel file system (Lustre stand-in).
+//!
+//! Both evaluation machines mount the same center-wide Lustre file system
+//! (paper §IV). Its decisive property for the S3D experiment (Fig. 9) is
+//! that file I/O does **not** scale with writer count: "Due to insufficient
+//! scalability of file I/O, the advantage of staging placement over inline
+//! increases at larger scales."
+//!
+//! [`SimFs`] is a functional simulator: it really stores the bytes (an
+//! in-memory object store, so offline analytics can read back exactly what
+//! was written) while charging *modelled* time from
+//! [`machine::FileSystemParams`] — aggregate bandwidth shared across
+//! currently-active writers, metadata cost per operation, and contention
+//! decay at high writer counts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use machine::FileSystemParams;
+use parking_lot::Mutex;
+
+/// Aggregate counters for monitoring.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FsStats {
+    /// Completed write operations.
+    pub writes: u64,
+    /// Completed read operations.
+    pub reads: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+}
+
+struct Inner {
+    objects: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    params: FileSystemParams,
+    active_writers: AtomicUsize,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+/// Handle to the shared simulated file system; clone freely.
+#[derive(Clone)]
+pub struct SimFs {
+    inner: Arc<Inner>,
+}
+
+impl SimFs {
+    /// Create a file system with the given parameters.
+    pub fn new(params: FileSystemParams) -> SimFs {
+        SimFs {
+            inner: Arc::new(Inner {
+                objects: Mutex::new(HashMap::new()),
+                params,
+                active_writers: AtomicUsize::new(0),
+                writes: AtomicU64::new(0),
+                reads: AtomicU64::new(0),
+                bytes_written: AtomicU64::new(0),
+                bytes_read: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Default: the shared Lustre model.
+    pub fn lustre() -> SimFs {
+        SimFs::new(FileSystemParams::lustre_shared())
+    }
+
+    /// Write (create or replace) object `name`. Returns the modelled
+    /// nanoseconds the write took given the writers concurrently in the
+    /// file system at the time.
+    pub fn write(&self, name: &str, data: Vec<u8>) -> f64 {
+        let writers = self.inner.active_writers.fetch_add(1, Ordering::Relaxed) + 1;
+        let len = data.len() as u64;
+        let ns = self.inner.params.per_op_ns
+            + len as f64 / self.inner.params.effective_aggregate_bw(writers) * 1e9 * writers as f64;
+        self.inner.objects.lock().insert(name.to_string(), Arc::new(data));
+        self.inner.active_writers.fetch_sub(1, Ordering::Relaxed);
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_written.fetch_add(len, Ordering::Relaxed);
+        ns
+    }
+
+    /// Modelled time for `writers` ranks to each write `bytes_per_writer`
+    /// in one collective output phase, without storing bytes (used by the
+    /// scale experiments where per-rank payloads would not fit in memory).
+    pub fn modelled_phase_write_ns(&self, writers: usize, bytes_per_writer: u64) -> f64 {
+        self.inner.params.write_time_ns(writers, bytes_per_writer)
+    }
+
+    /// Read object `name`; returns the bytes and modelled nanoseconds.
+    pub fn read(&self, name: &str) -> Option<(Arc<Vec<u8>>, f64)> {
+        let data = self.inner.objects.lock().get(name).cloned()?;
+        let ns = self.inner.params.per_op_ns
+            + data.len() as f64 / self.inner.params.per_writer_bw * 1e9;
+        self.inner.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Some((data, ns))
+    }
+
+    /// Remove an object; returns whether it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        self.inner.objects.lock().remove(name).is_some()
+    }
+
+    /// Object names currently stored, sorted.
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.objects.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True if `name` exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.objects.lock().contains_key(name)
+    }
+
+    /// Snapshot counters.
+    pub fn stats(&self) -> FsStats {
+        FsStats {
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            reads: self.inner.reads.load(Ordering::Relaxed),
+            bytes_written: self.inner.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = SimFs::lustre();
+        let ns = fs.write("run1/step0.bp", vec![1, 2, 3]);
+        assert!(ns > 0.0);
+        let (data, read_ns) = fs.read("run1/step0.bp").unwrap();
+        assert_eq!(*data, vec![1, 2, 3]);
+        assert!(read_ns > 0.0);
+        assert!(fs.read("missing").is_none());
+    }
+
+    #[test]
+    fn modelled_time_grows_with_writers_weak_scaling() {
+        let fs = SimFs::lustre();
+        let t64 = fs.modelled_phase_write_ns(64, 1 << 20);
+        let t4096 = fs.modelled_phase_write_ns(4096, 1 << 20);
+        assert!(t4096 > t64, "file I/O must not scale: {t4096} vs {t64}");
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let fs = SimFs::lustre();
+        fs.write("b", vec![]);
+        fs.write("a", vec![]);
+        assert_eq!(fs.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(fs.delete("a"));
+        assert!(!fs.delete("a"));
+        assert!(fs.exists("b") && !fs.exists("a"));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let fs = SimFs::lustre();
+        fs.write("x", vec![0; 100]);
+        fs.read("x");
+        fs.read("x");
+        let s = fs.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 200);
+    }
+
+    #[test]
+    fn concurrent_writers_share_the_store() {
+        use std::thread;
+        let fs = SimFs::lustre();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let fs = fs.clone();
+            handles.push(thread::spawn(move || {
+                fs.write(&format!("obj{i}"), vec![i as u8; 1000]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(fs.list().len(), 8);
+        for i in 0..8u8 {
+            let (data, _) = fs.read(&format!("obj{i}")).unwrap();
+            assert!(data.iter().all(|&b| b == i));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Cache parameter descriptions (consumed by `memsim`).
+
+/// Parameters of one cache (the shared last-level cache matters most for the
+/// paper's helper-core interference experiment, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheParams {
+    /// Capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub associativity: u32,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Load-to-use latency for a hit, nanoseconds.
+    pub hit_latency_ns: f64,
+    /// Additional latency for a miss served by local DRAM, nanoseconds.
+    pub miss_penalty_ns: f64,
+}
+
+impl CacheParams {
+    /// Number of cache sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.associativity as u64 * self.line_bytes as u64)
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes as u64
+    }
+
+    /// AMD Barcelona's 2 MiB shared L3 (Smoky nodes, paper Fig. 5).
+    pub fn barcelona_l3() -> Self {
+        CacheParams {
+            size_bytes: 2 * 1024 * 1024,
+            associativity: 32,
+            line_bytes: 64,
+            hit_latency_ns: 20.0,
+            miss_penalty_ns: 90.0,
+        }
+    }
+
+    /// AMD Interlagos' 8 MiB shared L3 per die (Titan nodes).
+    pub fn interlagos_l3() -> Self {
+        CacheParams {
+            size_bytes: 8 * 1024 * 1024,
+            associativity: 64,
+            line_bytes: 64,
+            hit_latency_ns: 21.0,
+            miss_penalty_ns: 85.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_line_counts() {
+        let c = CacheParams::barcelona_l3();
+        assert_eq!(c.lines(), 2 * 1024 * 1024 / 64);
+        assert_eq!(c.sets(), c.lines() / 32);
+    }
+}

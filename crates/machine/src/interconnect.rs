@@ -1,0 +1,151 @@
+//! Inter-node network parameters (consumed by `netsim`).
+
+/// Cost model for RDMA memory registration, the effect the paper measures in
+/// Fig. 4: dynamically allocating and registering buffers per transfer
+/// roughly halves achievable Get bandwidth on Gemini until very large
+/// messages amortize the cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegistrationParams {
+    /// Fixed cost of one register/unregister pair, nanoseconds
+    /// (syscall + NIC doorbell).
+    pub base_ns: f64,
+    /// Additional cost per registered page, nanoseconds (page-table walk
+    /// and pinning).
+    pub per_page_ns: f64,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Cost of a heap allocation for the buffer itself, nanoseconds.
+    pub alloc_ns: f64,
+}
+
+impl RegistrationParams {
+    /// Total one-time cost to allocate + register a buffer of `len` bytes.
+    pub fn dynamic_cost_ns(&self, len: u64) -> f64 {
+        let pages = len.div_ceil(self.page_bytes).max(1);
+        self.alloc_ns + self.base_ns + pages as f64 * self.per_page_ns
+    }
+}
+
+/// Interconnect parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectParams {
+    /// Peak point-to-point unidirectional bandwidth, bytes/sec.
+    pub link_bw: f64,
+    /// Small-message one-way latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Per-message NIC processing overhead, nanoseconds (descriptor
+    /// handling; dominates small-message rate).
+    pub per_message_ns: f64,
+    /// Cut-off below which messages go through the mailbox path
+    /// (RDMA Put / FMA Put, paper §II.E) instead of rendezvous Get.
+    pub eager_threshold: u64,
+    /// Memory-registration cost model.
+    pub registration: RegistrationParams,
+    /// Fraction of `link_bw` lost per additional concurrent flow sharing a
+    /// NIC, capturing the contention that forces the paper's Get
+    /// scheduling policy (§II.E).
+    pub contention_factor: f64,
+}
+
+impl InterconnectParams {
+    /// Ideal (uncongested, pre-registered) time to move `len` bytes,
+    /// nanoseconds.
+    pub fn transfer_ns(&self, len: u64) -> f64 {
+        self.latency_ns + self.per_message_ns + len as f64 / self.link_bw * 1e9
+    }
+
+    /// Effective bandwidth for a message of `len` bytes when registration
+    /// is performed dynamically for both source and sink buffers
+    /// (Fig. 4's "Dynamic Allocation and Registration" curve).
+    pub fn dynamic_reg_bandwidth(&self, len: u64) -> f64 {
+        let reg = 2.0 * self.registration.dynamic_cost_ns(len);
+        len as f64 / (self.transfer_ns(len) + reg) * 1e9
+    }
+
+    /// Effective bandwidth with statically registered (cached) buffers
+    /// (Fig. 4's "Static Allocation and Registration" curve).
+    pub fn static_reg_bandwidth(&self, len: u64) -> f64 {
+        len as f64 / self.transfer_ns(len) * 1e9
+    }
+
+    /// Cray Gemini (Titan), calibrated so the static curve plateaus near
+    /// the ~5 GB/s the paper's Fig. 4 shows, with dynamic registration
+    /// costing roughly half the bandwidth at mid sizes.
+    pub fn gemini() -> Self {
+        InterconnectParams {
+            link_bw: 5.2e9,
+            latency_ns: 1_500.0,
+            per_message_ns: 250.0,
+            eager_threshold: 4096,
+            registration: RegistrationParams {
+                base_ns: 20_000.0,
+                per_page_ns: 120.0,
+                page_bytes: 4096,
+                alloc_ns: 3_000.0,
+            },
+            contention_factor: 0.35,
+        }
+    }
+
+    /// DDR InfiniBand (Smoky): ~1.5 GB/s effective point-to-point.
+    pub fn ddr_infiniband() -> Self {
+        InterconnectParams {
+            link_bw: 1.5e9,
+            latency_ns: 2_000.0,
+            per_message_ns: 400.0,
+            eager_threshold: 8192,
+            registration: RegistrationParams {
+                base_ns: 35_000.0,
+                per_page_ns: 180.0,
+                page_bytes: 4096,
+                alloc_ns: 3_000.0,
+            },
+            contention_factor: 0.40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_beats_dynamic_everywhere() {
+        let ic = InterconnectParams::gemini();
+        for shift in 10..25 {
+            let len = 1u64 << shift;
+            assert!(ic.static_reg_bandwidth(len) > ic.dynamic_reg_bandwidth(len));
+        }
+    }
+
+    #[test]
+    fn dynamic_gap_narrows_at_large_sizes() {
+        // Registration is amortized for huge messages: the ratio
+        // static/dynamic should shrink toward 1 as size grows.
+        let ic = InterconnectParams::gemini();
+        let ratio = |len: u64| ic.static_reg_bandwidth(len) / ic.dynamic_reg_bandwidth(len);
+        assert!(ratio(64 * 1024) > ratio(16 * 1024 * 1024));
+        assert!(ratio(16 * 1024 * 1024) < 1.5);
+        // ...but at small/mid sizes dynamic registration costs at least ~30%.
+        assert!(ratio(64 * 1024) > 1.3);
+    }
+
+    #[test]
+    fn static_plateau_near_link_bw() {
+        let ic = InterconnectParams::gemini();
+        let bw = ic.static_reg_bandwidth(64 * 1024 * 1024);
+        assert!(bw > 0.95 * ic.link_bw, "bw={bw}");
+    }
+
+    #[test]
+    fn registration_cost_scales_with_pages() {
+        let reg = InterconnectParams::gemini().registration;
+        let one_page = reg.dynamic_cost_ns(100);
+        let many_pages = reg.dynamic_cost_ns(1 << 20);
+        assert!(many_pages > one_page);
+        assert_eq!(
+            reg.dynamic_cost_ns(4096),
+            reg.alloc_ns + reg.base_ns + reg.per_page_ns
+        );
+    }
+}

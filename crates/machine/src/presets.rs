@@ -1,0 +1,101 @@
+//! Machine presets for the paper's two evaluation platforms plus a small
+//! "laptop" model for fast functional tests.
+
+use crate::cache::CacheParams;
+use crate::interconnect::InterconnectParams;
+use crate::node::NodeParams;
+use crate::storage::FileSystemParams;
+use crate::MachineModel;
+
+/// ORNL **Titan** (Cray XK6) as described in paper §IV: 18,688 compute
+/// nodes, each a 16-core 2.2 GHz AMD Opteron 6274 (Interlagos, two NUMA
+/// domains of 8 cores each with an 8 MiB shared L3), 32 GB RAM, Gemini
+/// interconnect, center-wide Lustre.
+pub fn titan() -> MachineModel {
+    MachineModel {
+        name: "titan".to_string(),
+        node: NodeParams {
+            numa_domains: 2,
+            cores_per_numa: 8,
+            clock_ghz: 2.2,
+            l3: CacheParams::interlagos_l3(),
+            dram_bytes: 32 << 30,
+            local_copy_bw: 6.0e9,
+            remote_copy_bw: 3.0e9,
+            shm_latency_ns: 180.0,
+        },
+        interconnect: InterconnectParams::gemini(),
+        fs: FileSystemParams::lustre_shared(),
+        num_nodes: 18_688,
+    }
+}
+
+/// ORNL **Smoky** as described in paper §IV: an 80-node cluster, each node
+/// four quad-core 2.0 GHz AMD Opteron (Barcelona) processors — four NUMA
+/// domains each with a 2 MiB shared L3 (paper Fig. 5) — 32 GB RAM, DDR
+/// InfiniBand, center-wide Lustre.
+pub fn smoky() -> MachineModel {
+    MachineModel {
+        name: "smoky".to_string(),
+        node: NodeParams {
+            numa_domains: 4,
+            cores_per_numa: 4,
+            clock_ghz: 2.0,
+            l3: CacheParams::barcelona_l3(),
+            dram_bytes: 32 << 30,
+            local_copy_bw: 4.0e9,
+            remote_copy_bw: 1.8e9,
+            shm_latency_ns: 220.0,
+        },
+        interconnect: InterconnectParams::ddr_infiniband(),
+        fs: FileSystemParams::lustre_shared(),
+        num_nodes: 80,
+    }
+}
+
+/// A deliberately tiny machine for fast functional tests: 4 nodes of
+/// 2 NUMA × 2 cores.
+pub fn laptop() -> MachineModel {
+    MachineModel {
+        name: "laptop".to_string(),
+        node: NodeParams {
+            numa_domains: 2,
+            cores_per_numa: 2,
+            clock_ghz: 3.0,
+            l3: CacheParams {
+                size_bytes: 8 * 1024 * 1024,
+                associativity: 16,
+                line_bytes: 64,
+                hit_latency_ns: 12.0,
+                miss_penalty_ns: 70.0,
+            },
+            dram_bytes: 16 << 30,
+            local_copy_bw: 10.0e9,
+            remote_copy_bw: 6.0e9,
+            shm_latency_ns: 100.0,
+        },
+        interconnect: InterconnectParams::ddr_infiniband(),
+        fs: FileSystemParams::lustre_shared(),
+        num_nodes: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_is_faster_than_smoky_network() {
+        assert!(titan().interconnect.link_bw > smoky().interconnect.link_bw);
+    }
+
+    #[test]
+    fn numa_structure_matches_paper() {
+        // Fig. 5: Smoky nodes have 4 NUMA domains; §IV.A.1: Titan has
+        // "2 NUMA domains and 8 cores in each".
+        assert_eq!(smoky().node.numa_domains, 4);
+        assert_eq!(smoky().node.cores_per_numa, 4);
+        assert_eq!(titan().node.numa_domains, 2);
+        assert_eq!(titan().node.cores_per_numa, 8);
+    }
+}

@@ -1,0 +1,179 @@
+//! Co-run interference: several workloads sharing one last-level cache.
+//!
+//! This is the machinery behind Fig. 8: run the simulation's address
+//! stream alone through the L3 model, then co-run it with the helper-core
+//! analytics stream, and compare misses-per-kilo-instruction. Interleaving
+//! is proportional to each workload's access rate, modelling time-sharing
+//! of the cache at fine grain.
+
+use machine::CacheParams;
+
+use crate::cache::CacheSim;
+use crate::stream::{AccessPattern, AddressStream};
+
+/// One co-running workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (also keys the report).
+    pub name: String,
+    /// Memory accesses per kilo-instruction (APKI); sets both the
+    /// interleave ratio and the MPKI denominator.
+    pub accesses_per_kilo_instruction: f64,
+    /// The address pattern.
+    pub pattern: AccessPattern,
+}
+
+/// Per-workload result of a co-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorunReport {
+    /// Workload name.
+    pub name: String,
+    /// Simulated accesses.
+    pub accesses: u64,
+    /// L3 misses among them.
+    pub misses: u64,
+    /// Misses per kilo-instruction: `miss_ratio × APKI`.
+    pub mpki: f64,
+}
+
+/// Co-run `workloads` on a shared cache of `params`, simulating
+/// `total_accesses` interleaved accesses after a warmup of the same
+/// volume. Accesses are interleaved in proportion to each workload's
+/// APKI-weighted rate, deterministic round-robin over a proportional
+/// schedule.
+pub fn corun_mpki(params: CacheParams, workloads: &[Workload], total_accesses: u64) -> Vec<CorunReport> {
+    assert!(!workloads.is_empty());
+    let mut cache = CacheSim::new(params);
+    let mut streams: Vec<AddressStream> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| w.pattern.clone().stream(0x5EED + i as u64))
+        .collect();
+
+    // Proportional schedule via largest-remainder accumulation.
+    let rates: Vec<f64> = workloads.iter().map(|w| w.accesses_per_kilo_instruction).collect();
+    let rate_sum: f64 = rates.iter().sum();
+    let mut credit = vec![0.0f64; workloads.len()];
+    let mut counts = vec![(0u64, 0u64); workloads.len()]; // (accesses, misses)
+
+    let run = |n: u64, record: bool, cache: &mut CacheSim, streams: &mut [AddressStream],
+                   counts: &mut [(u64, u64)], credit: &mut [f64]| {
+        for _ in 0..n {
+            // Accumulate credit, then pick the workload with the most.
+            for (c, rate) in credit.iter_mut().zip(&rates) {
+                *c += rate / rate_sum;
+            }
+            let mut best = 0;
+            for i in 1..credit.len() {
+                if credit[i] > credit[best] {
+                    best = i;
+                }
+            }
+            credit[best] -= 1.0;
+            let hit = cache.access(streams[best].next_addr());
+            if record {
+                counts[best].0 += 1;
+                if !hit {
+                    counts[best].1 += 1;
+                }
+            }
+        }
+    };
+
+    // Warmup then measured phase.
+    run(total_accesses, false, &mut cache, &mut streams, &mut counts, &mut credit);
+    run(total_accesses, true, &mut cache, &mut streams, &mut counts, &mut credit);
+
+    workloads
+        .iter()
+        .zip(&counts)
+        .map(|(w, &(accesses, misses))| {
+            let miss_ratio = if accesses == 0 { 0.0 } else { misses as f64 / accesses as f64 };
+            CorunReport {
+                name: w.name.clone(),
+                accesses,
+                misses,
+                mpki: miss_ratio * w.accesses_per_kilo_instruction,
+            }
+        })
+        .collect()
+}
+
+/// Convenience: run one workload alone (the "solo" baseline of Fig. 8).
+pub fn solo_mpki(params: CacheParams, workload: &Workload, total_accesses: u64) -> CorunReport {
+    corun_mpki(params, std::slice::from_ref(workload), total_accesses)
+        .into_iter()
+        .next()
+        .expect("one workload yields one report")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l3() -> CacheParams {
+        CacheParams::barcelona_l3() // 2 MiB shared L3 (Smoky)
+    }
+
+    fn resident_workload(name: &str, set_bytes: u64, apki: f64) -> Workload {
+        Workload {
+            name: name.to_string(),
+            accesses_per_kilo_instruction: apki,
+            pattern: AccessPattern::Resident { base: 0, set_bytes },
+        }
+    }
+
+    fn streaming_workload(name: &str, region: u64, apki: f64) -> Workload {
+        Workload {
+            name: name.to_string(),
+            accesses_per_kilo_instruction: apki,
+            pattern: AccessPattern::Streaming {
+                base: 1 << 40,
+                region_bytes: region,
+                stride: 64,
+            },
+        }
+    }
+
+    #[test]
+    fn fitting_workload_has_near_zero_solo_mpki() {
+        let w = resident_workload("fits", 1 << 20, 20.0); // 1 MiB in 2 MiB L3
+        let report = solo_mpki(l3(), &w, 400_000);
+        assert!(report.mpki < 0.5, "mpki={}", report.mpki);
+    }
+
+    #[test]
+    fn streaming_workload_always_misses() {
+        // A >cache streaming sweep with 64 B stride misses every line.
+        let w = streaming_workload("stream", 64 << 20, 10.0);
+        let report = solo_mpki(l3(), &w, 200_000);
+        assert!(report.mpki > 9.0, "mpki={}", report.mpki);
+    }
+
+    #[test]
+    fn corun_with_streamer_inflates_resident_mpki() {
+        // The Fig. 8 effect: a resident workload that fits comfortably
+        // solo suffers when a streaming co-runner pollutes the shared L3.
+        let victim = resident_workload("sim", 1536 << 10, 20.0); // 1.5 MiB
+        let polluter = streaming_workload("analytics", 32 << 20, 12.0);
+        let solo = solo_mpki(l3(), &victim, 600_000);
+        let corun = corun_mpki(l3(), &[victim, polluter], 1_200_000);
+        let shared = &corun[0];
+        assert_eq!(shared.name, "sim");
+        assert!(
+            shared.mpki > solo.mpki * 1.2,
+            "corun mpki {} should exceed solo {} substantially",
+            shared.mpki,
+            solo.mpki
+        );
+    }
+
+    #[test]
+    fn interleave_respects_rates() {
+        let a = resident_workload("a", 4096, 30.0);
+        let b = resident_workload("b", 4096, 10.0);
+        let reports = corun_mpki(l3(), &[a, b], 400_000);
+        let ratio = reports[0].accesses as f64 / reports[1].accesses as f64;
+        assert!((2.5..=3.5).contains(&ratio), "ratio={ratio}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Synthetic memory-access streams for the co-run interference model.
+//!
+//! Each workload is approximated by a mix of the two access archetypes that
+//! dominate the paper's codes:
+//!
+//! * **Resident** — repeated accesses over a hot working set (GTS's field
+//!   grid and per-particle state it scatters/gathers into);
+//! * **Streaming** — a sequential sweep over a large region with no reuse
+//!   (particle array output, the analytics' scan over received data).
+//!
+//! Streams are deterministic given a seed, so interference experiments are
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generator of byte addresses.
+#[derive(Debug, Clone)]
+pub enum AccessPattern {
+    /// Uniform random accesses within a hot working set of `set_bytes`
+    /// starting at `base`. Models reused state.
+    Resident {
+        /// Base byte address of the region.
+        base: u64,
+        /// Size of the hot set in bytes.
+        set_bytes: u64,
+    },
+    /// Sequential line-stride sweep over `region_bytes` from `base`,
+    /// wrapping around. Models pure streaming with no temporal reuse
+    /// within a cache lifetime.
+    Streaming {
+        /// Base byte address of the region.
+        base: u64,
+        /// Region length in bytes (working set of the sweep).
+        region_bytes: u64,
+        /// Access stride in bytes (typically the cache-line size).
+        stride: u64,
+    },
+    /// Probabilistic mix: with probability `resident_fraction` the next
+    /// access comes from the first pattern, else from the second.
+    Mix {
+        /// Pattern chosen with probability `resident_fraction`.
+        resident: Box<AccessPattern>,
+        /// Pattern chosen otherwise.
+        streaming: Box<AccessPattern>,
+        /// Probability of drawing from `resident`.
+        resident_fraction: f64,
+    },
+}
+
+/// Stateful iterator over a pattern's addresses.
+pub struct AddressStream {
+    pattern: AccessPattern,
+    rng: StdRng,
+    cursor: u64,
+}
+
+impl AccessPattern {
+    /// Instantiate the stream with a deterministic seed.
+    pub fn stream(self, seed: u64) -> AddressStream {
+        AddressStream { pattern: self, rng: StdRng::seed_from_u64(seed), cursor: 0 }
+    }
+}
+
+impl AddressStream {
+    /// Produce the next byte address.
+    pub fn next_addr(&mut self) -> u64 {
+        Self::generate(&self.pattern, &mut self.rng, &mut self.cursor)
+    }
+
+    fn generate(pattern: &AccessPattern, rng: &mut StdRng, cursor: &mut u64) -> u64 {
+        match pattern {
+            AccessPattern::Resident { base, set_bytes } => base + rng.gen_range(0..*set_bytes),
+            AccessPattern::Streaming { base, region_bytes, stride } => {
+                let addr = base + (*cursor % region_bytes);
+                *cursor += stride;
+                addr
+            }
+            AccessPattern::Mix { resident, streaming, resident_fraction } => {
+                if rng.gen_bool(*resident_fraction) {
+                    Self::generate(resident, rng, cursor)
+                } else {
+                    Self::generate(streaming, rng, cursor)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_stays_in_bounds() {
+        let mut s = AccessPattern::Resident { base: 0x10_0000, set_bytes: 4096 }.stream(1);
+        for _ in 0..1000 {
+            let a = s.next_addr();
+            assert!((0x10_0000..0x10_1000).contains(&a));
+        }
+    }
+
+    #[test]
+    fn streaming_strides_and_wraps() {
+        let mut s = AccessPattern::Streaming { base: 0, region_bytes: 256, stride: 64 }.stream(1);
+        let addrs: Vec<u64> = (0..6).map(|_| s.next_addr()).collect();
+        assert_eq!(addrs, vec![0, 64, 128, 192, 0, 64]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || AccessPattern::Mix {
+            resident: Box::new(AccessPattern::Resident { base: 0, set_bytes: 1 << 20 }),
+            streaming: Box::new(AccessPattern::Streaming {
+                base: 1 << 30,
+                region_bytes: 1 << 24,
+                stride: 64,
+            }),
+            resident_fraction: 0.7,
+        };
+        let a: Vec<u64> = {
+            let mut s = make().stream(42);
+            (0..100).map(|_| s.next_addr()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = make().stream(42);
+            (0..100).map(|_| s.next_addr()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_draws_from_both() {
+        let mut s = AccessPattern::Mix {
+            resident: Box::new(AccessPattern::Resident { base: 0, set_bytes: 64 }),
+            streaming: Box::new(AccessPattern::Streaming {
+                base: 1 << 30,
+                region_bytes: 1 << 20,
+                stride: 64,
+            }),
+            resident_fraction: 0.5,
+        }
+        .stream(7);
+        let (mut low, mut high) = (0, 0);
+        for _ in 0..1000 {
+            if s.next_addr() < (1 << 30) {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        assert!(low > 300 && high > 300, "low={low} high={high}");
+    }
+}

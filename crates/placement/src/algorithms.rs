@@ -1,0 +1,203 @@
+//! The three placement (resource *binding*) algorithms of §III.B.
+
+use machine::MachineModel;
+
+use crate::graph::CommGraph;
+use crate::mapping::{assignment_comm_cost, map_to_tree};
+use crate::partition::partition_sizes;
+
+/// Which policy produced a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// §III.B.1 — graph partitioning on the *inter-program* communication
+    /// matrix only.
+    DataAware,
+    /// §III.B.2 — inter- and intra-program traffic, two-level machine tree.
+    Holistic,
+    /// §III.B.3 — multi-level tree with NUMA/cache structure.
+    TopologyAware,
+}
+
+/// A concrete process→core binding.
+#[derive(Debug, Clone)]
+pub struct PlacementPlan {
+    /// Producing policy.
+    pub kind: PolicyKind,
+    /// Machine-linear core index for each graph vertex.
+    pub core_of_vertex: Vec<usize>,
+    /// Compute nodes the plan occupies.
+    pub nodes_used: usize,
+    /// Modelled communication cost (ns) under the *topology-aware* tree —
+    /// evaluated on the same yardstick for every policy so plans are
+    /// comparable.
+    pub modelled_cost: f64,
+}
+
+/// §III.B.1 — Data-aware mapping: "takes as input a communication matrix
+/// recording the data movement volume between simulation processes and
+/// analytics processes. It applies graph partitioning to divide simulation
+/// and analytics processes into as many groups as the number of nodes, and
+/// then assigns each process group to a node with each process mapped to
+/// one core." Intra-program edges are ignored by construction.
+pub fn data_aware_mapping(graph: &CommGraph, machine: &MachineModel, nodes: usize) -> PlacementPlan {
+    let cores_per_node = machine.node.cores_per_node();
+    assert!(graph.len() <= nodes * cores_per_node, "not enough cores");
+    // Strip intra-program edges.
+    let mut inter = CommGraph::new();
+    for v in 0..graph.len() {
+        inter.add_vertex(graph.kind(v));
+    }
+    for u in 0..graph.len() {
+        for (v, w) in graph.neighbors(u) {
+            if v > u && graph.kind(u).is_simulation() != graph.kind(v).is_simulation() {
+                inter.add_edge(u, v, w);
+            }
+        }
+    }
+    // Partition into node groups; fill nodes in order.
+    let vertices: Vec<usize> = (0..graph.len()).collect();
+    let mut sizes = Vec::new();
+    let mut remaining = graph.len();
+    for _ in 0..nodes {
+        let q = remaining.min(cores_per_node);
+        sizes.push(q);
+        remaining -= q;
+    }
+    let groups = partition_sizes(&inter, &vertices, &sizes);
+    let mut core_of_vertex = vec![usize::MAX; graph.len()];
+    for (node, group) in groups.iter().enumerate() {
+        for (slot, &v) in group.iter().enumerate() {
+            core_of_vertex[v] = node * cores_per_node + slot; // linear cores
+        }
+    }
+    finish(PolicyKind::DataAware, core_of_vertex, graph, machine, nodes)
+}
+
+/// §III.B.2 — Holistic placement: both inter- and intra-program edges,
+/// mapped onto the **two-level** machine tree ("cores of the same node are
+/// siblings and have less communication cost with each other than with
+/// cores on different nodes").
+pub fn holistic(graph: &CommGraph, machine: &MachineModel, nodes: usize) -> PlacementPlan {
+    let tree = machine.two_level_tree(nodes);
+    let assignment = map_to_tree(graph, &tree);
+    finish(PolicyKind::Holistic, assignment, graph, machine, nodes)
+}
+
+/// §III.B.3 — Node-topology-aware placement: the same mapping over the
+/// **multi-level** tree that models NUMA domains / shared caches, so that
+/// heavily-communicating processes share an L3 where possible.
+pub fn topology_aware(graph: &CommGraph, machine: &MachineModel, nodes: usize) -> PlacementPlan {
+    let tree = machine.topology_tree(nodes);
+    let assignment = map_to_tree(graph, &tree);
+    finish(PolicyKind::TopologyAware, assignment, graph, machine, nodes)
+}
+
+fn finish(
+    kind: PolicyKind,
+    core_of_vertex: Vec<usize>,
+    graph: &CommGraph,
+    machine: &MachineModel,
+    nodes: usize,
+) -> PlacementPlan {
+    // Evaluate every plan on the topology-aware tree: the common yardstick.
+    let yardstick = machine.topology_tree(nodes);
+    let modelled_cost = assignment_comm_cost(graph, &core_of_vertex, &yardstick);
+    PlacementPlan { kind, core_of_vertex, nodes_used: nodes, modelled_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::smoky;
+
+    /// GTS-like coupled workload on 2 Smoky nodes: 24 sim + 8 analytics.
+    fn workload() -> CommGraph {
+        CommGraph::coupled(24, 4, 50_000.0, 8, 110_000_000.0, 100_000.0)
+    }
+
+    #[test]
+    fn all_policies_produce_valid_bindings() {
+        let m = smoky();
+        let g = workload();
+        for plan in [
+            data_aware_mapping(&g, &m, 2),
+            holistic(&g, &m, 2),
+            topology_aware(&g, &m, 2),
+        ] {
+            assert_eq!(plan.core_of_vertex.len(), 32);
+            let mut cores = plan.core_of_vertex.clone();
+            cores.sort_unstable();
+            cores.dedup();
+            assert_eq!(cores.len(), 32, "{:?}: one process per core", plan.kind);
+            assert!(cores.iter().all(|&c| c < 32));
+        }
+    }
+
+    #[test]
+    fn policies_keep_interprogram_traffic_on_node() {
+        // The dominant inter-program volume (110 MB/proc) must stay
+        // on-node for every policy (this is the paper's GTS result:
+        // helper-core placements avoid moving particle data across the
+        // interconnect).
+        let m = smoky();
+        let g = workload();
+        for plan in [
+            data_aware_mapping(&g, &m, 2),
+            holistic(&g, &m, 2),
+            topology_aware(&g, &m, 2),
+        ] {
+            let mut on_node = 0.0;
+            let mut cross = 0.0;
+            for u in 0..g.len() {
+                for (v, w) in g.neighbors(u) {
+                    if v > u && g.kind(u).is_simulation() != g.kind(v).is_simulation() {
+                        let lu = m.node.location_of(plan.core_of_vertex[u]);
+                        let lv = m.node.location_of(plan.core_of_vertex[v]);
+                        if lu.same_node(&lv) {
+                            on_node += w;
+                        } else {
+                            cross += w;
+                        }
+                    }
+                }
+            }
+            assert!(
+                on_node > 5.0 * cross,
+                "{:?}: {on_node:.0} on-node vs {cross:.0} cross-node",
+                plan.kind
+            );
+        }
+    }
+
+    #[test]
+    fn topology_aware_cost_at_most_holistic() {
+        // On the common topology yardstick, the NUMA-aware mapping should
+        // not lose to the two-level mapping (paper: up to 7-9.5% better).
+        let m = smoky();
+        let g = workload();
+        let h = holistic(&g, &m, 2);
+        let t = topology_aware(&g, &m, 2);
+        assert!(
+            t.modelled_cost <= h.modelled_cost * 1.05,
+            "topo {:.3e} vs holistic {:.3e}",
+            t.modelled_cost,
+            h.modelled_cost
+        );
+    }
+
+    #[test]
+    fn holistic_beats_data_aware_when_intra_program_dominates() {
+        // S3D-like: small output (inter-program) but heavy MPI halo
+        // traffic — data-aware ignores the latter and pays for it.
+        let m = smoky();
+        let g = CommGraph::coupled(28, 4, 10_000_000.0, 4, 100_000.0, 1_000.0);
+        let d = data_aware_mapping(&g, &m, 2);
+        let h = holistic(&g, &m, 2);
+        assert!(
+            h.modelled_cost <= d.modelled_cost,
+            "holistic {:.3e} should beat data-aware {:.3e}",
+            h.modelled_cost,
+            d.modelled_cost
+        );
+    }
+}

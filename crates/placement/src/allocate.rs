@@ -1,0 +1,109 @@
+//! Resource allocation: how many processes the analytics gets (§III.B.2).
+//!
+//! * **Synchronous** movement: "the analytics are scaled to match the data
+//!   generation rate of the simulation. [...] matching the analytics data
+//!   consumption rate with simulation's data generation rate leads to
+//!   minimal pipeline stalls."
+//! * **Asynchronous** movement: "the resource allocation step must ensure
+//!   that the sum of data movement time and analytics computation time is
+//!   no larger than the simulation's I/O interval. Data movement time is
+//!   estimated as total data size divided by point-to-point RDMA transport
+//!   bandwidth" — deliberately conservative (sequential movement), which
+//!   over-provisions a little, as the paper's Fig. 7 idle time shows.
+
+/// Strong-scaling model of the analytics: time to process one I/O
+/// interval's full output on `n` processes is `serial_s + parallel_s / n`
+/// (Amdahl form; fitted from profiling in the paper's methodology).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticsScaling {
+    /// Non-parallelizable seconds per interval.
+    pub serial_s: f64,
+    /// Perfectly-parallel seconds per interval (1-process work minus
+    /// serial part).
+    pub parallel_s: f64,
+}
+
+impl AnalyticsScaling {
+    /// Analytics time on `n` processes.
+    pub fn time_on(&self, n: usize) -> f64 {
+        assert!(n >= 1);
+        self.serial_s + self.parallel_s / n as f64
+    }
+}
+
+/// Smallest analytics process count whose per-interval processing time
+/// fits within the simulation's I/O interval (synchronous pipeline
+/// matching). Returns `None` if even `max_procs` cannot keep up (the
+/// analytics' serial fraction exceeds the interval) — the caller then
+/// switches the analytics offline, the paper's §II.B escape hatch.
+pub fn allocate_sync(scaling: &AnalyticsScaling, interval_s: f64, max_procs: usize) -> Option<usize> {
+    assert!(interval_s > 0.0 && max_procs >= 1);
+    if scaling.serial_s >= interval_s {
+        return None;
+    }
+    // serial + parallel/n <= interval  =>  n >= parallel / (interval - serial)
+    let needed = (scaling.parallel_s / (interval_s - scaling.serial_s)).ceil().max(1.0) as usize;
+    (needed <= max_procs).then_some(needed)
+}
+
+/// Asynchronous variant: movement time (conservatively `total_bytes /
+/// p2p_bw`, sequential through the interconnect) plus analytics time must
+/// fit in the interval.
+pub fn allocate_async(
+    scaling: &AnalyticsScaling,
+    total_bytes: f64,
+    p2p_bw: f64,
+    interval_s: f64,
+    max_procs: usize,
+) -> Option<usize> {
+    assert!(p2p_bw > 0.0);
+    let movement_s = total_bytes / p2p_bw;
+    let budget = interval_s - movement_s;
+    if budget <= 0.0 {
+        return None;
+    }
+    allocate_sync(scaling, budget, max_procs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALING: AnalyticsScaling = AnalyticsScaling { serial_s: 0.1, parallel_s: 10.0 };
+
+    #[test]
+    fn sync_allocation_matches_rate() {
+        // interval 1.1s: need parallel 10/(1.1-0.1)=10 procs.
+        assert_eq!(allocate_sync(&SCALING, 1.1, 1024), Some(10));
+        // Larger interval needs fewer processes.
+        assert_eq!(allocate_sync(&SCALING, 10.1, 1024), Some(1));
+    }
+
+    #[test]
+    fn allocation_is_sufficient_and_minimal() {
+        let n = allocate_sync(&SCALING, 0.6, 1024).unwrap();
+        assert!(SCALING.time_on(n) <= 0.6 + 1e-12);
+        assert!(SCALING.time_on(n - 1) > 0.6, "n-1 should not suffice");
+    }
+
+    #[test]
+    fn impossible_interval_forces_offline() {
+        // Serial fraction alone exceeds the interval.
+        assert_eq!(allocate_sync(&SCALING, 0.05, 1 << 20), None);
+        // Or the machine is too small.
+        assert_eq!(allocate_sync(&SCALING, 0.11, 4), None);
+    }
+
+    #[test]
+    fn async_accounts_for_movement() {
+        // 5 GB over 5 GB/s = 1 s of movement; interval 2 s leaves 1 s.
+        let n_async = allocate_async(&SCALING, 5e9, 5e9, 2.0, 1024).unwrap();
+        let n_sync = allocate_sync(&SCALING, 2.0, 1024).unwrap();
+        assert!(n_async > n_sync, "movement time must shrink the compute budget");
+    }
+
+    #[test]
+    fn async_movement_exceeding_interval_is_impossible() {
+        assert_eq!(allocate_async(&SCALING, 10e9, 1e9, 2.0, 1024), None);
+    }
+}

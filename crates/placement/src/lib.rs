@@ -1,0 +1,37 @@
+//! `placement` — exploiting FlexIO's location flexibility (paper §III).
+//!
+//! FlexIO makes analytics placement a *policy*: "placement algorithms
+//! 1) optimize some objective (e.g., minimizing total execution time);
+//!    2) use a resource allocation policy that determines how much resource
+//!    to allocate to simulation and analytics components; and 3) carry out a
+//!    resource binding policy that decides the process/thread to physical
+//!    resource mapping."
+//!
+//! This crate implements the paper's three algorithms plus their shared
+//! machinery:
+//!
+//! * [`graph`] — the weighted communication graph over simulation and
+//!   analytics processes (inter-program movement and intra-program MPI);
+//! * [`partition`] — recursive bisection with Kernighan–Lin/FM-style
+//!   refinement (our stand-in for the SCOTCH library the paper calls);
+//! * [`mapping`] — dual recursive graph-to-architecture-tree mapping;
+//! * [`allocate`] — the holistic resource-allocation step: scale analytics
+//!   to match the simulation's data-generation rate (synchronous) or to
+//!   fit movement + compute inside the I/O interval (asynchronous);
+//! * [`algorithms`] — the three binding policies: data-aware mapping,
+//!   holistic placement, node-topology-aware placement;
+//! * [`metrics`] — the §III.A objectives: Total CPU-hours and data
+//!   movement volume (Total Execution Time comes from `dessim`).
+
+pub mod algorithms;
+pub mod allocate;
+pub mod graph;
+pub mod mapping;
+pub mod metrics;
+pub mod partition;
+
+pub use algorithms::{data_aware_mapping, holistic, topology_aware, PlacementPlan, PolicyKind};
+pub use allocate::{allocate_async, allocate_sync, AnalyticsScaling};
+pub use graph::{CommGraph, ProcKind};
+pub use mapping::{assignment_comm_cost, map_to_tree};
+pub use metrics::{cpu_hours, movement_volume, MovementVolume};

@@ -1,0 +1,171 @@
+//! Graph-to-architecture-tree mapping (dual recursive bipartitioning).
+//!
+//! "It then uses the graph mapping algorithm provided by the SCOTCH
+//! library to map the communication graph to the architecture graph."
+//! (§III.B.2) SCOTCH's mapper recursively bipartitions the process graph
+//! in lockstep with the architecture tree: at each tree node, the vertices
+//! assigned to it are split among its children proportionally to each
+//! child's core capacity, minimizing the weight cut between children —
+//! which, because deeper tree levels are cheaper, greedily pushes heavy
+//! edges down into cheap subtrees.
+
+use machine::{ArchTree, TreeNodeId};
+
+use crate::graph::CommGraph;
+use crate::partition::partition_sizes;
+
+/// Map every vertex of `graph` onto a distinct leaf (machine-linear core
+/// index) of `tree`. Requires `graph.len() <= tree.num_leaves()`.
+pub fn map_to_tree(graph: &CommGraph, tree: &ArchTree) -> Vec<usize> {
+    assert!(
+        graph.len() <= tree.num_leaves(),
+        "{} processes need {} cores but the tree has {}",
+        graph.len(),
+        graph.len(),
+        tree.num_leaves()
+    );
+    let mut assignment = vec![usize::MAX; graph.len()];
+    let vertices: Vec<usize> = (0..graph.len()).collect();
+    recurse(graph, tree, tree.root(), &vertices, &mut assignment);
+    assignment
+}
+
+fn recurse(
+    graph: &CommGraph,
+    tree: &ArchTree,
+    node: TreeNodeId,
+    vertices: &[usize],
+    assignment: &mut [usize],
+) {
+    if vertices.is_empty() {
+        return;
+    }
+    let children = tree.children(node);
+    if children.is_empty() {
+        // Leaf: exactly one vertex may land here.
+        assert_eq!(vertices.len(), 1, "capacity accounting failed");
+        let leaves = tree.leaves_under(node);
+        assignment[vertices[0]] = leaves[0];
+        return;
+    }
+    // Capacity per child; fill children greedily in order, splitting the
+    // vertex set with cut-minimizing bisection at each step.
+    let capacities: Vec<usize> = children.iter().map(|&c| tree.leaves_under(c).len()).collect();
+    let total: usize = capacities.iter().sum();
+    assert!(vertices.len() <= total, "subtree capacity exceeded");
+    // Compute per-child quotas: fill children in order (packing keeps
+    // co-communicating processes dense, leaving spare capacity at the end
+    // — the paper packs 4 GTS + 4 analytics per node, not spread thin).
+    let mut quotas = Vec::with_capacity(children.len());
+    let mut remaining = vertices.len();
+    for cap in &capacities {
+        let q = remaining.min(*cap);
+        quotas.push(q);
+        remaining -= q;
+    }
+    let parts = partition_sizes(graph, vertices, &quotas);
+    for (child, part) in children.iter().zip(parts) {
+        recurse(graph, tree, *child, &part, assignment);
+    }
+}
+
+/// Modelled communication cost of an assignment: Σ over edges of
+/// `weight(u,v) × tree.comm_cost(leaf_u, leaf_v)` (ns, with weights in
+/// bytes and tree costs in ns/byte).
+pub fn assignment_comm_cost(graph: &CommGraph, assignment: &[usize], tree: &ArchTree) -> f64 {
+    let mut cost = 0.0;
+    for u in 0..graph.len() {
+        for (v, w) in graph.neighbors(u) {
+            if v > u {
+                cost += w * tree.comm_cost(assignment[u], assignment[v]);
+            }
+        }
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ProcKind;
+    use machine::smoky;
+
+    #[test]
+    fn assignment_is_a_valid_injection() {
+        let g = CommGraph::coupled(24, 4, 100.0, 8, 1000.0, 10.0);
+        let m = smoky();
+        let tree = m.topology_tree(2); // 32 cores for 32 procs
+        let a = map_to_tree(&g, &tree);
+        assert_eq!(a.len(), 32);
+        let mut seen = a.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 32, "each process on its own core");
+        assert!(a.iter().all(|&leaf| leaf < tree.num_leaves()));
+    }
+
+    #[test]
+    fn heavy_pairs_land_close() {
+        // Each sim rank sends 1000 bytes to its dedicated analytics rank
+        // and nothing else: the mapper must co-locate each pair on one
+        // node (ideally one NUMA domain).
+        let mut g = CommGraph::new();
+        let m = smoky();
+        let tree = m.topology_tree(2);
+        let nsim = 16;
+        let sims: Vec<usize> = (0..nsim).map(|i| g.add_vertex(ProcKind::Simulation(i))).collect();
+        let anas: Vec<usize> = (0..nsim).map(|i| g.add_vertex(ProcKind::Analytics(i))).collect();
+        for i in 0..nsim {
+            g.add_edge(sims[i], anas[i], 1000.0);
+        }
+        let a = map_to_tree(&g, &tree);
+        let np = &m.node;
+        let mut same_node = 0;
+        for i in 0..nsim {
+            let ls = np.location_of(a[sims[i]]);
+            let la = np.location_of(a[anas[i]]);
+            if ls.same_node(&la) {
+                same_node += 1;
+            }
+        }
+        assert!(same_node >= 14, "only {same_node}/16 pairs co-located");
+    }
+
+    #[test]
+    fn cost_prefers_topology_aware_assignment() {
+        let g = CommGraph::coupled(12, 4, 500.0, 4, 2000.0, 10.0);
+        let m = smoky();
+        let tree = m.topology_tree(1);
+        let mapped = map_to_tree(&g, &tree);
+        // Identity (arbitrary) assignment for comparison.
+        let identity: Vec<usize> = (0..16).collect();
+        let mapped_cost = assignment_comm_cost(&g, &mapped, &tree);
+        let identity_cost = assignment_comm_cost(&g, &identity, &tree);
+        assert!(
+            mapped_cost <= identity_cost * 1.01,
+            "mapped {mapped_cost} should not lose to arbitrary {identity_cost}"
+        );
+    }
+
+    #[test]
+    fn undersubscribed_machine_leaves_cores_idle() {
+        let g = CommGraph::coupled(4, 2, 10.0, 2, 100.0, 1.0);
+        let m = smoky();
+        let tree = m.topology_tree(4); // 64 cores, 6 procs
+        let a = map_to_tree(&g, &tree);
+        assert_eq!(a.len(), 6);
+        let mut seen = a.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cores")]
+    fn oversubscription_is_rejected() {
+        let g = CommGraph::coupled(40, 8, 1.0, 8, 1.0, 1.0);
+        let m = smoky();
+        let tree = m.topology_tree(2); // 32 cores < 48 procs
+        map_to_tree(&g, &tree);
+    }
+}

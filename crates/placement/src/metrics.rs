@@ -1,0 +1,100 @@
+//! The §III.A performance and cost metrics.
+
+use machine::MachineModel;
+
+use crate::graph::CommGraph;
+use crate::PlacementPlan;
+
+/// "Total CPU Hours: the total nodes used multiplied by the total
+/// execution time (in units of hours). This metric measures the cost of a
+/// run, as supercomputing centers commonly charge users with the CPU hours
+/// consumed by their jobs."
+pub fn cpu_hours(nodes_used: usize, total_execution_time_s: f64) -> f64 {
+    nodes_used as f64 * total_execution_time_s / 3600.0
+}
+
+/// Where a plan's bytes move.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MovementVolume {
+    /// Bytes crossing the interconnect.
+    pub inter_node: f64,
+    /// Bytes between NUMA domains of one node.
+    pub cross_numa: f64,
+    /// Bytes within one NUMA domain (shared L3).
+    pub intra_numa: f64,
+}
+
+impl MovementVolume {
+    /// All on-node bytes.
+    pub fn intra_node(&self) -> f64 {
+        self.cross_numa + self.intra_numa
+    }
+
+    /// Total bytes moved.
+    pub fn total(&self) -> f64 {
+        self.inter_node + self.cross_numa + self.intra_numa
+    }
+}
+
+/// Classify every edge's bytes by where its endpoints landed.
+pub fn movement_volume(graph: &CommGraph, plan: &PlacementPlan, machine: &MachineModel) -> MovementVolume {
+    let mut out = MovementVolume::default();
+    for u in 0..graph.len() {
+        for (v, w) in graph.neighbors(u) {
+            if v <= u {
+                continue;
+            }
+            let lu = machine.node.location_of(plan.core_of_vertex[u]);
+            let lv = machine.node.location_of(plan.core_of_vertex[v]);
+            if !lu.same_node(&lv) {
+                out.inter_node += w;
+            } else if !lu.same_numa(&lv) {
+                out.cross_numa += w;
+            } else {
+                out.intra_numa += w;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{data_aware_mapping, topology_aware};
+    use machine::smoky;
+
+    #[test]
+    fn cpu_hours_units() {
+        assert_eq!(cpu_hours(10, 3600.0), 10.0);
+        assert_eq!(cpu_hours(4, 900.0), 1.0);
+    }
+
+    #[test]
+    fn helper_core_placement_cuts_internode_volume() {
+        // The paper's §IV.A claim: helper-core/inline placement avoids
+        // moving particle data through the interconnect (~90% less
+        // inter-node volume than staging).
+        let m = smoky();
+        let g = CommGraph::coupled(24, 4, 50_000.0, 8, 110_000_000.0, 100_000.0);
+        let plan = topology_aware(&g, &m, 2);
+        let vol = movement_volume(&g, &plan, &m);
+        assert!(
+            vol.inter_node < 0.2 * vol.total(),
+            "inter-node {} of total {}",
+            vol.inter_node,
+            vol.total()
+        );
+    }
+
+    #[test]
+    fn volume_totals_match_graph() {
+        let m = smoky();
+        let g = CommGraph::coupled(12, 4, 100.0, 4, 1000.0, 10.0);
+        let plan = data_aware_mapping(&g, &m, 1);
+        let vol = movement_volume(&g, &plan, &m);
+        assert!((vol.total() - g.total_weight()).abs() < 1e-6);
+        // Single node: nothing can cross the interconnect.
+        assert_eq!(vol.inter_node, 0.0);
+    }
+}

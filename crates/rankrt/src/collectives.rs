@@ -1,0 +1,393 @@
+//! Collective operations layered on point-to-point messaging.
+//!
+//! The FlexIO handshake protocol (paper §II.C) uses gather, exchange and
+//! broadcast among each side's ranks; placement bootstrap uses allgather and
+//! reductions. All collectives here use simple, deterministic algorithms
+//! (flat root-based trees for gather/bcast, dissemination for barrier),
+//! which is appropriate for the in-process scale of this runtime.
+
+use crate::comm::{
+    Comm, COLLECTIVE_SEQ_WINDOWS, COLLECTIVE_SLOTS, COLLECTIVE_TAG_BASE, Tag,
+};
+
+/// Per-operation slot offsets within a collective's sequence window.
+/// Slots 0..63 are the barrier's per-round tags.
+const SLOT_BCAST: Tag = 64;
+const SLOT_GATHER: Tag = 65;
+const SLOT_SCATTER: Tag = 66;
+const SLOT_ALLTOALL: Tag = 67;
+/// Middleware-reserved tags live below the collective space entirely.
+const TAG_RESERVED: Tag = COLLECTIVE_TAG_BASE - 1024;
+
+/// Tag for `slot` within the window of collective sequence `seq`.
+/// Sequence numbers wrap after [`COLLECTIVE_SEQ_WINDOWS`] calls, which is
+/// safe because far fewer than 8192 collectives can be in flight at once.
+fn coll_tag(seq: u64, slot: Tag) -> Tag {
+    debug_assert!(slot < COLLECTIVE_SLOTS);
+    COLLECTIVE_TAG_BASE + (seq % COLLECTIVE_SEQ_WINDOWS) * COLLECTIVE_SLOTS + slot
+}
+
+impl Comm {
+    /// Block until every rank of the communicator has entered the barrier.
+    ///
+    /// Uses the dissemination algorithm: `ceil(log2(n))` rounds, in round
+    /// `k` rank `r` signals `r + 2^k (mod n)` and waits on `r - 2^k (mod n)`.
+    pub fn barrier(&self) {
+        let seq = self.next_collective_seq();
+        let n = self.size();
+        if n == 1 {
+            return;
+        }
+        let mut round: Tag = 0;
+        let mut dist = 1;
+        while dist < n {
+            let to = (self.rank() + dist) % n;
+            let from = (self.rank() + n - dist) % n;
+            // Round-specific tag within this barrier's sequence window:
+            // at most 64 dissemination rounds are possible (2^64 ranks).
+            self.send(to, coll_tag(seq, round), &[]);
+            let _ = self.recv(from, coll_tag(seq, round));
+            round += 1;
+            dist <<= 1;
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank; each rank returns the
+    /// root's bytes.
+    pub fn bcast(&self, root: usize, data: &[u8]) -> Vec<u8> {
+        let tag = coll_tag(self.next_collective_seq(), SLOT_BCAST);
+        assert!(root < self.size());
+        if self.size() == 1 {
+            return data.to_vec();
+        }
+        if self.rank() == root {
+            for r in 0..self.size() {
+                if r != root {
+                    self.send(r, tag, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Gather every rank's `data` at `root`. The root receives
+    /// `Some(contributions)` indexed by rank; other ranks receive `None`.
+    pub fn gather(&self, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let tag = coll_tag(self.next_collective_seq(), SLOT_GATHER);
+        assert!(root < self.size());
+        if self.rank() == root {
+            let mut out = vec![Vec::new(); self.size()];
+            out[root] = data.to_vec();
+            for _ in 0..self.size() - 1 {
+                let (src, payload) = self.recv_any(tag);
+                out[src] = payload;
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, data);
+            None
+        }
+    }
+
+    /// Gather every rank's `data` at every rank (gather + broadcast).
+    pub fn allgather(&self, data: &[u8]) -> Vec<Vec<u8>> {
+        let gathered = self.gather(0, data);
+        let packed = if self.rank() == 0 {
+            pack_parts(&gathered.expect("root gathers"))
+        } else {
+            Vec::new()
+        };
+        let packed = self.bcast(0, &packed);
+        unpack_parts(&packed)
+    }
+
+    /// Scatter: root supplies one byte-vector per rank; each rank (root
+    /// included) returns its own slice.
+    pub fn scatter(&self, root: usize, parts: Option<&[Vec<u8>]>) -> Vec<u8> {
+        assert!(root < self.size());
+        let tag = coll_tag(self.next_collective_seq(), SLOT_SCATTER);
+        if self.rank() == root {
+            let parts = parts.expect("root must supply parts");
+            assert_eq!(parts.len(), self.size(), "one part per rank");
+            for (r, part) in parts.iter().enumerate() {
+                if r != root {
+                    self.send(r, tag, part);
+                }
+            }
+            parts[root].clone()
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Personalized all-to-all: `parts[r]` goes to rank `r`; returns the
+    /// vector of bytes received from each rank.
+    pub fn alltoall(&self, parts: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let tag = coll_tag(self.next_collective_seq(), SLOT_ALLTOALL);
+        assert_eq!(parts.len(), self.size(), "one part per rank");
+        for (r, part) in parts.iter().enumerate() {
+            if r != self.rank() {
+                self.send(r, tag, part);
+            }
+        }
+        let mut out = vec![Vec::new(); self.size()];
+        out[self.rank()] = parts[self.rank()].clone();
+        for _ in 0..self.size() - 1 {
+            let (src, payload) = self.recv_any(tag);
+            out[src] = payload;
+        }
+        out
+    }
+
+    /// Sum-reduce a `u64` to `root`; the root gets `Some(total)`.
+    pub fn reduce_sum_u64(&self, root: usize, value: u64) -> Option<u64> {
+        let contributions = self.gather(root, &value.to_le_bytes())?;
+        Some(
+            contributions
+                .iter()
+                .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+                .sum(),
+        )
+    }
+
+    /// Sum-reduce a `u64` to every rank.
+    pub fn allreduce_sum_u64(&self, value: u64) -> u64 {
+        let total = self.reduce_sum_u64(0, value);
+        let bytes = self.bcast(0, &total.unwrap_or(0).to_le_bytes());
+        u64::from_le_bytes(bytes.try_into().expect("u64 payload"))
+    }
+
+    /// Sum-reduce an `f64` to every rank.
+    pub fn allreduce_sum_f64(&self, value: f64) -> f64 {
+        let contributions = self.gather(0, &value.to_le_bytes());
+        let total: f64 = match contributions {
+            Some(parts) => parts
+                .iter()
+                .map(|b| f64::from_le_bytes(b.as_slice().try_into().expect("f64 payload")))
+                .sum(),
+            None => 0.0,
+        };
+        let bytes = self.bcast(0, &total.to_le_bytes());
+        f64::from_le_bytes(bytes.try_into().expect("f64 payload"))
+    }
+
+    /// Max-reduce a `u64` to every rank.
+    pub fn allreduce_max_u64(&self, value: u64) -> u64 {
+        let contributions = self.gather(0, &value.to_le_bytes());
+        let total: u64 = match contributions {
+            Some(parts) => parts
+                .iter()
+                .map(|b| u64::from_le_bytes(b.as_slice().try_into().expect("u64 payload")))
+                .max()
+                .unwrap_or(0),
+            None => 0,
+        };
+        let bytes = self.bcast(0, &total.to_le_bytes());
+        u64::from_le_bytes(bytes.try_into().expect("u64 payload"))
+    }
+
+    /// Element-wise sum of equal-length `f64` vectors, result on all ranks.
+    /// Used by analytics to merge histograms (paper §IV.A).
+    pub fn allreduce_sum_f64_vec(&self, values: &[f64]) -> Vec<f64> {
+        let bytes = crate::typed::f64s_as_bytes(values);
+        let contributions = self.gather(0, &bytes);
+        let merged = match contributions {
+            Some(parts) => {
+                let mut acc = vec![0.0f64; values.len()];
+                for part in &parts {
+                    let vals = crate::typed::bytes_as_f64s(part);
+                    assert_eq!(vals.len(), acc.len(), "vectors must be same length");
+                    for (a, v) in acc.iter_mut().zip(vals) {
+                        *a += v;
+                    }
+                }
+                crate::typed::f64s_as_bytes(&acc)
+            }
+            None => Vec::new(),
+        };
+        let merged = self.bcast(0, &merged);
+        crate::typed::bytes_as_f64s(&merged)
+    }
+
+    /// Unused-reserved tag helper exposed for middleware layers that need a
+    /// tag space disjoint from both user tags and collective tags.
+    pub fn reserved_tag(slot: u64) -> Tag {
+        assert!(slot < 512, "reserved tag slot out of range");
+        TAG_RESERVED + slot
+    }
+}
+
+/// Length-prefixed packing of byte parts (used by allgather's broadcast leg).
+fn pack_parts(parts: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| 8 + p.len()).sum();
+    let mut out = Vec::with_capacity(8 + total);
+    out.extend_from_slice(&(parts.len() as u64).to_le_bytes());
+    for p in parts {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+fn unpack_parts(bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut cursor = 0usize;
+    let read_u64 = |cursor: &mut usize| {
+        let v = u64::from_le_bytes(bytes[*cursor..*cursor + 8].try_into().unwrap());
+        *cursor += 8;
+        v
+    };
+    let count = read_u64(&mut cursor) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = read_u64(&mut cursor) as usize;
+        out.push(bytes[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::launch;
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        launch(8, move |comm| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all 8 arrivals.
+            assert_eq!(c2.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let results = launch(5, |comm| comm.bcast(3, &[comm.rank() as u8]));
+        for r in results {
+            assert_eq!(r, vec![3]);
+        }
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let results = launch(4, |comm| comm.gather(1, &[comm.rank() as u8 * 10]));
+        assert!(results[0].is_none());
+        let at_root = results[1].as_ref().unwrap();
+        assert_eq!(at_root, &vec![vec![0], vec![10], vec![20], vec![30]]);
+    }
+
+    #[test]
+    fn allgather_delivers_everywhere() {
+        let results = launch(6, |comm| comm.allgather(&(comm.rank() as u64).to_le_bytes()));
+        for per_rank in results {
+            let vals: Vec<u64> = per_rank
+                .iter()
+                .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
+                .collect();
+            assert_eq!(vals, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let results = launch(3, |comm| {
+            if comm.rank() == 0 {
+                let parts = vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()];
+                comm.scatter(0, Some(&parts))
+            } else {
+                comm.scatter(0, None)
+            }
+        });
+        assert_eq!(results, vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]);
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let results = launch(3, |comm| {
+            let parts: Vec<Vec<u8>> = (0..3)
+                .map(|dst| vec![comm.rank() as u8, dst as u8])
+                .collect();
+            comm.alltoall(&parts)
+        });
+        for (rank, received) in results.iter().enumerate() {
+            for (src, msg) in received.iter().enumerate() {
+                assert_eq!(msg, &vec![src as u8, rank as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        let sums = launch(4, |comm| comm.allreduce_sum_u64(comm.rank() as u64 + 1));
+        assert_eq!(sums, vec![10, 10, 10, 10]);
+        let maxes = launch(4, |comm| comm.allreduce_max_u64(comm.rank() as u64 * 7));
+        assert_eq!(maxes, vec![21, 21, 21, 21]);
+        let fsums = launch(3, |comm| comm.allreduce_sum_f64(0.5));
+        for v in fsums {
+            assert!((v - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn back_to_back_gathers_never_cross_match() {
+        // Regression: without per-collective sequence tags, a fast rank's
+        // round-2 contribution could satisfy the root's round-1 receive
+        // (needs >= 3 ranks to manifest). Run many consecutive gathers
+        // with skewed rank speeds and verify every round's contents.
+        let results = launch(5, |comm| {
+            let mut ok = true;
+            for round in 0u64..50 {
+                // Skew: higher ranks race ahead.
+                if comm.rank() == 1 {
+                    std::thread::yield_now();
+                }
+                let payload = (round * 100 + comm.rank() as u64).to_le_bytes();
+                if let Some(parts) = comm.gather(0, &payload) {
+                    for (rank, part) in parts.iter().enumerate() {
+                        let v = u64::from_le_bytes(part.as_slice().try_into().unwrap());
+                        ok &= v == round * 100 + rank as u64;
+                    }
+                }
+            }
+            ok
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn back_to_back_barriers_and_alltoalls() {
+        let results = launch(4, |comm| {
+            for _ in 0..20 {
+                comm.barrier();
+            }
+            for round in 0u64..10 {
+                let parts: Vec<Vec<u8>> =
+                    (0..4).map(|d| vec![(round * 4 + d) as u8]).collect();
+                let got = comm.alltoall(&parts);
+                for (src, msg) in got.iter().enumerate() {
+                    assert_eq!(msg[0], (round * 4 + comm.rank() as u64) as u8, "from {src}");
+                }
+            }
+            true
+        });
+        assert!(results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn vector_reduction_merges_histograms() {
+        let results = launch(4, |comm| {
+            let mut hist = vec![0.0f64; 8];
+            hist[comm.rank() * 2] = 1.0;
+            comm.allreduce_sum_f64_vec(&hist)
+        });
+        for hist in results {
+            assert_eq!(hist, vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Launching a parallel "program": one thread per rank.
+
+use std::thread;
+
+use crate::comm::Comm;
+
+/// Error produced when one or more ranks panicked.
+#[derive(Debug)]
+pub struct LaunchError {
+    /// Ranks whose thread panicked.
+    pub failed_ranks: Vec<usize>,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ranks {:?} panicked during parallel execution", self.failed_ranks)
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Run `body` on `nranks` ranks (threads) and collect each rank's return
+/// value, ordered by rank. Panics if any rank panics.
+///
+/// This is the MPI substitute's `mpirun`: the closure receives that rank's
+/// [`Comm`] and runs to completion.
+pub fn launch<T, F>(nranks: usize, body: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    try_launch(nranks, "rank", body).expect("a rank panicked")
+}
+
+/// Like [`launch`] but threads are named `"{name}-{rank}"`, which makes
+/// debugging coupled simulation/analytics runs much easier.
+pub fn launch_named<T, F>(nranks: usize, name: &str, body: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    try_launch(nranks, name, body).expect("a rank panicked")
+}
+
+fn try_launch<T, F>(nranks: usize, name: &str, body: F) -> Result<Vec<T>, LaunchError>
+where
+    T: Send + 'static,
+    F: Fn(Comm) -> T + Send + Sync + 'static,
+{
+    let comms = Comm::fabric(nranks);
+    let body = std::sync::Arc::new(body);
+    let mut handles = Vec::with_capacity(nranks);
+    for comm in comms {
+        let body = std::sync::Arc::clone(&body);
+        let rank = comm.rank();
+        let handle = thread::Builder::new()
+            .name(format!("{name}-{rank}"))
+            .spawn(move || body(comm))
+            .expect("failed to spawn rank thread");
+        handles.push(handle);
+    }
+    let mut results = Vec::with_capacity(nranks);
+    let mut failed = Vec::new();
+    for (rank, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(v) => results.push(v),
+            Err(_) => failed.push(rank),
+        }
+    }
+    if failed.is_empty() {
+        Ok(results)
+    } else {
+        Err(LaunchError { failed_ranks: failed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_collects_ordered_results() {
+        let results = launch(7, |comm| comm.rank() * comm.rank());
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36]);
+    }
+
+    #[test]
+    fn single_rank_launch() {
+        let results = launch(1, |comm| {
+            comm.barrier();
+            comm.size()
+        });
+        assert_eq!(results, vec![1]);
+    }
+}

@@ -1,0 +1,373 @@
+//! The complete intra-node channel: SPSC control/data queue + buffer pool
+//! + XPMEM-style mapped path (paper §II.D).
+//!
+//! Three message paths, chosen per send:
+//!
+//! 1. **Inline** — payloads that fit in a queue entry travel directly
+//!    through the [`crate::spsc`] data queue (the paper's "small messages
+//!    like handshaking messages are passed through data queues").
+//! 2. **Pooled (two copies)** — the producer copies the payload into a
+//!    buffer from the [`crate::pool::BufferPool`] free list, sends a control
+//!    message through the queue, and returns immediately (asynchronous
+//!    send); the consumer copies from the pooled buffer into its target and
+//!    returns the buffer to the free list.
+//! 3. **Mapped (one copy)** — emulating XPMEM `xpmem_make`/`xpmem_get`: the
+//!    producer *shares its source buffer* (an `Arc` here, a page mapping on
+//!    the Cray) and blocks until the consumer has copied directly out of it
+//!    (synchronous send). Only one copy total.
+//!
+//! Copy counts are instrumented so tests and benches can verify the 2-copy
+//! vs 1-copy claim rather than assume it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Sender as OneshotSender};
+use parking_lot::Mutex;
+
+use crate::pool::{BufferPool, PoolBuffer, PoolStats};
+use crate::spsc::{spsc_queue, Consumer, Producer, PushError};
+
+/// Control-message kinds on the wire (first byte of a queue entry).
+const KIND_INLINE: u8 = 0;
+const KIND_POOLED: u8 = 1;
+const KIND_MAPPED: u8 = 2;
+
+/// An in-flight large transfer parked in the side table. The token travels
+/// through the data queue as the stand-in for the paper's
+/// "(address, length)" control message.
+enum Transfer {
+    Pooled { buf: PoolBuffer, len: usize },
+    Mapped { data: Arc<Vec<u8>>, done: OneshotSender<()> },
+}
+
+struct Shared {
+    transfers: Mutex<HashMap<u64, Transfer>>,
+    producer_copies: AtomicU64,
+    consumer_copies: AtomicU64,
+}
+
+/// Sending half of a shared-memory channel.
+pub struct ShmSender {
+    queue: Producer,
+    pool: BufferPool,
+    shared: Arc<Shared>,
+    next_token: u64,
+}
+
+/// Receiving half of a shared-memory channel.
+pub struct ShmReceiver {
+    queue: Consumer,
+    pool: BufferPool,
+    shared: Arc<Shared>,
+}
+
+/// Create a shared-memory channel with `entries` queue slots of
+/// `inline_capacity` bytes each. Payloads up to `inline_capacity - 1`
+/// travel inline; larger ones take the pooled or mapped path.
+pub fn shm_channel(entries: usize, inline_capacity: usize) -> (ShmSender, ShmReceiver) {
+    assert!(inline_capacity >= 32, "need room for control messages");
+    let (producer, consumer) = spsc_queue(entries, inline_capacity);
+    // Default reclamation threshold: 64 MiB of free pooled capacity, the
+    // "configurable threshold value [that] controls total memory usage".
+    let pool = BufferPool::new(64 << 20);
+    let shared = Arc::new(Shared {
+        transfers: Mutex::new(HashMap::new()),
+        producer_copies: AtomicU64::new(0),
+        consumer_copies: AtomicU64::new(0),
+    });
+    (
+        ShmSender {
+            queue: producer,
+            pool: pool.clone(),
+            shared: Arc::clone(&shared),
+            next_token: 0,
+        },
+        ShmReceiver { queue: consumer, pool, shared },
+    )
+}
+
+impl ShmSender {
+    /// Largest payload that still travels inline.
+    pub fn inline_limit(&self) -> usize {
+        self.queue.payload_capacity() - 1
+    }
+
+    /// Asynchronous send: inline if small, otherwise the 2-copy pooled
+    /// path. Returns once the payload is safely buffered — the caller may
+    /// reuse its source immediately (the overlap the paper's asynchronous
+    /// API provides).
+    pub fn send_copy(&mut self, payload: &[u8]) {
+        if payload.len() < self.queue.payload_capacity() {
+            let mut framed = Vec::with_capacity(payload.len() + 1);
+            framed.push(KIND_INLINE);
+            framed.extend_from_slice(payload);
+            self.queue.push(&framed);
+            return;
+        }
+        let mut buf = self.pool.acquire(payload.len());
+        buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
+        self.shared.producer_copies.fetch_add(1, Ordering::Relaxed);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.shared.transfers.lock().insert(
+            token,
+            Transfer::Pooled { buf, len: payload.len() },
+        );
+        self.queue.push(&control_frame(KIND_POOLED, token));
+    }
+
+    /// Synchronous one-copy send (XPMEM emulation): shares the caller's
+    /// buffer with the consumer and blocks until the consumer has copied
+    /// out of it, mirroring `xpmem_make` → consumer copy → release.
+    pub fn send_mapped(&mut self, payload: Arc<Vec<u8>>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        let (done_tx, done_rx) = bounded(1);
+        self.shared.transfers.lock().insert(
+            token,
+            Transfer::Mapped { data: payload, done: done_tx },
+        );
+        self.queue.push(&control_frame(KIND_MAPPED, token));
+        // Block until the consumer releases the mapping.
+        done_rx.recv().expect("consumer dropped mid-transfer");
+    }
+
+    /// Non-blocking variant of [`ShmSender::send_copy`] for callers that
+    /// poll (e.g. the async movement scheduler).
+    pub fn try_send_copy(&mut self, payload: &[u8]) -> Result<(), PushError> {
+        if payload.len() < self.queue.payload_capacity() {
+            let mut framed = Vec::with_capacity(payload.len() + 1);
+            framed.push(KIND_INLINE);
+            framed.extend_from_slice(payload);
+            return self.queue.try_push(&framed);
+        }
+        // Reserve the pool buffer only if the queue has room for the
+        // control frame: probe with the frame first.
+        let token = self.next_token;
+        let frame = control_frame(KIND_POOLED, token);
+        // Copy into the pool after the push succeeds is racy (consumer may
+        // pop the token before the transfer is parked), so park first and
+        // roll back on Full.
+        let mut buf = self.pool.acquire(payload.len());
+        buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
+        self.shared.transfers.lock().insert(
+            token,
+            Transfer::Pooled { buf, len: payload.len() },
+        );
+        match self.queue.try_push(&frame) {
+            Ok(()) => {
+                self.shared.producer_copies.fetch_add(1, Ordering::Relaxed);
+                self.next_token += 1;
+                Ok(())
+            }
+            Err(e) => {
+                if let Some(Transfer::Pooled { buf, .. }) =
+                    self.shared.transfers.lock().remove(&token)
+                {
+                    self.pool.give_back(buf);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Buffer-pool statistics (monitoring hook).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Number of producer-side payload copies performed so far.
+    pub fn producer_copies(&self) -> u64 {
+        self.shared.producer_copies.load(Ordering::Relaxed)
+    }
+}
+
+impl ShmReceiver {
+    /// Blocking receive; returns the payload bytes.
+    pub fn recv(&mut self) -> Vec<u8> {
+        loop {
+            if let Some(msg) = self.try_recv() {
+                return msg;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<Vec<u8>> {
+        let frame = self.queue.try_pop()?;
+        Some(self.decode(frame))
+    }
+
+    fn decode(&mut self, frame: Vec<u8>) -> Vec<u8> {
+        match frame[0] {
+            KIND_INLINE => frame[1..].to_vec(),
+            KIND_POOLED => {
+                let token = token_of(&frame);
+                let transfer = self
+                    .shared
+                    .transfers
+                    .lock()
+                    .remove(&token)
+                    .expect("pooled transfer parked before control message");
+                let Transfer::Pooled { buf, len } = transfer else {
+                    panic!("token kind mismatch");
+                };
+                // Copy 2 of 2: pooled buffer -> target buffer.
+                let out = buf.as_slice()[..len].to_vec();
+                self.shared.consumer_copies.fetch_add(1, Ordering::Relaxed);
+                self.pool.give_back(buf);
+                out
+            }
+            KIND_MAPPED => {
+                let token = token_of(&frame);
+                let transfer = self
+                    .shared
+                    .transfers
+                    .lock()
+                    .remove(&token)
+                    .expect("mapped transfer parked before control message");
+                let Transfer::Mapped { data, done } = transfer else {
+                    panic!("token kind mismatch");
+                };
+                // The only copy: producer's (shared) source -> target.
+                let out = data.as_slice().to_vec();
+                self.shared.consumer_copies.fetch_add(1, Ordering::Relaxed);
+                drop(data); // release the "mapping"
+                let _ = done.send(());
+                out
+            }
+            k => panic!("corrupt control frame kind {k}"),
+        }
+    }
+
+    /// Number of consumer-side payload copies performed so far.
+    pub fn consumer_copies(&self) -> u64 {
+        self.shared.consumer_copies.load(Ordering::Relaxed)
+    }
+}
+
+fn control_frame(kind: u8, token: u64) -> [u8; 9] {
+    let mut frame = [0u8; 9];
+    frame[0] = kind;
+    frame[1..9].copy_from_slice(&token.to_le_bytes());
+    frame
+}
+
+fn token_of(frame: &[u8]) -> u64 {
+    u64::from_le_bytes(frame[1..9].try_into().expect("control frame token"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn inline_roundtrip() {
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        tx.send_copy(b"small");
+        assert_eq!(rx.recv(), b"small");
+        // No large-path copies for inline messages.
+        assert_eq!(tx.producer_copies(), 0);
+        assert_eq!(rx.consumer_copies(), 0);
+    }
+
+    #[test]
+    fn pooled_path_costs_two_copies() {
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        let payload = vec![7u8; 100_000];
+        tx.send_copy(&payload);
+        assert_eq!(rx.recv(), payload);
+        assert_eq!(tx.producer_copies(), 1, "producer copies into the pool");
+        assert_eq!(rx.consumer_copies(), 1, "consumer copies out of the pool");
+    }
+
+    #[test]
+    fn mapped_path_costs_one_copy() {
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        let payload = Arc::new(vec![3u8; 100_000]);
+        let expect = payload.as_slice().to_vec();
+        let t = thread::spawn(move || {
+            tx.send_mapped(payload);
+            tx // return to inspect counters after the sync send completes
+        });
+        assert_eq!(rx.recv(), expect);
+        let tx = t.join().unwrap();
+        assert_eq!(tx.producer_copies(), 0, "producer shares, never copies");
+        assert_eq!(rx.consumer_copies(), 1);
+    }
+
+    #[test]
+    fn mapped_send_blocks_until_consumed() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        let sent = Arc::new(AtomicBool::new(false));
+        let sent2 = Arc::clone(&sent);
+        let t = thread::spawn(move || {
+            tx.send_mapped(Arc::new(vec![1u8; 4096]));
+            sent2.store(true, Ordering::SeqCst);
+        });
+        // Give the sender a moment: it must NOT complete before we recv.
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!sent.load(Ordering::SeqCst), "synchronous send returned early");
+        let _ = rx.recv();
+        t.join().unwrap();
+        assert!(sent.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn pool_buffers_are_reused_across_sends() {
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        let payload = vec![1u8; 1 << 16];
+        for _ in 0..50 {
+            tx.send_copy(&payload);
+            let _ = rx.recv();
+        }
+        let stats = tx.pool_stats();
+        assert_eq!(stats.misses, 1, "only the first send allocates: {stats:?}");
+        assert_eq!(stats.hits, 49);
+    }
+
+    #[test]
+    fn mixed_traffic_preserves_order() {
+        let (mut tx, mut rx) = shm_channel(16, 64);
+        let t = thread::spawn(move || {
+            for i in 0u32..500 {
+                if i % 3 == 0 {
+                    tx.send_copy(&vec![i as u8; 10_000]); // pooled
+                } else {
+                    tx.send_copy(&i.to_le_bytes()); // inline
+                }
+            }
+        });
+        for i in 0u32..500 {
+            let msg = rx.recv();
+            if i % 3 == 0 {
+                assert_eq!(msg.len(), 10_000);
+                assert!(msg.iter().all(|&b| b == i as u8));
+            } else {
+                assert_eq!(u32::from_le_bytes(msg[..4].try_into().unwrap()), i);
+            }
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_rolls_back_on_full_queue() {
+        let (mut tx, mut rx) = shm_channel(2, 64);
+        let big = vec![9u8; 1 << 12];
+        assert!(tx.try_send_copy(&big).is_ok());
+        assert!(tx.try_send_copy(&big).is_ok());
+        // Queue (2 entries) now full.
+        assert_eq!(tx.try_send_copy(&big), Err(PushError::Full));
+        // Drain and verify the two successful sends arrive intact; the
+        // rolled-back one must not leave a phantom transfer.
+        assert_eq!(rx.recv(), big);
+        assert_eq!(rx.recv(), big);
+        assert!(rx.try_recv().is_none());
+        assert!(tx.shared.transfers.lock().is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Shared-memory buffer pool for large messages (paper §II.D).
+//!
+//! "The producer pre-allocates a shared memory buffer pool indexed with a
+//! free list. When sending a large message, the producer tries to find a
+//! buffer of the closest size in the pool (and allocates one if not found),
+//! copies the message into it, sends a control message to the data queue
+//! [...]. The consumer [...] returns the buffer to the producer's free
+//! list."
+//!
+//! Buffers are binned by power-of-two size class; "closest size" is the
+//! smallest class that fits. A configurable byte threshold triggers
+//! reclamation of idle buffers (the same mechanism the RDMA transport uses,
+//! §II.E), bounding total memory usage.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Counters describing pool behaviour; exposed through FlexIO's performance
+/// monitoring (paper §II.G instruments "dynamic memory allocation points").
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests satisfied from the free list.
+    pub hits: u64,
+    /// Requests that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers freed by reclamation.
+    pub reclaimed: u64,
+    /// Bytes currently resident in the pool (free + checked out).
+    pub resident_bytes: u64,
+}
+
+/// A checked-out pool buffer. Dropping it without
+/// [`BufferPool::give_back`] leaks the capacity accounting on purpose —
+/// callers hand buffers back explicitly, mirroring the paper's explicit
+/// free-list return step.
+#[derive(Debug)]
+pub struct PoolBuffer {
+    data: Box<[u8]>,
+    class: usize,
+}
+
+impl PoolBuffer {
+    /// Usable capacity (the size class, a power of two).
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Mutable view for the producer's copy-in.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Shared view for the consumer's copy-out.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+struct Inner {
+    /// Free buffers binned by size class (log2 of capacity).
+    free: Mutex<BTreeMap<usize, Vec<Box<[u8]>>>>,
+    /// Reclamation threshold in bytes of *free* capacity.
+    reclaim_threshold: u64,
+    free_bytes: AtomicU64,
+    resident_bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
+/// Thread-safe buffer pool shared between one producer and one consumer
+/// (cloning the handle shares the same pool).
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<Inner>,
+}
+
+impl BufferPool {
+    /// Create a pool that reclaims free buffers once their total capacity
+    /// exceeds `reclaim_threshold` bytes.
+    pub fn new(reclaim_threshold: u64) -> BufferPool {
+        BufferPool {
+            inner: Arc::new(Inner {
+                free: Mutex::new(BTreeMap::new()),
+                reclaim_threshold,
+                free_bytes: AtomicU64::new(0),
+                resident_bytes: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                reclaimed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Size class (log2 of capacity) for a requested length.
+    fn class_for(len: usize) -> usize {
+        len.max(1).next_power_of_two().trailing_zeros() as usize
+    }
+
+    /// Acquire a buffer of at least `len` bytes: the smallest free buffer
+    /// whose class fits, else a fresh allocation of the fitting class.
+    pub fn acquire(&self, len: usize) -> PoolBuffer {
+        let class = Self::class_for(len);
+        let cap = 1usize << class;
+        let reused = {
+            let mut free = self.inner.free.lock();
+            // "closest size": exact class first, then any larger class.
+            let hit_class = if free.get(&class).is_some_and(|v| !v.is_empty()) {
+                Some(class)
+            } else {
+                free.range(class..)
+                    .find(|(_, v)| !v.is_empty())
+                    .map(|(c, _)| *c)
+            };
+            hit_class.and_then(|c| {
+                let buf = free.get_mut(&c)?.pop()?;
+                Some((c, buf))
+            })
+        };
+        match reused {
+            Some((c, data)) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .free_bytes
+                    .fetch_sub(1u64 << c, Ordering::Relaxed);
+                PoolBuffer { data, class: c }
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                self.inner
+                    .resident_bytes
+                    .fetch_add(cap as u64, Ordering::Relaxed);
+                PoolBuffer {
+                    data: vec![0u8; cap].into_boxed_slice(),
+                    class,
+                }
+            }
+        }
+    }
+
+    /// Return a buffer to the free list; reclaims (drops) free buffers if
+    /// the threshold is exceeded, largest classes first.
+    pub fn give_back(&self, buf: PoolBuffer) {
+        let cap = 1u64 << buf.class;
+        {
+            let mut free = self.inner.free.lock();
+            free.entry(buf.class).or_default().push(buf.data);
+        }
+        let free_bytes = self.inner.free_bytes.fetch_add(cap, Ordering::Relaxed) + cap;
+        if free_bytes > self.inner.reclaim_threshold {
+            self.reclaim();
+        }
+    }
+
+    /// Drop free buffers (largest first) until free capacity is at or
+    /// below half the threshold.
+    fn reclaim(&self) {
+        let target = self.inner.reclaim_threshold / 2;
+        let mut free = self.inner.free.lock();
+        let mut current = self.inner.free_bytes.load(Ordering::Relaxed);
+        let classes: Vec<usize> = free.keys().rev().copied().collect();
+        for class in classes {
+            let cap = 1u64 << class;
+            let bin = free.get_mut(&class).expect("class exists");
+            while current > target {
+                if bin.pop().is_none() {
+                    break;
+                }
+                current -= cap;
+                self.inner.free_bytes.fetch_sub(cap, Ordering::Relaxed);
+                self.inner.resident_bytes.fetch_sub(cap, Ordering::Relaxed);
+                self.inner.reclaimed.fetch_add(1, Ordering::Relaxed);
+            }
+            if current <= target {
+                break;
+            }
+        }
+    }
+
+    /// Snapshot of pool counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            reclaimed: self.inner.reclaimed.load(Ordering::Relaxed),
+            resident_bytes: self.inner.resident_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_rounds_to_power_of_two() {
+        let pool = BufferPool::new(1 << 30);
+        let buf = pool.acquire(1000);
+        assert_eq!(buf.capacity(), 1024);
+        let buf2 = pool.acquire(1024);
+        assert_eq!(buf2.capacity(), 1024);
+    }
+
+    #[test]
+    fn reuse_hits_free_list() {
+        let pool = BufferPool::new(1 << 30);
+        let buf = pool.acquire(4096);
+        pool.give_back(buf);
+        let _again = pool.acquire(4000);
+        let stats = pool.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.resident_bytes, 4096);
+    }
+
+    #[test]
+    fn larger_class_satisfies_smaller_request() {
+        let pool = BufferPool::new(1 << 30);
+        let big = pool.acquire(1 << 20);
+        pool.give_back(big);
+        let small = pool.acquire(512);
+        // Reused the 1 MiB buffer rather than allocating.
+        assert_eq!(small.capacity(), 1 << 20);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn reclamation_bounds_memory() {
+        let pool = BufferPool::new(8192); // tiny threshold
+        // Hold several buffers live at once so the free list exceeds the
+        // threshold when they all come back.
+        let held: Vec<_> = (0..10).map(|_| pool.acquire(4096)).collect();
+        for buf in held {
+            pool.give_back(buf);
+        }
+        let stats = pool.stats();
+        assert!(stats.reclaimed > 0, "reclamation should have triggered");
+        assert!(stats.resident_bytes <= 8192, "resident={}", stats.resident_bytes);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_cycles() {
+        use std::thread;
+        let pool = BufferPool::new(1 << 24);
+        // Bounded channel so the producer cannot run arbitrarily far ahead
+        // of the consumer's give-backs (otherwise every acquire misses).
+        let (tx, rx) = std::sync::mpsc::sync_channel::<PoolBuffer>(4);
+        let consumer_pool = pool.clone();
+        let consumer = thread::spawn(move || {
+            let mut total = 0u64;
+            for mut buf in rx {
+                total += buf.as_mut_slice()[0] as u64;
+                consumer_pool.give_back(buf);
+            }
+            total
+        });
+        for i in 0..1000u64 {
+            let mut buf = pool.acquire(1 << 14);
+            buf.as_mut_slice()[0] = (i % 7) as u8;
+            tx.send(buf).unwrap();
+        }
+        drop(tx);
+        let total = consumer.join().unwrap();
+        assert_eq!(total, (0..1000u64).map(|i| i % 7).sum::<u64>());
+        let stats = pool.stats();
+        assert!(stats.hits > stats.misses, "pool should mostly reuse: {stats:?}");
+    }
+}

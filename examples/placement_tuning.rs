@@ -1,0 +1,77 @@
+//! Placement tuning walkthrough (paper §III): run the three placement
+//! algorithms on a GTS-like coupled workload, compare their modelled
+//! communication costs and data-movement splits, then project Total
+//! Execution Time for every placement option on the Smoky and Titan
+//! models — a miniature of Figs. 6a/6b from one command.
+//!
+//! Run with: `cargo run --release --example placement_tuning`
+
+use dessim::{gts_outcome, GtsScale, Placement};
+use machine::{smoky, titan};
+use placement::{
+    allocate_sync, data_aware_mapping, holistic, movement_volume, topology_aware,
+    AnalyticsScaling, CommGraph, PolicyKind,
+};
+
+fn main() {
+    let m = smoky();
+
+    // ---- resource binding: the three algorithms on a 2-node microcosm.
+    println!("== resource binding (24 GTS + 8 analytics processes, 2 Smoky nodes) ==");
+    let g = CommGraph::coupled(24, 4, 50_000.0, 8, 110_000_000.0, 100_000.0);
+    let plans = [
+        data_aware_mapping(&g, &m, 2),
+        holistic(&g, &m, 2),
+        topology_aware(&g, &m, 2),
+    ];
+    println!("{:<24} {:>14} {:>16} {:>16}", "policy", "modelled cost", "inter-node B", "intra-node B");
+    for plan in &plans {
+        let vol = movement_volume(&g, plan, &m);
+        println!(
+            "{:<24} {:>14.3e} {:>16.0} {:>16.0}",
+            format!("{:?}", plan.kind),
+            plan.modelled_cost,
+            vol.inter_node,
+            vol.intra_node()
+        );
+    }
+
+    // ---- resource allocation: match analytics to the generation rate.
+    println!("\n== resource allocation (holistic, §III.B.2) ==");
+    let scaling = AnalyticsScaling { serial_s: 0.9, parallel_s: 128.0 * 18.5 };
+    for interval in [30.0, 62.0, 124.0] {
+        match allocate_sync(&scaling, interval, 4096) {
+            Some(n) => println!("I/O interval {interval:>6.1}s → {n} analytics processes"),
+            None => println!("I/O interval {interval:>6.1}s → cannot keep up: switch offline"),
+        }
+    }
+
+    // ---- projected Total Execution Time across placements and scales.
+    for machine in [smoky(), titan()] {
+        println!("\n== projected GTS Total Execution Time on {} ==", machine.name);
+        let placements = [
+            Placement::Inline,
+            Placement::HelperCore(PolicyKind::DataAware),
+            Placement::HelperCore(PolicyKind::Holistic),
+            Placement::HelperCore(PolicyKind::TopologyAware),
+            Placement::Staging(PolicyKind::TopologyAware),
+            Placement::LowerBound,
+        ];
+        print!("{:<38}", "GTS cores:");
+        let scales = [256usize, 512, 1024, 2048];
+        for c in scales {
+            print!("{c:>10}");
+        }
+        println!();
+        for p in placements {
+            print!("{:<38}", p.label());
+            for cores in scales {
+                let scale = GtsScale { machine: machine.clone(), sim_cores: cores, steps: 20 };
+                let o = gts_outcome(&scale, p);
+                print!("{:>10.0}", o.total_s);
+            }
+            println!();
+        }
+    }
+    println!("\n(Seconds for 20 output steps; shapes mirror paper Fig. 6.)");
+}

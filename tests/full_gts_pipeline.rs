@@ -1,0 +1,173 @@
+//! Cross-crate integration: the GTS coupled pipeline (paper §IV.A) from
+//! simulation push to merged histograms, over the real stream protocol.
+
+use std::thread;
+
+use adios::{ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use apps::gts::{Gts, GtsConfig, ATTRS};
+use apps::{distribution_function, range_query, RangeQuery};
+use flexio::{CachingLevel, FlexIo, StreamHints};
+use machine::{laptop, CoreLocation};
+
+const SIM_RANKS: usize = 4;
+const ANA_RANKS: usize = 2;
+
+fn roster_sim() -> Vec<CoreLocation> {
+    (0..SIM_RANKS).map(|r| laptop().node.location_of(r)).collect()
+}
+
+fn roster_ana() -> Vec<CoreLocation> {
+    (0..ANA_RANKS).map(|r| laptop().node.location_of(15 - r)).collect()
+}
+
+#[test]
+fn gts_particles_survive_the_stream_bit_exactly() {
+    let io = FlexIo::single_node(laptop());
+    // Particle counts could vary per step in GTS, so production runs use
+    // per-step handshakes; CACHING_LOCAL matches that while skipping the
+    // local gather.
+    let hints = StreamHints { caching: CachingLevel::CachingLocal, ..StreamHints::default() };
+
+    let io_w = io.clone();
+    let hints_w = hints.clone();
+    let sim = thread::spawn(move || {
+        rankrt::launch(SIM_RANKS, move |comm| {
+            let rank = comm.rank();
+            let roster = roster_sim();
+            let mut w = io_w
+                .open_writer("gts", rank, SIM_RANKS, roster[rank], roster, hints_w.clone())
+                .unwrap();
+            let mut gts =
+                Gts::new(rank, GtsConfig { particles_per_rank: 800, ..Default::default() });
+            let mut checksums = Vec::new();
+            for _ in 0..6 {
+                gts.step();
+                if gts.should_output() {
+                    w.begin_step(gts.cycle());
+                    for (name, value) in gts.output_vars() {
+                        w.write(&name, value);
+                    }
+                    w.end_step();
+                    checksums.push(gts.zion().data.iter().sum::<f64>());
+                }
+            }
+            w.close();
+            checksums
+        })
+    });
+
+    let io_r = io.clone();
+    let ana = thread::spawn(move || {
+        rankrt::launch(ANA_RANKS, move |comm| {
+            let rank = comm.rank();
+            let roster = roster_ana();
+            let mut r = io_r
+                .open_reader("gts", rank, ANA_RANKS, roster[rank], roster, hints.clone())
+                .unwrap();
+            let my_writers = [rank, rank + ANA_RANKS];
+            for w in my_writers {
+                r.subscribe("zion", Selection::ProcessGroup(w));
+                r.subscribe("electrons", Selection::ProcessGroup(w));
+            }
+            // checksum per (writer, step) of the zion array.
+            let mut sums: Vec<(usize, f64)> = Vec::new();
+            loop {
+                match r.begin_step() {
+                    StepStatus::Step(_) => {
+                        for w in my_writers {
+                            let v = r.read("zion", &Selection::ProcessGroup(w)).unwrap();
+                            let VarValue::Block(b) = v else { panic!() };
+                            assert_eq!(b.count[1], ATTRS as u64, "7 attributes preserved");
+                            sums.push((w, b.data.as_f64().iter().sum::<f64>()));
+                            // electrons also arrive.
+                            assert!(r.read("electrons", &Selection::ProcessGroup(w)).is_some());
+                        }
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            sums
+        })
+    });
+
+    let writer_sums = sim.join().unwrap();
+    let reader_sums = ana.join().unwrap();
+    // Each reader saw each of its writers' checksums per step, matching
+    // the writer-side values bit-exactly.
+    for (reader_rank, sums) in reader_sums.iter().enumerate() {
+        assert_eq!(sums.len(), 2 * 3, "2 writers × 3 steps");
+        for (step_idx, chunk) in sums.chunks(2).enumerate() {
+            for &(w, sum) in chunk {
+                assert_eq!(
+                    sum, writer_sums[w][step_idx],
+                    "reader {reader_rank} step {step_idx} writer {w}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_analytics_chain_preserves_population_statistics() {
+    // Run the complete analytics offline-equivalent on what crossed the
+    // stream: distribution function → range query → selectivity. The
+    // streamed-and-reassembled data must give the same answer as local.
+    let io = FlexIo::single_node(laptop());
+    let hints = StreamHints::default();
+
+    let io_w = io.clone();
+    let hints_w = hints.clone();
+    let sim = thread::spawn(move || {
+        rankrt::launch(2, move |comm| {
+            let rank = comm.rank();
+            let roster: Vec<CoreLocation> =
+                (0..2).map(|r| laptop().node.location_of(r)).collect();
+            let mut w = io_w
+                .open_writer("gts2", rank, 2, roster[rank], roster, hints_w.clone())
+                .unwrap();
+            let gts = Gts::new(rank, GtsConfig { particles_per_rank: 2000, ..Default::default() });
+            w.begin_step(0);
+            for (name, value) in gts.output_vars() {
+                w.write(&name, value);
+            }
+            w.end_step();
+            w.close();
+            // Local ground truth.
+            let d = distribution_function(&gts.zion().data, 128, (-2.0, 2.0));
+            let q = RangeQuery::twenty_percent_core(&d);
+            range_query(&gts.zion().data, &q).len() / ATTRS
+        })
+    });
+
+    let io_r = io.clone();
+    let ana = thread::spawn(move || {
+        rankrt::launch(1, move |_| {
+            let core = laptop().node.location_of(15);
+            let mut r = io_r.open_reader("gts2", 0, 1, core, vec![core], hints.clone()).unwrap();
+            r.subscribe("zion", Selection::ProcessGroup(0));
+            r.subscribe("zion", Selection::ProcessGroup(1));
+            assert_eq!(r.begin_step(), StepStatus::Step(0));
+            let mut per_writer = Vec::new();
+            for w in 0..2 {
+                let v = r.read("zion", &Selection::ProcessGroup(w)).unwrap();
+                let VarValue::Block(b) = v else { panic!() };
+                let particles = b.data.as_f64().to_vec();
+                let d = distribution_function(&particles, 128, (-2.0, 2.0));
+                let q = RangeQuery::twenty_percent_core(&d);
+                per_writer.push(range_query(&particles, &q).len() / ATTRS);
+            }
+            r.end_step();
+            per_writer
+        })
+    });
+
+    let local = sim.join().unwrap();
+    let streamed = ana.join().unwrap().pop().unwrap();
+    assert_eq!(streamed, local, "analytics agree on streamed vs local data");
+    // And selectivity is in the ~20% band.
+    for &count in &streamed {
+        let frac = count as f64 / 2000.0;
+        assert!((0.12..0.30).contains(&frac), "selectivity {frac}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the S3D visualization pipeline — the golden
+//! test is that MxN redistribution + slab rendering + compositing equals
+//! a single-process render of the untransported volume.
+
+use std::thread;
+
+use adios::{BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use apps::s3d::{S3dBox, S3dConfig};
+use apps::{composite_slabs, render_slab, write_ppm, Image, TransferFunction};
+use flexio::{CachingLevel, FlexIo, StreamHints, WriteMode};
+use machine::{laptop, CoreLocation};
+
+const SIM_RANKS: usize = 8;
+const ANA_RANKS: usize = 2;
+
+fn config() -> S3dConfig {
+    S3dConfig { local_n: 6, nspecies: 4, output_interval: 10, proc_grid: (2, 2, 2) }
+}
+
+fn tf() -> TransferFunction {
+    TransferFunction { lo: 0.2, hi: 0.9, opacity: 0.3 }
+}
+
+/// Ground truth: run the same simulation serially for all ranks, assemble
+/// the full volume locally, render in one pass.
+fn golden_image(species: usize, cycles: u64) -> Image {
+    let cfg = config();
+    let [gx, gy, gz] = cfg.global_shape();
+    let mut full = LocalBlock {
+        global_shape: vec![gx, gy, gz],
+        offset: vec![0, 0, 0],
+        count: vec![gx, gy, gz],
+        data: adios::ArrayData::F64(vec![0.0; (gx * gy * gz) as usize]),
+    }
+    .validated();
+    for rank in 0..SIM_RANKS {
+        let mut sim = S3dBox::new(rank, cfg.clone());
+        for _ in 0..cycles {
+            sim.step();
+        }
+        let vars = sim.output_vars();
+        let VarValue::Block(block) = &vars[species].1 else { panic!() };
+        let region = BoxSel::new(block.offset.clone(), block.count.clone());
+        adios::hyperslab::copy_region(block, &mut full, &region);
+    }
+    render_slab(&full, &tf())
+}
+
+#[test]
+fn streamed_slab_render_matches_single_process_render() {
+    let cycles = 10u64; // one output step
+    let io = FlexIo::single_node(laptop());
+    let hints = StreamHints {
+        caching: CachingLevel::CachingAll,
+        batching: true,
+        write_mode: WriteMode::Async,
+        ..StreamHints::default()
+    };
+
+    let io_w = io.clone();
+    let hints_w = hints.clone();
+    let sim = thread::spawn(move || {
+        rankrt::launch(SIM_RANKS, move |comm| {
+            let rank = comm.rank();
+            let roster: Vec<CoreLocation> =
+                (0..SIM_RANKS).map(|r| laptop().node.location_of(r)).collect();
+            let mut w = io_w
+                .open_writer("s3d", rank, SIM_RANKS, roster[rank], roster, hints_w.clone())
+                .unwrap();
+            let mut sim = S3dBox::new(rank, config());
+            for _ in 0..cycles {
+                sim.step();
+            }
+            w.begin_step(sim.cycle());
+            for (name, value) in sim.output_vars() {
+                w.write(&name, value);
+            }
+            w.end_step();
+            w.close();
+        })
+    });
+
+    let io_r = io.clone();
+    let ana = thread::spawn(move || {
+        rankrt::launch(ANA_RANKS, move |comm| {
+            let rank = comm.rank();
+            let cfg = config();
+            let [gx, gy, gz] = cfg.global_shape();
+            let roster: Vec<CoreLocation> = (0..ANA_RANKS)
+                .map(|r| laptop().node.location_of(15 - r))
+                .collect();
+            let mut r = io_r
+                .open_reader("s3d", rank, ANA_RANKS, roster[rank], roster, hints.clone())
+                .unwrap();
+            let slab_z = gz / ANA_RANKS as u64;
+            let my_slab =
+                BoxSel::new(vec![0, 0, rank as u64 * slab_z], vec![gx, gy, slab_z]);
+            r.subscribe("species00", Selection::GlobalBox(my_slab.clone()));
+            assert_eq!(r.begin_step(), StepStatus::Step(cycles));
+            let v = r.read("species00", &Selection::GlobalBox(my_slab)).unwrap();
+            let VarValue::Block(block) = v else { panic!() };
+            let partial = render_slab(&block, &tf());
+            r.end_step();
+            // Gather depth-ordered partials at rank 0, composite there.
+            let flat: Vec<f64> = partial.pixels.iter().map(|&p| p as f64).collect();
+            let gathered = comm.gather(0, &rankrt::f64s_as_bytes(&flat));
+            gathered.map(|parts| {
+                let slabs: Vec<Image> = parts
+                    .iter()
+                    .map(|bytes| Image {
+                        width: gx as usize,
+                        height: gy as usize,
+                        pixels: rankrt::bytes_as_f64s(bytes).into_iter().map(|p| p as f32).collect(),
+                    })
+                    .collect();
+                composite_slabs(&slabs)
+            })
+        })
+    });
+
+    sim.join().unwrap();
+    let mut results = ana.join().unwrap();
+    let composed = results.remove(0).expect("rank 0 composites");
+
+    let golden = golden_image(0, cycles);
+    assert_eq!(composed.width, golden.width);
+    let mut max_err = 0.0f32;
+    for (a, b) in composed.pixels.iter().zip(&golden.pixels) {
+        max_err = max_err.max((a - b).abs());
+    }
+    assert!(
+        max_err < 1e-4,
+        "streamed+composited render must equal direct render (max err {max_err})"
+    );
+    // And the PPM encodes identically.
+    assert_eq!(write_ppm(&composed), write_ppm(&golden));
+}
