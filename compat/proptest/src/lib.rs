@@ -1,0 +1,618 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! A miniature property-testing engine with a proptest-compatible API:
+//! [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies,
+//! [`collection::vec`], `any::<T>()`, the [`proptest!`] test macro and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//! * No shrinking — a failing case reports its inputs (via `Debug` in the
+//!   assertion message) and the case number, which is reproducible because
+//!   generation is fully deterministic per test name.
+//! * Cases per property default to 64 (`PROPTEST_CASES` overrides).
+
+use std::rc::Rc;
+
+/// Deterministic generation source (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case, derived from a stable per-test seed.
+    pub fn for_case(test_seed: u64, case: u64) -> TestRng {
+        TestRng { state: test_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Stable FNV-1a hash of a test name, used as the per-test seed base.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Number of cases to run per property.
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate an intermediate value, then generate from the strategy
+        /// `f` builds out of it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategy: `self` is the leaf; `recurse` builds a
+        /// strategy for one more level given the previous level. `depth`
+        /// bounds nesting; the other two parameters (desired size /
+        /// expected branch size in real proptest) are accepted for
+        /// compatibility and unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut level: BoxedStrategy<Self::Value> = self.clone().boxed();
+            for _ in 0..depth {
+                let deeper = recurse(level).boxed();
+                // Mix leaves back in so depth is a bound, not a constant.
+                level = Union::new(vec![self.clone().boxed(), deeper]).boxed();
+            }
+            level
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies of one value type
+    /// (the engine behind `prop_oneof!`).
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from the alternatives.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+            Union { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.variants.len() as u64) as usize;
+            self.variants[idx].generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy for any value of a [`super::Arbitrary`] type.
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any { _marker: PhantomData }
+        }
+    }
+
+    impl<T: super::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    // ---- ranges -------------------------------------------------------
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // ---- tuples -------------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident => $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    // ---- regex-pattern string strategies ------------------------------
+
+    /// `&str` patterns act as string strategies, as in real proptest, for
+    /// the tiny regex subset `[class]{m,n}` (character classes with `a-z`
+    /// ranges and literal members). Anything else is treated as a literal
+    /// string.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            match parse_class_repeat(self) {
+                Some((alphabet, lo, hi)) => {
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    (0..len)
+                        .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                        .collect()
+                }
+                None => (*self).to_owned(),
+            }
+        }
+    }
+
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, reps) = rest.split_once(']')?;
+        let reps = reps.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = reps.split_once(',')?;
+        let (lo, hi) = (lo.parse().ok()?, hi.parse().ok()?);
+        if lo > hi {
+            return None;
+        }
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            if chars.peek() == Some(&'-') {
+                let mut lookahead = chars.clone();
+                lookahead.next(); // consume '-'
+                if let Some(&end) = lookahead.peek() {
+                    chars = lookahead;
+                    chars.next();
+                    alphabet.extend((c..=end).filter(|ch| ch.is_ascii()));
+                    continue;
+                }
+            }
+            alphabet.push(c);
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    // ---- tuples -------------------------------------------------------
+
+    impl_tuple_strategy!(A => 0);
+    impl_tuple_strategy!(A => 0, B => 1);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+    impl_tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+}
+
+/// Types with a canonical [`strategy::Strategy`] (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values with a wide dynamic range: mantissa in [-1, 1)
+        // scaled by 2^k for k in [-16, 16).
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(32) as i32) - 16;
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Accepted sizes for [`vec`]: an exact length or a length range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy for vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + if span > 0 { rng.below(span) as usize } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Arbitrary};
+}
+
+/// Run one property: generate `cases()` inputs and call `body` on each.
+/// Used by the [`proptest!`] macro expansion; not part of the public
+/// proptest API surface.
+pub fn run_property<F>(test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng, u64),
+{
+    let seed = seed_of(test_name);
+    for case in 0..cases() {
+        body(&mut TestRng::for_case(seed, case), case);
+    }
+}
+
+/// Marker returned by property bodies; `prop_assume!` short-circuits with
+/// `Discarded`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseResult {
+    /// Property held.
+    Ok,
+    /// Inputs rejected by `prop_assume!`.
+    Discarded,
+}
+
+#[doc(hidden)]
+pub use std::rc::Rc as __Rc;
+
+/// Define property tests. Each function body runs for `PROPTEST_CASES`
+/// (default 64) deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(concat!(module_path!(), "::", stringify!($name)), |rng, case| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // `mut` is only exercised by bodies that mutate
+                        // captured state (FnMut); harmless otherwise.
+                        #[allow(unused_mut)]
+                        let mut run = || -> $crate::CaseResult {
+                            $body
+                            #[allow(unreachable_code)]
+                            $crate::CaseResult::Ok
+                        };
+                        run()
+                    }));
+                    match outcome {
+                        Ok(_) => {}
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest case {case} of `{}` failed with inputs:",
+                                stringify!($name)
+                            );
+                            $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)*
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Assert within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Assert equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*); };
+}
+
+/// Assert inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right); };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*); };
+}
+
+/// Discard the current case when its inputs don't satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::CaseResult::Discarded;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+// Silence an unused-import warning for the module-level Rc re-export.
+const _: fn() = || {
+    let _ = core::mem::size_of::<Rc<u8>>;
+};
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = crate::collection::vec(0u64..100, 0..10);
+        let mut r1 = crate::TestRng::for_case(1, 2);
+        let mut r2 = crate::TestRng::for_case(1, 2);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3u64..9, b in -4i64..=4, f in -1.5f64..1.5) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert!((-1.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_dependent_values(pair in (1u64..10).prop_flat_map(|n| (0u64..n,).prop_map(move |(k,)| (n, k)))) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+
+        #[test]
+        fn assume_discards(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_recursive_terminate(v in (0u64..4).prop_map(|n| vec![n]).prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|mut v| { v.push(0); v }),
+                inner.prop_map(|mut v| { v.push(1); v }),
+            ]
+        })) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() <= 5);
+        }
+    }
+}

@@ -65,6 +65,20 @@ impl GroupConfig {
     pub fn hint_u64(&self, name: &str) -> Option<u64> {
         self.hint(name)?.parse().ok()
     }
+
+    /// All hints whose name starts with `prefix`, sorted by name (the
+    /// fault-injection hints form a `fault.<label>.<param>` family whose
+    /// members are only known to the consumer).
+    pub fn hints_with_prefix(&self, prefix: &str) -> Vec<(String, String)> {
+        let mut found: Vec<(String, String)> = self
+            .hints
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        found.sort();
+        found
+    }
 }
 
 /// Whole-file configuration.
@@ -181,6 +195,30 @@ mod tests {
         assert!(p.hint_bool("batching"));
         assert_eq!(p.hint_u64("queue_entries"), Some(128));
         assert_eq!(cfg.group("restart").unwrap().method, IoMethod::File);
+    }
+
+    #[test]
+    fn hints_with_prefix_filters_and_sorts() {
+        let cfg = IoConfig::from_xml(
+            r#"<adios-config><group name="g"><method transport="STREAM">
+               <hint name="fault.seed" value="9"/>
+               <hint name="fault.data.drop_pm" value="100"/>
+               <hint name="fault.ctrl:w2r.delay_ms" value="5"/>
+               <hint name="batching" value="true"/>
+            </method></group></adios-config>"#,
+        )
+        .unwrap();
+        let g = cfg.group("g").unwrap();
+        let got = g.hints_with_prefix("fault.");
+        assert_eq!(
+            got,
+            vec![
+                ("fault.ctrl:w2r.delay_ms".to_string(), "5".to_string()),
+                ("fault.data.drop_pm".to_string(), "100".to_string()),
+                ("fault.seed".to_string(), "9".to_string()),
+            ]
+        );
+        assert!(g.hints_with_prefix("nope.").is_empty());
     }
 
     #[test]

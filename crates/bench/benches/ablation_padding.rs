@@ -21,7 +21,7 @@ fn bench_padding(c: &mut Criterion) {
             let payload = [1u8; UNPADDED_PAYLOAD];
             let t = std::thread::spawn(move || {
                 for _ in 0..MSGS {
-                    tx.push(&payload);
+                    tx.push(&payload).unwrap();
                 }
             });
             let mut buf = [0u8; UNPADDED_PAYLOAD];

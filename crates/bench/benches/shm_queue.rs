@@ -23,7 +23,7 @@ fn bench_spsc_inline(c: &mut Criterion) {
                 let payload = vec![7u8; size];
                 let t = thread::spawn(move || {
                     for _ in 0..MSGS {
-                        tx.push(&payload);
+                        tx.push(&payload).unwrap();
                     }
                 });
                 let mut buf = [0u8; 512];
@@ -77,7 +77,7 @@ fn bench_large_message_paths(c: &mut Criterion) {
                 }
             });
             for _ in 0..n {
-                rx.recv();
+                rx.recv().unwrap();
             }
             t.join().unwrap();
         });
@@ -92,7 +92,7 @@ fn bench_large_message_paths(c: &mut Criterion) {
                 }
             });
             for _ in 0..n {
-                rx.recv();
+                rx.recv().unwrap();
             }
             t.join().unwrap();
         });

@@ -21,10 +21,17 @@
 //!   [`netsim`] RDMA fabric (inter-node). FlexIO picks among them per the
 //!   analytics placement.
 
+//! * [`fault`] — a deterministic, seedable fault-injection layer that wraps
+//!   any transport pair with scheduled drops, duplicates, reorders, delays
+//!   and endpoint crashes, so the retry/degradation branches of the layers
+//!   above can be exercised reproducibly.
+
+pub mod fault;
 pub mod ffs;
 pub mod stones;
 pub mod transport;
 
+pub use fault::{FaultCounters, FaultPlan, FaultSpec};
 pub use ffs::{DecodeError, FieldValue, Record};
 pub use stones::{EvGraph, StoneId};
 pub use transport::{

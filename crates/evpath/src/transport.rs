@@ -99,11 +99,18 @@ impl EvSender for ShmTransportSender {
 
 impl EvReceiver for ShmTransportReceiver {
     fn recv(&mut self) -> Vec<u8> {
-        self.0.recv()
+        // A corrupt control frame is consumed and skipped: to this layer it
+        // is indistinguishable from a message the fabric lost, and the
+        // protocol's timeout/retry machinery owns that failure mode.
+        loop {
+            if let Ok(msg) = self.0.recv() {
+                return msg;
+            }
+        }
     }
 
     fn try_recv(&mut self) -> Option<Vec<u8>> {
-        self.0.try_recv()
+        self.0.try_recv().ok().flatten()
     }
 }
 

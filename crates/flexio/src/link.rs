@@ -4,13 +4,14 @@
 //! to the placements of communicating simulation and online analytics
 //! processes").
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adios::GroupConfig;
 use evpath::{
-    inproc_pair, BoxedReceiver, BoxedSender, NetTransport, Record, ShmTransport,
+    inproc_pair, BoxedReceiver, BoxedSender, EvReceiver, EvSender, FaultPlan, FaultSpec,
+    NetTransport, Record, ShmTransport,
 };
 use machine::{CoreLocation, MachineModel};
 use netsim::NetSim;
@@ -43,6 +44,13 @@ pub struct StreamHints {
     pub retries: u32,
     /// Run the 2-phase-commit step transaction protocol.
     pub transactional: bool,
+    /// Deterministic fault schedule to install on every channel of the
+    /// stream (None in production; tests and chaos runs set it).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Reader coordinator synthesizes end-of-stream when the writer goes
+    /// silent past the timeout budget, instead of surfacing an error —
+    /// the paper's "degrade gracefully when the producer dies" posture.
+    pub eos_on_silence: bool,
 }
 
 impl Default for StreamHints {
@@ -56,6 +64,8 @@ impl Default for StreamHints {
             recv_timeout: Duration::from_secs(10),
             retries: 3,
             transactional: false,
+            faults: None,
+            eos_on_silence: false,
         }
     }
 }
@@ -83,8 +93,54 @@ impl StreamHints {
             h.retries = r as u32;
         }
         h.transactional = cfg.hint_bool("transactional");
+        h.eos_on_silence = cfg.hint_bool("eos_on_silence");
+        h.faults = fault_plan_from_config(cfg).map(Arc::new);
         h
     }
+}
+
+/// Parse the `fault.*` hint family into a [`FaultPlan`]. `fault.seed`
+/// enables the plan; per-channel knobs are `fault.<label>.<param>` where
+/// `label` is a channel-label prefix (`data`, `ack:1->0`, `ctrl:w2r`, ...)
+/// or `default`, and `param` is one of `drop_pm`, `dup_pm`, `reorder_pm`,
+/// `delay_pm`, `delay_ms`, `crash_sender_after`, `crash_receiver_after`,
+/// `stall_ms`.
+fn fault_plan_from_config(cfg: &GroupConfig) -> Option<FaultPlan> {
+    let seed = cfg.hint_u64("fault.seed")?;
+    let mut specs: BTreeMap<String, FaultSpec> = BTreeMap::new();
+    for (key, value) in cfg.hints_with_prefix("fault.") {
+        let rest = &key["fault.".len()..];
+        if rest == "seed" {
+            continue;
+        }
+        let Some((label, param)) = rest.rsplit_once('.') else {
+            continue;
+        };
+        let Ok(n) = value.parse::<u64>() else {
+            continue;
+        };
+        let spec = specs.entry(label.to_string()).or_default();
+        match param {
+            "drop_pm" => spec.drop_per_mille = n as u16,
+            "dup_pm" => spec.dup_per_mille = n as u16,
+            "reorder_pm" => spec.reorder_per_mille = n as u16,
+            "delay_pm" => spec.delay_per_mille = n as u16,
+            "delay_ms" => spec.delay = Duration::from_millis(n),
+            "crash_sender_after" => spec.crash_sender_after = Some(n),
+            "crash_receiver_after" => spec.crash_receiver_after = Some(n),
+            "stall_ms" => spec.stall = Some(Duration::from_millis(n)),
+            _ => {}
+        }
+    }
+    let mut plan = FaultPlan::new(seed);
+    for (label, spec) in specs {
+        if label == "default" {
+            plan.set_default(spec);
+        } else {
+            plan.set(&label, spec);
+        }
+    }
+    Some(plan)
 }
 
 /// Identifies one directed channel within a stream's link.
@@ -124,6 +180,123 @@ pub enum ChannelId {
     },
 }
 
+impl ChannelId {
+    /// Stable human-readable label, the key fault plans target channels by
+    /// (and the seed domain for per-channel fault RNG streams).
+    pub fn label(&self) -> String {
+        match self {
+            ChannelId::Data { w, r } => format!("data:{w}->{r}"),
+            ChannelId::Ack { w, r } => format!("ack:{r}->{w}"),
+            ChannelId::ControlToReader => "ctrl:w2r".to_string(),
+            ChannelId::ControlToWriter => "ctrl:r2w".to_string(),
+            ChannelId::WriterSide { rank, up } => {
+                format!("wside:{rank}:{}", if *up { "up" } else { "down" })
+            }
+            ChannelId::ReaderSide { rank, up } => {
+                format!("rside:{rank}:{}", if *up { "up" } else { "down" })
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- seq framing
+
+/// Out-of-order messages buffered before giving up on a gap (writing the
+/// missing sequence numbers off as dropped).
+const GAP_SKIP_THRESHOLD: usize = 4;
+
+/// Sender half of the sequence-framing layer installed when a fault plan
+/// is active: prepends a little-endian `u64` sequence number so the
+/// receiving [`SeqReceiver`] can discard duplicates, heal reorders and
+/// observe drops. Not installed on fault-free streams — the framing byte
+/// cost and counters stay out of the default path.
+struct SeqSender {
+    inner: BoxedSender,
+    next: u64,
+}
+
+impl EvSender for SeqSender {
+    fn send(&mut self, payload: &[u8]) {
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        framed.extend_from_slice(&self.next.to_le_bytes());
+        framed.extend_from_slice(payload);
+        self.next += 1;
+        self.inner.send(&framed);
+    }
+
+    fn transport_name(&self) -> &'static str {
+        self.inner.transport_name()
+    }
+}
+
+/// Receiver half of the sequence-framing layer: delivers payloads in
+/// sequence order, deduplicating repeats (`dup_msgs`), buffering and
+/// re-sorting early arrivals (`reorder_healed`) and skipping over gaps
+/// once [`GAP_SKIP_THRESHOLD`] later messages have piled up
+/// (`drops_observed`).
+struct SeqReceiver {
+    inner: BoxedReceiver,
+    next: u64,
+    early: BTreeMap<u64, Vec<u8>>,
+    counters: Arc<ProtocolCounters>,
+}
+
+impl EvReceiver for SeqReceiver {
+    fn recv(&mut self) -> Vec<u8> {
+        let mut spins = 0u32;
+        loop {
+            if let Some(msg) = self.try_recv() {
+                return msg;
+            }
+            if spins < 2_000 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        loop {
+            if let Some(msg) = self.early.remove(&self.next) {
+                self.next += 1;
+                self.counters.bump(&self.counters.reorder_healed);
+                return Some(msg);
+            }
+            let framed = self.inner.try_recv()?;
+            if framed.len() < 8 {
+                // Not ours; a fault layer cannot shrink frames below the
+                // header we added, so treat it as garbage and move on.
+                self.counters.bump(&self.counters.drops_observed);
+                continue;
+            }
+            let seq = u64::from_le_bytes(framed[..8].try_into().unwrap());
+            let payload = framed[8..].to_vec();
+            if seq < self.next {
+                self.counters.bump(&self.counters.dup_msgs);
+                continue;
+            }
+            if seq == self.next {
+                self.next += 1;
+                return Some(payload);
+            }
+            if self.early.insert(seq, payload).is_some() {
+                // A duplicate of a message still parked in the reorder
+                // buffer: same dedup as the `seq < next` path.
+                self.counters.bump(&self.counters.dup_msgs);
+            }
+            if self.early.len() >= GAP_SKIP_THRESHOLD {
+                let lowest = *self.early.keys().next().expect("early set non-empty");
+                for _ in self.next..lowest {
+                    self.counters.bump(&self.counters.drops_observed);
+                }
+                self.next = lowest;
+            }
+        }
+    }
+}
+
 enum ParkedHalf {
     Sender(BoxedSender),
     Receiver(BoxedReceiver),
@@ -152,6 +325,12 @@ pub struct LinkState {
     pub monitor: PerfMonitor,
     hints_queue_entries: usize,
     hints_inline_capacity: usize,
+    /// Fault schedule installed on channels (from the writer's hints);
+    /// shared so both sides observe one deterministic plan.
+    faults: Option<Arc<FaultPlan>>,
+    /// Reader ranks written off after repeated ack timeouts. The writer
+    /// plans later steps around them; they never receive data again.
+    evicted: Mutex<HashSet<usize>>,
 }
 
 impl LinkState {
@@ -173,6 +352,8 @@ impl LinkState {
             monitor: PerfMonitor::new(),
             hints_queue_entries: hints.queue_entries,
             hints_inline_capacity: hints.inline_capacity,
+            faults: hints.faults.clone(),
+            evicted: Mutex::new(HashSet::new()),
         })
     }
 
@@ -262,42 +443,97 @@ impl LinkState {
     }
 
     /// Claim the sending half of a channel, creating the pair on first
-    /// claim and parking the other half for the peer.
+    /// claim and parking the other half for the peer. With a fault plan
+    /// installed the half is wrapped: protocol → seq framing → fault layer
+    /// → raw transport.
     pub fn claim_sender(&self, id: ChannelId) -> BoxedSender {
-        let mut halves = self.halves.lock();
-        if let Some(ParkedHalf::Sender(s)) = halves.parked.remove(&id) {
-            return s;
+        let raw = {
+            let mut halves = self.halves.lock();
+            if let Some(ParkedHalf::Sender(s)) = halves.parked.remove(&id) {
+                s
+            } else {
+                let (src, dst) = self.endpoints_of(id);
+                let (tx, rx) = self.make_transport(src, dst);
+                halves.parked.insert(id, ParkedHalf::Receiver(rx));
+                self.half_ready.notify_all();
+                tx
+            }
+        };
+        match &self.faults {
+            None => raw,
+            Some(plan) => Box::new(SeqSender {
+                inner: plan.wrap_sender(&id.label(), raw),
+                next: 0,
+            }),
         }
-        let (src, dst) = self.endpoints_of(id);
-        let (tx, rx) = self.make_transport(src, dst);
-        halves.parked.insert(id, ParkedHalf::Receiver(rx));
-        self.half_ready.notify_all();
-        tx
     }
 
     /// Claim the receiving half of a channel (see [`Self::claim_sender`]).
     pub fn claim_receiver(&self, id: ChannelId) -> BoxedReceiver {
-        let mut halves = self.halves.lock();
-        if let Some(ParkedHalf::Receiver(r)) = halves.parked.remove(&id) {
-            return r;
+        let raw = {
+            let mut halves = self.halves.lock();
+            if let Some(ParkedHalf::Receiver(r)) = halves.parked.remove(&id) {
+                r
+            } else {
+                let (src, dst) = self.endpoints_of(id);
+                let (tx, rx) = self.make_transport(src, dst);
+                halves.parked.insert(id, ParkedHalf::Sender(tx));
+                self.half_ready.notify_all();
+                rx
+            }
+        };
+        match &self.faults {
+            None => raw,
+            Some(plan) => Box::new(SeqReceiver {
+                inner: plan.wrap_receiver(&id.label(), raw),
+                next: 0,
+                early: BTreeMap::new(),
+                counters: Arc::clone(&self.counters),
+            }),
         }
-        let (src, dst) = self.endpoints_of(id);
-        let (tx, rx) = self.make_transport(src, dst);
-        halves.parked.insert(id, ParkedHalf::Sender(tx));
-        self.half_ready.notify_all();
-        rx
+    }
+
+    /// The fault plan installed on this link, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// Write a reader rank off as dead. Returns true on the first eviction
+    /// of that rank (callers bump the eviction counter exactly once).
+    pub fn evict_reader(&self, rank: usize) -> bool {
+        self.evicted.lock().insert(rank)
+    }
+
+    /// Reader ranks evicted so far.
+    pub fn evicted_readers(&self) -> HashSet<usize> {
+        self.evicted.lock().clone()
+    }
+
+    /// Whether a reader rank has been evicted.
+    pub fn is_evicted(&self, rank: usize) -> bool {
+        self.evicted.lock().contains(&rank)
     }
 }
 
 /// Receive a [`Record`] with the timeout-and-retry resiliency scheme
 /// (§II.H: "the current version uses simple timeout-and-retry schemes to
 /// cope with errors and failures during data movement").
+///
+/// Attempt `i` waits `hints.recv_timeout × 2^min(i, 3)` — exponential
+/// backoff so a transiently slow peer (delay faults, long simulation
+/// phases) is given progressively more slack before the stream is
+/// declared dead. Every attempt after the first bumps
+/// [`ProtocolCounters::retries`].
 pub fn recv_record(
     rx: &mut BoxedReceiver,
-    timeout: Duration,
-    retries: u32,
+    hints: &StreamHints,
+    counters: &ProtocolCounters,
 ) -> Result<Record, StreamError> {
-    for _attempt in 0..=retries {
+    for attempt in 0..=hints.retries {
+        if attempt > 0 {
+            counters.bump(&counters.retries);
+        }
+        let timeout = hints.recv_timeout * (1u32 << attempt.min(3));
         let deadline = Instant::now() + timeout;
         let mut spins = 0u32;
         loop {
@@ -441,7 +677,18 @@ impl FlexIo {
         assert_eq!(all_cores.len(), nranks);
         assert_eq!(all_cores[rank], core, "rank's own core must match the roster");
         let link = if rank == 0 {
-            let link = self.directory.lookup(name, hints.recv_timeout)?;
+            // A fault plan may schedule a directory stall: the lookup
+            // budget shrinks by the stall, exactly as if the directory
+            // server were slow to respond.
+            let mut budget = hints.recv_timeout;
+            if let Some(plan) = &hints.faults {
+                if let Some(stall) = plan.spec_for("dir").stall {
+                    plan.note_stall();
+                    std::thread::sleep(stall);
+                    budget = budget.saturating_sub(stall);
+                }
+            }
+            let link = self.directory.lookup(name, budget)?;
             link.set_reader_info(nranks, all_cores);
             self.post_bulletin(&format!("r:{name}"), Arc::clone(&link));
             link
@@ -564,10 +811,37 @@ mod tests {
     }
 
     #[test]
-    fn recv_record_times_out() {
+    fn recv_record_times_out_and_counts_retries() {
         let (_tx, mut rx) = inproc_pair();
-        let err = recv_record(&mut rx, Duration::from_millis(5), 1);
+        let hints = StreamHints {
+            recv_timeout: Duration::from_millis(5),
+            retries: 2,
+            ..Default::default()
+        };
+        let counters = ProtocolCounters::new_shared();
+        let err = recv_record(&mut rx, &hints, &counters);
         assert_eq!(err, Err(StreamError::Timeout));
+        assert_eq!(counters.resilience_snapshot().0, 2, "one bump per retry attempt");
+    }
+
+    #[test]
+    fn recv_record_backs_off_exponentially() {
+        // 3 retries at 5ms base: 5 + 10 + 20 + 40 = 75ms minimum.
+        let (_tx, mut rx) = inproc_pair();
+        let hints = StreamHints {
+            recv_timeout: Duration::from_millis(5),
+            retries: 3,
+            ..Default::default()
+        };
+        let counters = ProtocolCounters::new_shared();
+        let start = Instant::now();
+        let err = recv_record(&mut rx, &hints, &counters);
+        assert_eq!(err, Err(StreamError::Timeout));
+        assert!(
+            start.elapsed() >= Duration::from_millis(75),
+            "attempts must back off, not retry at a fixed pace (took {:?})",
+            start.elapsed()
+        );
     }
 
     #[test]
@@ -588,5 +862,117 @@ mod tests {
         assert_eq!(h.write_mode, WriteMode::Async);
         assert_eq!(h.queue_entries, 256);
         assert_eq!(h.recv_timeout, Duration::from_millis(1234));
+        assert!(h.faults.is_none());
+        assert!(!h.eos_on_silence);
+    }
+
+    #[test]
+    fn fault_hints_from_config() {
+        let cfg = adios::IoConfig::from_xml(
+            r#"<adios-config><group name="g"><method transport="STREAM">
+               <hint name="fault.seed" value="99"/>
+               <hint name="fault.default.delay_ms" value="7"/>
+               <hint name="fault.default.delay_pm" value="50"/>
+               <hint name="fault.data.drop_pm" value="120"/>
+               <hint name="fault.ctrl:w2r.crash_sender_after" value="3"/>
+               <hint name="fault.dir.stall_ms" value="25"/>
+               <hint name="eos_on_silence" value="true"/>
+            </method></group></adios-config>"#,
+        )
+        .unwrap();
+        let h = StreamHints::from_config(cfg.group("g").unwrap());
+        assert!(h.eos_on_silence);
+        let plan = h.faults.expect("fault.seed must enable a plan");
+        assert_eq!(plan.seed(), 99);
+        assert_eq!(plan.spec_for("data:1->0").drop_per_mille, 120);
+        assert_eq!(plan.spec_for("ctrl:w2r").crash_sender_after, Some(3));
+        assert_eq!(plan.spec_for("dir").stall, Some(Duration::from_millis(25)));
+        let dflt = plan.spec_for("ack:0->0");
+        assert_eq!(dflt.delay, Duration::from_millis(7));
+        assert_eq!(dflt.delay_per_mille, 50);
+    }
+
+    #[test]
+    fn seq_framing_heals_reorder_and_discards_duplicates() {
+        let mut plan = FaultPlan::new(21);
+        plan.set(
+            "data",
+            FaultSpec { reorder_per_mille: 400, dup_per_mille: 400, ..Default::default() },
+        );
+        // Deep queue: these tests send everything before draining, which
+        // would deadlock against the bounded shm queue's backpressure.
+        let hints = StreamHints {
+            faults: Some(Arc::new(plan)),
+            queue_entries: 4096,
+            ..Default::default()
+        };
+        let link = LinkState::new(
+            2,
+            vec![
+                CoreLocation { node: 0, numa: 0, core: 0 },
+                CoreLocation { node: 0, numa: 0, core: 1 },
+            ],
+            None,
+            &hints,
+        );
+        link.set_reader_info(1, vec![CoreLocation { node: 0, numa: 1, core: 0 }]);
+        let id = ChannelId::Data { w: 1, r: 0 };
+        let mut tx = link.claim_sender(id);
+        let mut rx = link.claim_receiver(id);
+        for i in 0u64..100 {
+            tx.send(&i.to_le_bytes());
+        }
+        drop(tx); // flush any message held back by a reorder fault
+        // Despite duplication and pairwise swaps on the wire, the seq layer
+        // delivers the exact original sequence.
+        for i in 0u64..100 {
+            let got = rx.recv();
+            assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), i);
+        }
+        let (_retries, dups, healed, drops, ..) = link.counters.resilience_snapshot();
+        assert!(dups > 0, "duplication faults must have fired");
+        assert!(healed > 0, "reorder faults must have been healed");
+        assert_eq!(drops, 0, "nothing was dropped");
+    }
+
+    #[test]
+    fn seq_framing_skips_gaps_from_drops() {
+        let mut plan = FaultPlan::new(3);
+        plan.set("data", FaultSpec { drop_per_mille: 250, ..Default::default() });
+        // Deep queue: these tests send everything before draining, which
+        // would deadlock against the bounded shm queue's backpressure.
+        let hints = StreamHints {
+            faults: Some(Arc::new(plan)),
+            queue_entries: 4096,
+            ..Default::default()
+        };
+        let link = LinkState::new(
+            2,
+            vec![
+                CoreLocation { node: 0, numa: 0, core: 0 },
+                CoreLocation { node: 0, numa: 0, core: 1 },
+            ],
+            None,
+            &hints,
+        );
+        link.set_reader_info(1, vec![CoreLocation { node: 0, numa: 1, core: 0 }]);
+        let id = ChannelId::Data { w: 1, r: 0 };
+        let mut tx = link.claim_sender(id);
+        let mut rx = link.claim_receiver(id);
+        for i in 0u64..200 {
+            tx.send(&i.to_le_bytes());
+        }
+        let mut got = Vec::new();
+        while let Some(m) = rx.try_recv() {
+            got.push(u64::from_le_bytes(m[..8].try_into().unwrap()));
+        }
+        // Survivors arrive in order, and once enough later messages pile
+        // up the receiver writes the gap off as drops rather than stalling.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted, "sequence order must be preserved");
+        assert!(got.len() < 200, "a 25% drop rate must lose messages");
+        let (_retries, _dups, _healed, drops, ..) = link.counters.resilience_snapshot();
+        assert!(drops > 0, "skipped gaps must be counted as observed drops");
     }
 }

@@ -69,6 +69,22 @@ pub struct ProtocolCounters {
     pub ack_msgs: AtomicU64,
     /// Plug-in deployment/migration messages.
     pub plugin_msgs: AtomicU64,
+    // -- resiliency counters (not part of `snapshot()`, which existing
+    //    tests index positionally; see `resilience_snapshot()`) --
+    /// Control-channel receive attempts that timed out and were retried.
+    pub retries: AtomicU64,
+    /// Duplicate sequence numbers discarded by the dedup layer.
+    pub dup_msgs: AtomicU64,
+    /// Out-of-order messages healed by reassembly buffering.
+    pub reorder_healed: AtomicU64,
+    /// Sequence gaps given up on (messages written off as lost).
+    pub drops_observed: AtomicU64,
+    /// End-of-stream markers synthesized after writer silence.
+    pub eos_synthesized: AtomicU64,
+    /// Readers evicted from the stream after repeated ack timeouts.
+    pub evictions: AtomicU64,
+    /// Steps completed in degraded form (some reader evicted/skipped).
+    pub degraded_steps: AtomicU64,
 }
 
 impl ProtocolCounters {
@@ -93,6 +109,21 @@ impl ProtocolCounters {
             self.step_msgs.load(Ordering::Relaxed),
             self.ack_msgs.load(Ordering::Relaxed),
             self.plugin_msgs.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snapshot of the resiliency counters as plain numbers `(retries,
+    /// dup_msgs, reorder_healed, drops_observed, eos_synthesized,
+    /// evictions, degraded_steps)`.
+    pub fn resilience_snapshot(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.retries.load(Ordering::Relaxed),
+            self.dup_msgs.load(Ordering::Relaxed),
+            self.reorder_healed.load(Ordering::Relaxed),
+            self.drops_observed.load(Ordering::Relaxed),
+            self.eos_synthesized.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.degraded_steps.load(Ordering::Relaxed),
         )
     }
 

@@ -75,7 +75,10 @@ impl StreamReader {
                 from_ranks: (0..nranks).map(|_| None).collect(),
                 to_ranks: (0..nranks).map(|_| None).collect(),
                 ctrl_tx: link.claim_sender(ChannelId::ControlToWriter),
-                ctrl_in: CtrlIn::new(link.claim_receiver(ChannelId::ControlToReader)),
+                ctrl_in: CtrlIn::new(
+                    link.claim_receiver(ChannelId::ControlToReader),
+                    Arc::clone(&link.counters),
+                ),
                 cached_sels: vec![Vec::new(); nranks],
                 all_plugins: Vec::new(),
             };
@@ -190,7 +193,7 @@ impl StreamReader {
                 counters.bump(&counters.gather_msgs);
             }
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
-            let go = recv_record(rx, hints.recv_timeout, hints.retries)?;
+            let go = recv_record(rx, &hints, &counters)?;
             match protocol::kind_of(&go) {
                 "go" => {
                     let step = go
@@ -228,10 +231,20 @@ impl StreamReader {
                 }
             }
 
-            // Step header (or EOS) from the writer coordinator.
+            // Step header (or EOS) from the writer coordinator. Under
+            // `eos_on_silence` a writer that died without closing (crash
+            // faults, abandoned streams) degrades into a synthesized EOS
+            // instead of an error: the reader side drains and ends cleanly.
             let header = {
                 let coord = self.coord.as_mut().expect("rank 0 is coordinator");
-                coord.ctrl_in.recv_expect(&[msg::STEP, msg::EOS], &hints)?
+                match coord.ctrl_in.recv_expect(&[msg::STEP, msg::EOS], &hints) {
+                    Ok(h) => h,
+                    Err(StreamError::Timeout) if hints.eos_on_silence => {
+                        counters.bump(&counters.eos_synthesized);
+                        protocol::message(msg::EOS)
+                    }
+                    Err(e) => return Err(e),
+                }
             };
             if protocol::kind_of(&header) == msg::EOS {
                 let coord = self.coord.as_mut().expect("rank 0 is coordinator");
@@ -287,7 +300,7 @@ impl StreamReader {
                         let rx = coord.from_ranks[r].get_or_insert_with(|| {
                             link.claim_receiver(ChannelId::ReaderSide { rank: r, up: true })
                         });
-                        let m = recv_record(rx, hints.recv_timeout, hints.retries)?;
+                        let m = recv_record(rx, &hints, &counters)?;
                         let sels = m
                             .get_record("sels")
                             .and_then(decode_subscriptions)
@@ -381,7 +394,7 @@ impl StreamReader {
             };
             let mut records = Vec::with_capacity(expected);
             for _ in 0..expected {
-                let record = recv_record(rx, self.hints.recv_timeout, self.hints.retries)?;
+                let record = recv_record(rx, &self.hints, &counters)?;
                 records.push(record);
             }
             for record in records {
@@ -501,7 +514,7 @@ impl StreamReader {
                     .encode(),
             );
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
-            let decision = recv_record(rx, hints.recv_timeout, hints.retries)?;
+            let decision = recv_record(rx, &hints, &self.link.counters)?;
             if protocol::kind_of(&decision) != msg::TXN_COMMIT {
                 return Err(StreamError::Protocol("expected txn_commit".into()));
             }
@@ -514,7 +527,7 @@ impl StreamReader {
             let rx = coord.from_ranks[r].get_or_insert_with(|| {
                 link.claim_receiver(ChannelId::ReaderSide { rank: r, up: true })
             });
-            let m = recv_record(rx, hints.recv_timeout, hints.retries)?;
+            let m = recv_record(rx, &hints, &link.counters)?;
             if protocol::kind_of(&m) != "txn_recv" {
                 return Err(StreamError::Protocol("expected txn_recv".into()));
             }

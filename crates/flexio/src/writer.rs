@@ -16,7 +16,7 @@
 //! step and carries end-of-stream; it is deliberately outside the
 //! handshake counters, which measure steps 1–3 only.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use adios::{ProcessGroup, VarValue, WriteEngine};
@@ -25,7 +25,7 @@ use evpath::{BoxedReceiver, BoxedSender, FieldValue, Record};
 use crate::link::{recv_record, ChannelId, LinkState, StreamError, StreamHints};
 use crate::monitor::MonitorEvent;
 use crate::plugins::{InstalledPlugin, PluginPlacement, PluginSpec};
-use crate::protocol::{self, msg, CachingLevel, WriteMode};
+use crate::protocol::{self, msg, CachingLevel, ProtocolCounters, WriteMode};
 use crate::redistribute::{self, ChunkPlan, Subscription, VarMeta};
 
 /// Control-channel receiver with a pending queue so out-of-band messages
@@ -33,11 +33,12 @@ use crate::redistribute::{self, ChunkPlan, Subscription, VarMeta};
 pub(crate) struct CtrlIn {
     rx: BoxedReceiver,
     pending: VecDeque<Record>,
+    counters: Arc<ProtocolCounters>,
 }
 
 impl CtrlIn {
-    pub(crate) fn new(rx: BoxedReceiver) -> CtrlIn {
-        CtrlIn { rx, pending: VecDeque::new() }
+    pub(crate) fn new(rx: BoxedReceiver, counters: Arc<ProtocolCounters>) -> CtrlIn {
+        CtrlIn { rx, pending: VecDeque::new(), counters }
     }
 
     /// Blocking receive of the next message whose kind is in `expect`;
@@ -56,7 +57,7 @@ impl CtrlIn {
             return Ok(self.pending.remove(idx).expect("index valid"));
         }
         loop {
-            let record = recv_record(&mut self.rx, hints.recv_timeout, hints.retries)?;
+            let record = recv_record(&mut self.rx, hints, &self.counters)?;
             if expect.contains(&protocol::kind_of(&record)) {
                 return Ok(record);
             }
@@ -99,6 +100,9 @@ struct WriterCoord {
     cached_sels: Option<Vec<Vec<Subscription>>>,
     /// Writer-side plug-in specs currently active.
     writer_plugins: Vec<PluginSpec>,
+    /// Eviction set the current plan was computed against; when the link
+    /// records further evictions the plan is dirty and must be redrawn.
+    planned_evictions: HashSet<usize>,
 }
 
 /// Stream-mode [`WriteEngine`]: one per writer rank.
@@ -139,6 +143,7 @@ impl StreamWriter {
                 cached_dists: vec![Vec::new(); nranks],
                 cached_sels: None,
                 writer_plugins: Vec::new(),
+                planned_evictions: HashSet::new(),
             };
             (None, None, Some(coord))
         } else {
@@ -283,7 +288,7 @@ impl StreamWriter {
             }
             // Step 3: receive the go (plan/plugins when changed).
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
-            let go = recv_record(rx, hints.recv_timeout, hints.retries)?;
+            let go = recv_record(rx, &hints, &counters)?;
             if protocol::kind_of(&go) != "go" {
                 return Err(StreamError::Protocol(format!(
                     "expected go, got {}",
@@ -314,7 +319,10 @@ impl StreamWriter {
         let coord = self.coord.as_mut().expect("rank 0 is coordinator");
         if coord.ctrl_tx.is_none() {
             coord.ctrl_tx = Some(link.claim_sender(ChannelId::ControlToReader));
-            coord.ctrl_in = Some(CtrlIn::new(link.claim_receiver(ChannelId::ControlToWriter)));
+            coord.ctrl_in = Some(CtrlIn::new(
+                link.claim_receiver(ChannelId::ControlToWriter),
+                Arc::clone(&link.counters),
+            ));
         }
 
         // Drain dynamically-deployed plug-in updates (separate logical
@@ -335,7 +343,7 @@ impl StreamWriter {
                 let rx = coord.from_ranks[r].get_or_insert_with(|| {
                     link.claim_receiver(ChannelId::WriterSide { rank: r, up: true })
                 });
-                let m = recv_record(rx, hints.recv_timeout, hints.retries)?;
+                let m = recv_record(rx, &hints, &counters)?;
                 let metas = m
                     .get_record("metas")
                     .and_then(Self::decode_metas)
@@ -387,12 +395,27 @@ impl StreamWriter {
             plan_dirty = true;
         }
 
+        // Steps degrade around evicted readers: their selections are
+        // cleared so the plan routes nothing at a corpse, and the plan is
+        // recomputed whenever the eviction set has grown since it was
+        // last drawn up. Surviving readers' columns are untouched.
+        let evicted = link.evicted_readers();
+        if evicted != coord.planned_evictions {
+            coord.planned_evictions = evicted.clone();
+            plan_dirty = true;
+        }
+
         // Step 3: compute + broadcast the plan when it changed.
-        let sels = coord
+        let cached = coord
             .cached_sels
             .as_ref()
             .expect("selections known after first exchange");
-        let full_plan = redistribute::plan(&coord.cached_dists, sels);
+        let sels: Vec<Vec<Subscription>> = cached
+            .iter()
+            .enumerate()
+            .map(|(r, s)| if evicted.contains(&r) { Vec::new() } else { s.clone() })
+            .collect();
+        let full_plan = redistribute::plan(&coord.cached_dists, &sels);
         self.reader_count = sels.len();
 
         let plugin_record = plugin_dirty.then(|| encode_plugin_specs(&coord.writer_plugins));
@@ -430,7 +453,10 @@ impl StreamWriter {
         let monitor = self.link.monitor.clone();
         let plan_row = self.cached_plan_row.clone();
         for (r, chunks) in plan_row.iter().enumerate() {
-            if chunks.is_empty() {
+            // An eviction recorded mid-step (by another writer rank) is
+            // honoured immediately — no point feeding a corpse's queue
+            // until the coordinator re-plans.
+            if chunks.is_empty() || self.link.is_evicted(r) {
                 continue;
             }
             let mut encoded_chunks = Vec::with_capacity(chunks.len());
@@ -509,16 +535,21 @@ impl StreamWriter {
                 }
             }
         }
-        // Synchronous mode: wait for per-reader acknowledgements.
+        // Synchronous mode: wait for per-reader acknowledgements. A reader
+        // that exhausts the timeout-and-retry budget is *evicted* rather
+        // than failing the stream (§II.H): the step completes degraded,
+        // survivors keep their data, and the coordinator re-plans around
+        // the corpse at the next step.
         if self.hints.write_mode == WriteMode::Sync {
             let readers_with_data: Vec<usize> = plan_row
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| !c.is_empty())
+                .filter(|(r, c)| !c.is_empty() && !self.link.is_evicted(*r))
                 .map(|(r, _)| r)
                 .collect();
             let monitor = self.link.monitor.clone();
             let start = std::time::Instant::now();
+            let mut degraded = false;
             for r in readers_with_data {
                 let rx = {
                     let link = &self.link;
@@ -527,10 +558,23 @@ impl StreamWriter {
                         .entry(r)
                         .or_insert_with(|| link.claim_receiver(ChannelId::Ack { w: rank, r }))
                 };
-                let ack = recv_record(rx, self.hints.recv_timeout, self.hints.retries)?;
-                if protocol::kind_of(&ack) != msg::ACK {
-                    return Err(StreamError::Protocol("expected ack".to_string()));
+                match recv_record(rx, &self.hints, &counters) {
+                    Ok(ack) => {
+                        if protocol::kind_of(&ack) != msg::ACK {
+                            return Err(StreamError::Protocol("expected ack".to_string()));
+                        }
+                    }
+                    Err(StreamError::Timeout) => {
+                        degraded = true;
+                        if self.link.evict_reader(r) {
+                            counters.bump(&counters.evictions);
+                        }
+                    }
+                    Err(e) => return Err(e),
                 }
+            }
+            if degraded {
+                counters.bump(&counters.degraded_steps);
             }
             monitor.record(
                 MonitorEvent::SyncWait,
@@ -594,7 +638,7 @@ impl StreamWriter {
                         .encode(),
                 );
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
-            let decision = recv_record(rx, hints.recv_timeout, hints.retries)?;
+            let decision = recv_record(rx, &hints, &self.link.counters)?;
             if protocol::kind_of(&decision) != msg::TXN_COMMIT {
                 return Err(StreamError::Protocol("expected txn_commit".to_string()));
             }
@@ -608,7 +652,7 @@ impl StreamWriter {
             let rx = coord.from_ranks[r].get_or_insert_with(|| {
                 link.claim_receiver(ChannelId::WriterSide { rank: r, up: true })
             });
-            let sent = recv_record(rx, hints.recv_timeout, hints.retries)?;
+            let sent = recv_record(rx, &hints, &link.counters)?;
             if protocol::kind_of(&sent) != "txn_sent" {
                 return Err(StreamError::Protocol("expected txn_sent".to_string()));
             }
@@ -670,6 +714,21 @@ impl WriteEngine for StreamWriter {
             return;
         }
         self.closed = true;
+        self.close_notify();
+    }
+}
+
+impl StreamWriter {
+    /// Kill this writer without the end-of-stream courtesy message —
+    /// exactly what an abrupt process death looks like to the reader
+    /// side. Readers coupled with `eos_on_silence` drain whatever steps
+    /// already arrived and then see a synthesized EOS; others surface
+    /// [`StreamError::Timeout`]. Test/chaos API.
+    pub fn abandon(mut self) {
+        self.closed = true; // Drop::close() becomes a no-op
+    }
+
+    fn close_notify(&mut self) {
         if self.rank == 0 {
             if let Some(coord) = self.coord.as_mut() {
                 // A reader may never have attached (stream never used);

@@ -1,0 +1,112 @@
+//! Shared harness for the stream integration tests: coupled writer/reader
+//! programs running as real thread groups on the modelled machine.
+#![allow(dead_code)]
+
+use std::thread;
+
+use adios::{ArrayData, LocalBlock, VarValue};
+use flexio::{FlexIo, StreamHints};
+use machine::{laptop, CoreLocation};
+
+/// Deterministic core roster: writers fill node 0 onward, readers fill
+/// from the last node backward, so small configs get cross-placement
+/// coverage.
+pub fn writer_core(rank: usize) -> CoreLocation {
+    let m = laptop().node;
+    m.location_of(rank)
+}
+
+pub fn reader_core(rank: usize) -> CoreLocation {
+    let m = laptop();
+    m.node.location_of(m.total_cores() - 1 - rank)
+}
+
+pub fn writer_roster(n: usize) -> Vec<CoreLocation> {
+    (0..n).map(writer_core).collect()
+}
+
+pub fn reader_roster(n: usize) -> Vec<CoreLocation> {
+    (0..n).map(reader_core).collect()
+}
+
+/// Run a coupled writer/reader pair with per-side hints; returns
+/// (writer results, reader results). The fault-injection tests need the
+/// sides to differ (e.g. the writer times out fast while the reader is
+/// patient), which is why the hints are split.
+pub fn couple_with<TW, TR>(
+    nwriters: usize,
+    nreaders: usize,
+    writer_hints: StreamHints,
+    reader_hints: StreamHints,
+    writer_body: impl Fn(flexio::StreamWriter, usize) -> TW + Send + Sync + 'static,
+    reader_body: impl Fn(flexio::StreamReader, usize) -> TR + Send + Sync + 'static,
+) -> (Vec<TW>, Vec<TR>)
+where
+    TW: Send + 'static,
+    TR: Send + 'static,
+{
+    let io = FlexIo::new(laptop(), 4);
+    let io_w = io.clone();
+    let io_r = io.clone();
+    let wt = thread::spawn(move || {
+        rankrt::launch_named(nwriters, "sim", move |comm| {
+            let rank = comm.rank();
+            let w = io_w
+                .open_writer(
+                    "stream",
+                    rank,
+                    nwriters,
+                    writer_core(rank),
+                    writer_roster(nwriters),
+                    writer_hints.clone(),
+                )
+                .expect("open writer");
+            writer_body(w, rank)
+        })
+    });
+    let rt = thread::spawn(move || {
+        rankrt::launch_named(nreaders, "ana", move |comm| {
+            let rank = comm.rank();
+            let r = io_r
+                .open_reader(
+                    "stream",
+                    rank,
+                    nreaders,
+                    reader_core(rank),
+                    reader_roster(nreaders),
+                    reader_hints.clone(),
+                )
+                .expect("open reader");
+            reader_body(r, rank)
+        })
+    });
+    (wt.join().expect("writers"), rt.join().expect("readers"))
+}
+
+/// Same-hints convenience wrapper.
+pub fn couple<TW, TR>(
+    nwriters: usize,
+    nreaders: usize,
+    hints: StreamHints,
+    writer_body: impl Fn(flexio::StreamWriter, usize) -> TW + Send + Sync + 'static,
+    reader_body: impl Fn(flexio::StreamReader, usize) -> TR + Send + Sync + 'static,
+) -> (Vec<TW>, Vec<TR>)
+where
+    TW: Send + 'static,
+    TR: Send + 'static,
+{
+    couple_with(nwriters, nreaders, hints.clone(), hints, writer_body, reader_body)
+}
+
+pub fn block_1d(offset: u64, data: Vec<f64>, global: u64) -> VarValue {
+    let count = data.len() as u64;
+    VarValue::Block(
+        LocalBlock {
+            global_shape: vec![global],
+            offset: vec![offset],
+            count: vec![count],
+            data: ArrayData::F64(data),
+        }
+        .validated(),
+    )
+}

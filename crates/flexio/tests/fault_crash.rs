@@ -1,0 +1,214 @@
+//! Endpoint-crash integration tests: a writer that dies mid-stream must
+//! degrade into a synthesized end-of-stream on the reader side (after the
+//! buffered steps are drained), and a reader rank that dies mid-stream
+//! must be evicted so the surviving readers keep receiving correct data.
+
+mod common;
+
+use std::sync::Arc;
+
+use adios::{BoxSel, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use common::{block_1d, couple_with};
+use evpath::{FaultPlan, FaultSpec};
+use flexio::link::StreamError;
+use flexio::{CachingLevel, StreamHints, WriteMode};
+
+#[test]
+fn abandoned_writer_becomes_synthesized_eos() {
+    // The writer vanishes without the end-of-stream courtesy message. An
+    // `eos_on_silence` reader drains the two steps that made it out, then
+    // reports a clean EndOfStream instead of erroring.
+    let writer_hints = StreamHints::default();
+    let reader_hints = StreamHints {
+        recv_timeout: std::time::Duration::from_millis(50),
+        retries: 2,
+        eos_on_silence: true,
+        ..StreamHints::default()
+    };
+    let (_, results) = couple_with(
+        1,
+        1,
+        writer_hints,
+        reader_hints,
+        |mut w, _| {
+            for step in 0..2 {
+                w.begin_step(step);
+                w.write("v", block_1d(0, vec![step as f64; 3], 3));
+                w.end_step();
+            }
+            w.abandon(); // no EOS, no nothing — as if the process died
+        },
+        |mut r, _| {
+            r.subscribe("v", Selection::GlobalBox(BoxSel::new(vec![0], vec![3])));
+            let mut steps = Vec::new();
+            loop {
+                match r.begin_step() {
+                    StepStatus::Step(s) => {
+                        let v =
+                            r.read("v", &Selection::GlobalBox(BoxSel::new(vec![0], vec![3]))).unwrap();
+                        let VarValue::Block(b) = v else { panic!() };
+                        assert_eq!(b.data.as_f64(), &[s as f64; 3]);
+                        steps.push(s);
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            (steps, r.link().clone())
+        },
+    );
+    let (steps, link) = &results[0];
+    assert_eq!(steps, &vec![0, 1], "both completed steps must be drained first");
+    let eos_synthesized = link.counters.resilience_snapshot().4;
+    assert_eq!(eos_synthesized, 1, "silence must have been converted to EOS once");
+}
+
+#[test]
+fn writer_ctrl_crash_drains_buffered_steps_then_eos() {
+    // The writer's control channel "crashes" after exactly 4 sends (a
+    // deterministic count, not a timing race): under CACHING_ALL that is
+    // STEP₀ + WRITER_INFO₀ + STEP₁ + STEP₂. The writer keeps happily
+    // writing 6 steps into the void; the readers must observe exactly
+    // steps 0–2 and then a synthesized EOS fanned out to every rank.
+    let mut plan = FaultPlan::new(11);
+    plan.set("ctrl:w2r", FaultSpec { crash_sender_after: Some(4), ..Default::default() });
+    let plan = Arc::new(plan);
+    let writer_hints = StreamHints {
+        caching: CachingLevel::CachingAll,
+        faults: Some(Arc::clone(&plan)),
+        ..StreamHints::default()
+    };
+    let reader_hints = StreamHints {
+        caching: CachingLevel::CachingAll,
+        recv_timeout: std::time::Duration::from_millis(60),
+        retries: 2,
+        eos_on_silence: true,
+        faults: Some(Arc::clone(&plan)),
+        ..StreamHints::default()
+    };
+    let (_, results) = couple_with(
+        1,
+        2,
+        writer_hints,
+        reader_hints,
+        |mut w, _| {
+            for step in 0..6 {
+                w.begin_step(step);
+                w.write("v", block_1d(0, (0..8).map(|i| (step * 10 + i) as f64).collect(), 8));
+                w.end_step();
+            }
+            w.close(); // the EOS is swallowed by the crashed channel too
+        },
+        |mut r, rank| {
+            let my_box = BoxSel::new(vec![rank as u64 * 4], vec![4]);
+            r.subscribe("v", Selection::GlobalBox(my_box.clone()));
+            let mut steps = Vec::new();
+            loop {
+                // Poll-until-EOS: a non-coordinator rank's wait can expire
+                // just before the coordinator's synthesized EOS reaches it,
+                // so treat Timeout as "not yet" rather than fatal.
+                match r.try_begin_step() {
+                    Ok(StepStatus::Step(s)) => {
+                        let v = r.read("v", &Selection::GlobalBox(my_box.clone())).unwrap();
+                        let VarValue::Block(b) = v else { panic!() };
+                        for (i, &x) in b.data.as_f64().iter().enumerate() {
+                            assert_eq!(x, (s * 10 + rank as u64 * 4 + i as u64) as f64);
+                        }
+                        steps.push(s);
+                        r.end_step();
+                    }
+                    Ok(StepStatus::EndOfStream) => break,
+                    Err(StreamError::Timeout) => continue,
+                    Err(e) => panic!("reader failed: {e}"),
+                }
+            }
+            (steps, r.link().clone())
+        },
+    );
+    for (rank, (steps, _)) in results.iter().enumerate() {
+        assert_eq!(steps, &vec![0, 1, 2], "rank {rank} must drain exactly the delivered steps");
+    }
+    let link = &results[0].1;
+    assert_eq!(link.counters.resilience_snapshot().4, 1, "one synthesized EOS");
+    let crashed = plan.counters().snapshot().4;
+    assert_eq!(crashed, 4, "STEP₃..₅ and the EOS must have hit the dead channel");
+}
+
+#[test]
+fn crashed_reader_is_evicted_and_survivors_keep_correct_data() {
+    // 2 writers × 2 readers with overlapping boxes so every writer feeds
+    // every reader. Reader rank 1 dies after two steps; the writers (Sync
+    // mode, short ack budget) must evict it, finish the degraded step, and
+    // re-plan around the corpse — while reader rank 0 receives bit-correct
+    // arrays for all 6 steps.
+    const STEPS: u64 = 6;
+    let writer_hints = StreamHints {
+        caching: CachingLevel::CachingLocal,
+        write_mode: WriteMode::Sync,
+        recv_timeout: std::time::Duration::from_millis(40),
+        retries: 1,
+        ..StreamHints::default()
+    };
+    let reader_hints = StreamHints {
+        caching: CachingLevel::CachingLocal,
+        write_mode: WriteMode::Sync,
+        recv_timeout: std::time::Duration::from_millis(400),
+        retries: 3,
+        ..StreamHints::default()
+    };
+    let (links, survivor_steps) = couple_with(
+        2,
+        2,
+        writer_hints,
+        reader_hints,
+        |mut w, rank| {
+            for step in 0..STEPS {
+                w.begin_step(step);
+                let data: Vec<f64> =
+                    (0..6).map(|i| (step * 100 + rank as u64 * 6 + i) as f64).collect();
+                w.write("field", block_1d(rank as u64 * 6, data, 12));
+                w.end_step();
+            }
+            let link = w.link().clone();
+            w.close();
+            link
+        },
+        |mut r, rank| {
+            // r0 wants [2, 8), r1 wants [4, 10): both straddle the writer
+            // boundary at 6, so both writers send to both readers.
+            let my_box = BoxSel::new(vec![2 + rank as u64 * 2], vec![6]);
+            r.subscribe("field", Selection::GlobalBox(my_box.clone()));
+            let mut steps = 0u64;
+            loop {
+                match r.begin_step() {
+                    StepStatus::Step(step) => {
+                        let v = r.read("field", &Selection::GlobalBox(my_box.clone())).unwrap();
+                        let VarValue::Block(b) = v else { panic!() };
+                        for (i, &x) in b.data.as_f64().iter().enumerate() {
+                            let g = 2 + rank as u64 * 2 + i as u64;
+                            assert_eq!(x, (step * 100 + g) as f64, "step {step} idx {g}");
+                        }
+                        steps += 1;
+                        r.end_step();
+                        if rank == 1 && steps == 2 {
+                            return steps; // rank 1 "crashes": drops mid-stream
+                        }
+                    }
+                    StepStatus::EndOfStream => return steps,
+                }
+            }
+        },
+    );
+
+    // The survivor saw the whole stream, the corpse exactly its 2 steps.
+    assert_eq!(survivor_steps, vec![STEPS, 2]);
+
+    let (_, _, _, _, eos_synth, evictions, degraded) = links[0].counters.resilience_snapshot();
+    assert_eq!(evictions, 1, "reader 1 evicted exactly once");
+    assert!(
+        (1..=2).contains(&degraded),
+        "the step that hit the ack timeout completed degraded: {degraded}"
+    );
+    assert_eq!(eos_synth, 0, "the writer closed cleanly; no EOS synthesis involved");
+    assert!(links[0].is_evicted(1) && !links[0].is_evicted(0));
+}

@@ -1,0 +1,114 @@
+//! Replay determinism: the fault plan's decisions are a pure function of
+//! (seed, channel label, message ordinal), so two runs of the same coupled
+//! program under the same seed must inject — and heal — the exact same
+//! faults, down to identical counter values. The seed can be swept from
+//! the outside via `FLEXIO_FAULT_SEED` (the verify script loops over 20).
+
+mod common;
+
+use std::sync::Arc;
+
+use adios::{BoxSel, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use common::{block_1d, couple};
+use evpath::{FaultPlan, FaultSpec};
+use flexio::{CachingLevel, StreamHints};
+
+/// Everything about a run that must be reproducible. `retries` is timing
+/// dependent (a fast machine may win a race a loaded one loses) and is
+/// deliberately excluded; every fault decision and every healing action is
+/// not.
+#[derive(Debug, PartialEq)]
+struct RunSignature {
+    protocol: (u64, u64, u64, u64, u64, u64, u64),
+    dup_msgs: u64,
+    reorder_healed: u64,
+    drops_observed: u64,
+    eos_synthesized: u64,
+    evictions: u64,
+    faults: (u64, u64, u64, u64, u64, u64, u64),
+}
+
+fn run_once(seed: u64) -> RunSignature {
+    const STEPS: u64 = 3;
+    let mut plan = FaultPlan::new(seed);
+    plan.set(
+        "data",
+        FaultSpec { dup_per_mille: 500, reorder_per_mille: 500, ..Default::default() },
+    );
+    let plan = Arc::new(plan);
+    let hints = StreamHints {
+        caching: CachingLevel::CachingAll,
+        faults: Some(Arc::clone(&plan)),
+        ..StreamHints::default()
+    };
+    let (links, steps) = couple(
+        3,
+        2,
+        hints,
+        |mut w, rank| {
+            for step in 0..STEPS {
+                w.begin_step(step);
+                let data: Vec<f64> =
+                    (0..4).map(|i| (step * 100 + rank as u64 * 4 + i) as f64).collect();
+                w.write("field", block_1d(rank as u64 * 4, data, 12));
+                w.end_step();
+            }
+            let link = w.link().clone();
+            w.close();
+            link
+        },
+        move |mut r, rank| {
+            let my_box = BoxSel::new(vec![rank as u64 * 6], vec![6]);
+            r.subscribe("field", Selection::GlobalBox(my_box.clone()));
+            let mut steps = 0;
+            loop {
+                match r.begin_step() {
+                    StepStatus::Step(step) => {
+                        let v = r.read("field", &Selection::GlobalBox(my_box.clone())).unwrap();
+                        let VarValue::Block(b) = v else { panic!() };
+                        for (i, &x) in b.data.as_f64().iter().enumerate() {
+                            let g = rank as u64 * 6 + i as u64;
+                            assert_eq!(x, (step * 100 + g) as f64, "seed {seed} step {step} idx {g}");
+                        }
+                        steps += 1;
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            steps
+        },
+    );
+    assert_eq!(steps, vec![STEPS as usize, STEPS as usize], "seed {seed} lost data");
+    let (_retries, dup_msgs, reorder_healed, drops_observed, eos_synthesized, evictions, _) =
+        links[0].counters.resilience_snapshot();
+    RunSignature {
+        protocol: links[0].counters.snapshot(),
+        dup_msgs,
+        reorder_healed,
+        drops_observed,
+        eos_synthesized,
+        evictions,
+        faults: plan.counters().snapshot(),
+    }
+}
+
+#[test]
+fn same_seed_replays_identical_fault_schedule() {
+    let seed = std::env::var("FLEXIO_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xF1EC5);
+    let first = run_once(seed);
+    let second = run_once(seed);
+    assert_eq!(first, second, "seed {seed} must replay bit-identical counters");
+    // And the schedule was not vacuously empty: at 50% rates over the
+    // run's data messages, at least one fault fires for any seed (the
+    // odds of a fully quiet schedule are ~2⁻²⁴, and the seed sweep in the
+    // verify script would surface such a degenerate seed immediately).
+    let (_, duplicated, reordered, ..) = first.faults;
+    assert!(
+        duplicated + reordered > 0,
+        "seed {seed} injected nothing — not a meaningful replay test"
+    );
+}

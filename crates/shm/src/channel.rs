@@ -34,6 +34,28 @@ const KIND_INLINE: u8 = 0;
 const KIND_POOLED: u8 = 1;
 const KIND_MAPPED: u8 = 2;
 
+/// Error surfaced by the receive path when a control frame cannot be
+/// interpreted. A corrupt frame no longer brings the process down; callers
+/// (the evpath transport layer) treat it as a dropped message and let the
+/// protocol's timeout/retry machinery degrade gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The control frame was malformed: truncated, an unknown kind byte, a
+    /// token with no parked transfer, or a token parked under a different
+    /// transfer kind than the frame claims.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::Corrupt(reason) => write!(f, "corrupt control frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
 /// An in-flight large transfer parked in the side table. The token travels
 /// through the data queue as the stand-in for the paper's
 /// "(address, length)" control message.
@@ -103,7 +125,7 @@ impl ShmSender {
             let mut framed = Vec::with_capacity(payload.len() + 1);
             framed.push(KIND_INLINE);
             framed.extend_from_slice(payload);
-            self.queue.push(&framed);
+            self.queue.push(&framed).expect("inline frame fits entry capacity");
             return;
         }
         let mut buf = self.pool.acquire(payload.len());
@@ -115,7 +137,9 @@ impl ShmSender {
             token,
             Transfer::Pooled { buf, len: payload.len() },
         );
-        self.queue.push(&control_frame(KIND_POOLED, token));
+        self.queue
+            .push(&control_frame(KIND_POOLED, token))
+            .expect("control frame fits entry capacity");
     }
 
     /// Synchronous one-copy send (XPMEM emulation): shares the caller's
@@ -129,7 +153,9 @@ impl ShmSender {
             token,
             Transfer::Mapped { data: payload, done: done_tx },
         );
-        self.queue.push(&control_frame(KIND_MAPPED, token));
+        self.queue
+            .push(&control_frame(KIND_MAPPED, token))
+            .expect("control frame fits entry capacity");
         // Block until the consumer releases the mapping.
         done_rx.recv().expect("consumer dropped mid-transfer");
     }
@@ -185,61 +211,71 @@ impl ShmSender {
 }
 
 impl ShmReceiver {
-    /// Blocking receive; returns the payload bytes.
-    pub fn recv(&mut self) -> Vec<u8> {
+    /// Blocking receive; returns the payload bytes, or the corruption error
+    /// for a frame that cannot be decoded.
+    pub fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
         loop {
-            if let Some(msg) = self.try_recv() {
-                return msg;
+            match self.try_recv() {
+                Ok(Some(msg)) => return Ok(msg),
+                Ok(None) => std::hint::spin_loop(),
+                Err(e) => return Err(e),
             }
-            std::hint::spin_loop();
         }
     }
 
-    /// Non-blocking receive.
-    pub fn try_recv(&mut self) -> Option<Vec<u8>> {
-        let frame = self.queue.try_pop()?;
-        Some(self.decode(frame))
+    /// Non-blocking receive. `Ok(None)` means the queue is currently empty;
+    /// `Err` means a frame arrived but was corrupt (and was consumed).
+    pub fn try_recv(&mut self) -> Result<Option<Vec<u8>>, ChannelError> {
+        match self.queue.try_pop() {
+            Some(frame) => self.decode(frame).map(Some),
+            None => Ok(None),
+        }
     }
 
-    fn decode(&mut self, frame: Vec<u8>) -> Vec<u8> {
-        match frame[0] {
-            KIND_INLINE => frame[1..].to_vec(),
+    fn decode(&mut self, frame: Vec<u8>) -> Result<Vec<u8>, ChannelError> {
+        let Some(&kind) = frame.first() else {
+            return Err(ChannelError::Corrupt("empty frame"));
+        };
+        match kind {
+            KIND_INLINE => Ok(frame[1..].to_vec()),
             KIND_POOLED => {
-                let token = token_of(&frame);
+                let token = token_of(&frame)?;
                 let transfer = self
                     .shared
                     .transfers
                     .lock()
                     .remove(&token)
-                    .expect("pooled transfer parked before control message");
+                    .ok_or(ChannelError::Corrupt("pooled token has no parked transfer"))?;
                 let Transfer::Pooled { buf, len } = transfer else {
-                    panic!("token kind mismatch");
+                    // Don't reinsert: a kind/token mismatch means the frame
+                    // stream is already untrustworthy for this token.
+                    return Err(ChannelError::Corrupt("token parked as mapped, frame says pooled"));
                 };
                 // Copy 2 of 2: pooled buffer -> target buffer.
                 let out = buf.as_slice()[..len].to_vec();
                 self.shared.consumer_copies.fetch_add(1, Ordering::Relaxed);
                 self.pool.give_back(buf);
-                out
+                Ok(out)
             }
             KIND_MAPPED => {
-                let token = token_of(&frame);
+                let token = token_of(&frame)?;
                 let transfer = self
                     .shared
                     .transfers
                     .lock()
                     .remove(&token)
-                    .expect("mapped transfer parked before control message");
+                    .ok_or(ChannelError::Corrupt("mapped token has no parked transfer"))?;
                 let Transfer::Mapped { data, done } = transfer else {
-                    panic!("token kind mismatch");
+                    return Err(ChannelError::Corrupt("token parked as pooled, frame says mapped"));
                 };
                 // The only copy: producer's (shared) source -> target.
                 let out = data.as_slice().to_vec();
                 self.shared.consumer_copies.fetch_add(1, Ordering::Relaxed);
                 drop(data); // release the "mapping"
                 let _ = done.send(());
-                out
+                Ok(out)
             }
-            k => panic!("corrupt control frame kind {k}"),
+            _ => Err(ChannelError::Corrupt("unknown frame kind")),
         }
     }
 
@@ -256,8 +292,11 @@ fn control_frame(kind: u8, token: u64) -> [u8; 9] {
     frame
 }
 
-fn token_of(frame: &[u8]) -> u64 {
-    u64::from_le_bytes(frame[1..9].try_into().expect("control frame token"))
+fn token_of(frame: &[u8]) -> Result<u64, ChannelError> {
+    let bytes = frame
+        .get(1..9)
+        .ok_or(ChannelError::Corrupt("truncated control frame"))?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes")))
 }
 
 #[cfg(test)]
@@ -269,7 +308,7 @@ mod tests {
     fn inline_roundtrip() {
         let (mut tx, mut rx) = shm_channel(8, 64);
         tx.send_copy(b"small");
-        assert_eq!(rx.recv(), b"small");
+        assert_eq!(rx.recv().unwrap(), b"small");
         // No large-path copies for inline messages.
         assert_eq!(tx.producer_copies(), 0);
         assert_eq!(rx.consumer_copies(), 0);
@@ -280,7 +319,7 @@ mod tests {
         let (mut tx, mut rx) = shm_channel(8, 64);
         let payload = vec![7u8; 100_000];
         tx.send_copy(&payload);
-        assert_eq!(rx.recv(), payload);
+        assert_eq!(rx.recv().unwrap(), payload);
         assert_eq!(tx.producer_copies(), 1, "producer copies into the pool");
         assert_eq!(rx.consumer_copies(), 1, "consumer copies out of the pool");
     }
@@ -294,7 +333,7 @@ mod tests {
             tx.send_mapped(payload);
             tx // return to inspect counters after the sync send completes
         });
-        assert_eq!(rx.recv(), expect);
+        assert_eq!(rx.recv().unwrap(), expect);
         let tx = t.join().unwrap();
         assert_eq!(tx.producer_copies(), 0, "producer shares, never copies");
         assert_eq!(rx.consumer_copies(), 1);
@@ -313,7 +352,7 @@ mod tests {
         // Give the sender a moment: it must NOT complete before we recv.
         thread::sleep(std::time::Duration::from_millis(30));
         assert!(!sent.load(Ordering::SeqCst), "synchronous send returned early");
-        let _ = rx.recv();
+        let _ = rx.recv().unwrap();
         t.join().unwrap();
         assert!(sent.load(Ordering::SeqCst));
     }
@@ -324,7 +363,7 @@ mod tests {
         let payload = vec![1u8; 1 << 16];
         for _ in 0..50 {
             tx.send_copy(&payload);
-            let _ = rx.recv();
+            let _ = rx.recv().unwrap();
         }
         let stats = tx.pool_stats();
         assert_eq!(stats.misses, 1, "only the first send allocates: {stats:?}");
@@ -344,7 +383,7 @@ mod tests {
             }
         });
         for i in 0u32..500 {
-            let msg = rx.recv();
+            let msg = rx.recv().unwrap();
             if i % 3 == 0 {
                 assert_eq!(msg.len(), 10_000);
                 assert!(msg.iter().all(|&b| b == i as u8));
@@ -365,9 +404,60 @@ mod tests {
         assert_eq!(tx.try_send_copy(&big), Err(PushError::Full));
         // Drain and verify the two successful sends arrive intact; the
         // rolled-back one must not leave a phantom transfer.
-        assert_eq!(rx.recv(), big);
-        assert_eq!(rx.recv(), big);
-        assert!(rx.try_recv().is_none());
+        assert_eq!(rx.recv().unwrap(), big);
+        assert_eq!(rx.recv().unwrap(), big);
+        assert!(rx.try_recv().unwrap().is_none());
         assert!(tx.shared.transfers.lock().is_empty());
+    }
+
+    #[test]
+    fn corrupt_frames_error_instead_of_panicking() {
+        // Regression: each of these frames used to panic the receiver.
+        let (mut tx, mut rx) = shm_channel(8, 64);
+
+        // Unknown kind byte.
+        tx.queue.push(&[42u8, 0, 0, 0]).unwrap();
+        assert_eq!(
+            rx.try_recv(),
+            Err(ChannelError::Corrupt("unknown frame kind"))
+        );
+
+        // Truncated control frame (pooled kind but no room for a token).
+        tx.queue.push(&[KIND_POOLED, 1, 2]).unwrap();
+        assert_eq!(
+            rx.try_recv(),
+            Err(ChannelError::Corrupt("truncated control frame"))
+        );
+
+        // Well-formed pooled frame whose token was never parked.
+        tx.queue.push(&control_frame(KIND_POOLED, 99)).unwrap();
+        assert_eq!(
+            rx.try_recv(),
+            Err(ChannelError::Corrupt("pooled token has no parked transfer"))
+        );
+
+        // Empty frame.
+        tx.queue.push(&[]).unwrap();
+        assert_eq!(rx.try_recv(), Err(ChannelError::Corrupt("empty frame")));
+
+        // The channel keeps working after every corrupt frame.
+        tx.send_copy(b"still alive");
+        assert_eq!(rx.recv().unwrap(), b"still alive");
+    }
+
+    #[test]
+    fn kind_mismatch_frame_is_corrupt() {
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        // Park a mapped transfer, then forge a POOLED frame for its token.
+        let (done_tx, _done_rx) = bounded(1);
+        tx.shared.transfers.lock().insert(
+            7,
+            Transfer::Mapped { data: Arc::new(vec![1, 2, 3]), done: done_tx },
+        );
+        tx.queue.push(&control_frame(KIND_POOLED, 7)).unwrap();
+        assert_eq!(
+            rx.try_recv(),
+            Err(ChannelError::Corrupt("token parked as mapped, frame says pooled"))
+        );
     }
 }

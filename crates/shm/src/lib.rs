@@ -37,7 +37,7 @@
 //! std::thread::spawn(move || {
 //!     tx.send_copy(b"hello from the simulation");
 //! });
-//! assert_eq!(rx.recv(), b"hello from the simulation");
+//! assert_eq!(rx.recv().unwrap(), b"hello from the simulation");
 //! ```
 
 pub mod channel;
@@ -46,6 +46,6 @@ pub mod pool;
 pub mod spsc;
 pub mod spsc_unpadded;
 
-pub use channel::{shm_channel, ShmReceiver, ShmSender};
+pub use channel::{shm_channel, ChannelError, ShmReceiver, ShmSender};
 pub use pool::{BufferPool, PoolStats};
 pub use spsc::{spsc_queue, Consumer, Producer, PushError};

@@ -157,13 +157,15 @@ impl Producer {
         Ok(())
     }
 
-    /// Enqueue, spinning until space is available.
-    pub fn push(&mut self, payload: &[u8]) {
+    /// Enqueue, spinning until space is available. Oversized payloads are
+    /// reported back to the caller (they can never succeed, so spinning on
+    /// them would hang forever).
+    pub fn push(&mut self, payload: &[u8]) -> Result<(), PushError> {
         loop {
             match self.try_push(payload) {
-                Ok(()) => return,
+                Ok(()) => return Ok(()),
                 Err(PushError::Full) => std::hint::spin_loop(),
-                Err(e @ PushError::TooLarge { .. }) => panic!("{e}"),
+                Err(e @ PushError::TooLarge { .. }) => return Err(e),
             }
         }
     }
@@ -276,10 +278,24 @@ mod tests {
     fn wraparound_preserves_order() {
         let (mut tx, mut rx) = spsc_queue(3, 16);
         for round in 0u64..50 {
-            tx.push(&round.to_le_bytes());
+            tx.push(&round.to_le_bytes()).unwrap();
             let got = rx.pop();
             assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), round);
         }
+    }
+
+    #[test]
+    fn blocking_push_reports_oversized_instead_of_panicking() {
+        // Regression: `push` used to panic on TooLarge; it must return the
+        // error so callers can fall back to the buffer pool.
+        let (mut tx, mut rx) = spsc_queue(2, 4);
+        assert_eq!(
+            tx.push(b"way-too-big"),
+            Err(PushError::TooLarge { capacity: 4, requested: 11 })
+        );
+        // The queue stays usable after the rejected push.
+        tx.push(b"ok").unwrap();
+        assert_eq!(rx.pop(), b"ok");
     }
 
     #[test]
@@ -290,7 +306,7 @@ mod tests {
         let (mut tx, mut rx) = spsc_queue(128, 16);
         let producer = thread::spawn(move || {
             for i in 0..N {
-                tx.push(&i.to_le_bytes());
+                tx.push(&i.to_le_bytes()).unwrap();
             }
         });
         for i in 0..N {
@@ -304,7 +320,7 @@ mod tests {
     #[test]
     fn pop_into_avoids_allocation() {
         let (mut tx, mut rx) = spsc_queue(4, 32);
-        tx.push(b"payload-bytes");
+        tx.push(b"payload-bytes").unwrap();
         let mut buf = [0u8; 32];
         let n = rx.try_pop_into(&mut buf).unwrap();
         assert_eq!(&buf[..n], b"payload-bytes");
@@ -314,7 +330,7 @@ mod tests {
     fn counters_track_traffic() {
         let (mut tx, mut rx) = spsc_queue(8, 8);
         for _ in 0..5 {
-            tx.push(b"xy");
+            tx.push(b"xy").unwrap();
         }
         for _ in 0..5 {
             rx.pop();

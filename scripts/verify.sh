@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo verification: release build, full test suite, lints, and a
+# 20-seed sweep of the fault-injection replay test (the determinism
+# property must hold for arbitrary seeds, not just the checked-in one).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build =="
+cargo build --release --offline
+
+echo "== workspace tests =="
+cargo test -q --offline --workspace
+
+echo "== clippy =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "== fault-replay seed sweep =="
+for seed in $(seq 1 20); do
+    FLEXIO_FAULT_SEED=$seed \
+        cargo test -q --offline -p flexio --test fault_determinism \
+        >/dev/null || { echo "seed $seed FAILED"; exit 1; }
+    echo "seed $seed ok"
+done
+
+echo "verify: all green"
