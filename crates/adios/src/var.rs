@@ -1,6 +1,7 @@
 //! The ADIOS data model: scalar and array variables.
 
-use evpath::{FieldValue, Record};
+use evpath::ffs::le;
+use evpath::{FieldValue, PackedArray, PackedDtype, Record};
 
 /// Element type of an array variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,9 +45,36 @@ impl DataType {
             _ => return None,
         })
     }
+
+    /// The equivalent wire-view element type.
+    pub fn packed_dtype(&self) -> PackedDtype {
+        match self {
+            DataType::F64 => PackedDtype::F64,
+            DataType::U64 => PackedDtype::U64,
+            DataType::I64 => PackedDtype::I64,
+            DataType::U8 => PackedDtype::U8,
+        }
+    }
+
+    /// Inverse of [`DataType::packed_dtype`].
+    pub fn from_packed(dtype: PackedDtype) -> DataType {
+        match dtype {
+            PackedDtype::F64 => DataType::F64,
+            PackedDtype::U64 => DataType::U64,
+            PackedDtype::I64 => DataType::I64,
+            PackedDtype::U8 => DataType::U8,
+        }
+    }
 }
 
 /// Typed array payload.
+///
+/// The owned variants hold element vectors; [`ArrayData::Packed`] is a
+/// read-only zero-copy view into a shared receive buffer (see
+/// [`evpath::PackedArray`]), produced when a block arrives over the wire.
+/// Views support [`ArrayData::copy_into`] as a source (the assembly path),
+/// and [`ArrayData::to_owned_data`] materializes elements when an
+/// application needs a typed slice.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArrayData {
     /// Doubles.
@@ -57,6 +85,8 @@ pub enum ArrayData {
     I64(Vec<i64>),
     /// Raw bytes.
     U8(Vec<u8>),
+    /// Zero-copy view into a shared receive buffer (read-only).
+    Packed(PackedArray),
 }
 
 impl ArrayData {
@@ -67,6 +97,7 @@ impl ArrayData {
             ArrayData::U64(v) => v.len(),
             ArrayData::I64(v) => v.len(),
             ArrayData::U8(v) => v.len(),
+            ArrayData::Packed(p) => p.elem_count(),
         }
     }
 
@@ -82,6 +113,34 @@ impl ArrayData {
             ArrayData::U64(_) => DataType::U64,
             ArrayData::I64(_) => DataType::I64,
             ArrayData::U8(_) => DataType::U8,
+            ArrayData::Packed(p) => DataType::from_packed(p.dtype()),
+        }
+    }
+
+    /// True for a zero-copy wire view (as opposed to owned elements).
+    pub fn is_packed(&self) -> bool {
+        matches!(self, ArrayData::Packed(_))
+    }
+
+    /// Materialize owned elements: a single bulk conversion for a packed
+    /// view, a clone otherwise.
+    pub fn to_owned_data(&self) -> ArrayData {
+        match self {
+            ArrayData::Packed(p) => match p.dtype() {
+                PackedDtype::F64 => ArrayData::F64(p.to_f64_vec()),
+                PackedDtype::U64 => ArrayData::U64(p.to_u64_vec()),
+                PackedDtype::I64 => ArrayData::I64(p.to_i64_vec()),
+                PackedDtype::U8 => ArrayData::U8(p.to_byte_vec()),
+            },
+            owned => owned.clone(),
+        }
+    }
+
+    /// Replace a packed view with owned elements in place; no-op (and no
+    /// copy) when the data is already owned.
+    pub fn make_owned(&mut self) {
+        if self.is_packed() {
+            *self = self.to_owned_data();
         }
     }
 
@@ -97,7 +156,9 @@ impl ArrayData {
 
     /// Copy `count` elements from `self[src_start..]` into
     /// `dst[dst_start..]`. Panics on type mismatch or out-of-range (these
-    /// are internal invariants of the redistribution code).
+    /// are internal invariants of the redistribution code). A packed view
+    /// is a valid *source* — the copy decodes straight from the shared
+    /// receive buffer into the destination — but never a destination.
     pub fn copy_into(&self, src_start: usize, dst: &mut ArrayData, dst_start: usize, count: usize) {
         match (self, dst) {
             (ArrayData::F64(s), ArrayData::F64(d)) => {
@@ -112,14 +173,43 @@ impl ArrayData {
             (ArrayData::U8(s), ArrayData::U8(d)) => {
                 d[dst_start..dst_start + count].copy_from_slice(&s[src_start..src_start + count])
             }
+            (ArrayData::Packed(p), d) => {
+                let w = p.dtype().elem_bytes();
+                let src = &p.bytes()[src_start * w..(src_start + count) * w];
+                match (p.dtype(), d) {
+                    (PackedDtype::F64, ArrayData::F64(d)) => {
+                        le::copy_bytes_into_f64s(src, &mut d[dst_start..dst_start + count])
+                    }
+                    (PackedDtype::U64, ArrayData::U64(d)) => {
+                        le::copy_bytes_into_u64s(src, &mut d[dst_start..dst_start + count])
+                    }
+                    (PackedDtype::I64, ArrayData::I64(d)) => {
+                        le::copy_bytes_into_i64s(src, &mut d[dst_start..dst_start + count])
+                    }
+                    (PackedDtype::U8, ArrayData::U8(d)) => {
+                        d[dst_start..dst_start + count].copy_from_slice(src)
+                    }
+                    (s, d) => {
+                        panic!("type mismatch: packed {:?} into {:?}", s, d.data_type())
+                    }
+                }
+            }
+            (s, ArrayData::Packed(_)) => {
+                panic!("packed views are read-only: {:?} into packed", s.data_type())
+            }
             (s, d) => panic!("type mismatch: {:?} into {:?}", s.data_type(), d.data_type()),
         }
     }
 
-    /// View as `f64` slice (panics otherwise — caller checked the type).
+    /// View as `f64` slice (panics otherwise — caller checked the type;
+    /// packed views must be materialized with [`ArrayData::to_owned_data`]
+    /// first).
     pub fn as_f64(&self) -> &[f64] {
         match self {
             ArrayData::F64(v) => v,
+            ArrayData::Packed(p) => {
+                panic!("packed {:?} view: materialize with to_owned_data() first", p.dtype())
+            }
             other => panic!("expected f64 array, got {:?}", other.data_type()),
         }
     }
@@ -128,6 +218,9 @@ impl ArrayData {
     pub fn as_u64(&self) -> &[u64] {
         match self {
             ArrayData::U64(v) => v,
+            ArrayData::Packed(p) => {
+                panic!("packed {:?} view: materialize with to_owned_data() first", p.dtype())
+            }
             other => panic!("expected u64 array, got {:?}", other.data_type()),
         }
     }
@@ -138,6 +231,20 @@ impl ArrayData {
             ArrayData::U64(v) => FieldValue::U64Array(v.clone()),
             ArrayData::I64(v) => FieldValue::I64Array(v.clone()),
             ArrayData::U8(v) => FieldValue::Bytes(v.clone()),
+            // A view re-encodes by reference: cloning bumps the Arc, and the
+            // encoder bulk-copies the bytes straight onto the wire.
+            ArrayData::Packed(p) => FieldValue::Packed(p.clone()),
+        }
+    }
+
+    /// Move the payload into a field value without cloning element storage.
+    fn into_field(self) -> FieldValue {
+        match self {
+            ArrayData::F64(v) => FieldValue::F64Array(v),
+            ArrayData::U64(v) => FieldValue::U64Array(v),
+            ArrayData::I64(v) => FieldValue::I64Array(v),
+            ArrayData::U8(v) => FieldValue::Bytes(v),
+            ArrayData::Packed(p) => FieldValue::Packed(p),
         }
     }
 
@@ -147,6 +254,8 @@ impl ArrayData {
             FieldValue::U64Array(v) => ArrayData::U64(v.clone()),
             FieldValue::I64Array(v) => ArrayData::I64(v.clone()),
             FieldValue::Bytes(v) => ArrayData::U8(v.clone()),
+            // Adopt the view: an Arc bump, not a payload copy.
+            FieldValue::Packed(p) => ArrayData::Packed(p.clone()),
             _ => return None,
         })
     }
@@ -205,6 +314,11 @@ impl LocalBlock {
     pub fn num_bytes(&self) -> u64 {
         self.num_elements() * self.data.data_type().elem_bytes()
     }
+
+    /// Materialize packed wire views into owned elements in place.
+    pub fn make_owned(&mut self) {
+        self.data.make_owned();
+    }
 }
 
 /// A variable's value as written: scalar, or one local block of a global
@@ -242,6 +356,22 @@ impl VarValue {
         }
     }
 
+    /// Like [`VarValue::to_record`] but consumes the value, moving the
+    /// array payload into the record instead of cloning it — the send path
+    /// uses this so extracted chunks are marshaled without a payload copy.
+    pub fn into_record(self) -> Record {
+        match self {
+            VarValue::Scalar(_) => self.to_record(),
+            VarValue::Block(b) => Record::new()
+                .with("kind", FieldValue::U64(1))
+                .with("dtype", FieldValue::U64(b.data.data_type().tag()))
+                .with("shape", FieldValue::U64Array(b.global_shape))
+                .with("offset", FieldValue::U64Array(b.offset))
+                .with("count", FieldValue::U64Array(b.count))
+                .with("data", b.data.into_field()),
+        }
+    }
+
     /// Decode from an FFS record.
     pub fn from_record(r: &Record) -> Option<VarValue> {
         match r.get_u64("kind")? {
@@ -275,6 +405,13 @@ impl VarValue {
                 ))
             }
             _ => None,
+        }
+    }
+
+    /// Materialize packed wire views into owned elements in place.
+    pub fn make_owned(&mut self) {
+        if let VarValue::Block(b) = self {
+            b.make_owned();
         }
     }
 

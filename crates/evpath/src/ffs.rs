@@ -12,8 +12,29 @@
 //! is self-describing: decoding requires no out-of-band schema, which is
 //! what lets FlexIO's handshake messages evolve without lockstep upgrades
 //! on both sides (the property FFS provides the real system).
+//!
+//! # Packed arrays
+//!
+//! Array payloads are encoded as one contiguous little-endian byte run
+//! (tags [`TAG_PACKED_F64`]..[`TAG_PACKED_I64`] below): on little-endian
+//! targets the element slice is reinterpreted as bytes and appended with a
+//! single bulk copy, with a chunked per-element fallback elsewhere. The
+//! original per-element tags (5, 6, 9) remain decodable — the decoder
+//! treats both tag families identically — and [`Record::encode_legacy`]
+//! still produces them for compatibility testing and baseline
+//! measurement.
+//!
+//! Decoding has a zero-copy mode: [`Record::decode_shared`] borrows the
+//! receive buffer (an `Arc<Vec<u8>>`) and returns arrays of at least
+//! [`ZERO_COPY_MIN_BYTES`] as [`FieldValue::Packed`] views — an
+//! `offset/len` window into the shared buffer — so large payloads are
+//! never re-vec'd at decode time. The buffer stays alive for as long as
+//! any view into it does; converting a view to owned element storage
+//! ([`PackedArray::to_f64_vec`] and friends) is the single bulk copy that
+//! hands the data to the application.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 const MAGIC: u32 = 0x4646_5331; // "FFS1"
 
@@ -26,6 +47,231 @@ const TAG_U64_ARRAY: u8 = 6;
 const TAG_BYTES: u8 = 7;
 const TAG_RECORD: u8 = 8;
 const TAG_I64_ARRAY: u8 = 9;
+const TAG_PACKED_F64: u8 = 10;
+const TAG_PACKED_U64: u8 = 11;
+const TAG_PACKED_I64: u8 = 12;
+
+/// Payloads at least this large decode as zero-copy [`FieldValue::Packed`]
+/// views under [`Record::decode_shared`], and encode as standalone borrowed
+/// segments under [`Record::encode_segments`]. Smaller payloads are copied:
+/// below this size the bookkeeping costs more than the memcpy it saves.
+pub const ZERO_COPY_MIN_BYTES: usize = 4096;
+
+/// Bulk little-endian conversions between element slices and wire bytes.
+///
+/// On little-endian targets the slice-to-bytes direction borrows (a
+/// reinterpret, no copy) and the bytes-to-slice direction is a single
+/// `memcpy`; big-endian targets fall back to per-element conversion.
+pub mod le {
+    use std::borrow::Cow;
+
+    macro_rules! le_impl {
+        ($as_bytes:ident, $to_vec:ident, $copy_into:ident, $ty:ty) => {
+            /// View an element slice as its little-endian wire bytes.
+            pub fn $as_bytes(v: &[$ty]) -> Cow<'_, [u8]> {
+                #[cfg(target_endian = "little")]
+                {
+                    // SAFETY: the element type has no padding, every byte is
+                    // initialized, and u8 has alignment 1, so reinterpreting
+                    // the slice as `size_of_val(v)` bytes is sound.
+                    Cow::Borrowed(unsafe {
+                        std::slice::from_raw_parts(
+                            v.as_ptr() as *const u8,
+                            std::mem::size_of_val(v),
+                        )
+                    })
+                }
+                #[cfg(not(target_endian = "little"))]
+                {
+                    let mut out = Vec::with_capacity(std::mem::size_of_val(v));
+                    for x in v {
+                        out.extend_from_slice(&x.to_le_bytes());
+                    }
+                    Cow::Owned(out)
+                }
+            }
+
+            /// Decode a little-endian byte run into a fresh vector.
+            ///
+            /// Panics if `src.len()` is not a multiple of the element width.
+            pub fn $to_vec(src: &[u8]) -> Vec<$ty> {
+                const W: usize = std::mem::size_of::<$ty>();
+                assert_eq!(src.len() % W, 0, "byte run not a whole number of elements");
+                // `vec![0; n]` uses a zeroed allocation, so the only data
+                // touch is the copy below.
+                let mut out = vec![<$ty>::default(); src.len() / W];
+                $copy_into(src, &mut out);
+                out
+            }
+
+            /// Copy a little-endian byte run over an existing slice.
+            ///
+            /// Panics unless `src.len() == dst.len() * size_of::<elem>()`.
+            pub fn $copy_into(src: &[u8], dst: &mut [$ty]) {
+                const W: usize = std::mem::size_of::<$ty>();
+                assert_eq!(src.len(), dst.len() * W, "byte run / slice length mismatch");
+                #[cfg(target_endian = "little")]
+                {
+                    // SAFETY: same representation argument as `$as_bytes`,
+                    // and every element bit pattern is valid for the type.
+                    unsafe {
+                        std::slice::from_raw_parts_mut(dst.as_mut_ptr() as *mut u8, src.len())
+                            .copy_from_slice(src);
+                    }
+                }
+                #[cfg(not(target_endian = "little"))]
+                for (d, chunk) in dst.iter_mut().zip(src.chunks_exact(W)) {
+                    *d = <$ty>::from_le_bytes(chunk.try_into().unwrap());
+                }
+            }
+        };
+    }
+
+    le_impl!(f64s_as_bytes, bytes_to_f64s, copy_bytes_into_f64s, f64);
+    le_impl!(u64s_as_bytes, bytes_to_u64s, copy_bytes_into_u64s, u64);
+    le_impl!(i64s_as_bytes, bytes_to_i64s, copy_bytes_into_i64s, i64);
+}
+
+/// Element type of a [`PackedArray`] view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackedDtype {
+    /// IEEE-754 doubles.
+    F64,
+    /// Unsigned 64-bit integers.
+    U64,
+    /// Signed 64-bit integers.
+    I64,
+    /// Raw bytes.
+    U8,
+}
+
+impl PackedDtype {
+    /// Wire width of one element.
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            PackedDtype::U8 => 1,
+            _ => 8,
+        }
+    }
+}
+
+/// A zero-copy window into a shared receive buffer holding a contiguous
+/// little-endian array payload.
+///
+/// Produced by [`Record::decode_shared`] for payloads of at least
+/// [`ZERO_COPY_MIN_BYTES`]. Cloning is cheap (an `Arc` bump); the
+/// underlying buffer lives until the last view is dropped. The bytes are
+/// immutable — materialize owned elements with the `to_*_vec` converters
+/// when mutation or a typed slice is needed.
+#[derive(Clone)]
+pub struct PackedArray {
+    dtype: PackedDtype,
+    buf: Arc<Vec<u8>>,
+    offset: usize,
+    byte_len: usize,
+}
+
+impl PackedArray {
+    /// A view of `byte_len` bytes at `offset` into `buf`.
+    ///
+    /// Panics if the window is out of bounds or not a whole number of
+    /// elements.
+    pub fn view(dtype: PackedDtype, buf: Arc<Vec<u8>>, offset: usize, byte_len: usize) -> Self {
+        assert!(offset + byte_len <= buf.len(), "packed view out of bounds");
+        assert_eq!(byte_len % dtype.elem_bytes(), 0, "packed view splits an element");
+        PackedArray { dtype, buf, offset, byte_len }
+    }
+
+    fn from_owned_bytes(dtype: PackedDtype, bytes: Vec<u8>) -> Self {
+        let byte_len = bytes.len();
+        PackedArray { dtype, buf: Arc::new(bytes), offset: 0, byte_len }
+    }
+
+    /// Pack an `f64` slice into a standalone buffer (one bulk copy).
+    pub fn from_f64s(v: &[f64]) -> Self {
+        Self::from_owned_bytes(PackedDtype::F64, le::f64s_as_bytes(v).into_owned())
+    }
+
+    /// Pack a `u64` slice into a standalone buffer (one bulk copy).
+    pub fn from_u64s(v: &[u64]) -> Self {
+        Self::from_owned_bytes(PackedDtype::U64, le::u64s_as_bytes(v).into_owned())
+    }
+
+    /// Pack an `i64` slice into a standalone buffer (one bulk copy).
+    pub fn from_i64s(v: &[i64]) -> Self {
+        Self::from_owned_bytes(PackedDtype::I64, le::i64s_as_bytes(v).into_owned())
+    }
+
+    /// Pack raw bytes into a standalone buffer (one bulk copy).
+    pub fn from_bytes(v: &[u8]) -> Self {
+        Self::from_owned_bytes(PackedDtype::U8, v.to_vec())
+    }
+
+    /// Element type of the view.
+    pub fn dtype(&self) -> PackedDtype {
+        self.dtype
+    }
+
+    /// Number of elements in the view.
+    pub fn elem_count(&self) -> usize {
+        self.byte_len / self.dtype.elem_bytes()
+    }
+
+    /// Length of the window in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.byte_len
+    }
+
+    /// The raw little-endian wire bytes of the payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf[self.offset..self.offset + self.byte_len]
+    }
+
+    /// The shared buffer this view points into (for aliasing checks).
+    pub fn backing_buf(&self) -> &Arc<Vec<u8>> {
+        &self.buf
+    }
+
+    /// Materialize owned `f64` elements. Panics unless `dtype` is `F64`.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        assert_eq!(self.dtype, PackedDtype::F64, "packed view is not f64");
+        le::bytes_to_f64s(self.bytes())
+    }
+
+    /// Materialize owned `u64` elements. Panics unless `dtype` is `U64`.
+    pub fn to_u64_vec(&self) -> Vec<u64> {
+        assert_eq!(self.dtype, PackedDtype::U64, "packed view is not u64");
+        le::bytes_to_u64s(self.bytes())
+    }
+
+    /// Materialize owned `i64` elements. Panics unless `dtype` is `I64`.
+    pub fn to_i64_vec(&self) -> Vec<i64> {
+        assert_eq!(self.dtype, PackedDtype::I64, "packed view is not i64");
+        le::bytes_to_i64s(self.bytes())
+    }
+
+    /// Materialize an owned byte vector. Panics unless `dtype` is `U8`.
+    pub fn to_byte_vec(&self) -> Vec<u8> {
+        assert_eq!(self.dtype, PackedDtype::U8, "packed view is not bytes");
+        self.bytes().to_vec()
+    }
+}
+
+impl std::fmt::Debug for PackedArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedArray")
+            .field("dtype", &self.dtype)
+            .field("elems", &self.elem_count())
+            .field("offset", &self.offset)
+            .finish()
+    }
+}
+
+impl PartialEq for PackedArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.dtype == other.dtype && self.bytes() == other.bytes()
+    }
+}
 
 /// A typed field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,12 +294,15 @@ pub enum FieldValue {
     Bytes(Vec<u8>),
     /// Nested record.
     Record(Record),
+    /// Zero-copy view into a shared receive buffer (see [`PackedArray`]).
+    Packed(PackedArray),
 }
 
 /// Error decoding a byte stream into a [`Record`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
-    /// Stream shorter than a field required.
+    /// Stream shorter than a field required (including declared array
+    /// lengths that exceed the remaining bytes).
     Truncated,
     /// Magic number mismatch — not an FFS1 stream.
     BadMagic,
@@ -75,6 +324,96 @@ impl std::fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+/// One segment of a scatter-gather encoded record: metadata runs are owned,
+/// large array payloads borrow straight from the record.
+#[derive(Debug)]
+pub enum EncSegment<'a> {
+    /// Accumulated header/metadata bytes.
+    Owned(Vec<u8>),
+    /// A large payload borrowed from the record being encoded.
+    Borrowed(&'a [u8]),
+}
+
+impl EncSegment<'_> {
+    /// The segment's bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            EncSegment::Owned(v) => v,
+            EncSegment::Borrowed(b) => b,
+        }
+    }
+}
+
+/// A record encoded as a sequence of segments whose concatenation equals
+/// [`Record::encode`]. Pairs with vectored transport sends: large array
+/// payloads are borrowed, so no flat copy of the message is ever built on
+/// the send path.
+#[derive(Debug)]
+pub struct EncodedRecord<'a> {
+    segments: Vec<EncSegment<'a>>,
+}
+
+impl<'a> EncodedRecord<'a> {
+    /// The segments in wire order.
+    pub fn segments(&self) -> &[EncSegment<'a>] {
+        &self.segments
+    }
+
+    /// Segment byte slices in wire order (the shape vectored sends take).
+    pub fn as_slices(&self) -> Vec<&[u8]> {
+        self.segments.iter().map(|s| s.as_slice()).collect()
+    }
+
+    /// Total encoded length.
+    pub fn total_len(&self) -> usize {
+        self.segments.iter().map(|s| s.as_slice().len()).sum()
+    }
+
+    /// Flatten into one buffer (equals [`Record::encode`] output).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_len());
+        for s in &self.segments {
+            out.extend_from_slice(s.as_slice());
+        }
+        out
+    }
+}
+
+/// Accumulates owned metadata runs and flushes them whenever a large
+/// borrowed payload is interleaved.
+struct SegWriter<'a> {
+    segments: Vec<EncSegment<'a>>,
+    cur: Vec<u8>,
+}
+
+impl<'a> SegWriter<'a> {
+    fn new() -> Self {
+        SegWriter { segments: Vec::new(), cur: Vec::with_capacity(256) }
+    }
+
+    fn put(&mut self, bytes: &[u8]) {
+        self.cur.extend_from_slice(bytes);
+    }
+
+    fn put_payload(&mut self, bytes: &'a [u8]) {
+        if bytes.len() >= ZERO_COPY_MIN_BYTES {
+            if !self.cur.is_empty() {
+                self.segments.push(EncSegment::Owned(std::mem::take(&mut self.cur)));
+            }
+            self.segments.push(EncSegment::Borrowed(bytes));
+        } else {
+            self.cur.extend_from_slice(bytes);
+        }
+    }
+
+    fn finish(mut self) -> Vec<EncSegment<'a>> {
+        if !self.cur.is_empty() {
+            self.segments.push(EncSegment::Owned(self.cur));
+        }
+        self.segments
+    }
+}
 
 /// An ordered collection of named, typed fields.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -189,9 +528,31 @@ impl Record {
         }
     }
 
-    /// Encode to the self-describing wire format.
+    /// Typed accessor: zero-copy packed view.
+    pub fn get_packed(&self, name: &str) -> Option<&PackedArray> {
+        match self.get(name)? {
+            FieldValue::Packed(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Exact byte length [`Record::encode`] will produce.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.encoded_body_len()
+    }
+
+    fn encoded_body_len(&self) -> usize {
+        let mut n = 4;
+        for (name, value) in &self.fields {
+            n += 2 + name.len() + encoded_value_len(value);
+        }
+        n
+    }
+
+    /// Encode to the self-describing wire format (packed array tags; array
+    /// payloads appended with bulk copies).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
+        let mut out = Vec::with_capacity(self.encoded_len());
         out.extend_from_slice(&MAGIC.to_le_bytes());
         self.encode_body(&mut out);
         out
@@ -207,13 +568,66 @@ impl Record {
         }
     }
 
-    /// Decode from the wire format.
+    /// Encode with the original per-element array tags (the pre-packed wire
+    /// format). Kept so compatibility tests can produce old-format streams
+    /// and the bench suite can measure the per-element baseline.
+    pub fn encode_legacy(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        self.encode_body_legacy(&mut out);
+        out
+    }
+
+    fn encode_body_legacy(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.fields.len() as u32).to_le_bytes());
+        for (name, value) in &self.fields {
+            let name_bytes = name.as_bytes();
+            out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+            out.extend_from_slice(name_bytes);
+            encode_value_legacy(value, out);
+        }
+    }
+
+    /// Encode as scatter-gather segments: metadata accumulates in owned
+    /// runs while array payloads of at least [`ZERO_COPY_MIN_BYTES`] are
+    /// borrowed in place. The concatenation of the segments is identical to
+    /// [`Record::encode`] output.
+    pub fn encode_segments(&self) -> EncodedRecord<'_> {
+        let mut w = SegWriter::new();
+        w.put(&MAGIC.to_le_bytes());
+        self.encode_body_segments(&mut w);
+        EncodedRecord { segments: w.finish() }
+    }
+
+    fn encode_body_segments<'a>(&'a self, w: &mut SegWriter<'a>) {
+        w.put(&(self.fields.len() as u32).to_le_bytes());
+        for (name, value) in &self.fields {
+            let name_bytes = name.as_bytes();
+            w.put(&(name_bytes.len() as u16).to_le_bytes());
+            w.put(name_bytes);
+            encode_value_segments(value, w);
+        }
+    }
+
+    /// Decode from the wire format into owned field storage.
     pub fn decode(bytes: &[u8]) -> Result<Record, DecodeError> {
         let mut cursor = Cursor { bytes, pos: 0 };
         if cursor.u32()? != MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        decode_body(&mut cursor)
+        decode_body(&mut cursor, None)
+    }
+
+    /// Decode from a shared receive buffer; array payloads of at least
+    /// [`ZERO_COPY_MIN_BYTES`] become [`FieldValue::Packed`] views into
+    /// `buf` instead of owned vectors, so no payload-sized allocation or
+    /// copy happens here.
+    pub fn decode_shared(buf: &Arc<Vec<u8>>) -> Result<Record, DecodeError> {
+        let mut cursor = Cursor { bytes: buf, pos: 0 };
+        if cursor.u32()? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        decode_body(&mut cursor, Some(buf))
     }
 
     /// Group fields by a name prefix (`"dim.0"`, `"dim.1"` → `"dim"`):
@@ -225,6 +639,28 @@ impl Record {
             *out.entry(prefix).or_insert(0) += 1;
         }
         out
+    }
+}
+
+fn encoded_value_len(value: &FieldValue) -> usize {
+    match value {
+        FieldValue::I64(_) | FieldValue::U64(_) | FieldValue::F64(_) => 1 + 8,
+        FieldValue::Str(s) => 1 + 8 + s.len(),
+        FieldValue::F64Array(a) => 1 + 8 + a.len() * 8,
+        FieldValue::U64Array(a) => 1 + 8 + a.len() * 8,
+        FieldValue::I64Array(a) => 1 + 8 + a.len() * 8,
+        FieldValue::Bytes(b) => 1 + 8 + b.len(),
+        FieldValue::Record(r) => 1 + r.encoded_body_len(),
+        FieldValue::Packed(p) => 1 + 8 + p.byte_len(),
+    }
+}
+
+fn packed_tag(dtype: PackedDtype) -> u8 {
+    match dtype {
+        PackedDtype::F64 => TAG_PACKED_F64,
+        PackedDtype::U64 => TAG_PACKED_U64,
+        PackedDtype::I64 => TAG_PACKED_I64,
+        PackedDtype::U8 => TAG_BYTES,
     }
 }
 
@@ -248,6 +684,40 @@ fn encode_value(value: &FieldValue, out: &mut Vec<u8>) {
             out.extend_from_slice(s.as_bytes());
         }
         FieldValue::F64Array(a) => {
+            out.push(TAG_PACKED_F64);
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            out.extend_from_slice(&le::f64s_as_bytes(a));
+        }
+        FieldValue::U64Array(a) => {
+            out.push(TAG_PACKED_U64);
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            out.extend_from_slice(&le::u64s_as_bytes(a));
+        }
+        FieldValue::I64Array(a) => {
+            out.push(TAG_PACKED_I64);
+            out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+            out.extend_from_slice(&le::i64s_as_bytes(a));
+        }
+        FieldValue::Bytes(b) => {
+            out.push(TAG_BYTES);
+            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+            out.extend_from_slice(b);
+        }
+        FieldValue::Record(r) => {
+            out.push(TAG_RECORD);
+            r.encode_body(out);
+        }
+        FieldValue::Packed(p) => {
+            out.push(packed_tag(p.dtype()));
+            out.extend_from_slice(&(p.elem_count() as u64).to_le_bytes());
+            out.extend_from_slice(p.bytes());
+        }
+    }
+}
+
+fn encode_value_legacy(value: &FieldValue, out: &mut Vec<u8>) {
+    match value {
+        FieldValue::F64Array(a) => {
             out.push(TAG_F64_ARRAY);
             out.extend_from_slice(&(a.len() as u64).to_le_bytes());
             for v in a {
@@ -268,14 +738,69 @@ fn encode_value(value: &FieldValue, out: &mut Vec<u8>) {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
-        FieldValue::Bytes(b) => {
-            out.push(TAG_BYTES);
-            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
-            out.extend_from_slice(b);
-        }
         FieldValue::Record(r) => {
             out.push(TAG_RECORD);
-            r.encode_body(out);
+            r.encode_body_legacy(out);
+        }
+        FieldValue::Packed(p) => {
+            // Legacy streams predate views: materialize and emit the
+            // old per-element layout like any owned array.
+            let owned = match p.dtype() {
+                PackedDtype::F64 => FieldValue::F64Array(p.to_f64_vec()),
+                PackedDtype::U64 => FieldValue::U64Array(p.to_u64_vec()),
+                PackedDtype::I64 => FieldValue::I64Array(p.to_i64_vec()),
+                PackedDtype::U8 => FieldValue::Bytes(p.to_byte_vec()),
+            };
+            encode_value_legacy(&owned, out);
+        }
+        other => encode_value(other, out),
+    }
+}
+
+fn encode_value_segments<'a>(value: &'a FieldValue, w: &mut SegWriter<'a>) {
+    match value {
+        FieldValue::F64Array(a) => {
+            w.put(&[TAG_PACKED_F64]);
+            w.put(&(a.len() as u64).to_le_bytes());
+            match le::f64s_as_bytes(a) {
+                std::borrow::Cow::Borrowed(b) => w.put_payload(b),
+                std::borrow::Cow::Owned(o) => w.put(&o),
+            }
+        }
+        FieldValue::U64Array(a) => {
+            w.put(&[TAG_PACKED_U64]);
+            w.put(&(a.len() as u64).to_le_bytes());
+            match le::u64s_as_bytes(a) {
+                std::borrow::Cow::Borrowed(b) => w.put_payload(b),
+                std::borrow::Cow::Owned(o) => w.put(&o),
+            }
+        }
+        FieldValue::I64Array(a) => {
+            w.put(&[TAG_PACKED_I64]);
+            w.put(&(a.len() as u64).to_le_bytes());
+            match le::i64s_as_bytes(a) {
+                std::borrow::Cow::Borrowed(b) => w.put_payload(b),
+                std::borrow::Cow::Owned(o) => w.put(&o),
+            }
+        }
+        FieldValue::Bytes(b) => {
+            w.put(&[TAG_BYTES]);
+            w.put(&(b.len() as u64).to_le_bytes());
+            w.put_payload(b);
+        }
+        FieldValue::Packed(p) => {
+            w.put(&[packed_tag(p.dtype())]);
+            w.put(&(p.elem_count() as u64).to_le_bytes());
+            w.put_payload(p.bytes());
+        }
+        FieldValue::Record(r) => {
+            w.put(&[TAG_RECORD]);
+            r.encode_body_segments(w);
+        }
+        scalar => {
+            // Scalars and strings are small; reuse the flat encoder into
+            // the current owned run.
+            encode_value(scalar, &mut w.cur);
         }
     }
 }
@@ -287,7 +812,8 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.bytes.len() {
+        // `remaining` phrasing avoids `pos + n` overflow on hostile lengths.
+        if n > self.bytes.len() - self.pos {
             return Err(DecodeError::Truncated);
         }
         let slice = &self.bytes[self.pos..self.pos + n];
@@ -310,9 +836,21 @@ impl<'a> Cursor<'a> {
     fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
+
+    /// Read a `u64` length field and validate `len * elem_bytes` against
+    /// the remaining stream BEFORE any allocation, so hostile declared
+    /// lengths fail with [`DecodeError::Truncated`] instead of reserving
+    /// memory. Returns the payload bytes and their offset in the stream.
+    fn array_bytes(&mut self, elem_bytes: usize) -> Result<(&'a [u8], usize, usize), DecodeError> {
+        let len = usize::try_from(self.u64()?).map_err(|_| DecodeError::Truncated)?;
+        let byte_len = len.checked_mul(elem_bytes).ok_or(DecodeError::Truncated)?;
+        let offset = self.pos;
+        let bytes = self.take(byte_len)?;
+        Ok((bytes, offset, len))
+    }
 }
 
-fn decode_body(cursor: &mut Cursor<'_>) -> Result<Record, DecodeError> {
+fn decode_body(cursor: &mut Cursor<'_>, shared: Option<&Arc<Vec<u8>>>) -> Result<Record, DecodeError> {
     let count = cursor.u32()? as usize;
     let mut record = Record::new();
     for _ in 0..count {
@@ -320,55 +858,62 @@ fn decode_body(cursor: &mut Cursor<'_>) -> Result<Record, DecodeError> {
         let name = std::str::from_utf8(cursor.take(name_len)?)
             .map_err(|_| DecodeError::BadUtf8)?
             .to_string();
-        let value = decode_value(cursor)?;
+        let value = decode_value(cursor, shared)?;
         record.fields.push((name, value));
     }
     Ok(record)
 }
 
-fn decode_value(cursor: &mut Cursor<'_>) -> Result<FieldValue, DecodeError> {
+/// Decode one array payload: a zero-copy view into the shared buffer when
+/// one is available and the payload is large, an owned vector otherwise.
+fn decode_array(
+    cursor: &mut Cursor<'_>,
+    shared: Option<&Arc<Vec<u8>>>,
+    dtype: PackedDtype,
+) -> Result<FieldValue, DecodeError> {
+    let (bytes, offset, _) = cursor.array_bytes(dtype.elem_bytes())?;
+    if let Some(buf) = shared {
+        if bytes.len() >= ZERO_COPY_MIN_BYTES {
+            return Ok(FieldValue::Packed(PackedArray::view(
+                dtype,
+                Arc::clone(buf),
+                offset,
+                bytes.len(),
+            )));
+        }
+    }
+    Ok(match dtype {
+        PackedDtype::F64 => FieldValue::F64Array(le::bytes_to_f64s(bytes)),
+        PackedDtype::U64 => FieldValue::U64Array(le::bytes_to_u64s(bytes)),
+        PackedDtype::I64 => FieldValue::I64Array(le::bytes_to_i64s(bytes)),
+        PackedDtype::U8 => FieldValue::Bytes(bytes.to_vec()),
+    })
+}
+
+fn decode_value(
+    cursor: &mut Cursor<'_>,
+    shared: Option<&Arc<Vec<u8>>>,
+) -> Result<FieldValue, DecodeError> {
     let tag = cursor.u8()?;
     Ok(match tag {
         TAG_I64 => FieldValue::I64(i64::from_le_bytes(cursor.take(8)?.try_into().unwrap())),
         TAG_U64 => FieldValue::U64(cursor.u64()?),
         TAG_F64 => FieldValue::F64(f64::from_le_bytes(cursor.take(8)?.try_into().unwrap())),
         TAG_STR => {
-            let len = cursor.u64()? as usize;
+            let (bytes, _, _) = cursor.array_bytes(1)?;
             FieldValue::Str(
-                std::str::from_utf8(cursor.take(len)?)
+                std::str::from_utf8(bytes)
                     .map_err(|_| DecodeError::BadUtf8)?
                     .to_string(),
             )
         }
-        TAG_F64_ARRAY => {
-            let len = cursor.u64()? as usize;
-            let mut a = Vec::with_capacity(len.min(1 << 20));
-            for _ in 0..len {
-                a.push(f64::from_le_bytes(cursor.take(8)?.try_into().unwrap()));
-            }
-            FieldValue::F64Array(a)
-        }
-        TAG_U64_ARRAY => {
-            let len = cursor.u64()? as usize;
-            let mut a = Vec::with_capacity(len.min(1 << 20));
-            for _ in 0..len {
-                a.push(cursor.u64()?);
-            }
-            FieldValue::U64Array(a)
-        }
-        TAG_I64_ARRAY => {
-            let len = cursor.u64()? as usize;
-            let mut a = Vec::with_capacity(len.min(1 << 20));
-            for _ in 0..len {
-                a.push(i64::from_le_bytes(cursor.take(8)?.try_into().unwrap()));
-            }
-            FieldValue::I64Array(a)
-        }
-        TAG_BYTES => {
-            let len = cursor.u64()? as usize;
-            FieldValue::Bytes(cursor.take(len)?.to_vec())
-        }
-        TAG_RECORD => FieldValue::Record(decode_body(cursor)?),
+        // Legacy per-element tags and packed tags share a byte-identical
+        // payload layout; both decode through the bulk path.
+        TAG_F64_ARRAY | TAG_PACKED_F64 => decode_array(cursor, shared, PackedDtype::F64)?,
+        TAG_U64_ARRAY | TAG_PACKED_U64 => decode_array(cursor, shared, PackedDtype::U64)?,
+        TAG_I64_ARRAY | TAG_PACKED_I64 => decode_array(cursor, shared, PackedDtype::I64)?,
+        TAG_BYTES => decode_array(cursor, shared, PackedDtype::U8)?,
+        TAG_RECORD => FieldValue::Record(decode_body(cursor, shared)?),
         t => return Err(DecodeError::UnknownTag(t)),
     })
 }
@@ -402,6 +947,67 @@ mod tests {
     }
 
     #[test]
+    fn legacy_encoding_decodes_identically() {
+        let r = sample();
+        assert_eq!(Record::decode(&r.encode_legacy()).unwrap(), r);
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let r = sample();
+        assert_eq!(r.encode().len(), r.encoded_len());
+    }
+
+    #[test]
+    fn segments_concatenate_to_flat_encoding() {
+        let mut r = sample();
+        r.set("big", FieldValue::F64Array((0..4096).map(|i| i as f64).collect()));
+        let enc = r.encode_segments();
+        assert_eq!(enc.to_vec(), r.encode());
+        assert_eq!(enc.total_len(), r.encoded_len());
+        assert!(
+            enc.segments().iter().any(|s| matches!(s, EncSegment::Borrowed(_))),
+            "large payload should be a borrowed segment"
+        );
+    }
+
+    #[test]
+    fn decode_shared_returns_views_for_large_arrays() {
+        let data: Vec<f64> = (0..(ZERO_COPY_MIN_BYTES / 8 + 1)).map(|i| i as f64).collect();
+        let r = Record::new()
+            .with("small", FieldValue::F64Array(vec![1.0, 2.0]))
+            .with("big", FieldValue::F64Array(data.clone()));
+        let buf = Arc::new(r.encode());
+        let d = Record::decode_shared(&buf).unwrap();
+        assert_eq!(d.get_f64_array("small"), Some(&[1.0, 2.0][..]));
+        let p = d.get_packed("big").expect("large array should decode packed");
+        assert!(Arc::ptr_eq(p.backing_buf(), &buf), "view must alias the receive buffer");
+        assert_eq!(p.to_f64_vec(), data);
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocating() {
+        // Hand-craft: MAGIC, one field "x", f64-array tag, length u64::MAX.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(b'x');
+        for tag in [TAG_F64_ARRAY, TAG_PACKED_F64, TAG_U64_ARRAY, TAG_BYTES, TAG_STR] {
+            let mut b = bytes.clone();
+            b.push(tag);
+            b.extend_from_slice(&u64::MAX.to_le_bytes());
+            assert_eq!(Record::decode(&b), Err(DecodeError::Truncated), "tag {tag}");
+            // A large-but-not-overflowing lie must fail the same way.
+            let mut b2 = bytes.clone();
+            b2.push(tag);
+            b2.extend_from_slice(&(1u64 << 40).to_le_bytes());
+            b2.extend_from_slice(&[0u8; 16]);
+            assert_eq!(Record::decode(&b2), Err(DecodeError::Truncated), "tag {tag}");
+        }
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         assert_eq!(Record::decode(b"\0\0\0\0\0\0\0\0"), Err(DecodeError::BadMagic));
     }
@@ -428,6 +1034,18 @@ mod tests {
         assert_eq!(r.get_f64("step"), None);
         assert_eq!(r.get_str("temp"), None);
         assert_eq!(r.get_u64_array("data"), None);
+    }
+
+    #[test]
+    fn packed_field_reencodes_bit_exact() {
+        let data: Vec<f64> = (0..2048).map(|i| (i as f64).sin()).collect();
+        let r = Record::new().with("d", FieldValue::F64Array(data.clone()));
+        let buf = Arc::new(r.encode());
+        let d = Record::decode_shared(&buf).unwrap();
+        assert!(d.get_packed("d").is_some());
+        // Re-encoding a record holding a view reproduces the same bytes.
+        assert_eq!(d.encode(), *buf);
+        assert_eq!(Record::decode(&d.encode()).unwrap().get_f64_array("d"), Some(&data[..]));
     }
 
     #[test]
@@ -465,6 +1083,11 @@ mod tests {
         #[test]
         fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = Record::decode(&bytes); // must not panic
+        }
+
+        #[test]
+        fn shared_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Record::decode_shared(&Arc::new(bytes.clone())); // must not panic
         }
     }
 }

@@ -32,7 +32,10 @@ pub mod stones;
 pub mod transport;
 
 pub use fault::{FaultCounters, FaultPlan, FaultSpec};
-pub use ffs::{DecodeError, FieldValue, Record};
+pub use ffs::{
+    DecodeError, EncSegment, EncodedRecord, FieldValue, PackedArray, PackedDtype, Record,
+    ZERO_COPY_MIN_BYTES,
+};
 pub use stones::{EvGraph, StoneId};
 pub use transport::{
     inproc_pair, BoxedReceiver, BoxedSender, EvReceiver, EvSender, NetTransport, ShmTransport,

@@ -16,8 +16,27 @@ pub trait EvSender: Send {
     /// Deliver one message; ordering per sender is preserved.
     fn send(&mut self, payload: &[u8]);
 
+    /// Deliver one message given as scatter-gather segments (header +
+    /// payload slices). Equivalent to `send` of the concatenation; the
+    /// default implementation flattens once, while transports that can
+    /// write segments directly into their destination (the shm pool slot)
+    /// override it to skip the intermediate message buffer.
+    fn send_vectored(&mut self, segments: &[&[u8]]) {
+        self.send(&flatten(segments));
+    }
+
     /// Human-readable transport name (for monitoring traces).
     fn transport_name(&self) -> &'static str;
+}
+
+/// Concatenate scatter-gather segments into one message buffer.
+pub fn flatten(segments: &[&[u8]]) -> Vec<u8> {
+    let total = segments.iter().map(|s| s.len()).sum();
+    let mut flat = Vec::with_capacity(total);
+    for s in segments {
+        flat.extend_from_slice(s);
+    }
+    flat
 }
 
 /// Receiving side of a byte transport.
@@ -49,6 +68,12 @@ pub fn inproc_pair() -> (BoxedSender, BoxedReceiver) {
 impl EvSender for InprocSender {
     fn send(&mut self, payload: &[u8]) {
         let _ = self.0.send(payload.to_vec());
+    }
+
+    fn send_vectored(&mut self, segments: &[&[u8]]) {
+        // Assemble the message once and hand the vector over without the
+        // second copy the default (flatten → send → to_vec) would pay.
+        let _ = self.0.send(flatten(segments));
     }
 
     fn transport_name(&self) -> &'static str {
@@ -90,6 +115,13 @@ struct ShmTransportReceiver(ShmReceiver);
 impl EvSender for ShmTransportSender {
     fn send(&mut self, payload: &[u8]) {
         self.0.send_copy(payload);
+    }
+
+    fn send_vectored(&mut self, segments: &[&[u8]]) {
+        // Segments land directly in the pool slot (or inline frame): the
+        // producer-side copy stays at exactly one, preserving the paper's
+        // two-copy bound for pooled transfers.
+        self.0.send_copy_vectored(segments);
     }
 
     fn transport_name(&self) -> &'static str {

@@ -51,6 +51,11 @@ pub struct StreamHints {
     /// silent past the timeout budget, instead of surfacing an error —
     /// the paper's "degrade gracefully when the producer dies" posture.
     pub eos_on_silence: bool,
+    /// Use the packed bulk marshaling + scatter-gather send data plane
+    /// (the default). `false` restores the per-element encode and flat
+    /// single-copy send path, kept as the A/B baseline for the
+    /// data-plane ablation bench.
+    pub packed_marshal: bool,
 }
 
 impl Default for StreamHints {
@@ -66,6 +71,7 @@ impl Default for StreamHints {
             transactional: false,
             faults: None,
             eos_on_silence: false,
+            packed_marshal: true,
         }
     }
 }
@@ -217,11 +223,18 @@ struct SeqSender {
 
 impl EvSender for SeqSender {
     fn send(&mut self, payload: &[u8]) {
-        let mut framed = Vec::with_capacity(payload.len() + 8);
-        framed.extend_from_slice(&self.next.to_le_bytes());
-        framed.extend_from_slice(payload);
+        self.send_vectored(&[payload]);
+    }
+
+    fn send_vectored(&mut self, segments: &[&[u8]]) {
+        // The sequence header rides as one more leading segment, so a
+        // scatter-gather send stays scatter-gather through this layer.
+        let header = self.next.to_le_bytes();
+        let mut framed: Vec<&[u8]> = Vec::with_capacity(segments.len() + 1);
+        framed.push(&header);
+        framed.extend_from_slice(segments);
         self.next += 1;
-        self.inner.send(&framed);
+        self.inner.send_vectored(&framed);
     }
 
     fn transport_name(&self) -> &'static str {
@@ -538,7 +551,17 @@ pub fn recv_record(
         let mut spins = 0u32;
         loop {
             if let Some(bytes) = rx.try_recv() {
-                return Record::decode(&bytes).map_err(|e| StreamError::Corrupt(e.to_string()));
+                // Decode against the shared receive buffer: large array
+                // payloads come back as zero-copy views into `bytes`
+                // instead of freshly allocated vectors. The legacy
+                // (`packed_marshal: false`) plane decodes owned, as the
+                // per-element path always did.
+                let decoded = if hints.packed_marshal {
+                    Record::decode_shared(&std::sync::Arc::new(bytes))
+                } else {
+                    Record::decode(&bytes)
+                };
+                return decoded.map_err(|e| StreamError::Corrupt(e.to_string()));
             }
             if Instant::now() >= deadline {
                 break; // retry

@@ -483,6 +483,9 @@ impl StreamReader {
             .any(|(n, _)| n == crate::plugins::DC_APPLIED_MARKER);
         if matches!(value, VarValue::Block(_)) && !already_conditioned {
             if let Some(plugin) = self.installed.get(&var).or_else(|| self.fallback.get(&var)) {
+                // Plug-ins run over owned element storage; materialize the
+                // wire view (one bulk conversion) only when one is installed.
+                value.make_owned();
                 let monitor = self.link.monitor.clone();
                 let applied = monitor.timed(
                     MonitorEvent::PluginExec,
@@ -589,7 +592,12 @@ impl ReadEngine for StreamReader {
         assert!(self.current_step.is_some(), "read outside a step");
         match sel {
             Selection::ProcessGroup(w) => {
-                self.store.get(&(*w, name.to_string()))?.first().cloned()
+                // Cloning a stored packed block only bumps the view's Arc;
+                // materializing owned elements for the application is the
+                // single payload copy on this path.
+                let mut v = self.store.get(&(*w, name.to_string()))?.first().cloned()?;
+                v.make_owned();
+                Some(v)
             }
             Selection::Scalar => self
                 .store
@@ -612,10 +620,11 @@ impl ReadEngine for StreamReader {
                             continue;
                         }
                         let asm = assembler.get_or_insert_with(|| BoxAssembler::new(want, b));
-                        // Clamp the chunk to the requested box before merge.
+                        // Merge the overlap straight from the stored block
+                        // (a zero-copy wire view for large chunks) into the
+                        // target — no clipped intermediate block.
                         let overlap = have.intersect(want).expect("checked above");
-                        let clipped = adios::hyperslab::extract_region(b, &overlap);
-                        asm.add(&clipped);
+                        asm.add_region(b, &overlap);
                     }
                 }
                 assembler.map(|a| VarValue::Block(a.finish()))

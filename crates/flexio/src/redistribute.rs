@@ -12,6 +12,8 @@
 //! what to send and each reader knows exactly how many messages to expect
 //! — no per-chunk negotiation.
 
+use std::borrow::Cow;
+
 use adios::{ArrayData, BoxSel, LocalBlock, Selection, VarValue};
 use evpath::{FieldValue, Record};
 
@@ -204,15 +206,28 @@ pub fn expected_messages(plan_wr: &[ChunkPlan], batching: bool) -> usize {
 }
 
 /// Extract the payload a chunk plan calls for from a written value.
-pub fn extract_chunk(value: &VarValue, plan: &ChunkPlan) -> VarValue {
+///
+/// Whole-value plans borrow the source (no payload copy — the marshal
+/// layer bulk-copies bytes straight onto the wire); region plans pack the
+/// overlapping strides into a fresh owned block.
+pub fn extract_chunk<'v>(value: &'v VarValue, plan: &ChunkPlan) -> Cow<'v, VarValue> {
     match (&plan.region, value) {
-        (None, v) => v.clone(),
+        (None, v) => Cow::Borrowed(v),
         (Some(region), VarValue::Block(b)) => {
-            VarValue::Block(adios::hyperslab::extract_region(b, region))
+            Cow::Owned(VarValue::Block(adios::hyperslab::extract_region(b, region)))
         }
         (Some(_), VarValue::Scalar(_)) => {
             unreachable!("planner never selects a region of a scalar")
         }
+    }
+}
+
+/// [`extract_chunk`] specialized to an array block, so callers holding a
+/// [`LocalBlock`] don't have to clone it into a [`VarValue`] first.
+pub fn extract_block_chunk<'b>(block: &'b LocalBlock, plan: &ChunkPlan) -> Cow<'b, LocalBlock> {
+    match &plan.region {
+        None => Cow::Borrowed(block),
+        Some(region) => Cow::Owned(adios::hyperslab::extract_region(block, region)),
     }
 }
 
@@ -242,8 +257,16 @@ impl BoxAssembler {
     /// Merge one received region chunk.
     pub fn add(&mut self, chunk: &LocalBlock) {
         let region = BoxSel::new(chunk.offset.clone(), chunk.count.clone());
-        adios::hyperslab::copy_region(chunk, &mut self.target, &region);
-        self.received_elems += chunk.num_elements();
+        self.add_region(chunk, &region);
+    }
+
+    /// Merge `region` of a (possibly larger, possibly packed-view) source
+    /// block directly into the target — the zero-intermediate assembly
+    /// path: strides go from the shared receive buffer straight into the
+    /// target block, with no clipped temporary in between.
+    pub fn add_region(&mut self, src: &LocalBlock, region: &BoxSel) {
+        adios::hyperslab::copy_region(src, &mut self.target, region);
+        self.received_elems += region.num_elements();
     }
 
     /// Elements received so far (detects over/under-delivery in tests).
@@ -334,11 +357,7 @@ mod tests {
             let mut asm = BoxAssembler::new(want, &blocks[0]);
             for (w, block) in blocks.iter().enumerate() {
                 for cp in &p[w][r] {
-                    let VarValue::Block(chunk) = extract_chunk(&VarValue::Block(block.clone()), cp)
-                    else {
-                        panic!()
-                    };
-                    asm.add(&chunk);
+                    asm.add(&extract_block_chunk(block, cp));
                 }
             }
             assert_eq!(asm.received_elements(), want.num_elements());
@@ -426,20 +445,23 @@ mod tests {
             data: ArrayData::F64(vec![0.0, 1.0, 2.0, 3.0]),
         }
         .validated();
-        let whole = extract_chunk(
-            &VarValue::Block(b.clone()),
-            &ChunkPlan { var: "x".into(), region: None },
-        );
-        assert_eq!(whole, VarValue::Block(b.clone()));
+        let vb = VarValue::Block(b.clone());
+        let whole = extract_chunk(&vb, &ChunkPlan { var: "x".into(), region: None });
+        assert!(matches!(whole, Cow::Borrowed(_)), "whole-value extraction must not copy");
+        assert_eq!(whole.as_ref(), &vb);
         let part = extract_chunk(
-            &VarValue::Block(b),
+            &vb,
             &ChunkPlan { var: "x".into(), region: Some(BoxSel::new(vec![1], vec![2])) },
         );
-        let VarValue::Block(p) = part else { panic!() };
+        let VarValue::Block(p) = part.as_ref() else { panic!() };
         assert_eq!(p.data.as_f64(), &[1.0, 2.0]);
+        // The block-level helper borrows the same way.
+        let bw = extract_block_chunk(&b, &ChunkPlan { var: "x".into(), region: None });
+        assert!(matches!(bw, Cow::Borrowed(_)));
+        assert_eq!(bw.as_ref(), &b);
         // Scalars pass through whole.
         let s = VarValue::Scalar(ScalarValue::U64(7));
-        assert_eq!(extract_chunk(&s, &ChunkPlan { var: "x".into(), region: None }), s);
+        assert_eq!(extract_chunk(&s, &ChunkPlan { var: "x".into(), region: None }).as_ref(), &s);
         let _ = DataType::F64; // silence unused import in some cfgs
     }
 }

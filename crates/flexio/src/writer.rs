@@ -16,6 +16,7 @@
 //! step and carries end-of-stream; it is deliberately outside the
 //! handshake counters, which measure steps 1–3 only.
 
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -467,6 +468,10 @@ impl StreamWriter {
                         cp.var
                     )));
                 };
+                // Whole-value chunks borrow the written value — the only
+                // payload copy before the transport is the marshal layer's
+                // bulk append; region chunks own their packed strides and
+                // are moved (not re-cloned) into the record.
                 let mut payload = redistribute::extract_chunk(value, cp);
                 let mut extras: Vec<(String, VarValue)> = Vec::new();
                 if cp.region.is_none() {
@@ -480,7 +485,7 @@ impl StreamWriter {
                         );
                         match applied {
                             Ok((v, e)) => {
-                                payload = v;
+                                payload = Cow::Owned(v);
                                 extras = e;
                             }
                             Err(crate::plugins::PluginError::UnsupportedChunk(_)) => {}
@@ -492,11 +497,15 @@ impl StreamWriter {
                         }
                     }
                 }
+                let body = match payload {
+                    Cow::Owned(v) => v.into_record(),
+                    Cow::Borrowed(v) => v.to_record(),
+                };
                 let mut cr = protocol::message(msg::CHUNK)
                     .with("step", FieldValue::U64(step))
                     .with("w", FieldValue::U64(self.rank as u64))
                     .with("var", FieldValue::Str(cp.var.clone()))
-                    .with("body", FieldValue::Record(payload.to_record()));
+                    .with("body", FieldValue::Record(body));
                 if !extras.is_empty() {
                     let mut er = Record::new().with("n", FieldValue::U64(extras.len() as u64));
                     for (i, (name, v)) in extras.iter().enumerate() {
@@ -519,18 +528,32 @@ impl StreamWriter {
                     .with("step", FieldValue::U64(step))
                     .with("w", FieldValue::U64(self.rank as u64))
                     .with("n", FieldValue::U64(encoded_chunks.len() as u64));
-                for (i, c) in encoded_chunks.iter().enumerate() {
-                    batch.set(&format!("c.{i}"), FieldValue::Record(c.clone()));
+                for (i, c) in encoded_chunks.into_iter().enumerate() {
+                    // Chunk records are moved into the batch, so batching no
+                    // longer deep-clones every payload.
+                    batch.set(&format!("c.{i}"), FieldValue::Record(c));
                 }
-                let bytes = batch.encode();
-                monitor.record(MonitorEvent::DataSend, step, self.rank, bytes.len() as u64, 0);
-                tx.send(&bytes);
+                if self.hints.packed_marshal {
+                    let enc = batch.encode_segments();
+                    monitor.record(MonitorEvent::DataSend, step, self.rank, enc.total_len() as u64, 0);
+                    tx.send_vectored(&enc.as_slices());
+                } else {
+                    let flat = batch.encode_legacy();
+                    monitor.record(MonitorEvent::DataSend, step, self.rank, flat.len() as u64, 0);
+                    tx.send(&flat);
+                }
                 counters.bump(&counters.data_msgs);
             } else {
                 for c in &encoded_chunks {
-                    let bytes = c.encode();
-                    monitor.record(MonitorEvent::DataSend, step, self.rank, bytes.len() as u64, 0);
-                    tx.send(&bytes);
+                    if self.hints.packed_marshal {
+                        let enc = c.encode_segments();
+                        monitor.record(MonitorEvent::DataSend, step, self.rank, enc.total_len() as u64, 0);
+                        tx.send_vectored(&enc.as_slices());
+                    } else {
+                        let flat = c.encode_legacy();
+                        monitor.record(MonitorEvent::DataSend, step, self.rank, flat.len() as u64, 0);
+                        tx.send(&flat);
+                    }
                     counters.bump(&counters.data_msgs);
                 }
             }

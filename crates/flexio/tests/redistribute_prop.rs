@@ -3,7 +3,7 @@
 //! element exactly once and both sides compute identical expectations.
 
 use adios::{ArrayData, BoxSel, LocalBlock, Selection, VarValue};
-use flexio::redistribute::{expected_messages, extract_chunk, plan, BoxAssembler, Subscription, VarMeta};
+use flexio::redistribute::{expected_messages, extract_block_chunk, plan, BoxAssembler, Subscription, VarMeta};
 use proptest::prelude::*;
 
 const GLOBAL: u64 = 24;
@@ -78,9 +78,7 @@ proptest! {
             let mut asm = BoxAssembler::new(want, &blocks[0]);
             for (w, block) in blocks.iter().enumerate() {
                 for cp in &p[w][r] {
-                    let VarValue::Block(chunk) =
-                        extract_chunk(&VarValue::Block(block.clone()), cp)
-                    else { unreachable!() };
+                    let chunk = extract_block_chunk(block, cp);
                     asm.add(&chunk);
                 }
             }

@@ -121,22 +121,37 @@ impl ShmSender {
     /// reuse its source immediately (the overlap the paper's asynchronous
     /// API provides).
     pub fn send_copy(&mut self, payload: &[u8]) {
-        if payload.len() < self.queue.payload_capacity() {
-            let mut framed = Vec::with_capacity(payload.len() + 1);
+        self.send_copy_vectored(&[payload]);
+    }
+
+    /// Scatter-gather variant of [`ShmSender::send_copy`]: the message is
+    /// the concatenation of `segments`, written segment by segment straight
+    /// into the inline frame or the pooled buffer. The producer-side copy
+    /// count is the same as for a flat send — the segments never get
+    /// assembled into an intermediate message buffer, so the pooled path
+    /// keeps the paper's two-copy bound end to end.
+    pub fn send_copy_vectored(&mut self, segments: &[&[u8]]) {
+        let total: usize = segments.iter().map(|s| s.len()).sum();
+        if total < self.queue.payload_capacity() {
+            let mut framed = Vec::with_capacity(total + 1);
             framed.push(KIND_INLINE);
-            framed.extend_from_slice(payload);
+            for s in segments {
+                framed.extend_from_slice(s);
+            }
             self.queue.push(&framed).expect("inline frame fits entry capacity");
             return;
         }
-        let mut buf = self.pool.acquire(payload.len());
-        buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
+        let mut buf = self.pool.acquire(total);
+        let dst = buf.as_mut_slice();
+        let mut at = 0;
+        for s in segments {
+            dst[at..at + s.len()].copy_from_slice(s);
+            at += s.len();
+        }
         self.shared.producer_copies.fetch_add(1, Ordering::Relaxed);
         let token = self.next_token;
         self.next_token += 1;
-        self.shared.transfers.lock().insert(
-            token,
-            Transfer::Pooled { buf, len: payload.len() },
-        );
+        self.shared.transfers.lock().insert(token, Transfer::Pooled { buf, len: total });
         self.queue
             .push(&control_frame(KIND_POOLED, token))
             .expect("control frame fits entry capacity");
@@ -322,6 +337,24 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), payload);
         assert_eq!(tx.producer_copies(), 1, "producer copies into the pool");
         assert_eq!(rx.consumer_copies(), 1, "consumer copies out of the pool");
+    }
+
+    #[test]
+    fn vectored_send_matches_flat_send() {
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        // Inline: segments concatenate under the capacity threshold.
+        tx.send_copy_vectored(&[b"head", b"-", b"tail"]);
+        assert_eq!(rx.recv().unwrap(), b"head-tail");
+        assert_eq!(tx.producer_copies(), 0);
+        // Pooled: segments land in the pool slot with exactly one
+        // producer-side copy (no intermediate flat message).
+        let body = vec![5u8; 100_000];
+        tx.send_copy_vectored(&[b"hdr", &body]);
+        let got = rx.recv().unwrap();
+        assert_eq!(&got[..3], b"hdr");
+        assert_eq!(&got[3..], &body[..]);
+        assert_eq!(tx.producer_copies(), 1, "one copy into the pool, not two");
+        assert_eq!(rx.consumer_copies(), 1);
     }
 
     #[test]

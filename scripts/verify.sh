@@ -14,6 +14,9 @@ cargo test -q --offline --workspace
 echo "== clippy =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+echo "== benches compile =="
+cargo bench -q --offline --workspace --no-run
+
 echo "== fault-replay seed sweep =="
 for seed in $(seq 1 20); do
     FLEXIO_FAULT_SEED=$seed \
