@@ -1,0 +1,239 @@
+//! **Reactor runtime** — steps/s for N concurrent 1-writer/1-reader
+//! streams, thread-per-stream blocking backend vs the single-threaded
+//! reactor event loop, swept over stream count × transport.
+//!
+//! The blocking backend spends 2×N OS threads; the reactor drives all 2×N
+//! protocol state machines from one core. Payloads are small (1 KiB) on
+//! purpose: this bench measures scheduling and protocol multiplexing
+//! overhead, not memory bandwidth — the data-plane bench owns that axis.
+//! Sync write mode bounds each stream's in-flight data so 64 streams'
+//! traffic cannot overrun the bounded shm queues regardless of backend.
+//!
+//! Results land in `BENCH_reactor.json` at the repo root and the summary
+//! JSON is printed to stdout (one line, machine-parsable).
+//!
+//! Run with `cargo bench --bench reactor`. Set `REACTOR_QUICK=1` to
+//! shrink step counts for smoke runs.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::thread;
+use std::time::Instant;
+
+use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use flexio::{CachingLevel, FlexIo, Runtime, StreamHints, WriteMode};
+use machine::laptop;
+
+const ELEMS: usize = 128; // 1 KiB of f64 per step
+
+struct RunResult {
+    streams: usize,
+    transport: &'static str,
+    backend: &'static str,
+    steps_total: u64,
+    elapsed_s: f64,
+}
+
+impl RunResult {
+    fn steps_per_s(&self) -> f64 {
+        self.steps_total as f64 / self.elapsed_s
+    }
+}
+
+fn hints(runtime: Runtime) -> StreamHints {
+    StreamHints {
+        write_mode: WriteMode::Sync,
+        caching: CachingLevel::CachingAll,
+        runtime,
+        ..StreamHints::default()
+    }
+}
+
+fn payload(stream: usize, step: u64) -> VarValue {
+    let data: Vec<f64> = (0..ELEMS).map(|e| (stream * ELEMS + e) as f64 + step as f64).collect();
+    VarValue::Block(
+        LocalBlock {
+            global_shape: vec![ELEMS as u64],
+            offset: vec![0],
+            count: vec![ELEMS as u64],
+            data: ArrayData::F64(data),
+        }
+        .validated(),
+    )
+}
+
+fn cores(transport: &str, stream: usize) -> (machine::CoreLocation, machine::CoreLocation) {
+    let w = laptop().node.location_of(0);
+    let r = match transport {
+        "inproc" => w,
+        // Spread readers over the node's other cores so shm queue pairs
+        // don't all land between the same two locations.
+        "shm" => laptop().node.location_of(1 + stream % (laptop().node.cores_per_node() - 1)),
+        other => panic!("unknown transport {other}"),
+    };
+    (w, r)
+}
+
+/// Thread-per-stream backend: 2 OS threads per coupling, blocking calls.
+fn run_threads(streams: usize, transport: &'static str, steps: u64) -> f64 {
+    let io = FlexIo::single_node(laptop());
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for i in 0..streams {
+        let (wcore, rcore) = cores(transport, i);
+        let name = format!("bench{i}");
+        let io_w = io.clone();
+        let name_w = name.clone();
+        handles.push(thread::spawn(move || {
+            let mut w = io_w
+                .open_writer(&name_w, 0, 1, wcore, vec![wcore], hints(Runtime::Blocking))
+                .expect("open writer");
+            for step in 0..steps {
+                w.begin_step(step);
+                w.write("u", payload(i, step));
+                w.end_step();
+            }
+            w.close();
+        }));
+        let io_r = io.clone();
+        handles.push(thread::spawn(move || {
+            let mut r = io_r
+                .open_reader(&name, 0, 1, rcore, vec![rcore], hints(Runtime::Blocking))
+                .expect("open reader");
+            r.subscribe("u", Selection::GlobalBox(BoxSel::whole(&[ELEMS as u64])));
+            let mut seen = 0u64;
+            while let StepStatus::Step(_) = r.begin_step() {
+                seen += 1;
+                r.end_step();
+            }
+            assert_eq!(seen, steps);
+            r.close();
+        }));
+    }
+    for h in handles {
+        h.join().expect("bench thread");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Reactor backend: one event loop on this thread drives all 2×N engines.
+fn run_reactor(streams: usize, transport: &'static str, steps: u64) -> f64 {
+    let io = FlexIo::single_node(laptop());
+    let mut reactor = flexio_reactor::Reactor::new();
+    let done = Rc::new(Cell::new(0usize));
+    let start = Instant::now();
+    for i in 0..streams {
+        let (wcore, rcore) = cores(transport, i);
+        let name = format!("bench{i}");
+        let io_w = io.clone();
+        let name_w = name.clone();
+        let done_w = Rc::clone(&done);
+        reactor.spawn(async move {
+            let mut w = io_w
+                .open_writer_rt(&name_w, 0, 1, wcore, vec![wcore], hints(Runtime::Reactor))
+                .await
+                .expect("open writer");
+            for step in 0..steps {
+                w.begin_step(step);
+                w.write("u", payload(i, step));
+                w.end_step_rt().await.expect("end_step");
+            }
+            w.close();
+            done_w.set(done_w.get() + 1);
+        });
+        let io_r = io.clone();
+        let done_r = Rc::clone(&done);
+        reactor.spawn(async move {
+            let mut r = io_r
+                .open_reader_rt(&name, 0, 1, rcore, vec![rcore], hints(Runtime::Reactor))
+                .await
+                .expect("open reader");
+            r.subscribe("u", Selection::GlobalBox(BoxSel::whole(&[ELEMS as u64])));
+            let mut seen = 0u64;
+            loop {
+                match r.begin_step_rt().await.expect("begin_step") {
+                    StepStatus::Step(_) => {
+                        seen += 1;
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            assert_eq!(seen, steps);
+            r.close();
+            done_r.set(done_r.get() + 1);
+        });
+    }
+    reactor.run();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(done.get(), streams * 2, "every engine ran to completion");
+    elapsed
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        println!("reactor: skipped under test harness");
+        return;
+    }
+    let quick = std::env::var("REACTOR_QUICK").is_ok();
+    // Steps per stream scale down with stream count so every cell moves a
+    // comparable total step volume.
+    let sweep: Vec<(usize, u64)> = vec![
+        (1, if quick { 64 } else { 512 }),
+        (8, if quick { 16 } else { 128 }),
+        (64, if quick { 4 } else { 16 }),
+    ];
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &(streams, steps) in &sweep {
+        for transport in ["inproc", "shm"] {
+            for backend in ["threads", "reactor"] {
+                let elapsed_s = match backend {
+                    "threads" => run_threads(streams, transport, steps),
+                    _ => run_reactor(streams, transport, steps),
+                };
+                let r = RunResult {
+                    streams,
+                    transport,
+                    backend,
+                    steps_total: streams as u64 * steps,
+                    elapsed_s,
+                };
+                eprintln!(
+                    "reactor: {:3} streams  {:6}  {:7}  {:8.1} steps/s",
+                    r.streams,
+                    r.transport,
+                    r.backend,
+                    r.steps_per_s()
+                );
+                results.push(r);
+            }
+        }
+    }
+
+    let mut entries = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(", ");
+        }
+        entries.push_str(&format!(
+            "{{\"streams\": {}, \"transport\": \"{}\", \"backend\": \"{}\", \
+             \"steps_total\": {}, \"elapsed_s\": {:.6}, \"steps_per_s\": {:.3}}}",
+            r.streams,
+            r.transport,
+            r.backend,
+            r.steps_total,
+            r.elapsed_s,
+            r.steps_per_s()
+        ));
+    }
+    let json = format!(
+        "{{\"bench\": \"reactor\", \"payload_bytes\": {}, \"results\": [{}]}}",
+        ELEMS * 8,
+        entries
+    );
+    println!("{json}");
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reactor.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_reactor.json");
+    eprintln!("reactor: wrote {out}");
+}

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::transport::{BoxedReceiver, BoxedSender, EvReceiver, EvSender};
+use crate::transport::{BoxedReceiver, BoxedSender, EvReceiver, EvSender, RecvPoll};
 
 /// Fault rates and crash points for one channel (or the plan default).
 /// Rates are per-mille (0–1000) per message.
@@ -310,18 +310,24 @@ impl EvReceiver for FaultyReceiver {
         }
     }
 
-    fn try_recv(&mut self) -> Option<Vec<u8>> {
+    fn poll_recv(&mut self) -> RecvPoll {
         if self.deaf() {
             // Consume and discard so the transport queue cannot back up
-            // behind a corpse.
+            // behind a corpse. A dead endpoint reports *silence*, never
+            // `Closed` — its peer's timeout machinery is the intended
+            // observer, exactly as with a real crashed process.
             if self.inner.try_recv().is_some() {
                 self.plan.counters.deaf_recvs.fetch_add(1, Ordering::Relaxed);
             }
-            return None;
+            return RecvPoll::Empty;
         }
-        let msg = self.inner.try_recv()?;
-        self.received += 1;
-        Some(msg)
+        match self.inner.poll_recv() {
+            RecvPoll::Msg(msg) => {
+                self.received += 1;
+                RecvPoll::Msg(msg)
+            }
+            other => other,
+        }
     }
 }
 

@@ -38,5 +38,6 @@ pub use ffs::{
 };
 pub use stones::{EvGraph, StoneId};
 pub use transport::{
-    inproc_pair, BoxedReceiver, BoxedSender, EvReceiver, EvSender, NetTransport, ShmTransport,
+    inproc_pair, BoxedReceiver, BoxedSender, EvReceiver, EvSender, NetTransport, RecvPoll,
+    ShmTransport,
 };

@@ -39,13 +39,45 @@ pub fn flatten(segments: &[&[u8]]) -> Vec<u8> {
     flat
 }
 
+/// Outcome of one non-blocking readiness poll on a receiver.
+///
+/// `Option<Vec<u8>>` is too lossy for an event-loop runtime (and was
+/// silently conflating real failures with "nothing yet"): the reactor
+/// must distinguish *try again later* from *this channel will never
+/// produce another message* from *this frame arrived damaged*.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvPoll {
+    /// A message was ready and has been dequeued.
+    Msg(Vec<u8>),
+    /// Nothing queued right now; poll again later.
+    Empty,
+    /// The queue is drained and the peer endpoint is gone — no further
+    /// message can ever arrive. Transports that cannot observe peer
+    /// death (the RDMA fabric has no connection state) never report it.
+    Closed,
+    /// A frame arrived but failed validation; it has been consumed. The
+    /// reason is the shm channel's corruption diagnostic.
+    Corrupt(&'static str),
+}
+
 /// Receiving side of a byte transport.
 pub trait EvReceiver: Send {
     /// Blocking receive of the next message.
     fn recv(&mut self) -> Vec<u8>;
 
-    /// Non-blocking receive.
-    fn try_recv(&mut self) -> Option<Vec<u8>>;
+    /// Non-blocking readiness poll. Never blocks; `Empty` means "look
+    /// again", every other variant is a definite event.
+    fn poll_recv(&mut self) -> RecvPoll;
+
+    /// Non-blocking receive, for drain-style callers that treat every
+    /// non-message outcome as "stop draining". New code that must react
+    /// to closed/corrupt channels uses [`poll_recv`](Self::poll_recv).
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        match self.poll_recv() {
+            RecvPoll::Msg(m) => Some(m),
+            RecvPoll::Empty | RecvPoll::Closed | RecvPoll::Corrupt(_) => None,
+        }
+    }
 }
 
 /// Boxed sender, the form FlexIO stores.
@@ -86,8 +118,13 @@ impl EvReceiver for InprocReceiver {
         self.0.recv().expect("in-proc channel closed")
     }
 
-    fn try_recv(&mut self) -> Option<Vec<u8>> {
-        self.0.try_recv().ok()
+    fn poll_recv(&mut self) -> RecvPoll {
+        use crossbeam::channel::TryRecvError;
+        match self.0.try_recv() {
+            Ok(msg) => RecvPoll::Msg(msg),
+            Err(TryRecvError::Empty) => RecvPoll::Empty,
+            Err(TryRecvError::Disconnected) => RecvPoll::Closed,
+        }
     }
 }
 
@@ -102,6 +139,14 @@ impl ShmTransport {
     /// of `inline_capacity` bytes.
     pub fn pair(entries: usize, inline_capacity: usize) -> (BoxedSender, BoxedReceiver) {
         let (tx, rx) = shm_channel(entries, inline_capacity);
+        ShmTransport::from_halves(tx, rx)
+    }
+
+    /// Wrap pre-built channel halves. Fault-injection tests construct the
+    /// raw channel themselves so they can poke frames straight into the
+    /// queue (`ShmSender::inject_raw_frame`) before handing the receiving
+    /// half to the protocol stack.
+    pub fn from_halves(tx: ShmSender, rx: ShmReceiver) -> (BoxedSender, BoxedReceiver) {
         (
             Box::new(ShmTransportSender(tx)),
             Box::new(ShmTransportReceiver(rx)),
@@ -141,8 +186,25 @@ impl EvReceiver for ShmTransportReceiver {
         }
     }
 
-    fn try_recv(&mut self) -> Option<Vec<u8>> {
-        self.0.try_recv().ok().flatten()
+    fn poll_recv(&mut self) -> RecvPoll {
+        match self.0.try_recv() {
+            Ok(Some(msg)) => RecvPoll::Msg(msg),
+            Ok(None) => {
+                if self.0.peer_closed() {
+                    // The closed flag is set *after* the producer's last
+                    // push, so one recheck closes the push-then-drop race:
+                    // after the flag reads true no new frame can appear.
+                    match self.0.try_recv() {
+                        Ok(Some(msg)) => RecvPoll::Msg(msg),
+                        Ok(None) => RecvPoll::Closed,
+                        Err(e) => RecvPoll::Corrupt(e.reason()),
+                    }
+                } else {
+                    RecvPoll::Empty
+                }
+            }
+            Err(e) => RecvPoll::Corrupt(e.reason()),
+        }
     }
 }
 
@@ -189,8 +251,14 @@ impl EvReceiver for NetTransportReceiver {
         self.port.recv().0
     }
 
-    fn try_recv(&mut self) -> Option<Vec<u8>> {
-        self.port.try_recv().map(|(payload, _)| payload)
+    fn poll_recv(&mut self) -> RecvPoll {
+        // RDMA has no connection teardown signal: a vanished peer looks
+        // exactly like silence, so this transport never reports `Closed`
+        // and the protocol's timeout machinery owns that failure mode.
+        match self.port.try_recv() {
+            Some((payload, _)) => RecvPoll::Msg(payload),
+            None => RecvPoll::Empty,
+        }
     }
 }
 

@@ -97,6 +97,16 @@ impl Directory {
         }
     }
 
+    /// Non-blocking lookup (the reactor's poll-driven analogue of
+    /// [`Self::lookup`]): `None` means "not registered yet", not failure.
+    /// Bumps the lookup counter only on a hit, so the "directory is not in
+    /// the critical path" accounting is identical to the blocking path.
+    pub fn try_lookup(&self, name: &str) -> Option<Arc<LinkState>> {
+        let contact = Arc::clone(self.state.0.lock().entries.get(name)?);
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        Some(contact)
+    }
+
     /// Remove a stream entry (writer close); returns whether it existed.
     pub fn unregister(&self, name: &str) -> bool {
         self.state.0.lock().entries.remove(name).is_some()

@@ -47,7 +47,7 @@ pub mod relay;
 pub mod writer;
 
 pub use directory::Directory;
-pub use link::{FlexIo, StreamHints};
+pub use link::{FlexIo, Runtime, StreamHints};
 pub use manager::{ManagerPolicy, PlacementManager, Recommendation};
 pub use monitor::{MonitorEvent, PerfMonitor};
 pub use plugins::{PluginPlacement, PluginSpec};

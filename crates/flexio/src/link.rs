@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use adios::GroupConfig;
 use evpath::{
     inproc_pair, BoxedReceiver, BoxedSender, EvReceiver, EvSender, FaultPlan, FaultSpec,
-    NetTransport, Record, ShmTransport,
+    NetTransport, RecvPoll, Record, ShmTransport,
 };
 use machine::{CoreLocation, MachineModel};
 use netsim::NetSim;
@@ -22,6 +22,46 @@ use crate::monitor::PerfMonitor;
 use crate::protocol::{CachingLevel, ProtocolCounters, WriteMode};
 use crate::reader::StreamReader;
 use crate::writer::StreamWriter;
+
+/// Which engine backend drives a stream's protocol steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Runtime {
+    /// One OS thread per stream side; receive waits park the thread
+    /// (the original backend, and the default).
+    Blocking,
+    /// Poll-driven state machines on the single-threaded
+    /// `flexio-reactor` event loop. Through the blocking `StreamWriter`
+    /// / `StreamReader` API each protocol call runs on a caller-thread
+    /// mini event loop; the `*_rt` async entry points let one reactor
+    /// thread multiplex many streams.
+    Reactor,
+}
+
+impl Runtime {
+    /// Parse an XML `runtime` hint value.
+    pub fn from_hint(value: &str) -> Option<Runtime> {
+        match value {
+            "blocking" | "thread" => Some(Runtime::Blocking),
+            "reactor" => Some(Runtime::Reactor),
+            _ => None,
+        }
+    }
+}
+
+/// Process-wide default runtime: `FLEXIO_RUNTIME=reactor` flips every
+/// stream that doesn't set an explicit hint, which is how the verify
+/// suite replays the whole mode-matrix and fault battery on the reactor
+/// backend without touching the tests.
+fn default_runtime() -> Runtime {
+    static DEFAULT: std::sync::OnceLock<Runtime> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FLEXIO_RUNTIME")
+            .ok()
+            .as_deref()
+            .and_then(Runtime::from_hint)
+            .unwrap_or(Runtime::Blocking)
+    })
+}
 
 /// Per-stream tuning hints, populated from the XML config (§II.B: "To
 /// tune transports, transport-specific parameters specified as hints in an
@@ -56,6 +96,9 @@ pub struct StreamHints {
     /// single-copy send path, kept as the A/B baseline for the
     /// data-plane ablation bench.
     pub packed_marshal: bool,
+    /// Engine backend: thread-per-stream blocking calls (default) or the
+    /// single-threaded reactor event loop.
+    pub runtime: Runtime,
 }
 
 impl Default for StreamHints {
@@ -72,6 +115,7 @@ impl Default for StreamHints {
             faults: None,
             eos_on_silence: false,
             packed_marshal: true,
+            runtime: default_runtime(),
         }
     }
 }
@@ -100,6 +144,9 @@ impl StreamHints {
         }
         h.transactional = cfg.hint_bool("transactional");
         h.eos_on_silence = cfg.hint_bool("eos_on_silence");
+        if let Some(rt) = cfg.hint("runtime").and_then(Runtime::from_hint) {
+            h.runtime = rt;
+        }
         h.faults = fault_plan_from_config(cfg).map(Arc::new);
         h
     }
@@ -256,28 +303,45 @@ struct SeqReceiver {
 
 impl EvReceiver for SeqReceiver {
     fn recv(&mut self) -> Vec<u8> {
-        let mut spins = 0u32;
+        // Spin → yield → park: hot streams stay in the nanosecond regime,
+        // idle ones stop burning the helper core (this used to be a fixed
+        // 100 µs sleep loop).
+        let mut backoff = flexio_reactor::Backoff::new();
         loop {
             if let Some(msg) = self.try_recv() {
                 return msg;
             }
-            if spins < 2_000 {
-                spins += 1;
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(Duration::from_micros(100));
-            }
+            backoff.snooze();
         }
     }
 
-    fn try_recv(&mut self) -> Option<Vec<u8>> {
+    fn poll_recv(&mut self) -> RecvPoll {
         loop {
             if let Some(msg) = self.early.remove(&self.next) {
                 self.next += 1;
                 self.counters.bump(&self.counters.reorder_healed);
-                return Some(msg);
+                return RecvPoll::Msg(msg);
             }
-            let framed = self.inner.try_recv()?;
+            let framed = match self.inner.poll_recv() {
+                RecvPoll::Msg(framed) => framed,
+                RecvPoll::Empty => return RecvPoll::Empty,
+                RecvPoll::Corrupt(reason) => return RecvPoll::Corrupt(reason),
+                RecvPoll::Closed => {
+                    if self.early.is_empty() {
+                        return RecvPoll::Closed;
+                    }
+                    // The wire is done but the reorder buffer still holds
+                    // early arrivals: the missing predecessors can never
+                    // come, so write the gap off as drops (same accounting
+                    // as the threshold path) and drain what survived.
+                    let lowest = *self.early.keys().next().expect("early set non-empty");
+                    for _ in self.next..lowest {
+                        self.counters.bump(&self.counters.drops_observed);
+                    }
+                    self.next = lowest;
+                    continue;
+                }
+            };
             if framed.len() < 8 {
                 // Not ours; a fault layer cannot shrink frames below the
                 // header we added, so treat it as garbage and move on.
@@ -292,7 +356,7 @@ impl EvReceiver for SeqReceiver {
             }
             if seq == self.next {
                 self.next += 1;
-                return Some(payload);
+                return RecvPoll::Msg(payload);
             }
             if self.early.insert(seq, payload).is_some() {
                 // A duplicate of a message still parked in the reorder
@@ -386,6 +450,12 @@ impl LinkState {
         assert!(ri.is_none(), "reader already attached to this stream");
         *ri = Some((count, cores));
         self.reader_ready.notify_all();
+    }
+
+    /// Non-blocking peek at the reader side's attachment (the reactor's
+    /// poll-driven analogue of [`Self::wait_reader_info`]).
+    pub fn try_reader_info(&self) -> Option<(usize, Vec<CoreLocation>)> {
+        self.reader_info.lock().clone()
     }
 
     /// Wait until the reader side has attached; returns `(count, cores)`.
@@ -548,36 +618,90 @@ pub fn recv_record(
         }
         let timeout = hints.recv_timeout * (1u32 << attempt.min(3));
         let deadline = Instant::now() + timeout;
-        let mut spins = 0u32;
+        // Spin briefly for low latency, then yield, then park in bounded
+        // sleeps so a reader blocked across a long simulation phase does
+        // not burn the very helper core the placement gave it.
+        let mut backoff = flexio_reactor::Backoff::new();
         loop {
-            if let Some(bytes) = rx.try_recv() {
-                // Decode against the shared receive buffer: large array
-                // payloads come back as zero-copy views into `bytes`
-                // instead of freshly allocated vectors. The legacy
-                // (`packed_marshal: false`) plane decodes owned, as the
-                // per-element path always did.
-                let decoded = if hints.packed_marshal {
-                    Record::decode_shared(&std::sync::Arc::new(bytes))
-                } else {
-                    Record::decode(&bytes)
-                };
-                return decoded.map_err(|e| StreamError::Corrupt(e.to_string()));
+            match rx.poll_recv() {
+                evpath::RecvPoll::Msg(bytes) => return decode_record(bytes, hints),
+                evpath::RecvPoll::Corrupt(reason) => {
+                    // Previously swallowed as `None` and retried until the
+                    // timeout budget ran out; a consumed-but-invalid frame
+                    // is a definite event, so surface it.
+                    counters.bump(&counters.corrupt_frames);
+                    return Err(StreamError::Corrupt(format!("transport frame: {reason}")));
+                }
+                evpath::RecvPoll::Closed => {
+                    // The peer endpoint is gone and the queue is drained:
+                    // no amount of waiting produces another message, so
+                    // fail the same way an exhausted retry budget would —
+                    // the callers' timeout handling (EOS synthesis, reader
+                    // eviction) is exactly the right degradation — just
+                    // without burning the remaining budget.
+                    counters.bump(&counters.closed_channels);
+                    return Err(StreamError::Timeout);
+                }
+                evpath::RecvPoll::Empty => {}
             }
             if Instant::now() >= deadline {
                 break; // retry
             }
-            // Spin briefly for low latency, then back off to short sleeps
-            // so a reader blocked across a long simulation phase does not
-            // burn the very helper core the placement gave it.
-            if spins < 2_000 {
-                spins += 1;
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(Duration::from_micros(100));
-            }
+            backoff.snooze_capped(deadline.saturating_duration_since(Instant::now()));
         }
     }
     Err(StreamError::Timeout)
+}
+
+/// Poll-driven variant of [`recv_record`] for reactor tasks: identical
+/// timeout schedule, retry accounting and failure mapping, but the waits
+/// between polls yield to the enclosing event loop (via
+/// [`flexio_reactor::Pacing`]) instead of parking the thread, so one
+/// reactor core can hold many of these waits open at once.
+pub async fn recv_record_rt(
+    rx: &mut BoxedReceiver,
+    hints: &StreamHints,
+    counters: &ProtocolCounters,
+) -> Result<Record, StreamError> {
+    for attempt in 0..=hints.retries {
+        if attempt > 0 {
+            counters.bump(&counters.retries);
+        }
+        let timeout = hints.recv_timeout * (1u32 << attempt.min(3));
+        let deadline = Instant::now() + timeout;
+        let mut pacing = flexio_reactor::Pacing::new();
+        loop {
+            match rx.poll_recv() {
+                evpath::RecvPoll::Msg(bytes) => return decode_record(bytes, hints),
+                evpath::RecvPoll::Corrupt(reason) => {
+                    counters.bump(&counters.corrupt_frames);
+                    return Err(StreamError::Corrupt(format!("transport frame: {reason}")));
+                }
+                evpath::RecvPoll::Closed => {
+                    counters.bump(&counters.closed_channels);
+                    return Err(StreamError::Timeout);
+                }
+                evpath::RecvPoll::Empty => {}
+            }
+            if Instant::now() >= deadline {
+                break; // retry
+            }
+            pacing.pause(Some(deadline)).await;
+        }
+    }
+    Err(StreamError::Timeout)
+}
+
+/// Decode a received message with the plane selected by the hints: packed
+/// decodes against the shared receive buffer (large array payloads come
+/// back as zero-copy views into `bytes`), legacy decodes owned.
+fn decode_record(bytes: Vec<u8>, hints: &StreamHints) -> Result<Record, StreamError> {
+    let decoded = if hints.packed_marshal {
+        Record::decode_shared(&std::sync::Arc::new(bytes))
+    } else {
+        Record::decode(&bytes)
+    };
+    decoded.map_err(|e| StreamError::Corrupt(e.to_string()))
 }
 
 /// Stream-layer error.
@@ -671,6 +795,11 @@ impl FlexIo {
         all_cores: Vec<CoreLocation>,
         hints: StreamHints,
     ) -> Result<StreamWriter, StreamError> {
+        if hints.runtime == Runtime::Reactor {
+            return flexio_reactor::block_on(
+                self.open_writer_rt(name, rank, nranks, core, all_cores, hints),
+            );
+        }
         assert_eq!(all_cores.len(), nranks);
         assert_eq!(all_cores[rank], core, "rank's own core must match the roster");
         let link = if rank == 0 {
@@ -680,6 +809,33 @@ impl FlexIo {
             link
         } else {
             self.wait_bulletin(&format!("w:{name}"), hints.recv_timeout)
+                .ok_or(StreamError::Timeout)?
+        };
+        Ok(StreamWriter::new(link, rank, nranks, name.to_string(), hints))
+    }
+
+    /// Poll-driven variant of [`Self::open_writer`] for reactor tasks:
+    /// identical protocol, but every wait (the non-coordinator bulletin
+    /// wait) yields to the event loop instead of parking the thread.
+    pub async fn open_writer_rt(
+        &self,
+        name: &str,
+        rank: usize,
+        nranks: usize,
+        core: CoreLocation,
+        all_cores: Vec<CoreLocation>,
+        hints: StreamHints,
+    ) -> Result<StreamWriter, StreamError> {
+        assert_eq!(all_cores.len(), nranks);
+        assert_eq!(all_cores[rank], core, "rank's own core must match the roster");
+        let link = if rank == 0 {
+            let link = LinkState::new(nranks, all_cores, self.net.clone(), &hints);
+            self.directory.register(name, Arc::clone(&link))?;
+            self.post_bulletin(&format!("w:{name}"), Arc::clone(&link));
+            link
+        } else {
+            self.bulletin_rt(&format!("w:{name}"), hints.recv_timeout)
+                .await
                 .ok_or(StreamError::Timeout)?
         };
         Ok(StreamWriter::new(link, rank, nranks, name.to_string(), hints))
@@ -697,6 +853,11 @@ impl FlexIo {
         all_cores: Vec<CoreLocation>,
         hints: StreamHints,
     ) -> Result<StreamReader, StreamError> {
+        if hints.runtime == Runtime::Reactor {
+            return flexio_reactor::block_on(
+                self.open_reader_rt(name, rank, nranks, core, all_cores, hints),
+            );
+        }
         assert_eq!(all_cores.len(), nranks);
         assert_eq!(all_cores[rank], core, "rank's own core must match the roster");
         let link = if rank == 0 {
@@ -722,6 +883,54 @@ impl FlexIo {
         Ok(StreamReader::new(link, rank, nranks, name.to_string(), hints))
     }
 
+    /// Poll-driven variant of [`Self::open_reader`] for reactor tasks:
+    /// the directory lookup, the scheduled directory stall and the
+    /// non-coordinator bulletin wait all become event-loop yields, so one
+    /// reactor thread can open many streams concurrently.
+    pub async fn open_reader_rt(
+        &self,
+        name: &str,
+        rank: usize,
+        nranks: usize,
+        core: CoreLocation,
+        all_cores: Vec<CoreLocation>,
+        hints: StreamHints,
+    ) -> Result<StreamReader, StreamError> {
+        assert_eq!(all_cores.len(), nranks);
+        assert_eq!(all_cores[rank], core, "rank's own core must match the roster");
+        let link = if rank == 0 {
+            // Same stall semantics as the blocking path: the fault plan's
+            // scheduled directory stall shrinks the lookup budget.
+            let mut budget = hints.recv_timeout;
+            if let Some(plan) = &hints.faults {
+                if let Some(stall) = plan.spec_for("dir").stall {
+                    plan.note_stall();
+                    flexio_reactor::sleep(stall).await;
+                    budget = budget.saturating_sub(stall);
+                }
+            }
+            let deadline = Instant::now() + budget;
+            let mut pacing = flexio_reactor::Pacing::new();
+            let link = loop {
+                if let Some(link) = self.directory.try_lookup(name) {
+                    break link;
+                }
+                if Instant::now() >= deadline {
+                    return Err(DirectoryError::LookupTimeout(name.to_string()).into());
+                }
+                pacing.pause(Some(deadline)).await;
+            };
+            link.set_reader_info(nranks, all_cores);
+            self.post_bulletin(&format!("r:{name}"), Arc::clone(&link));
+            link
+        } else {
+            self.bulletin_rt(&format!("r:{name}"), hints.recv_timeout)
+                .await
+                .ok_or(StreamError::Timeout)?
+        };
+        Ok(StreamReader::new(link, rank, nranks, name.to_string(), hints))
+    }
+
     fn post_bulletin(&self, key: &str, link: Arc<LinkState>) {
         let (lock, cvar) = &*self.bulletin;
         lock.lock().insert(key.to_string(), link);
@@ -741,6 +950,26 @@ impl FlexIo {
                 return None;
             }
             cvar.wait_for(&mut map, deadline - now);
+        }
+    }
+
+    fn try_bulletin(&self, key: &str) -> Option<Arc<LinkState>> {
+        self.bulletin.0.lock().get(key).map(Arc::clone)
+    }
+
+    /// Poll the bulletin until `key` appears or `timeout` expires,
+    /// yielding to the event loop between polls.
+    async fn bulletin_rt(&self, key: &str, timeout: Duration) -> Option<Arc<LinkState>> {
+        let deadline = Instant::now() + timeout;
+        let mut pacing = flexio_reactor::Pacing::new();
+        loop {
+            if let Some(link) = self.try_bulletin(key) {
+                return Some(link);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            pacing.pause(Some(deadline)).await;
         }
     }
 }

@@ -85,6 +85,14 @@ pub struct ProtocolCounters {
     pub evictions: AtomicU64,
     /// Steps completed in degraded form (some reader evicted/skipped).
     pub degraded_steps: AtomicU64,
+    // -- transport-readiness counters (fed by the `poll_recv` contract;
+    //    queried directly, not part of either positional snapshot) --
+    /// Frames the transport consumed but could not validate (shm corrupt
+    /// control frames). Previously indistinguishable from silence.
+    pub corrupt_frames: AtomicU64,
+    /// Receive waits cut short because the peer endpoint was observed
+    /// closed (queue drained + sending half dropped).
+    pub closed_channels: AtomicU64,
 }
 
 impl ProtocolCounters {

@@ -14,7 +14,9 @@ use std::sync::Arc;
 use adios::{BoxSel, ReadEngine, Selection, StepStatus, VarValue};
 use evpath::{BoxedReceiver, BoxedSender, FieldValue, Record};
 
-use crate::link::{recv_record, ChannelId, LinkState, StreamError, StreamHints};
+use crate::link::{
+    recv_record, recv_record_rt, ChannelId, LinkState, Runtime, StreamError, StreamHints,
+};
 use crate::monitor::MonitorEvent;
 use crate::plugins::{InstalledPlugin, PluginPlacement, PluginSpec};
 use crate::protocol::{self, msg, CachingLevel, WriteMode};
@@ -565,6 +567,11 @@ impl StreamReader {
 
     /// Fallible version of [`ReadEngine::begin_step`].
     pub fn try_begin_step(&mut self) -> Result<StepStatus, StreamError> {
+        if self.hints.runtime == Runtime::Reactor {
+            // Reactor backend through the blocking API: the caller's
+            // thread becomes a single-task event loop for this step.
+            return flexio_reactor::block_on(self.begin_step_rt());
+        }
         assert!(self.current_step.is_none(), "begin_step without end_step");
         if self.eos {
             return Ok(StepStatus::EndOfStream);
@@ -580,6 +587,349 @@ impl StreamReader {
         self.current_step = Some(step);
         self.steps_read += 1;
         Ok(StepStatus::Step(step))
+    }
+
+    // ------------------------------------------------ reactor state machine
+    //
+    // The poll-driven transcription of the engine above: identical
+    // protocol steps, counter accounting and failure mapping, but every
+    // receive wait is an `.await` that yields to the enclosing
+    // `flexio-reactor` event loop — one core can drive many readers.
+
+    /// Poll-driven variant of [`Self::try_begin_step`] for reactor tasks
+    /// (the blocking API reaches it through `block_on` when the stream's
+    /// `runtime` hint selects the reactor backend).
+    pub async fn begin_step_rt(&mut self) -> Result<StepStatus, StreamError> {
+        assert!(self.current_step.is_none(), "begin_step without end_step");
+        if self.eos {
+            return Ok(StepStatus::EndOfStream);
+        }
+        let Some(step) = self.coordinate_begin_rt().await? else {
+            self.eos = true;
+            return Ok(StepStatus::EndOfStream);
+        };
+        self.receive_chunks_rt(step).await?;
+        if self.hints.transactional {
+            self.txn_reader_rt(step).await?;
+        }
+        self.current_step = Some(step);
+        self.steps_read += 1;
+        Ok(StepStatus::Step(step))
+    }
+
+    /// [`Self::coordinate_begin`] as a poll-driven step.
+    async fn coordinate_begin_rt(&mut self) -> Result<Option<u64>, StreamError> {
+        let first = self.steps_read == 0;
+        let need_sub_gather = first || self.hints.caching == CachingLevel::NoCaching;
+        let need_exchange = first || self.hints.caching != CachingLevel::CachingAll;
+        let counters = Arc::clone(&self.link.counters);
+        let hints = self.hints.clone();
+        let link = Arc::clone(&self.link);
+        let nranks = self.nranks;
+
+        if self.rank != 0 {
+            if need_sub_gather {
+                self.side_up.as_mut().expect("non-coordinator has side_up").send(
+                    &protocol::message("subs")
+                        .with("sels", FieldValue::Record(encode_subscriptions(&self.subscriptions)))
+                        .encode(),
+                );
+                counters.bump(&counters.gather_msgs);
+            }
+            let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
+            let go = recv_record_rt(rx, &hints, &counters).await?;
+            match protocol::kind_of(&go) {
+                "go" => {
+                    let step = go
+                        .get_u64("step")
+                        .ok_or_else(|| StreamError::Corrupt("go missing step".into()))?;
+                    if let Some(plan) = go.get_record("plan") {
+                        self.cached_plan_col = decode_plan_col(plan)
+                            .ok_or_else(|| StreamError::Corrupt("bad plan col".into()))?;
+                    }
+                    if let Some(pl) = go.get_record("plugins") {
+                        let specs = decode_plugin_specs(pl)
+                            .ok_or_else(|| StreamError::Corrupt("bad plugin specs".into()))?;
+                        self.install_local(&specs);
+                    }
+                    Ok(Some(step))
+                }
+                k if k == msg::EOS => Ok(None),
+                k => Err(StreamError::Protocol(format!("expected go/eos, got {k}"))),
+            }
+        } else {
+            // ---- coordinator ----
+            let mut plugin_dirty = self.plugins_dirty;
+            self.plugins_dirty = false;
+            {
+                let coord = self.coord.as_mut().expect("rank 0 is coordinator");
+                if plugin_dirty && !first {
+                    let update = protocol::message(msg::PLUGIN_UPDATE).with(
+                        "plugins",
+                        FieldValue::Record(encode_plugin_specs(&coord.all_plugins)),
+                    );
+                    coord.ctrl_tx.send(&update.encode());
+                    counters.bump(&counters.plugin_msgs);
+                }
+            }
+
+            // Step header (or EOS) from the writer coordinator; same
+            // `eos_on_silence` degradation as the blocking engine.
+            let header = {
+                let coord = self.coord.as_mut().expect("rank 0 is coordinator");
+                match coord.ctrl_in.recv_expect_rt(&[msg::STEP, msg::EOS], &hints).await {
+                    Ok(h) => h,
+                    Err(StreamError::Timeout) if hints.eos_on_silence => {
+                        counters.bump(&counters.eos_synthesized);
+                        protocol::message(msg::EOS)
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            if protocol::kind_of(&header) == msg::EOS {
+                let coord = self.coord.as_mut().expect("rank 0 is coordinator");
+                for r in 1..nranks {
+                    let tx = coord.to_ranks[r].get_or_insert_with(|| {
+                        link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
+                    });
+                    tx.send(&protocol::message(msg::EOS).encode());
+                    counters.bump(&counters.step_msgs);
+                }
+                return Ok(None);
+            }
+            let step = header
+                .get_u64("step")
+                .ok_or_else(|| StreamError::Corrupt("step header missing step".into()))?;
+            let writer_exchanges = header.get_u64("exchange") == Some(1);
+            if writer_exchanges != need_exchange {
+                return Err(StreamError::Protocol(format!(
+                    "caching configuration mismatch: writer exchange={writer_exchanges}, \
+                     reader expects {need_exchange} (configure both sides identically)"
+                )));
+            }
+
+            let mut plan_dirty = false;
+            let mut writer_dists: Option<Vec<Vec<VarMeta>>> = None;
+            if need_exchange {
+                let info = {
+                    let coord = self.coord.as_mut().expect("rank 0 is coordinator");
+                    coord.ctrl_in.recv_expect_rt(&[msg::WRITER_INFO], &hints).await?
+                };
+                let nw = info
+                    .get_u64("nranks")
+                    .ok_or_else(|| StreamError::Corrupt("writer_info missing nranks".into()))?
+                    as usize;
+                let mut dists = Vec::with_capacity(nw);
+                for w in 0..nw {
+                    let dr = info
+                        .get_record(&format!("dists.{w}"))
+                        .ok_or_else(|| StreamError::Corrupt("writer_info missing dists".into()))?;
+                    dists.push(
+                        decode_writer_metas(dr)
+                            .ok_or_else(|| StreamError::Corrupt("bad metas".into()))?,
+                    );
+                }
+                writer_dists = Some(dists);
+
+                let coord = self.coord.as_mut().expect("rank 0 is coordinator");
+                if need_sub_gather {
+                    coord.cached_sels[0] = self.subscriptions.clone();
+                    for r in 1..nranks {
+                        let rx = coord.from_ranks[r].get_or_insert_with(|| {
+                            link.claim_receiver(ChannelId::ReaderSide { rank: r, up: true })
+                        });
+                        let m = recv_record_rt(rx, &hints, &counters).await?;
+                        let sels = m
+                            .get_record("sels")
+                            .and_then(decode_subscriptions)
+                            .ok_or_else(|| StreamError::Corrupt("bad subs".into()))?;
+                        coord.cached_sels[r] = sels;
+                    }
+                }
+                let mut reply = protocol::message(msg::READER_INFO)
+                    .with("nranks", FieldValue::U64(nranks as u64));
+                for (r, sels) in coord.cached_sels.iter().enumerate() {
+                    reply.set(&format!("sels.{r}"), FieldValue::Record(encode_subscriptions(sels)));
+                }
+                if first && !coord.all_plugins.is_empty() {
+                    reply.set("plugins", FieldValue::Record(encode_plugin_specs(&coord.all_plugins)));
+                    plugin_dirty = true;
+                }
+                coord.ctrl_tx.send(&reply.encode());
+                counters.bump(&counters.exchange_msgs);
+                plan_dirty = true;
+            }
+
+            // Compute and distribute the plan.
+            let coord = self.coord.as_mut().expect("rank 0 is coordinator");
+            let plugin_record =
+                plugin_dirty.then(|| encode_plugin_specs(&coord.all_plugins));
+            let mut my_col = None;
+            if plan_dirty {
+                let dists = writer_dists.as_ref().expect("exchange delivered dists");
+                let full = redistribute::plan(dists, &coord.cached_sels);
+                for r in 0..nranks {
+                    let col: Vec<Vec<ChunkPlan>> =
+                        full.iter().map(|row| row[r].clone()).collect();
+                    if r == 0 {
+                        my_col = Some(col);
+                        continue;
+                    }
+                    let tx = coord.to_ranks[r].get_or_insert_with(|| {
+                        link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
+                    });
+                    let mut go = protocol::message("go")
+                        .with("step", FieldValue::U64(step))
+                        .with("plan", FieldValue::Record(encode_plan_col(&col)));
+                    if let Some(pl) = &plugin_record {
+                        go.set("plugins", FieldValue::Record(pl.clone()));
+                    }
+                    tx.send(&go.encode());
+                    counters.bump(&counters.bcast_msgs);
+                }
+            } else {
+                for r in 1..nranks {
+                    let tx = coord.to_ranks[r].get_or_insert_with(|| {
+                        link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
+                    });
+                    let mut go = protocol::message("go").with("step", FieldValue::U64(step));
+                    if let Some(pl) = &plugin_record {
+                        go.set("plugins", FieldValue::Record(pl.clone()));
+                    }
+                    tx.send(&go.encode());
+                    counters.bump(&counters.step_msgs);
+                }
+            }
+            if let Some(col) = my_col {
+                self.cached_plan_col = col;
+            }
+            if plugin_dirty {
+                let specs = self.coord.as_ref().expect("coordinator").all_plugins.clone();
+                self.install_local(&specs);
+            }
+            Ok(Some(step))
+        }
+    }
+
+    /// [`Self::receive_chunks`] as a poll-driven step.
+    async fn receive_chunks_rt(&mut self, step: u64) -> Result<(), StreamError> {
+        let counters = Arc::clone(&self.link.counters);
+        let monitor = self.link.monitor.clone();
+        let plan_col = self.cached_plan_col.clone();
+        for (w, chunks) in plan_col.iter().enumerate() {
+            let expected = redistribute::expected_messages(chunks, self.hints.batching);
+            if expected == 0 {
+                continue;
+            }
+            let rx = {
+                let link = &self.link;
+                let rank = self.rank;
+                self.data_rx
+                    .entry(w)
+                    .or_insert_with(|| link.claim_receiver(ChannelId::Data { w, r: rank }))
+            };
+            let mut records = Vec::with_capacity(expected);
+            for _ in 0..expected {
+                let record = recv_record_rt(rx, &self.hints, &counters).await?;
+                records.push(record);
+            }
+            for record in records {
+                let bytes_estimate = 0u64; // bytes recorded at send side
+                monitor.record(MonitorEvent::DataRecv, step, self.rank, bytes_estimate, 0);
+                match protocol::kind_of(&record) {
+                    k if k == msg::CHUNK => self.store_chunk(&record, step)?,
+                    k if k == msg::BATCH => {
+                        let n = record
+                            .get_u64("n")
+                            .ok_or_else(|| StreamError::Corrupt("batch missing n".into()))?;
+                        for i in 0..n {
+                            let c = record
+                                .get_record(&format!("c.{i}"))
+                                .ok_or_else(|| StreamError::Corrupt("batch missing chunk".into()))?
+                                .clone();
+                            self.store_chunk(&c, step)?;
+                        }
+                    }
+                    k => {
+                        return Err(StreamError::Protocol(format!(
+                            "expected chunk/batch, got {k}"
+                        )))
+                    }
+                }
+            }
+            if self.hints.write_mode == WriteMode::Sync {
+                let tx = {
+                    let link = &self.link;
+                    let rank = self.rank;
+                    self.ack_tx
+                        .entry(w)
+                        .or_insert_with(|| link.claim_sender(ChannelId::Ack { w, r: rank }))
+                };
+                tx.send(
+                    &protocol::message(msg::ACK)
+                        .with("step", FieldValue::U64(step))
+                        .encode(),
+                );
+                counters.bump(&counters.ack_msgs);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::txn_reader`] as a poll-driven step.
+    async fn txn_reader_rt(&mut self, step: u64) -> Result<(), StreamError> {
+        let hints = self.hints.clone();
+        if self.rank != 0 {
+            self.side_up.as_mut().expect("non-coordinator has side_up").send(
+                &protocol::message("txn_recv")
+                    .with("step", FieldValue::U64(step))
+                    .encode(),
+            );
+            let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
+            let decision = recv_record_rt(rx, &hints, &self.link.counters).await?;
+            if protocol::kind_of(&decision) != msg::TXN_COMMIT {
+                return Err(StreamError::Protocol("expected txn_commit".into()));
+            }
+            return Ok(());
+        }
+        let link = Arc::clone(&self.link);
+        let nranks = self.nranks;
+        let coord = self.coord.as_mut().expect("rank 0 is coordinator");
+        for r in 1..nranks {
+            let rx = coord.from_ranks[r].get_or_insert_with(|| {
+                link.claim_receiver(ChannelId::ReaderSide { rank: r, up: true })
+            });
+            let m = recv_record_rt(rx, &hints, &link.counters).await?;
+            if protocol::kind_of(&m) != "txn_recv" {
+                return Err(StreamError::Protocol("expected txn_recv".into()));
+            }
+        }
+        let prepare = coord.ctrl_in.recv_expect_rt(&[msg::TXN_PREPARE], &hints).await?;
+        if prepare.get_u64("step") != Some(step) {
+            return Err(StreamError::Protocol("prepare for unexpected step".into()));
+        }
+        coord.ctrl_tx.send(
+            &protocol::message(msg::TXN_VOTE)
+                .with("step", FieldValue::U64(step))
+                .with("ok", FieldValue::U64(1))
+                .encode(),
+        );
+        let commit = coord.ctrl_in.recv_expect_rt(&[msg::TXN_COMMIT], &hints).await?;
+        let ok = commit.get_u64("ok") == Some(1);
+        for r in 1..nranks {
+            let tx = coord.to_ranks[r].get_or_insert_with(|| {
+                link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
+            });
+            tx.send(
+                &protocol::message(msg::TXN_COMMIT)
+                    .with("step", FieldValue::U64(step))
+                    .encode(),
+            );
+        }
+        if !ok {
+            return Err(StreamError::Protocol("writer aborted the step".into()));
+        }
+        Ok(())
     }
 }
 

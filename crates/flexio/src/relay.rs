@@ -14,7 +14,7 @@
 //! [`crate::manager::PlacementManager`]. The filter keeps the relay off
 //! the critical path: only every `stride`-th event crosses.
 
-use evpath::{BoxedReceiver, BoxedSender, EvGraph, FieldValue, Record, StoneId};
+use evpath::{BoxedReceiver, BoxedSender, EvGraph, FieldValue, RecvPoll, Record, StoneId};
 
 use crate::monitor::{MonitorEvent, PerfMonitor};
 
@@ -100,19 +100,36 @@ impl MonitorRelay {
 pub struct MonitorSink {
     rx: BoxedReceiver,
     replica: PerfMonitor,
+    closed: bool,
+    corrupt_frames: u64,
 }
 
 impl MonitorSink {
     /// Wrap the receiving end of the relay transport.
     pub fn new(rx: BoxedReceiver) -> MonitorSink {
-        MonitorSink { rx, replica: PerfMonitor::new() }
+        MonitorSink { rx, replica: PerfMonitor::new(), closed: false, corrupt_frames: 0 }
     }
 
     /// Drain every currently-available relayed sample; returns how many
-    /// were absorbed.
+    /// were absorbed. Driven by the readiness poll so the sink can tell
+    /// "queue momentarily empty" (drain again later) from "the producing
+    /// side is gone" ([`Self::peer_closed`]); corrupt frames are counted
+    /// and skipped — monitoring is advisory, never worth failing over.
     pub fn drain(&mut self) -> usize {
         let mut absorbed = 0;
-        while let Some(bytes) = self.rx.try_recv() {
+        loop {
+            let bytes = match self.rx.poll_recv() {
+                RecvPoll::Msg(bytes) => bytes,
+                RecvPoll::Empty => break,
+                RecvPoll::Closed => {
+                    self.closed = true;
+                    break;
+                }
+                RecvPoll::Corrupt(_) => {
+                    self.corrupt_frames += 1;
+                    continue;
+                }
+            };
             let Ok(r) = Record::decode(&bytes) else { continue };
             let (Some(event), Some(step), Some(rank), Some(payload), Some(nanos)) = (
                 r.get_str("event").and_then(event_from_name),
@@ -127,6 +144,18 @@ impl MonitorSink {
             absorbed += 1;
         }
         absorbed
+    }
+
+    /// Whether a drain observed the relay's producing side gone for good.
+    /// The manager loop uses this to stop polling a dead relay instead of
+    /// spinning on an empty queue forever.
+    pub fn peer_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Transport frames that arrived damaged and were skipped.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt_frames
     }
 
     /// The local replica of the remote side's monitor — feed this to a
@@ -220,5 +249,25 @@ mod tests {
         tx.send(&Record::new().with("event", FieldValue::Str("bogus".into())).encode());
         let mut sink = MonitorSink::new(rx);
         assert_eq!(sink.drain(), 0);
+    }
+
+    #[test]
+    fn sink_reports_a_dead_relay() {
+        let (mut tx, rx) = inproc_pair();
+        let mut relay_alive_sink = MonitorSink::new(rx);
+        tx.send(
+            &Record::new()
+                .with("event", FieldValue::Str("data_send".into()))
+                .with("step", FieldValue::U64(0))
+                .with("rank", FieldValue::U64(0))
+                .with("bytes", FieldValue::U64(8))
+                .with("nanos", FieldValue::U64(1))
+                .encode(),
+        );
+        assert_eq!(relay_alive_sink.drain(), 1);
+        assert!(!relay_alive_sink.peer_closed(), "producer still holds the transport");
+        drop(tx);
+        assert_eq!(relay_alive_sink.drain(), 0);
+        assert!(relay_alive_sink.peer_closed(), "drain must observe the producer's death");
     }
 }

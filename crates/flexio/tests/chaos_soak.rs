@@ -1,0 +1,95 @@
+//! Time-boxed chaos soak: `FLEXIO_SOAK_SECS=<n>` turns this no-op test
+//! into an n-second loop of faulted couplings, sweeping a fresh fault seed
+//! every iteration and alternating the blocking and reactor backends. Any
+//! seed that loses data, wedges a handshake or panics an engine fails the
+//! run — this is the long-tail search the fixed 20-seed sweep in
+//! `scripts/verify.sh` cannot afford on every invocation. Unset, the test
+//! returns immediately so the default suite stays fast.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adios::{BoxSel, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use common::{block_1d, couple};
+use evpath::{FaultPlan, FaultSpec};
+use flexio::{CachingLevel, Runtime, StreamHints};
+
+/// One faulted coupling: 2 writers × 1 reader × 2 steps under 50%
+/// duplicate + 50% reorder on the data channels; the reader asserts every
+/// element it assembles.
+fn soak_once(seed: u64, runtime: Runtime) {
+    const STEPS: u64 = 2;
+    let mut plan = FaultPlan::new(seed);
+    plan.set(
+        "data",
+        FaultSpec { dup_per_mille: 500, reorder_per_mille: 500, ..Default::default() },
+    );
+    let hints = StreamHints {
+        caching: CachingLevel::CachingAll,
+        faults: Some(Arc::new(plan)),
+        runtime,
+        ..StreamHints::default()
+    };
+    let (_, steps) = couple(
+        2,
+        1,
+        hints,
+        |mut w, rank| {
+            for step in 0..STEPS {
+                w.begin_step(step);
+                let data: Vec<f64> =
+                    (0..4).map(|i| (step * 100 + rank as u64 * 4 + i) as f64).collect();
+                w.write("field", block_1d(rank as u64 * 4, data, 8));
+                w.end_step();
+            }
+            w.close();
+        },
+        move |mut r, _| {
+            let whole = BoxSel::whole(&[8]);
+            r.subscribe("field", Selection::GlobalBox(whole.clone()));
+            let mut seen = 0;
+            loop {
+                match r.begin_step() {
+                    StepStatus::Step(step) => {
+                        let v = r.read("field", &Selection::GlobalBox(whole.clone())).unwrap();
+                        let VarValue::Block(b) = v else { panic!() };
+                        for (g, &x) in b.data.as_f64().iter().enumerate() {
+                            assert_eq!(
+                                x,
+                                (step * 100 + g as u64) as f64,
+                                "seed {seed} {runtime:?} step {step} idx {g}"
+                            );
+                        }
+                        seen += 1;
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            seen
+        },
+    );
+    assert_eq!(steps, vec![STEPS as usize], "seed {seed} {runtime:?} lost steps");
+}
+
+#[test]
+fn chaos_soak() {
+    let Some(secs) = std::env::var("FLEXIO_SOAK_SECS").ok().and_then(|s| s.parse::<u64>().ok())
+    else {
+        eprintln!("chaos_soak: FLEXIO_SOAK_SECS unset, skipping");
+        return;
+    };
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut iterations = 0u64;
+    while Instant::now() < deadline {
+        let seed = 0x50A4 ^ iterations.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let runtime =
+            if iterations.is_multiple_of(2) { Runtime::Blocking } else { Runtime::Reactor };
+        soak_once(seed, runtime);
+        iterations += 1;
+    }
+    assert!(iterations > 0, "soak budget too small to run even one coupling");
+    eprintln!("chaos_soak: {iterations} faulted couplings survived in {secs}s");
+}

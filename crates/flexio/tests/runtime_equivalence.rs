@@ -1,0 +1,120 @@
+//! Backend equivalence: the reactor runtime must be protocol-invisible.
+//! The same coupled program, the same fault seed, the same data — run once
+//! on the blocking thread-per-stream backend and once on the poll-driven
+//! reactor backend — must land on byte-identical protocol counters, fault
+//! schedules and application data. The runtime hint may only change *how*
+//! the engines wait, never *what* they say on the wire.
+
+mod common;
+
+use std::sync::Arc;
+
+use adios::{BoxSel, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use common::{block_1d, couple};
+use evpath::{FaultPlan, FaultSpec};
+use flexio::{CachingLevel, Runtime, StreamHints};
+
+/// Everything about a run that must be backend-independent. `retries` is
+/// timing dependent (how often a wait loop wakes before the message lands
+/// differs between a parked thread and a paced poll) and is deliberately
+/// excluded; every protocol message, fault decision and healing action is
+/// not.
+#[derive(Debug, PartialEq)]
+struct RunSignature {
+    protocol: (u64, u64, u64, u64, u64, u64, u64),
+    dup_msgs: u64,
+    reorder_healed: u64,
+    drops_observed: u64,
+    eos_synthesized: u64,
+    evictions: u64,
+    faults: (u64, u64, u64, u64, u64, u64, u64),
+    data: Vec<Vec<f64>>,
+}
+
+fn run_once(seed: u64, runtime: Runtime) -> RunSignature {
+    const STEPS: u64 = 3;
+    let mut plan = FaultPlan::new(seed);
+    plan.set(
+        "data",
+        FaultSpec { dup_per_mille: 500, reorder_per_mille: 500, ..Default::default() },
+    );
+    let plan = Arc::new(plan);
+    let hints = StreamHints {
+        caching: CachingLevel::CachingAll,
+        faults: Some(Arc::clone(&plan)),
+        runtime,
+        ..StreamHints::default()
+    };
+    let (links, reads) = couple(
+        3,
+        2,
+        hints,
+        |mut w, rank| {
+            for step in 0..STEPS {
+                w.begin_step(step);
+                let data: Vec<f64> =
+                    (0..4).map(|i| (step * 100 + rank as u64 * 4 + i) as f64).collect();
+                w.write("field", block_1d(rank as u64 * 4, data, 12));
+                w.end_step();
+            }
+            let link = w.link().clone();
+            w.close();
+            link
+        },
+        move |mut r, rank| {
+            let my_box = BoxSel::new(vec![rank as u64 * 6], vec![6]);
+            r.subscribe("field", Selection::GlobalBox(my_box.clone()));
+            let mut seen: Vec<f64> = Vec::new();
+            loop {
+                match r.begin_step() {
+                    StepStatus::Step(_) => {
+                        let v = r.read("field", &Selection::GlobalBox(my_box.clone())).unwrap();
+                        let VarValue::Block(b) = v else { panic!() };
+                        seen.extend_from_slice(b.data.as_f64());
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            seen
+        },
+    );
+    let (_retries, dup_msgs, reorder_healed, drops_observed, eos_synthesized, evictions, _) =
+        links[0].counters.resilience_snapshot();
+    RunSignature {
+        protocol: links[0].counters.snapshot(),
+        dup_msgs,
+        reorder_healed,
+        drops_observed,
+        eos_synthesized,
+        evictions,
+        faults: plan.counters().snapshot(),
+        data: reads,
+    }
+}
+
+#[test]
+fn reactor_backend_matches_blocking_backend_byte_for_byte() {
+    let seed = std::env::var("FLEXIO_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xBACCE4D);
+    let blocking = run_once(seed, Runtime::Blocking);
+    let reactor = run_once(seed, Runtime::Reactor);
+    assert_eq!(
+        blocking, reactor,
+        "seed {seed}: the runtime hint changed observable protocol behavior"
+    );
+    // Non-vacuous: the equivalence must hold *through* an active fault
+    // schedule, not on a quiet channel.
+    let (_, duplicated, reordered, ..) = blocking.faults;
+    assert!(duplicated + reordered > 0, "seed {seed} injected nothing");
+}
+
+#[test]
+fn runtime_hint_parses_and_defaults_sanely() {
+    assert_eq!(Runtime::from_hint("reactor"), Some(Runtime::Reactor));
+    assert_eq!(Runtime::from_hint("blocking"), Some(Runtime::Blocking));
+    assert_eq!(Runtime::from_hint("thread"), Some(Runtime::Blocking));
+    assert_eq!(Runtime::from_hint("fibers"), None);
+}

@@ -1,0 +1,180 @@
+//! The readiness contract at the protocol boundary: what `recv_record`
+//! does — and which `ProtocolCounters` move — when the shared-memory
+//! channel underneath reports each of `poll_recv`'s edge outcomes. The
+//! corrupt frames are injected straight into the raw SPSC queue
+//! (`ShmSender::inject_raw_frame`), beneath an *active* fault plan, so the
+//! whole production receive stack (fault layer → evpath shm transport →
+//! `recv_record`) is exercised, not a mock.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use evpath::{EvReceiver, FaultPlan, FaultSpec, FieldValue, Record, ShmTransport};
+use flexio::link::{recv_record, ChannelId, LinkState, StreamError};
+use flexio::{ProtocolCounters, StreamHints};
+use shm::channel::shm_channel;
+
+fn fast_hints() -> StreamHints {
+    StreamHints {
+        recv_timeout: Duration::from_millis(5),
+        retries: 1,
+        ..StreamHints::default()
+    }
+}
+
+/// Wrap the receiving half in an active (non-noop) fault plan, as every
+/// production channel under test is wrapped.
+fn plan_wrapped(rx: Box<dyn EvReceiver>) -> (Arc<FaultPlan>, Box<dyn EvReceiver>) {
+    let mut plan = FaultPlan::new(0xC0FFEE);
+    // A crash threshold far beyond the test's traffic keeps the wrapper
+    // installed (and counting) without ever firing.
+    plan.set("data", FaultSpec { crash_receiver_after: Some(1 << 32), ..Default::default() });
+    let plan = Arc::new(plan);
+    let wrapped = plan.wrap_receiver("data", rx);
+    (plan, wrapped)
+}
+
+fn record_bytes(tag: u64) -> Vec<u8> {
+    Record::new().with("tag", FieldValue::U64(tag)).encode()
+}
+
+#[test]
+fn corrupt_frames_surface_once_each_and_the_stream_recovers() {
+    let (mut tx, rx) = shm_channel(16, 64);
+    tx.send_copy(&record_bytes(1));
+    tx.inject_raw_frame(&[9, 1, 2, 3]); // unknown kind byte
+    tx.inject_raw_frame(&[]); // empty frame
+    tx.send_copy(&record_bytes(2));
+    let (_btx, brx) = ShmTransport::from_halves(tx, rx);
+    let (_plan, mut rx) = plan_wrapped(brx);
+
+    let hints = fast_hints();
+    let counters = ProtocolCounters::new_shared();
+
+    let first = recv_record(&mut rx, &hints, &counters).expect("valid frame before garbage");
+    assert_eq!(first.get_u64("tag"), Some(1));
+    assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), 0);
+
+    // Each corrupt frame is one definite, consumed event: an error and
+    // exactly one counter bump — not a retry loop burning the budget.
+    for expected in 1..=2u64 {
+        let err = recv_record(&mut rx, &hints, &counters).expect_err("corrupt frame");
+        assert!(matches!(err, StreamError::Corrupt(_)), "got {err:?}");
+        assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), expected);
+    }
+    assert_eq!(counters.retries.load(Ordering::Relaxed), 0, "no retry burned on corruption");
+
+    // The channel is still usable past the damage.
+    let last = recv_record(&mut rx, &hints, &counters).expect("valid frame after garbage");
+    assert_eq!(last.get_u64("tag"), Some(2));
+}
+
+#[test]
+fn peer_close_fails_fast_without_burning_the_retry_budget() {
+    let (tx, rx) = shm_channel(16, 64);
+    let (btx, brx) = ShmTransport::from_halves(tx, rx);
+    let (_plan, mut rx) = plan_wrapped(brx);
+
+    // Generous budget: with the old blind-retry scheme this would stall
+    // 10s × (1 + 2 + 4) before giving up on a dead peer.
+    let hints = StreamHints {
+        recv_timeout: Duration::from_secs(10),
+        retries: 2,
+        ..StreamHints::default()
+    };
+    let counters = ProtocolCounters::new_shared();
+    drop(btx); // producer dies; closed flag is ordered after its last push
+
+    let start = Instant::now();
+    let err = recv_record(&mut rx, &hints, &counters).expect_err("closed channel");
+    assert_eq!(err, StreamError::Timeout, "mapped to the failure callers already handle");
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "peer death must be immediate, not a timeout sweep ({:?})",
+        start.elapsed()
+    );
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 1);
+    assert_eq!(counters.retries.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn push_then_drop_race_still_delivers_the_final_frame() {
+    let (mut tx, rx) = shm_channel(16, 64);
+    tx.send_copy(&record_bytes(7));
+    let (btx, brx) = ShmTransport::from_halves(tx, rx);
+    let (_plan, mut rx) = plan_wrapped(brx);
+    drop(btx); // frame queued *before* the closed flag
+
+    let hints = fast_hints();
+    let counters = ProtocolCounters::new_shared();
+    let r = recv_record(&mut rx, &hints, &counters).expect("frame pushed before close");
+    assert_eq!(r.get_u64("tag"), Some(7));
+    let err = recv_record(&mut rx, &hints, &counters).expect_err("now drained and closed");
+    assert_eq!(err, StreamError::Timeout);
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn empty_channel_exhausts_the_budget_and_counts_every_retry() {
+    let (tx, rx) = shm_channel(16, 64);
+    let (btx, brx) = ShmTransport::from_halves(tx, rx);
+    let (_plan, mut rx) = plan_wrapped(brx);
+
+    let hints = StreamHints {
+        recv_timeout: Duration::from_millis(2),
+        retries: 2,
+        ..StreamHints::default()
+    };
+    let counters = ProtocolCounters::new_shared();
+    let err = recv_record(&mut rx, &hints, &counters).expect_err("nothing ever arrives");
+    assert_eq!(err, StreamError::Timeout);
+    assert_eq!(counters.retries.load(Ordering::Relaxed), u64::from(hints.retries));
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 0, "sender still alive");
+    assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), 0);
+    drop(btx);
+}
+
+#[test]
+fn oversize_payload_rides_the_pooled_path_intact() {
+    // Larger than the 64-byte inline capacity: the channel must hand it
+    // off through the pooled (token) path, and the readiness poll must
+    // reassemble it as an ordinary message — oversize is a path choice,
+    // never an error.
+    let (tx, rx) = shm_channel(16, 64);
+    let (mut btx, brx) = ShmTransport::from_halves(tx, rx);
+    let (_plan, mut rx) = plan_wrapped(brx);
+
+    let big: Vec<u64> = (0..512).collect();
+    let bytes = Record::new().with("big", FieldValue::U64Array(big.clone())).encode();
+    assert!(bytes.len() > 64, "payload must exceed the inline capacity");
+    btx.send(&bytes);
+
+    // Owned decode plane: large arrays come back as plain `U64Array`
+    // fields instead of zero-copy packed views, so the roundtrip can be
+    // compared element for element.
+    let hints = StreamHints { packed_marshal: false, ..fast_hints() };
+    let counters = ProtocolCounters::new_shared();
+    let r = recv_record(&mut rx, &hints, &counters).expect("pooled frame");
+    assert_eq!(r.get_u64_array("big"), Some(&big[..]));
+    assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), 0);
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn link_counters_record_peer_death_on_claimed_channels() {
+    // Same contract one layer up: channels claimed through a LinkState
+    // charge the *link's* shared counters, which is what the engines'
+    // step accounting actually reads.
+    let link = LinkState::for_tests();
+    link.set_reader_info(1, vec![link.writer_cores[0]]);
+    let id = ChannelId::Data { w: 0, r: 0 };
+    let tx = link.claim_sender(id);
+    let mut rx = link.claim_receiver(id);
+    drop(tx);
+
+    let hints = fast_hints();
+    let err = recv_record(&mut rx, &hints, &link.counters).expect_err("peer gone");
+    assert_eq!(err, StreamError::Timeout);
+    assert_eq!(link.counters.closed_channels.load(Ordering::Relaxed), 1);
+}

@@ -1,0 +1,136 @@
+//! Spin → yield → park escalation for poll-only channels.
+//!
+//! The transports in this workspace (FastForward shm queues, in-proc
+//! channels, the simulated RDMA fabric) have no wakeup primitive: the
+//! only way to learn that a message arrived is to look. The question is
+//! how hard to look. Spinning keeps latency in the tens of nanoseconds
+//! but burns the core FlexIO promised to keep free; sleeping a fixed
+//! 100 µs (the old behaviour of the two receive loops in
+//! `flexio::link`) caps the wakeup rate at 10 kHz regardless of how
+//! recently traffic flowed.
+//!
+//! [`Backoff`] escalates through three regimes instead:
+//!
+//! 1. **spin** — a handful of rounds of `core::hint::spin_loop`, for
+//!    messages that are already in flight;
+//! 2. **yield** — `thread::yield_now`, giving a same-core peer (the
+//!    common in-proc placement) a chance to run;
+//! 3. **park** — bounded sleeps that double from 10 µs up to a 1 ms
+//!    cap, so an idle stream costs ~1k wakeups/s instead of a core.
+//!
+//! `reset()` on any progress snaps back to the spin regime.
+
+use std::time::Duration;
+
+/// Escalating wait strategy for poll loops. See the module docs.
+#[derive(Debug)]
+pub struct Backoff {
+    /// Completed `snooze` calls since the last `reset`.
+    step: u32,
+}
+
+/// Rounds spent busy-spinning (with exponentially more `spin_loop`
+/// hints per round) before escalating to yields.
+const SPIN_ROUNDS: u32 = 6;
+/// Rounds spent yielding the timeslice before escalating to parking.
+const YIELD_ROUNDS: u32 = 10;
+/// First park interval; doubles per round up to [`MAX_PARK`].
+const MIN_PARK: Duration = Duration::from_micros(10);
+/// Longest single park. Bounds the latency of noticing new traffic on
+/// a stream that has gone fully idle.
+const MAX_PARK: Duration = Duration::from_millis(1);
+
+impl Backoff {
+    /// A fresh strategy, starting in the spin regime.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Forget accumulated idleness — call on every successful receive.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// True once the strategy has escalated past spinning and yielding,
+    /// i.e. the next `snooze` will put the thread to sleep.
+    pub fn is_parking(&self) -> bool {
+        self.step >= SPIN_ROUNDS + YIELD_ROUNDS
+    }
+
+    /// The sleep the next parking `snooze` would take, if any.
+    pub fn park_interval(&self) -> Option<Duration> {
+        if !self.is_parking() {
+            return None;
+        }
+        let exp = (self.step - SPIN_ROUNDS - YIELD_ROUNDS).min(7);
+        Some((MIN_PARK * 2u32.pow(exp)).min(MAX_PARK))
+    }
+
+    /// Wait once, escalating spin → yield → park across calls.
+    pub fn snooze(&mut self) {
+        if self.step < SPIN_ROUNDS {
+            for _ in 0..(1u32 << self.step) {
+                core::hint::spin_loop();
+            }
+        } else if self.step < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            // `park_interval` is `Some` for every step in this regime.
+            std::thread::sleep(self.park_interval().unwrap_or(MIN_PARK));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+
+    /// Like [`snooze`](Self::snooze), but never sleeps longer than
+    /// `cap` — used when a known deadline (a timer-wheel entry, a retry
+    /// budget) must not be overshot.
+    pub fn snooze_capped(&mut self, cap: Duration) {
+        if let Some(park) = self.park_interval() {
+            if park > cap {
+                if !cap.is_zero() {
+                    std::thread::sleep(cap);
+                }
+                self.step = self.step.saturating_add(1);
+                return;
+            }
+        }
+        self.snooze();
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_to_parking_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_parking());
+        for _ in 0..(SPIN_ROUNDS + YIELD_ROUNDS) {
+            assert!(!b.is_parking());
+            b.snooze();
+        }
+        assert!(b.is_parking());
+        assert_eq!(b.park_interval(), Some(MIN_PARK));
+        b.snooze();
+        assert_eq!(b.park_interval(), Some(MIN_PARK * 2));
+        b.reset();
+        assert!(!b.is_parking());
+        assert_eq!(b.park_interval(), None);
+    }
+
+    #[test]
+    fn park_interval_caps_at_max() {
+        let mut b = Backoff::new();
+        for _ in 0..200 {
+            b.snooze_capped(Duration::from_micros(1));
+        }
+        assert_eq!(b.park_interval(), Some(MAX_PARK));
+    }
+}

@@ -1,0 +1,396 @@
+//! The cooperative executor.
+//!
+//! One [`Reactor`] owns N per-stream state machines (plain `Future`s —
+//! the async transcription of the writer/reader engine protocol) and
+//! drives them all from the calling thread. Each loop iteration:
+//!
+//! 1. sweep the [`TimerWheel`] so expired sleeps become runnable;
+//! 2. poll every live task once (cooperative round-robin — there are
+//!    no wakers wired to the poll-only transports, so polling *is* the
+//!    readiness check);
+//! 3. if nothing progressed, park: until the wheel's next deadline when
+//!    one exists, else by [`Backoff`] escalation.
+//!
+//! Futures communicate with the enclosing reactor through a
+//! thread-local context: [`sleep_until`] registers its deadline in the
+//! wheel, [`note_progress`] keeps the loop hot after useful work, and
+//! [`yield_now`] marks the task runnable-again-immediately.
+//! Everything also works *outside* a reactor ([`block_on`]-free use
+//! from a plain thread would be a bug, but the sleep/yield futures
+//! degrade to time checks), which keeps the engine code runtime-agnostic.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+use crate::backoff::Backoff;
+use crate::wheel::{TimerId, TimerWheel};
+
+struct Cx {
+    wheel: TimerWheel,
+    /// Set by futures when they did useful work (received a message,
+    /// finished a protocol phase) or want an immediate re-poll.
+    progressed: bool,
+}
+
+thread_local! {
+    static CX: RefCell<Option<Cx>> = const { RefCell::new(None) };
+}
+
+/// True while the calling thread is inside a [`Reactor::run`] or
+/// [`block_on`] loop — i.e. the timer wheel is available.
+pub fn in_reactor() -> bool {
+    CX.with(|cx| cx.borrow().is_some())
+}
+
+/// Tell the executor this round did useful work, so it keeps polling
+/// hot instead of parking. Call after a successful non-blocking receive
+/// or any other externally-visible progress.
+pub fn note_progress() {
+    CX.with(|cx| {
+        if let Some(cx) = cx.borrow_mut().as_mut() {
+            cx.progressed = true;
+        }
+    });
+}
+
+fn with_wheel<R>(f: impl FnOnce(&mut TimerWheel) -> R) -> Option<R> {
+    CX.with(|cx| cx.borrow_mut().as_mut().map(|cx| f(&mut cx.wheel)))
+}
+
+/// Clears the thread-local context on scope exit (including panics), so
+/// a poisoned reactor doesn't wedge the thread for the next one.
+struct CxGuard;
+
+impl CxGuard {
+    fn enter() -> CxGuard {
+        CX.with(|cx| {
+            let mut cx = cx.borrow_mut();
+            assert!(
+                cx.is_none(),
+                "nested reactor: block_on/run called from inside a reactor task \
+                 (use the *_rt async variants instead of the blocking wrappers)"
+            );
+            *cx = Some(Cx { wheel: TimerWheel::default(), progressed: false });
+        });
+        CxGuard
+    }
+}
+
+impl Drop for CxGuard {
+    fn drop(&mut self) {
+        CX.with(|cx| *cx.borrow_mut() = None);
+    }
+}
+
+/// Sweep the wheel, take-and-clear the progress flag.
+fn idle_round() -> bool {
+    CX.with(|cx| {
+        let mut cx = cx.borrow_mut();
+        let cx = cx.as_mut().expect("reactor context");
+        let fired = cx.wheel.advance(Instant::now());
+        let progressed = cx.progressed || fired > 0;
+        cx.progressed = false;
+        !progressed
+    })
+}
+
+/// Park until the next wheel deadline, or escalate `backoff` when the
+/// wheel is empty (tasks are polling something that isn't a timer).
+fn park(backoff: &mut Backoff) {
+    let deadline = CX.with(|cx| {
+        cx.borrow().as_ref().and_then(|cx| cx.wheel.next_deadline())
+    });
+    match deadline {
+        Some(d) => {
+            let nap = d.saturating_duration_since(Instant::now());
+            if nap.is_zero() {
+                return; // already due — re-poll immediately
+            }
+            backoff.snooze_capped(nap);
+        }
+        None => backoff.snooze(),
+    }
+}
+
+/// A single-threaded cooperative executor. See the module docs.
+#[derive(Default)]
+pub struct Reactor {
+    tasks: Vec<Option<Pin<Box<dyn Future<Output = ()>>>>>,
+}
+
+impl Reactor {
+    /// An executor with no tasks.
+    pub fn new() -> Self {
+        Reactor { tasks: Vec::new() }
+    }
+
+    /// Queue a task. Tasks only make progress inside [`run`](Self::run).
+    /// `'static` but deliberately *not* `Send`: every task stays on the
+    /// reactor's one thread, so captures may be `Rc`/`RefCell`.
+    pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'static) {
+        self.tasks.push(Some(Box::pin(fut)));
+    }
+
+    /// Number of tasks not yet run to completion.
+    pub fn pending(&self) -> usize {
+        self.tasks.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Drive every spawned task to completion on the calling thread.
+    pub fn run(&mut self) {
+        let _guard = CxGuard::enter();
+        let waker = Waker::noop();
+        let mut ctx = Context::from_waker(waker);
+        let mut backoff = Backoff::new();
+        loop {
+            let mut live = 0usize;
+            let mut finished = false;
+            for slot in &mut self.tasks {
+                if let Some(task) = slot {
+                    match task.as_mut().poll(&mut ctx) {
+                        Poll::Ready(()) => {
+                            *slot = None;
+                            finished = true;
+                        }
+                        Poll::Pending => live += 1,
+                    }
+                }
+            }
+            if live == 0 {
+                self.tasks.clear();
+                return;
+            }
+            if finished || !idle_round() {
+                backoff.reset();
+            } else {
+                park(&mut backoff);
+            }
+        }
+    }
+}
+
+/// Drive one future to completion on the calling thread, with a private
+/// timer wheel. This is how the blocking `StreamWriter`/`StreamReader`
+/// API runs on the reactor backend: each protocol call becomes a
+/// short-lived single-task event loop, so the caller's thread *is* the
+/// reactor for the duration of the call.
+///
+/// Panics if called from inside a running reactor (tasks must use the
+/// async engine variants directly instead of the blocking wrappers).
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let _guard = CxGuard::enter();
+    let waker = Waker::noop();
+    let mut ctx = Context::from_waker(waker);
+    let mut fut = std::pin::pin!(fut);
+    let mut backoff = Backoff::new();
+    loop {
+        if let Poll::Ready(out) = fut.as_mut().poll(&mut ctx) {
+            return out;
+        }
+        if idle_round() {
+            park(&mut backoff);
+        } else {
+            backoff.reset();
+        }
+    }
+}
+
+/// Sleep until `deadline`. Registers a wheel entry so the executor
+/// knows how long it may park; completion is checked against the clock
+/// on each poll (there are no wakers).
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline, timer: None }
+}
+
+/// Sleep for `dur`. See [`sleep_until`].
+pub fn sleep(dur: Duration) -> Sleep {
+    sleep_until(Instant::now() + dur)
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+    timer: Option<TimerId>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _ctx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            if let Some(id) = self.timer.take() {
+                with_wheel(|w| w.cancel(id));
+            }
+            return Poll::Ready(());
+        }
+        if self.timer.is_none() {
+            let deadline = self.deadline;
+            self.timer = with_wheel(|w| w.insert(deadline));
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        // Cancelled sleeps (future dropped early) must not keep waking
+        // the executor.
+        if let Some(id) = self.timer.take() {
+            with_wheel(|w| w.cancel(id));
+        }
+    }
+}
+
+/// Yield to the other tasks on this reactor once, staying runnable.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _ctx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            // A yielded task is still runnable: keep the loop hot.
+            note_progress();
+            Poll::Pending
+        }
+    }
+}
+
+/// The async analogue of [`Backoff`]: paces a poll loop by yielding to
+/// the reactor's other tasks first (a round-robin sweep is itself a
+/// wait), then by short wheel sleeps that double up to a cap — so an
+/// idle stream's receive loop converges to ~1 kHz wheel entries instead
+/// of monopolising the executor.
+#[derive(Debug)]
+pub struct Pacing {
+    rounds: u32,
+}
+
+/// Poll rounds served by bare yields before sleeping between polls.
+const PACING_YIELDS: u32 = 8;
+/// First inter-poll sleep; doubles per round up to [`PACING_MAX`].
+const PACING_MIN: Duration = Duration::from_micros(50);
+/// Longest inter-poll sleep.
+const PACING_MAX: Duration = Duration::from_millis(1);
+
+impl Pacing {
+    /// A fresh pacing strategy, starting in the yield regime.
+    pub fn new() -> Self {
+        Pacing { rounds: 0 }
+    }
+
+    /// Forget accumulated idleness — call on every received message.
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+    }
+
+    /// Wait once, escalating yield → short sleep across calls. Never
+    /// sleeps past `cap` when one is given (e.g. a retry deadline).
+    pub async fn pause(&mut self, cap: Option<Instant>) {
+        let round = self.rounds;
+        self.rounds = self.rounds.saturating_add(1);
+        if round < PACING_YIELDS {
+            yield_now().await;
+            return;
+        }
+        let exp = (round - PACING_YIELDS).min(6);
+        let mut nap = (PACING_MIN * 2u32.pow(exp)).min(PACING_MAX);
+        if let Some(cap) = cap {
+            nap = nap.min(cap.saturating_duration_since(Instant::now()));
+        }
+        if nap.is_zero() {
+            yield_now().await;
+        } else {
+            sleep(nap).await;
+        }
+    }
+}
+
+impl Default for Pacing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+        assert!(!in_reactor(), "context must be torn down");
+    }
+
+    #[test]
+    fn sleeps_complete_and_wheel_parks() {
+        let t0 = Instant::now();
+        block_on(async {
+            sleep(Duration::from_millis(5)).await;
+        });
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn many_tasks_interleave_on_one_thread() {
+        // Two tasks ping-pong through a shared cell: neither can finish
+        // without the other being polled in between, proving the
+        // round-robin actually interleaves.
+        let turn = Rc::new(Cell::new(0u32));
+        let mut r = Reactor::new();
+        for me in 0..2u32 {
+            let turn = Rc::clone(&turn);
+            r.spawn(async move {
+                for _ in 0..100 {
+                    while turn.get() % 2 != me {
+                        yield_now().await;
+                    }
+                    turn.set(turn.get() + 1);
+                }
+            });
+        }
+        r.run();
+        assert_eq!(turn.get(), 200);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut r = Reactor::new();
+        for (label, ms) in [("slow", 12u64), ("fast", 2), ("mid", 6)] {
+            let order = Rc::clone(&order);
+            r.spawn(async move {
+                sleep(Duration::from_millis(ms)).await;
+                order.borrow_mut().push(label);
+            });
+        }
+        r.run();
+        assert_eq!(*order.borrow(), vec!["fast", "mid", "slow"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested reactor")]
+    fn nested_block_on_panics() {
+        block_on(async {
+            block_on(async {});
+        });
+    }
+}

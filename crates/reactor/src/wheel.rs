@@ -1,0 +1,198 @@
+//! Hashed timer wheel.
+//!
+//! The blocking backend expresses every deadline as a thread parked in
+//! `recv_timeout(budget × 2^attempt)` — one OS thread per pending
+//! deadline. The reactor inverts this: deadlines are *data*. Each
+//! pending timeout hashes into one of `nslots` buckets by its absolute
+//! tick (`slot = tick % nslots`), insertion and cancellation are O(1),
+//! and advancing the wheel touches only the buckets the clock swept
+//! past — the classic "hashed timing wheel" scheme (Varghese & Lauck).
+//!
+//! The wheel does not *deliver* wakeups (the runtime has no wakers —
+//! transports are poll-only); it answers two questions for the
+//! executor's idle loop: *did any deadline fire since last round?* and
+//! *how long may the core sleep before the next one?*
+
+use std::time::{Duration, Instant};
+
+/// Handle to a pending wheel entry, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Debug)]
+struct Entry {
+    id: TimerId,
+    /// Absolute tick index at which the entry fires.
+    tick: u64,
+}
+
+/// A hashed timer wheel. See the module docs.
+#[derive(Debug)]
+pub struct TimerWheel {
+    origin: Instant,
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Deadlines corresponding to live entries, keyed by id — kept
+    /// outside the slots so `next_deadline` needs no tick→Instant math.
+    len: usize,
+    /// Last tick index processed by `advance`.
+    cursor: u64,
+    next_id: u64,
+}
+
+/// Default tick granularity: fine enough that poll pacing (~50 µs) and
+/// retry budgets (≥ milliseconds) both land on distinct ticks.
+pub(crate) const DEFAULT_TICK: Duration = Duration::from_micros(50);
+/// Default slot count; deadlines further than `nslots × tick` in the
+/// future simply survive extra wheel revolutions.
+pub(crate) const DEFAULT_SLOTS: usize = 256;
+
+impl TimerWheel {
+    /// A wheel with `nslots` buckets of `tick` granularity.
+    pub fn new(tick: Duration, nslots: usize) -> Self {
+        assert!(!tick.is_zero(), "timer wheel tick must be non-zero");
+        assert!(nslots > 0, "timer wheel needs at least one slot");
+        TimerWheel {
+            origin: Instant::now(),
+            tick,
+            slots: (0..nslots).map(|_| Vec::new()).collect(),
+            len: 0,
+            cursor: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Absolute tick index covering `at` (rounded up: an entry never
+    /// fires before its deadline).
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.origin).as_nanos();
+        let tick = self.tick.as_nanos();
+        elapsed.div_ceil(tick).min(u64::MAX as u128) as u64
+    }
+
+    /// Register a deadline; returns a handle usable with [`cancel`](Self::cancel).
+    pub fn insert(&mut self, deadline: Instant) -> TimerId {
+        let id = TimerId(self.next_id);
+        self.next_id += 1;
+        // Entries in the current tick would be skipped by the cursor
+        // walk; clamp into the next tick so they fire on the upcoming
+        // `advance` instead of never.
+        let tick = self.tick_of(deadline).max(self.cursor + 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { id, tick });
+        self.len += 1;
+        id
+    }
+
+    /// Remove a pending entry. Returns false if it already fired.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        for slot in &mut self.slots {
+            if let Some(pos) = slot.iter().position(|e| e.id == id) {
+                slot.swap_remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sweep the wheel forward to `now`, removing expired entries.
+    /// Returns how many fired.
+    pub fn advance(&mut self, now: Instant) -> usize {
+        let cur = self.tick_of(now);
+        if cur <= self.cursor || self.len == 0 {
+            self.cursor = self.cursor.max(cur);
+            return 0;
+        }
+        let nslots = self.slots.len() as u64;
+        let mut fired = 0;
+        // Visit each bucket the clock swept past — at most one full
+        // revolution, since a second pass over a bucket finds nothing new.
+        let span = (cur - self.cursor).min(nslots);
+        for t in (self.cursor + 1)..=(self.cursor + span) {
+            let slot = &mut self.slots[(t % nslots) as usize];
+            let before = slot.len();
+            slot.retain(|e| e.tick > cur);
+            fired += before - slot.len();
+        }
+        self.len -= fired;
+        self.cursor = cur;
+        fired
+    }
+
+    /// The earliest pending deadline, if any — the longest the executor
+    /// may park. O(len) scan; wheels here hold at most a few entries
+    /// per in-flight stream.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let tick = self
+            .slots
+            .iter()
+            .flat_map(|s| s.iter().map(|e| e.tick))
+            .min()?;
+        let nanos = (self.tick.as_nanos().min(u64::MAX as u128) as u64).saturating_mul(tick);
+        Some(self.origin + Duration::from_nanos(nanos))
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no deadlines are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        TimerWheel::new(DEFAULT_TICK, DEFAULT_SLOTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_across_revolutions() {
+        let mut w = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        // 20 ticks out: > one revolution of the 8-slot wheel.
+        let far = w.insert(now + Duration::from_millis(20));
+        let near = w.insert(now + Duration::from_millis(2));
+        assert_eq!(w.len(), 2);
+
+        // Sweeping to t+5ms fires only the near entry, even though the
+        // far entry hashes into a bucket the sweep visits.
+        assert_eq!(w.advance(now + Duration::from_millis(5)), 1);
+        assert_eq!(w.len(), 1);
+        assert!(!w.cancel(near), "near entry already fired");
+        assert!(w.next_deadline().is_some());
+
+        assert_eq!(w.advance(now + Duration::from_millis(25)), 1);
+        assert!(w.is_empty());
+        assert!(!w.cancel(far));
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut w = TimerWheel::default();
+        let now = Instant::now();
+        let id = w.insert(now + Duration::from_micros(100));
+        assert!(w.cancel(id));
+        assert_eq!(w.advance(now + Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let mut w = TimerWheel::default();
+        let now = Instant::now();
+        w.advance(now);
+        // A deadline already in the past must still fire (clamped into
+        // the next tick), not be lost behind the cursor.
+        w.insert(now - Duration::from_secs(1));
+        assert_eq!(w.advance(now + Duration::from_millis(1)), 1);
+    }
+}

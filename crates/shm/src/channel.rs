@@ -20,7 +20,7 @@
 //! vs 1-copy claim rather than assume it.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Sender as OneshotSender};
@@ -56,6 +56,16 @@ impl std::fmt::Display for ChannelError {
 
 impl std::error::Error for ChannelError {}
 
+impl ChannelError {
+    /// The static corruption diagnostic, for layers (the evpath readiness
+    /// poll) that propagate the reason without the enum.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ChannelError::Corrupt(reason) => reason,
+        }
+    }
+}
+
 /// An in-flight large transfer parked in the side table. The token travels
 /// through the data queue as the stand-in for the paper's
 /// "(address, length)" control message.
@@ -68,6 +78,10 @@ struct Shared {
     transfers: Mutex<HashMap<u64, Transfer>>,
     producer_copies: AtomicU64,
     consumer_copies: AtomicU64,
+    /// Set (with `Release`, after the producer's final push) when the
+    /// sending half is dropped: the SPSC producer is unique, so the drop
+    /// is the definitive "no more frames will ever arrive" event.
+    closed: AtomicBool,
 }
 
 /// Sending half of a shared-memory channel.
@@ -98,6 +112,7 @@ pub fn shm_channel(entries: usize, inline_capacity: usize) -> (ShmSender, ShmRec
         transfers: Mutex::new(HashMap::new()),
         producer_copies: AtomicU64::new(0),
         consumer_copies: AtomicU64::new(0),
+        closed: AtomicBool::new(false),
     });
     (
         ShmSender {
@@ -214,6 +229,16 @@ impl ShmSender {
         }
     }
 
+    /// Fault-injection hook: push raw bytes as one queue frame, bypassing
+    /// the framing logic entirely — the shm analogue of the fabric
+    /// delivering a damaged control message. The receive path must survive
+    /// whatever lands here (`ChannelError::Corrupt`, never a panic).
+    /// Test/chaos API.
+    #[doc(hidden)]
+    pub fn inject_raw_frame(&mut self, frame: &[u8]) {
+        self.queue.push(frame).expect("injected frame fits entry capacity");
+    }
+
     /// Buffer-pool statistics (monitoring hook).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
@@ -222,6 +247,15 @@ impl ShmSender {
     /// Number of producer-side payload copies performed so far.
     pub fn producer_copies(&self) -> u64 {
         self.shared.producer_copies.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ShmSender {
+    fn drop(&mut self) {
+        // `Release` orders the flag after every push this producer made:
+        // a receiver that observes `closed` and then finds the queue empty
+        // knows the channel is drained for good.
+        self.shared.closed.store(true, Ordering::Release);
     }
 }
 
@@ -297,6 +331,13 @@ impl ShmReceiver {
     /// Number of consumer-side payload copies performed so far.
     pub fn consumer_copies(&self) -> u64 {
         self.shared.consumer_copies.load(Ordering::Relaxed)
+    }
+
+    /// True once the sending half has been dropped. The flag is set after
+    /// the producer's last push, so callers must re-poll the queue once
+    /// after observing it before declaring the channel drained.
+    pub fn peer_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Acquire)
     }
 }
 
@@ -476,6 +517,20 @@ mod tests {
         // The channel keeps working after every corrupt frame.
         tx.send_copy(b"still alive");
         assert_eq!(rx.recv().unwrap(), b"still alive");
+    }
+
+    #[test]
+    fn peer_closed_only_after_sender_drop_and_drain() {
+        let (mut tx, mut rx) = shm_channel(8, 64);
+        assert!(!rx.peer_closed());
+        tx.send_copy(b"last words");
+        drop(tx);
+        // The flag is up, but the queue still holds the final message: the
+        // contract is flag + one more poll, which the evpath layer honours.
+        assert!(rx.peer_closed());
+        assert_eq!(rx.try_recv().unwrap().as_deref(), Some(&b"last words"[..]));
+        assert_eq!(rx.try_recv().unwrap(), None);
+        assert!(rx.peer_closed());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Repo verification: release build, full test suite, lints, and a
-# 20-seed sweep of the fault-injection replay test (the determinism
-# property must hold for arbitrary seeds, not just the checked-in one).
+# Repo verification: release build, full test suite, lints, a 20-seed
+# sweep of the fault-injection replay test (the determinism property must
+# hold for arbitrary seeds, not just the checked-in one), the same
+# mode-matrix + fault battery replayed on the reactor runtime, and a
+# 10-second chaos soak alternating both backends.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +26,21 @@ for seed in $(seq 1 20); do
         >/dev/null || { echo "seed $seed FAILED"; exit 1; }
     echo "seed $seed ok"
 done
+
+echo "== reactor runtime: mode matrix + fault battery =="
+# The reactor backend must be protocol-invisible: the same suites that
+# gate the blocking backend rerun with every stream flipped to the
+# event-loop runtime, and must pass with identical counter asserts.
+FLEXIO_RUNTIME=reactor cargo test -q --offline -p flexio \
+    --test mode_matrix --test fault_determinism --test fault_injection \
+    --test fault_crash --test directory_faults --test stream \
+    --test stream_edge \
+    >/dev/null || { echo "reactor runtime replay FAILED"; exit 1; }
+echo "reactor runtime replay ok"
+
+echo "== chaos soak (10s, alternating backends) =="
+FLEXIO_SOAK_SECS=10 cargo test -q --offline -p flexio --test chaos_soak \
+    >/dev/null || { echo "chaos soak FAILED"; exit 1; }
+echo "chaos soak ok"
 
 echo "verify: all green"
