@@ -15,10 +15,7 @@ use std::time::{Duration, Instant};
 const QUICK_ITERS: u64 = 10;
 
 fn iters() -> u64 {
-    std::env::var("CRITERION_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(QUICK_ITERS)
+    std::env::var("CRITERION_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(QUICK_ITERS)
 }
 
 /// Opaque use of a value, preventing the optimiser from deleting the
@@ -124,11 +121,8 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn report(&self, id: &str, b: &Bencher) {
-        let per_iter = if b.iterations > 0 {
-            b.total / b.iterations as u32
-        } else {
-            Duration::ZERO
-        };
+        let per_iter =
+            if b.iterations > 0 { b.total / b.iterations as u32 } else { Duration::ZERO };
         let tp = match self.throughput {
             Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
                 let gbps = n as f64 / per_iter.as_secs_f64() / 1e9;
@@ -140,10 +134,7 @@ impl BenchmarkGroup<'_> {
             }
             _ => String::new(),
         };
-        println!(
-            "{}/{id}: {:?}/iter over {} iters{tp}",
-            self.name, per_iter, b.iterations
-        );
+        println!("{}/{id}: {:?}/iter over {} iters{tp}", self.name, per_iter, b.iterations);
     }
 }
 

@@ -66,10 +66,7 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (
-            Sender { shared: Arc::clone(&shared) },
-            Receiver { shared },
-        )
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
 
     /// Create a "bounded" channel. The shim does not enforce the capacity

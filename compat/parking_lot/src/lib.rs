@@ -122,10 +122,7 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let g = guard.inner.take().expect("guard active");
-        let (g, res) = self
-            .inner
-            .wait_timeout(g, timeout)
-            .unwrap_or_else(|e| e.into_inner());
+        let (g, res) = self.inner.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(g);
         WaitTimeoutResult { timed_out: res.timed_out() }
     }

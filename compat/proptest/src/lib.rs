@@ -65,10 +65,7 @@ pub fn seed_of(name: &str) -> u64 {
 
 /// Number of cases to run per property.
 pub fn cases() -> u64 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
 }
 
 pub mod strategy {
@@ -313,9 +310,7 @@ pub mod strategy {
             match parse_class_repeat(self) {
                 Some((alphabet, lo, hi)) => {
                     let len = lo + rng.below((hi - lo + 1) as u64) as usize;
-                    (0..len)
-                        .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
-                        .collect()
+                    (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
                 }
                 None => (*self).to_owned(),
             }
@@ -459,7 +454,10 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Arbitrary};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary,
+    };
 }
 
 /// Run one property: generate `cases()` inputs and call `body` on each.

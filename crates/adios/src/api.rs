@@ -132,10 +132,7 @@ impl WriteEngine for FileWriteEngine {
     }
 
     fn write(&mut self, name: &str, value: VarValue) {
-        self.current
-            .as_mut()
-            .expect("write outside begin_step/end_step")
-            .push(name, value);
+        self.current.as_mut().expect("write outside begin_step/end_step").push(name, value);
     }
 
     fn end_step(&mut self) {
@@ -195,20 +192,14 @@ impl ReadEngine for FileReadEngine {
     fn read(&mut self, name: &str, sel: &Selection) -> Option<VarValue> {
         let step = self.current_step().expect("read outside a step");
         match sel {
-            Selection::ProcessGroup(rank) => {
-                self.file.group(step, *rank)?.get(name).cloned()
-            }
-            Selection::GlobalBox(b) => {
-                self.file.read_box(step, name, b).map(VarValue::Block)
-            }
-            Selection::Scalar => self
-                .file
-                .groups_of_step(step)
-                .iter()
-                .find_map(|g| match g.get(name) {
+            Selection::ProcessGroup(rank) => self.file.group(step, *rank)?.get(name).cloned(),
+            Selection::GlobalBox(b) => self.file.read_box(step, name, b).map(VarValue::Block),
+            Selection::Scalar => {
+                self.file.groups_of_step(step).iter().find_map(|g| match g.get(name) {
                     Some(v @ VarValue::Scalar(_)) => Some(v.clone()),
                     _ => None,
-                }),
+                })
+            }
         }
     }
 
@@ -309,9 +300,7 @@ mod tests {
         let mut reader = FileReadEngine::open(&path).unwrap();
         assert_eq!(reader.begin_step(), StepStatus::Step(0));
         assert!(reader.read("nope", &Selection::Scalar).is_none());
-        assert!(reader
-            .read("grid", &Selection::ProcessGroup(42))
-            .is_none());
+        assert!(reader.read("grid", &Selection::ProcessGroup(42)).is_none());
         std::fs::remove_file(&path).ok();
     }
 

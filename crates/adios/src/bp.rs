@@ -127,8 +127,7 @@ impl BpFile {
         if magic != MAGIC {
             return Err(BpError::BadFormat("bad leading magic"));
         }
-        let trailer_magic =
-            u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let trailer_magic = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
         if trailer_magic != MAGIC {
             return Err(BpError::BadFormat("bad trailing magic"));
         }
@@ -138,9 +137,8 @@ impl BpFile {
             u64::from_le_bytes(bytes[bytes.len() - 20..bytes.len() - 12].try_into().unwrap())
                 as usize;
         let entry_size = 32usize;
-        let index_end = (count as usize)
-            .checked_mul(entry_size)
-            .and_then(|n| n.checked_add(index_offset));
+        let index_end =
+            (count as usize).checked_mul(entry_size).and_then(|n| n.checked_add(index_offset));
         if index_end.is_none_or(|end| end > bytes.len()) {
             return Err(BpError::BadFormat("index out of range"));
         }
@@ -175,8 +173,7 @@ impl BpFile {
 
     /// All process groups of a step, ordered by rank.
     pub fn groups_of_step(&self, step: u64) -> Vec<&ProcessGroup> {
-        let mut out: Vec<&ProcessGroup> =
-            self.groups.iter().filter(|g| g.step == step).collect();
+        let mut out: Vec<&ProcessGroup> = self.groups.iter().filter(|g| g.step == step).collect();
         out.sort_by_key(|g| g.rank);
         out
     }

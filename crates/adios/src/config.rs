@@ -225,9 +225,13 @@ mod tests {
     fn one_line_switch_file_to_stream() {
         // The paper's headline claim: changing one attribute flips the
         // placement mode without touching application code.
-        let file_cfg = r#"<adios-config><group name="g"><method transport="FILE"/></group></adios-config>"#;
+        let file_cfg =
+            r#"<adios-config><group name="g"><method transport="FILE"/></group></adios-config>"#;
         let stream_cfg = file_cfg.replace("FILE", "STREAM");
-        assert_eq!(IoConfig::from_xml(file_cfg).unwrap().group("g").unwrap().method, IoMethod::File);
+        assert_eq!(
+            IoConfig::from_xml(file_cfg).unwrap().group("g").unwrap().method,
+            IoMethod::File
+        );
         assert_eq!(
             IoConfig::from_xml(&stream_cfg).unwrap().group("g").unwrap().method,
             IoMethod::Stream
@@ -245,10 +249,7 @@ mod tests {
             r#"<adios-config><group name="g"><method transport="CARRIER_PIGEON"/></group></adios-config>"#
         )
         .is_err());
-        assert!(IoConfig::from_xml(
-            r#"<adios-config><group name="g"/></adios-config>"#
-        )
-        .is_err());
+        assert!(IoConfig::from_xml(r#"<adios-config><group name="g"/></adios-config>"#).is_err());
     }
 
     #[test]

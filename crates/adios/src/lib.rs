@@ -39,9 +39,7 @@ pub mod posix;
 pub mod var;
 pub mod xml;
 
-pub use api::{
-    FileReadEngine, FileWriteEngine, ReadEngine, Selection, StepStatus, WriteEngine,
-};
+pub use api::{FileReadEngine, FileWriteEngine, ReadEngine, Selection, StepStatus, WriteEngine};
 pub use config::{GroupConfig, IoConfig, IoMethod};
 pub use group::ProcessGroup;
 pub use hyperslab::BoxSel;

@@ -57,10 +57,7 @@ impl WriteEngine for PosixWriteEngine {
     }
 
     fn write(&mut self, name: &str, value: VarValue) {
-        self.current
-            .as_mut()
-            .expect("write outside begin_step/end_step")
-            .push(name, value);
+        self.current.as_mut().expect("write outside begin_step/end_step").push(name, value);
     }
 
     fn end_step(&mut self) {
@@ -210,10 +207,7 @@ mod tests {
         assert_eq!(b.data.as_f64(), &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
         // Process-group and scalar reads work too.
         assert!(r.read("u", &Selection::ProcessGroup(2)).is_some());
-        assert_eq!(
-            r.read("t", &Selection::Scalar),
-            Some(VarValue::Scalar(ScalarValue::U64(0)))
-        );
+        assert_eq!(r.read("t", &Selection::Scalar), Some(VarValue::Scalar(ScalarValue::U64(0))));
         r.end_step();
         assert_eq!(r.begin_step(), StepStatus::Step(1));
         r.end_step();

@@ -338,9 +338,15 @@ impl VarValue {
             VarValue::Scalar(s) => {
                 let r = Record::new().with("kind", FieldValue::U64(0));
                 match s {
-                    ScalarValue::F64(v) => r.with("stype", FieldValue::U64(0)).with("v", FieldValue::F64(*v)),
-                    ScalarValue::U64(v) => r.with("stype", FieldValue::U64(1)).with("v", FieldValue::U64(*v)),
-                    ScalarValue::I64(v) => r.with("stype", FieldValue::U64(2)).with("v", FieldValue::I64(*v)),
+                    ScalarValue::F64(v) => {
+                        r.with("stype", FieldValue::U64(0)).with("v", FieldValue::F64(*v))
+                    }
+                    ScalarValue::U64(v) => {
+                        r.with("stype", FieldValue::U64(1)).with("v", FieldValue::U64(*v))
+                    }
+                    ScalarValue::I64(v) => {
+                        r.with("stype", FieldValue::U64(2)).with("v", FieldValue::I64(*v))
+                    }
                     ScalarValue::Str(v) => {
                         r.with("stype", FieldValue::U64(3)).with("v", FieldValue::Str(v.clone()))
                     }

@@ -216,10 +216,9 @@ impl XmlParser<'_> {
                 self.pos += 2;
                 let close = self.name()?;
                 if close != el.name {
-                    return Err(self.error(&format!(
-                        "mismatched close tag </{close}> for <{}>",
-                        el.name
-                    )));
+                    return Err(
+                        self.error(&format!("mismatched close tag </{close}> for <{}>", el.name))
+                    );
                 }
                 self.skip_ws();
                 if self.peek() != Some(b'>') {
@@ -237,10 +236,7 @@ fn find_from(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
     if from > haystack.len() {
         return None;
     }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 fn unescape(s: &str) -> String {
@@ -257,7 +253,10 @@ mod tests {
 
     #[test]
     fn simple_document() {
-        let doc = parse(r#"<adios-config host-language="Fortran"><group name="particles"/></adios-config>"#).unwrap();
+        let doc = parse(
+            r#"<adios-config host-language="Fortran"><group name="particles"/></adios-config>"#,
+        )
+        .unwrap();
         assert_eq!(doc.name, "adios-config");
         assert_eq!(doc.attr("host-language"), Some("Fortran"));
         assert_eq!(doc.children.len(), 1);

@@ -123,10 +123,7 @@ mod tests {
         let q = RangeQuery::twenty_percent_core(&d);
         let selected = range_query(&p, &q);
         let fraction = (selected.len() / ATTRS) as f64 / (p.len() / ATTRS) as f64;
-        assert!(
-            (0.12..=0.30).contains(&fraction),
-            "selectivity {fraction} out of the ~20% band"
-        );
+        assert!((0.12..=0.30).contains(&fraction), "selectivity {fraction} out of the ~20% band");
     }
 
     #[test]

@@ -20,8 +20,7 @@ use rand::{Rng, SeedableRng};
 pub const ATTRS: usize = 7;
 
 /// Attribute names, in storage order.
-pub const ATTR_NAMES: [&str; ATTRS] =
-    ["r", "theta", "zeta", "v_par", "v_perp", "weight", "id"];
+pub const ATTR_NAMES: [&str; ATTRS] = ["r", "theta", "zeta", "v_par", "v_perp", "weight", "id"];
 
 /// Column index of the parallel velocity (the range query's attribute).
 pub const VPAR: usize = 3;
@@ -94,14 +93,13 @@ impl Gts {
                 data.push(1.0 + rng.gen::<f64>()); // r in [1, 2)
                 data.push(rng.gen::<f64>() * std::f64::consts::TAU); // theta
                 data.push(rng.gen::<f64>() * std::f64::consts::TAU); // zeta
-                // Maxwellian-ish velocities via sum of uniforms.
-                let v = |rng: &mut StdRng| {
-                    (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>()
-                };
+                                                                     // Maxwellian-ish velocities via sum of uniforms.
+                let v = |rng: &mut StdRng| (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>();
                 data.push(v(rng)); // v_par
                 data.push(v(rng).abs()); // v_perp >= 0
                 data.push(rng.gen::<f64>()); // weight
-                data.push((species * 1_000_000_000 + (rank * n + p) as u64) as f64); // id
+                data.push((species * 1_000_000_000 + (rank * n + p) as u64) as f64);
+                // id
             }
             ParticleArray { data }
         };
@@ -143,9 +141,7 @@ impl Gts {
                 p[2] = (p[2] + dt * v_par).rem_euclid(std::f64::consts::TAU);
                 let b_grad = 0.05 * (theta.sin());
                 p[VPAR] = v_par - dt * b_grad * v_perp;
-                p[VPERP] = (v_perp * v_perp + dt * b_grad * v_par * v_perp)
-                    .max(0.0)
-                    .sqrt();
+                p[VPERP] = (v_perp * v_perp + dt * b_grad * v_par * v_perp).max(0.0).sqrt();
                 p[0] = (r + dt * 0.1 * v_par * theta.cos()).clamp(1.0, 2.0);
             }
         }

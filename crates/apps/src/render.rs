@@ -99,11 +99,7 @@ fn over_image(dst: &mut [f32], src: &[f32]) {
 pub fn render_slab(block: &LocalBlock, tf: &TransferFunction) -> Image {
     assert_eq!(block.global_shape.len(), 3, "volume rendering needs 3-D data");
     let [gx, gy] = [block.global_shape[0] as usize, block.global_shape[1] as usize];
-    let (cx, cy, cz) = (
-        block.count[0] as usize,
-        block.count[1] as usize,
-        block.count[2] as usize,
-    );
+    let (cx, cy, cz) = (block.count[0] as usize, block.count[1] as usize, block.count[2] as usize);
     let (ox, oy) = (block.offset[0] as usize, block.offset[1] as usize);
     let data = block.data.as_f64();
     let mut img = Image::new(gx, gy);

@@ -4,7 +4,9 @@
 
 use std::thread;
 
-use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use adios::{
+    ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flexio::{CachingLevel, FlexIo, StreamHints};
 use machine::{laptop, CoreLocation};
@@ -15,22 +17,17 @@ const ELEMS: usize = 512;
 
 fn run(batching: bool) {
     let io = FlexIo::single_node(laptop());
-    let hints = StreamHints {
-        batching,
-        caching: CachingLevel::CachingAll,
-        ..StreamHints::default()
-    };
+    let hints =
+        StreamHints { batching, caching: CachingLevel::CachingAll, ..StreamHints::default() };
     let io_w = io.clone();
     let io_r = io.clone();
     let hints_r = hints.clone();
     let wt = thread::spawn(move || {
         rankrt::launch(2, move |comm| {
             let rank = comm.rank();
-            let roster: Vec<CoreLocation> =
-                (0..2).map(|r| laptop().node.location_of(r)).collect();
-            let mut w = io_w
-                .open_writer("batch", rank, 2, roster[rank], roster, hints.clone())
-                .unwrap();
+            let roster: Vec<CoreLocation> = (0..2).map(|r| laptop().node.location_of(r)).collect();
+            let mut w =
+                io_w.open_writer("batch", rank, 2, roster[rank], roster, hints.clone()).unwrap();
             for step in 0..STEPS {
                 w.begin_step(step);
                 for v in 0..VARS {

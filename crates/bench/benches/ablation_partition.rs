@@ -18,20 +18,12 @@ fn bench_partition(c: &mut Criterion) {
         let graph = workload(nsim, nana);
         let n = graph.len();
         let vertices: Vec<usize> = (0..n).collect();
-        g.bench_with_input(
-            BenchmarkId::new("bisect", n),
-            &graph,
-            |b, graph| {
-                b.iter(|| criterion::black_box(bisect(graph, &vertices, n / 2)));
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("partition_k4", n),
-            &graph,
-            |b, graph| {
-                b.iter(|| criterion::black_box(partition_k(graph, 4)));
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("bisect", n), &graph, |b, graph| {
+            b.iter(|| criterion::black_box(bisect(graph, &vertices, n / 2)));
+        });
+        g.bench_with_input(BenchmarkId::new("partition_k4", n), &graph, |b, graph| {
+            b.iter(|| criterion::black_box(partition_k(graph, 4)));
+        });
     }
     g.finish();
 }

@@ -23,7 +23,9 @@
 use std::thread;
 use std::time::Instant;
 
-use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use adios::{
+    ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine,
+};
 use evpath::{FieldValue, PackedArray, Record};
 use flexio::{CachingLevel, FlexIo, StreamHints};
 use machine::laptop;
@@ -155,9 +157,7 @@ fn run_stream(
 fn legacy_marshal_gbps() -> f64 {
     let elems = BASELINE_BYTES / 8;
     let data: Vec<f64> = (0..elems).map(|i| i as f64).collect();
-    let rec = Record::new()
-        .with("step", FieldValue::U64(0))
-        .with("u", FieldValue::F64Array(data));
+    let rec = Record::new().with("step", FieldValue::U64(0)).with("u", FieldValue::F64Array(data));
     let iters = 3;
     let mut best = f64::INFINITY;
     for _ in 0..iters {

@@ -12,22 +12,17 @@ fn bench_get_paths(c: &mut Criterion) {
     let mut g = c.benchmark_group("rdma_get_registration");
     for size in [64 << 10, 1 << 20] {
         g.throughput(Throughput::Bytes(size as u64));
-        for (label, reg) in [("cached", Registration::Cached), ("dynamic", Registration::Dynamic)]
-        {
-            g.bench_with_input(
-                BenchmarkId::new(label, size),
-                &(size, reg),
-                |b, &(size, reg)| {
-                    let net = NetSim::new(InterconnectParams::gemini(), 2);
-                    let mut src = net.open_port(0);
-                    let mut dst = net.open_port(1);
-                    let payload = vec![9u8; size];
-                    b.iter(|| {
-                        src.send(&dst.address(), &payload, reg);
-                        criterion::black_box(dst.recv());
-                    });
-                },
-            );
+        for (label, reg) in [("cached", Registration::Cached), ("dynamic", Registration::Dynamic)] {
+            g.bench_with_input(BenchmarkId::new(label, size), &(size, reg), |b, &(size, reg)| {
+                let net = NetSim::new(InterconnectParams::gemini(), 2);
+                let mut src = net.open_port(0);
+                let mut dst = net.open_port(1);
+                let payload = vec![9u8; size];
+                b.iter(|| {
+                    src.send(&dst.address(), &payload, reg);
+                    criterion::black_box(dst.recv());
+                });
+            });
         }
     }
     g.finish();

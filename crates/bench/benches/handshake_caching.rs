@@ -5,7 +5,9 @@
 
 use std::thread;
 
-use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use adios::{
+    ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flexio::{CachingLevel, FlexIo, StreamHints};
 use machine::{laptop, CoreLocation};

@@ -20,7 +20,9 @@ use std::rc::Rc;
 use std::thread;
 use std::time::Instant;
 
-use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use adios::{
+    ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine,
+};
 use flexio::{CachingLevel, FlexIo, Runtime, StreamHints, WriteMode};
 use machine::laptop;
 

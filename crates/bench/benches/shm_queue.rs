@@ -100,10 +100,5 @@ fn bench_large_message_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_spsc_inline,
-    bench_locked_baseline,
-    bench_large_message_paths
-);
+criterion_group!(benches, bench_spsc_inline, bench_locked_baseline, bench_large_message_paths);
 criterion_main!(benches);

@@ -26,10 +26,7 @@ fn main() {
             CoreLocation { node: 0, numa: node.numa_domains - 1, core: 0 },
         ),
     ];
-    println!(
-        "NUMA buffer-placement ablation on {} (110 MB handoff, times in ms)",
-        machine.name
-    );
+    println!("NUMA buffer-placement ablation on {} (110 MB handoff, times in ms)", machine.name);
     println!(
         "{:<36} {:>16} {:>16} {:>16} {:>16}",
         "scenario", "prod (PROD-loc)", "cons (PROD-loc)", "prod (CONS-loc)", "cons (CONS-loc)"
@@ -49,10 +46,7 @@ fn main() {
                 ]
             })
             .collect();
-        println!(
-            "{label:<36} {:>16.1} {:>16.1} {:>16.1} {:>16.1}",
-            row[0], row[1], row[2], row[3]
-        );
+        println!("{label:<36} {:>16.1} {:>16.1} {:>16.1} {:>16.1}", row[0], row[1], row[2], row[3]);
     }
     println!(
         "\nProducer-local placement keeps the simulation's copy on the fast local\n\

@@ -48,7 +48,11 @@ fn main() {
         "workload", "parts", "naive cut", "refined cut", "gain"
     );
     let workloads = [
-        ("GTS-like: 24 sim (4-wide grid) + 8 ana", CommGraph::coupled(24, 4, 5e4, 8, 1.1e8, 1e5), 4),
+        (
+            "GTS-like: 24 sim (4-wide grid) + 8 ana",
+            CommGraph::coupled(24, 4, 5e4, 8, 1.1e8, 1e5),
+            4,
+        ),
         ("S3D-like: 28 sim (heavy halos) + 4 ana", CommGraph::coupled(28, 4, 1e7, 4, 1e5, 1e3), 4),
         ("wide: 60 sim (6-wide grid) + 4 ana", CommGraph::coupled(60, 6, 1e6, 4, 5e6, 1e4), 8),
     ];

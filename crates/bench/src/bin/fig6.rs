@@ -29,8 +29,7 @@ fn main() {
             let values = scales
                 .iter()
                 .map(|&cores| {
-                    let scale =
-                        GtsScale { machine: machine.clone(), sim_cores: cores, steps: 20 };
+                    let scale = GtsScale { machine: machine.clone(), sim_cores: cores, steps: 20 };
                     gts_outcome(&scale, p).total_s
                 })
                 .collect();
@@ -47,12 +46,7 @@ fn main() {
     // Paper's headline check: best placement within ~8% of the lower bound.
     let lb = rows.last().expect("lower bound row");
     let best = &rows[3]; // topo-aware helper core
-    let worst_gap = best
-        .1
-        .iter()
-        .zip(&lb.1)
-        .map(|(b, l)| b / l - 1.0)
-        .fold(0.0f64, f64::max);
+    let worst_gap = best.1.iter().zip(&lb.1).map(|(b, l)| b / l - 1.0).fold(0.0f64, f64::max);
     println!(
         "\nbest placement is at most {:.1}% above the lower bound (paper: 8.4% Smoky / 7.9% Titan)",
         worst_gap * 100.0

@@ -16,18 +16,12 @@ fn main() {
         machine.node.l3.size_bytes >> 20
     );
     println!("{:<56} {:>10}", "configuration", "L3 MPKI");
-    println!(
-        "{:<56} {:>10.3}",
-        "GTS (3 OpenMP threads) solo", result.solo_mpki
-    );
+    println!("{:<56} {:>10.3}", "GTS (3 OpenMP threads) solo", result.solo_mpki);
     println!(
         "{:<56} {:>10.3}",
         "GTS (3 OpenMP threads) with analytics on helper core", result.corun_mpki
     );
-    println!(
-        "{:<56} {:>10.3}",
-        "  (the analytics' own streaming MPKI)", result.analytics_mpki
-    );
+    println!("{:<56} {:>10.3}", "  (the analytics' own streaming MPKI)", result.analytics_mpki);
     println!(
         "\nGTS suffers {:.0}% more L3 misses when co-running (paper: 47%).",
         result.inflation() * 100.0

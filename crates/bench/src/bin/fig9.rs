@@ -27,8 +27,7 @@ fn main() {
             let values = scales
                 .iter()
                 .map(|&cores| {
-                    let scale =
-                        S3dScale { machine: machine.clone(), sim_cores: cores, steps: 20 };
+                    let scale = S3dScale { machine: machine.clone(), sim_cores: cores, steps: 20 };
                     s3d_outcome(&scale, p).total_s
                 })
                 .collect();

@@ -21,7 +21,9 @@
 use std::thread;
 use std::time::Instant;
 
-use adios::{ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use adios::{
+    ArrayData, BoxSel, LocalBlock, ReadEngine, Selection, StepStatus, VarValue, WriteEngine,
+};
 use flexio::{CachingLevel, FlexIo, StreamHints, WriteMode};
 use machine::{laptop, smoky, titan, CoreLocation, MachineModel};
 
@@ -128,14 +130,7 @@ fn main() {
     for (m, paper) in [(titan(), "1.2 → 0.053"), (smoky(), "4.0 → 0.077")] {
         let u = modelled_untuned(&m, 1024);
         let t = modelled_tuned(&m);
-        println!(
-            "{:<10} {:>14.3} {:>14.3} {:>9.0}x {:>18}",
-            m.name,
-            u,
-            t,
-            u / t,
-            paper
-        );
+        println!("{:<10} {:>14.3} {:>14.3} {:>9.0}x {:>18}", m.name, u, t, u / t, paper);
     }
 
     println!("\nreal FlexIO stack at laptop scale (8 writers, 22 variables, 6 steps):");

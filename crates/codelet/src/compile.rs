@@ -383,14 +383,8 @@ mod tests {
 
     #[test]
     fn undefined_variable_rejected() {
-        assert_eq!(
-            compile("x = 3;"),
-            Err(CompileError::UndefinedVariable("x".to_string()))
-        );
-        assert!(matches!(
-            compile("let y = z;"),
-            Err(CompileError::UndefinedVariable(_))
-        ));
+        assert_eq!(compile("x = 3;"), Err(CompileError::UndefinedVariable("x".to_string())));
+        assert!(matches!(compile("let y = z;"), Err(CompileError::UndefinedVariable(_))));
     }
 
     #[test]
@@ -417,10 +411,9 @@ mod tests {
 
     #[test]
     fn jumps_are_patched_in_bounds() {
-        let p = compile(
-            "let x = 0; if x < 5 { x = 1; } else { x = 2; } while x > 0 { x = x - 1; }",
-        )
-        .unwrap();
+        let p =
+            compile("let x = 0; if x < 5 { x = 1; } else { x = 2; } while x > 0 { x = x - 1; }")
+                .unwrap();
         for (idx, i) in p.instructions.iter().enumerate() {
             if let Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) = i {
                 assert!((*t as usize) <= p.instructions.len(), "instr {idx} jumps to {t}");

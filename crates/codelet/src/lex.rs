@@ -305,10 +305,7 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb\"c""#),
-            vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
-        );
+        assert_eq!(kinds(r#""a\nb\"c""#), vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]);
     }
 
     #[test]

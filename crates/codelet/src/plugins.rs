@@ -96,10 +96,8 @@ mod tests {
     use evpath::{FieldValue, Record};
 
     fn particles() -> Record {
-        Record::new().with(
-            "velocity",
-            FieldValue::F64Array(vec![0.1, 0.9, 1.5, 2.4, 3.0, 0.5, 1.1, 2.0]),
-        )
+        Record::new()
+            .with("velocity", FieldValue::F64Array(vec![0.1, 0.9, 1.5, 2.4, 3.0, 0.5, 1.1, 2.0]))
     }
 
     #[test]

@@ -323,10 +323,9 @@ impl Vm<'_> {
         };
         let need_str = |v: &Value| match v {
             Value::Str(s) => Ok(s.as_str().to_string()),
-            other => Err(RunError::Type(format!(
-                "`{name}` needs a string, got {}",
-                other.type_name()
-            ))),
+            other => {
+                Err(RunError::Type(format!("`{name}` needs a string, got {}", other.type_name())))
+            }
         };
         match name {
             "array" => {
@@ -356,9 +355,9 @@ impl Vm<'_> {
                 arity(2)?;
                 match &args[0] {
                     Value::FloatArr(a) => a.borrow_mut().push(need_f64(&args[1])?),
-                    Value::IntArr(a) => a.borrow_mut().push(args[1].as_i64().ok_or_else(
-                        || RunError::Type("`push` into int[] needs an int".to_string()),
-                    )?),
+                    Value::IntArr(a) => a.borrow_mut().push(args[1].as_i64().ok_or_else(|| {
+                        RunError::Type("`push` into int[] needs an int".to_string())
+                    })?),
                     other => {
                         return Err(RunError::Type(format!(
                             "`push` needs an array, got {}",
@@ -422,10 +421,7 @@ impl Vm<'_> {
             "get_f64" => {
                 arity(1)?;
                 let field = need_str(&args[0])?;
-                let arr = self
-                    .input
-                    .get_f64_array(&field)
-                    .ok_or(RunError::MissingField(field))?;
+                let arr = self.input.get_f64_array(&field).ok_or(RunError::MissingField(field))?;
                 Ok(Value::float_arr(arr.to_vec()))
             }
             "get_i64" => {
@@ -442,26 +438,17 @@ impl Vm<'_> {
             "get_int" => {
                 arity(1)?;
                 let field = need_str(&args[0])?;
-                self.input
-                    .get_i64(&field)
-                    .map(Value::Int)
-                    .ok_or(RunError::MissingField(field))
+                self.input.get_i64(&field).map(Value::Int).ok_or(RunError::MissingField(field))
             }
             "get_float" => {
                 arity(1)?;
                 let field = need_str(&args[0])?;
-                self.input
-                    .get_f64(&field)
-                    .map(Value::Float)
-                    .ok_or(RunError::MissingField(field))
+                self.input.get_f64(&field).map(Value::Float).ok_or(RunError::MissingField(field))
             }
             "get_str" => {
                 arity(1)?;
                 let field = need_str(&args[0])?;
-                self.input
-                    .get_str(&field)
-                    .map(Value::str)
-                    .ok_or(RunError::MissingField(field))
+                self.input.get_str(&field).map(Value::str).ok_or(RunError::MissingField(field))
             }
             "has" => {
                 arity(1)?;
@@ -499,9 +486,9 @@ impl Vm<'_> {
             "emit_int" => {
                 arity(2)?;
                 let field = need_str(&args[0])?;
-                let v = args[1].as_i64().ok_or_else(|| {
-                    RunError::Type("`emit_int` needs an int".to_string())
-                })?;
+                let v = args[1]
+                    .as_i64()
+                    .ok_or_else(|| RunError::Type("`emit_int` needs an int".to_string()))?;
                 self.output.set(&field, FieldValue::I64(v));
                 Ok(Value::Bool(true))
             }
@@ -617,10 +604,7 @@ mod tests {
 
     #[test]
     fn short_circuit_or() {
-        let out = run(
-            "let x = true || 1 / 0 == 0; if x { emit_int(\"r\", 1); }",
-            Record::new(),
-        );
+        let out = run("let x = true || 1 / 0 == 0; if x { emit_int(\"r\", 1); }", Record::new());
         assert_eq!(out.get_i64("r"), Some(1));
     }
 
@@ -655,10 +639,7 @@ mod tests {
     #[test]
     fn missing_field_is_an_error() {
         let c = Codelet::compile("let v = get_f64(\"absent\");").unwrap();
-        assert_eq!(
-            c.run(&Record::new()),
-            Err(RunError::MissingField("absent".to_string()))
-        );
+        assert_eq!(c.run(&Record::new()), Err(RunError::MissingField("absent".to_string())));
     }
 
     #[test]
@@ -685,10 +666,7 @@ mod tests {
 
     #[test]
     fn return_stops_early() {
-        let out = run(
-            "emit_int(\"a\", 1); return; emit_int(\"b\", 2);",
-            Record::new(),
-        );
+        let out = run("emit_int(\"a\", 1); return; emit_int(\"b\", 2);", Record::new());
         assert_eq!(out.get_i64("a"), Some(1));
         assert!(out.get("b").is_none());
     }

@@ -58,18 +58,18 @@ fn consts_for(machine: &MachineModel) -> GtsConsts {
     if machine.name == "titan" {
         GtsConsts {
             cycle_s,
-            procs_per_node: 2, // 8 OpenMP threads per process (16 cores)
+            procs_per_node: 2,            // 8 OpenMP threads per process (16 cores)
             helper_thread_penalty: 1.020, // 7 threads instead of 8
-            cache_interference: 1.030, // 8 MiB L3 absorbs more of the scan
+            cache_interference: 1.030,    // 8 MiB L3 absorbs more of the scan
             output_bytes: 110e6,
             ana_work_s,
         }
     } else {
         GtsConsts {
             cycle_s,
-            procs_per_node: 4, // 4 OpenMP threads per process (16 cores)
+            procs_per_node: 4,            // 4 OpenMP threads per process (16 cores)
             helper_thread_penalty: 1.027, // paper: 2.7% from 4→3 threads
-            cache_interference: 1.041, // paper: 4.1% cycle inflation
+            cache_interference: 1.041,    // paper: 4.1% cycle inflation
             output_bytes: 110e6,
             ana_work_s,
         }
@@ -146,8 +146,7 @@ pub fn gts_outcome(scale: &GtsScale, placement: Placement) -> Outcome {
         ),
         Placement::HelperCore(policy) => {
             let penalty = 1.0 + policy_penalty(policy, m, scale.sim_cores);
-            let cycle =
-                c.cycle_s * c.helper_thread_penalty * c.cache_interference * penalty * coll;
+            let cycle = c.cycle_s * c.helper_thread_penalty * c.cache_interference * penalty * coll;
             // Two-copy shared-memory handoff, charged to the write call.
             let io = c.output_bytes * 2.0 / m.node.local_copy_bw;
             (
@@ -176,21 +175,18 @@ pub fn gts_outcome(scale: &GtsScale, placement: Placement) -> Outcome {
                 parallel_s: procs as f64 * c.ana_work_s,
             };
             let interval = period_compute(c.cycle_s);
-            let n_ana = allocate_sync(&scaling, interval, procs.max(1))
-                .unwrap_or(procs.max(1));
+            let n_ana = allocate_sync(&scaling, interval, procs.max(1)).unwrap_or(procs.max(1));
             let staging_nodes = n_ana.div_ceil(cores_per_node).max(1);
             // Receiver-directed Gets into few staging NICs: incast
             // contention bounds throughput.
             let flows_per_nic = (sim_nodes as f64 / staging_nodes as f64).max(1.0);
             let bw = m.interconnect.link_bw
                 / (1.0 + m.interconnect.contention_factor * (flows_per_nic - 1.0));
-            let data_per_staging_node =
-                procs as f64 * c.output_bytes / staging_nodes as f64;
+            let data_per_staging_node = procs as f64 * c.output_bytes / staging_nodes as f64;
             let movement = data_per_staging_node / bw;
             // Asynchronous bulk movement interferes with GTS's MPI; the
             // paper tunes scheduling to keep the slowdown under 15%.
-            let interference =
-                1.0 + (0.02 * (sim_nodes.max(2) as f64).log2()).min(0.15);
+            let interference = 1.0 + (0.02 * (sim_nodes.max(2) as f64).log2()).min(0.15);
             (
                 PipelineParams {
                     n_steps: scale.steps,
@@ -264,14 +260,7 @@ pub fn gts_fig7_cases(machine: &MachineModel) -> Vec<(String, f64, f64, f64, f64
     // Case 3: solo (3 OpenMP threads), no I/O or analytics.
     {
         let cycle = c.cycle_s * c.helper_thread_penalty * coll;
-        rows.push((
-            "Case 3: GTS (3 OpenMP) solo".to_string(),
-            cycle,
-            cycle,
-            0.0,
-            0.0,
-            0.0,
-        ));
+        rows.push(("Case 3: GTS (3 OpenMP) solo".to_string(), cycle, cycle, 0.0, 0.0, 0.0));
     }
     rows
 }

@@ -100,9 +100,7 @@ pub fn s3d_outcome(scale: &S3dScale, placement: Placement) -> Outcome {
         Placement::Inline => {
             // Visualization + compositing + image write on the critical
             // path of every step, with every rank hammering the MDS.
-            let io = c.viz_work_s
-                + c.viz_serial_s
-                + image_write_s(m, &c, procs, image_bytes);
+            let io = c.viz_work_s + c.viz_serial_s + image_write_s(m, &c, procs, image_bytes);
             (
                 PipelineParams {
                     n_steps: scale.steps,

@@ -850,7 +850,10 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_body(cursor: &mut Cursor<'_>, shared: Option<&Arc<Vec<u8>>>) -> Result<Record, DecodeError> {
+fn decode_body(
+    cursor: &mut Cursor<'_>,
+    shared: Option<&Arc<Vec<u8>>>,
+) -> Result<Record, DecodeError> {
     let count = cursor.u32()? as usize;
     let mut record = Record::new();
     for _ in 0..count {
@@ -902,9 +905,7 @@ fn decode_value(
         TAG_STR => {
             let (bytes, _, _) = cursor.array_bytes(1)?;
             FieldValue::Str(
-                std::str::from_utf8(bytes)
-                    .map_err(|_| DecodeError::BadUtf8)?
-                    .to_string(),
+                std::str::from_utf8(bytes).map_err(|_| DecodeError::BadUtf8)?.to_string(),
             )
         }
         // Legacy per-element tags and packed tags share a byte-identical
@@ -930,10 +931,7 @@ mod tests {
             .with("temp", FieldValue::F64(1.5e6))
             .with("dims", FieldValue::U64Array(vec![128, 64, 32]))
             .with("data", FieldValue::F64Array(vec![1.0, 2.0, 3.0]))
-            .with(
-                "meta",
-                FieldValue::Record(Record::new().with("rank", FieldValue::I64(-3))),
-            )
+            .with("meta", FieldValue::Record(Record::new().with("rank", FieldValue::I64(-3))))
     }
 
     #[test]

@@ -164,10 +164,13 @@ mod tests {
         let t = g.terminal(move |r| {
             seen2.store(r.get_u64("v").unwrap(), Ordering::SeqCst);
         });
-        let x = g.transform(|r| {
-            let v = r.get_u64("v").unwrap();
-            event(v * 10)
-        }, t);
+        let x = g.transform(
+            |r| {
+                let v = r.get_u64("v").unwrap();
+                event(v * 10)
+            },
+            t,
+        );
         g.submit(x, event(7));
         assert_eq!(seen.load(Ordering::SeqCst), 70);
     }

@@ -147,10 +147,7 @@ impl ShmTransport {
     /// queue (`ShmSender::inject_raw_frame`) before handing the receiving
     /// half to the protocol stack.
     pub fn from_halves(tx: ShmSender, rx: ShmReceiver) -> (BoxedSender, BoxedReceiver) {
-        (
-            Box::new(ShmTransportSender(tx)),
-            Box::new(ShmTransportReceiver(rx)),
-        )
+        (Box::new(ShmTransportSender(tx)), Box::new(ShmTransportReceiver(rx)))
     }
 }
 
@@ -314,11 +311,8 @@ mod tests {
         // The same driver code runs over all three — the property FlexIO's
         // placement flexibility rests on.
         let net = NetSim::new(InterconnectParams::gemini(), 2);
-        let pairs: Vec<(BoxedSender, BoxedReceiver)> = vec![
-            inproc_pair(),
-            ShmTransport::pair(16, 128),
-            NetTransport::pair(&net, 0, 1),
-        ];
+        let pairs: Vec<(BoxedSender, BoxedReceiver)> =
+            vec![inproc_pair(), ShmTransport::pair(16, 128), NetTransport::pair(&net, 0, 1)];
         for (mut tx, mut rx) in pairs {
             tx.send(b"same code everywhere");
             assert_eq!(rx.recv(), b"same code everywhere");

@@ -143,10 +143,7 @@ fn oversized_lengths_rejected_for_both_tag_families() {
             let len_at = 4 + 4 + 2 + 1 + 1;
             evil[len_at..len_at + 8].copy_from_slice(&huge.to_le_bytes());
             assert_eq!(Record::decode(&evil), Err(DecodeError::Truncated));
-            assert_eq!(
-                Record::decode_shared(&Arc::new(evil)).err(),
-                Some(DecodeError::Truncated)
-            );
+            assert_eq!(Record::decode_shared(&Arc::new(evil)).err(), Some(DecodeError::Truncated));
         }
     }
 }
@@ -159,10 +156,7 @@ fn truncation_always_errors_cleanly() {
         .with("s", FieldValue::Str("hello".into()));
     let full = rec.encode();
     for cut in 0..full.len() {
-        assert!(
-            Record::decode(&full[..cut]).is_err(),
-            "decode of a {cut}-byte prefix should fail"
-        );
+        assert!(Record::decode(&full[..cut]).is_err(), "decode of a {cut}-byte prefix should fail");
     }
     assert!(Record::decode(&full).is_ok());
 }

@@ -71,9 +71,8 @@ fn shared_decode_of_large_packed_array_does_not_copy_payload() {
     // Wire bytes arrive in a shared receive buffer (as off recv_record).
     let wire = Arc::new(rec.encode());
 
-    let (large, decoded) = count_large_allocs(payload_bytes, || {
-        Record::decode_shared(&wire).expect("decode")
-    });
+    let (large, decoded) =
+        count_large_allocs(payload_bytes, || Record::decode_shared(&wire).expect("decode"));
     assert_eq!(
         large, 0,
         "decode_shared of a {payload_bytes}-byte packed array allocated \

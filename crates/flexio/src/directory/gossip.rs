@@ -1,0 +1,331 @@
+//! Anti-entropy gossip between directory nodes.
+//!
+//! Each node periodically ships its **entire registry digest** — every
+//! `(name, version, origin, contact token)` tuple, tombstones included —
+//! to every peer over an ordinary `evpath` transport. Receivers merge
+//! entry-by-entry under the `(version, origin)` order, so a digest is
+//! idempotent and arbitrarily lossy delivery still converges: a frame
+//! dropped by a [`FaultPlan`] is simply re-sent (in its next edition)
+//! one round later. This is the classic anti-entropy trade — O(entries)
+//! bytes per round per peer buys convergence without acks, retransmits
+//! or membership agreement, which is exactly right for a registry whose
+//! entries number in the thousands while lookups number in the millions.
+//!
+//! Contacts are in-process `Arc<LinkState>` handles and cannot cross a
+//! byte transport, so the wire carries a cluster-wide **token** and every
+//! node resolves tokens through the shared [`ContactTable`] — the
+//! in-process stand-in for the serialized contact string a real
+//! deployment would gossip.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evpath::{BoxedReceiver, BoxedSender, FaultPlan};
+use parking_lot::Mutex;
+
+use crate::link::LinkState;
+
+use super::shard::{ShardedDirectory, VersionedEntry};
+use super::DirectoryError;
+
+/// Cluster-wide token → contact resolution (see module docs). Shared by
+/// every node of one cluster.
+#[derive(Default)]
+pub(crate) struct ContactTable {
+    next: AtomicU64,
+    by_token: Mutex<HashMap<u64, Arc<LinkState>>>,
+}
+
+impl ContactTable {
+    /// Intern a contact, returning its wire token (tokens start at 1;
+    /// 0 means "no contact" on the wire).
+    pub(crate) fn intern(&self, contact: &Arc<LinkState>) -> u64 {
+        let token = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        self.by_token.lock().insert(token, Arc::clone(contact));
+        token
+    }
+
+    fn resolve(&self, token: u64) -> Option<Arc<LinkState>> {
+        self.by_token.lock().get(&token).cloned()
+    }
+}
+
+/// Counters of one node's gossip traffic.
+#[derive(Debug, Default)]
+pub struct GossipCounters {
+    /// Anti-entropy rounds completed.
+    pub rounds: AtomicU64,
+    /// Digest frames sent to peers.
+    pub frames_sent: AtomicU64,
+    /// Digest frames received and decoded.
+    pub frames_received: AtomicU64,
+    /// Entries applied from peers (local entry was older or absent).
+    pub entries_merged: AtomicU64,
+    /// Frames that failed to decode and were discarded.
+    pub corrupt_frames: AtomicU64,
+}
+
+impl GossipCounters {
+    /// Snapshot as plain numbers `(rounds, frames_sent, frames_received,
+    /// entries_merged, corrupt_frames)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.rounds.load(Ordering::Relaxed),
+            self.frames_sent.load(Ordering::Relaxed),
+            self.frames_received.load(Ordering::Relaxed),
+            self.entries_merged.load(Ordering::Relaxed),
+            self.corrupt_frames.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One directory node: a sharded store plus the gossip plumbing that
+/// replicates it. Lives in an `Arc` shared between the serve loop (a
+/// reactor task) and the [`super::ReplicatedDirectory`] handles.
+pub struct DirectoryNode {
+    id: u64,
+    pub(crate) store: ShardedDirectory,
+    pub(crate) contacts: Arc<ContactTable>,
+    /// Outbound digest channels, one per peer.
+    peers: Mutex<Vec<BoxedSender>>,
+    /// Inbound digest channels, one per peer.
+    inboxes: Mutex<Vec<BoxedReceiver>>,
+    alive: AtomicBool,
+    counters: GossipCounters,
+    /// Deterministic node-death schedule: with a fault plan installed, a
+    /// `dirnode:<id>` spec's `crash_sender_after = Some(r)` kills this
+    /// node after `r` gossip rounds.
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl DirectoryNode {
+    pub(crate) fn new(
+        id: u64,
+        shards: usize,
+        contacts: Arc<ContactTable>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> DirectoryNode {
+        DirectoryNode {
+            id,
+            store: ShardedDirectory::with_origin(shards, id),
+            contacts,
+            peers: Mutex::new(Vec::new()),
+            inboxes: Mutex::new(Vec::new()),
+            alive: AtomicBool::new(true),
+            counters: GossipCounters::default(),
+            faults,
+        }
+    }
+
+    /// This node's id (its entry-origin stamp and fault-label suffix).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the node is still serving (a dead node answers nothing
+    /// and gossips nothing; handles fail over).
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Kill the node (tests and the fault schedule).
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    /// Gossip traffic counters.
+    pub fn gossip_counters(&self) -> &GossipCounters {
+        &self.counters
+    }
+
+    /// The node's local sharded store (per-shard counter access).
+    pub fn store(&self) -> &ShardedDirectory {
+        &self.store
+    }
+
+    pub(crate) fn add_peer_sender(&self, tx: BoxedSender) {
+        self.peers.lock().push(tx);
+    }
+
+    pub(crate) fn add_peer_receiver(&self, rx: BoxedReceiver) {
+        self.inboxes.lock().push(rx);
+    }
+
+    fn check_serving(&self) -> Result<(), DirectoryError> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(DirectoryError::Unavailable(format!("directory node {} is down", self.id)))
+        }
+    }
+
+    /// Client registration against this node: intern the contact so the
+    /// entry can cross the gossip wire, then insert locally. Replication
+    /// to the other nodes is the serve loop's job.
+    pub(crate) fn register(
+        &self,
+        name: &str,
+        contact: Arc<LinkState>,
+    ) -> Result<(), DirectoryError> {
+        self.check_serving()?;
+        let token = self.contacts.intern(&contact);
+        self.store.register_local(name, contact, token).map(|_| ())
+    }
+
+    pub(crate) fn unregister(&self, name: &str) -> Result<bool, DirectoryError> {
+        self.check_serving()?;
+        Ok(self.store.unregister_local(name).is_some())
+    }
+
+    /// One anti-entropy round: drain peer digests into the store, then
+    /// ship the (possibly updated) local digest to every peer. Returns
+    /// `false` once the node is dead and the serve loop should exit.
+    pub(crate) fn gossip_round(&self) -> bool {
+        if !self.is_alive() {
+            return false;
+        }
+        self.drain_inbound();
+        let frame = encode_digest(self.id, &self.store.export());
+        for tx in self.peers.lock().iter_mut() {
+            tx.send(&frame);
+            self.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+        }
+        let rounds = self.counters.rounds.fetch_add(1, Ordering::Relaxed) + 1;
+        // The deterministic node-death schedule rides the fault plan: the
+        // round count plays the role the message ordinal plays for
+        // transport crashes.
+        if let Some(plan) = &self.faults {
+            if let Some(after) = plan.spec_for(&format!("dirnode:{}", self.id)).crash_sender_after {
+                if rounds >= after {
+                    self.kill();
+                }
+            }
+        }
+        self.is_alive()
+    }
+
+    fn drain_inbound(&self) {
+        let mut inboxes = self.inboxes.lock();
+        for rx in inboxes.iter_mut() {
+            while let Some(frame) = rx.try_recv() {
+                match decode_digest(&frame) {
+                    Some((_from, entries)) => {
+                        self.counters.frames_received.fetch_add(1, Ordering::Relaxed);
+                        for (name, version, origin, token) in entries {
+                            let contact =
+                                if token == 0 { None } else { self.contacts.resolve(token) };
+                            if token != 0 && contact.is_none() {
+                                // Unknown token: the interning node's
+                                // table entry should exist cluster-wide;
+                                // treat a miss as corruption, not a
+                                // tombstone.
+                                self.counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            let applied = self
+                                .store
+                                .merge(&name, VersionedEntry { contact, version, origin, token });
+                            if applied {
+                                self.counters.entries_merged.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    None => {
+                        self.counters.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- wire form
+
+/// Digest frame layout (all little-endian):
+/// `magic "DGSP" · u64 sender id · u32 entry count · entries`, each entry
+/// `u32 name length · name bytes · u64 version · u64 origin · u64 token`
+/// (token 0 = tombstone).
+const MAGIC: &[u8; 4] = b"DGSP";
+
+fn encode_digest(from: u64, entries: &[(String, VersionedEntry)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + entries.len() * 48);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&from.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, e) in entries {
+        buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&e.version.to_le_bytes());
+        buf.extend_from_slice(&e.origin.to_le_bytes());
+        buf.extend_from_slice(&e.token.to_le_bytes());
+    }
+    buf
+}
+
+type DigestEntry = (String, u64, u64, u64);
+
+fn decode_digest(frame: &[u8]) -> Option<(u64, Vec<DigestEntry>)> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = frame.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    if take(&mut at, 4)? != MAGIC {
+        return None;
+    }
+    let from = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+    let count = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let name = String::from_utf8(take(&mut at, len)?.to_vec()).ok()?;
+        let version = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let origin = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let token = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+        entries.push((name, version, origin, token));
+    }
+    if at != frame.len() {
+        return None;
+    }
+    Some((from, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_round_trips() {
+        let entries = vec![
+            (
+                "run42/particles".to_string(),
+                VersionedEntry { contact: None, version: 3, origin: 1, token: 9 },
+            ),
+            ("gone".to_string(), VersionedEntry { contact: None, version: 8, origin: 2, token: 0 }),
+        ];
+        let frame = encode_digest(7, &entries);
+        let (from, decoded) = decode_digest(&frame).expect("well-formed frame");
+        assert_eq!(from, 7);
+        assert_eq!(
+            decoded,
+            vec![("run42/particles".to_string(), 3, 1, 9), ("gone".to_string(), 8, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn garbage_frames_are_rejected() {
+        assert!(decode_digest(b"").is_none());
+        assert!(decode_digest(b"nope").is_none());
+        let mut truncated = encode_digest(
+            1,
+            &[("x".to_string(), VersionedEntry { contact: None, version: 1, origin: 0, token: 0 })],
+        );
+        truncated.pop();
+        assert!(decode_digest(&truncated).is_none());
+        let mut trailing = encode_digest(1, &[]);
+        trailing.push(0xFF);
+        assert!(decode_digest(&trailing).is_none());
+    }
+}

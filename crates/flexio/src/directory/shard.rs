@@ -1,0 +1,337 @@
+//! The lock-striped registry: N shards keyed by stream-name hash.
+//!
+//! Each shard is its own mutex+condvar+counter block, so concurrent
+//! coordinators registering and looking up *different* streams touch
+//! different locks — the single-map directory serialized all of them
+//! behind one mutex, which ROADMAP called out as the scaling wall.
+//!
+//! Entries are **versioned** and unregisters leave **tombstones** instead
+//! of removing the key. A standalone [`ShardedDirectory`] doesn't need
+//! either, but the gossip layer does (a removal that simply vanished
+//! could be resurrected by a stale peer digest); keeping one entry shape
+//! means the replicated nodes reuse this store unchanged.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::link::LinkState;
+use crate::protocol::DirectoryCounters;
+
+use super::{fnv1a, DirectoryError, DirectoryService};
+
+/// One registry entry. `(version, origin)` orders concurrent updates
+/// cluster-wide: higher version wins, ties broken by higher origin node
+/// id, so every node converges to the same winner regardless of the
+/// order gossip delivered the candidates.
+#[derive(Clone)]
+pub(crate) struct VersionedEntry {
+    /// The contact, or `None` for a tombstoned (unregistered) name.
+    pub contact: Option<Arc<LinkState>>,
+    /// Monotonic per-name version; bumped by every register/unregister.
+    pub version: u64,
+    /// Node id that produced this version (0 for standalone stores).
+    pub origin: u64,
+    /// Cluster-wide contact token carried on the gossip wire in place of
+    /// the in-process `Arc` (0 = none; real deployments would carry the
+    /// serialized contact string itself).
+    pub token: u64,
+}
+
+impl VersionedEntry {
+    /// Replication ordering (see struct docs).
+    fn beats(&self, other: &VersionedEntry) -> bool {
+        (self.version, self.origin) > (other.version, other.origin)
+    }
+}
+
+struct Shard {
+    entries: Mutex<HashMap<String, VersionedEntry>>,
+    ready: Condvar,
+    counters: DirectoryCounters,
+}
+
+impl Shard {
+    /// Lock the shard, counting the acquisitions that had to wait — the
+    /// contention the striping exists to eliminate.
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, VersionedEntry>> {
+        match self.entries.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.counters.contended.fetch_add(1, Ordering::Relaxed);
+                self.entries.lock()
+            }
+        }
+    }
+}
+
+/// The directory registry split into N lock-striped shards keyed by
+/// stream-name hash. Implements [`DirectoryService`] directly (a
+/// single-node sharded server) and doubles as the per-node store of the
+/// gossip-replicated cluster.
+pub struct ShardedDirectory {
+    shards: Box<[Shard]>,
+    /// Node id stamped into entry origins (0 for standalone use).
+    origin: u64,
+}
+
+impl ShardedDirectory {
+    /// A registry striped over `shards` locks (at least 1).
+    pub fn new(shards: usize) -> ShardedDirectory {
+        ShardedDirectory::with_origin(shards, 0)
+    }
+
+    /// A registry whose locally-produced entries carry `origin` (the
+    /// owning cluster node's id).
+    pub(crate) fn with_origin(shards: usize, origin: u64) -> ShardedDirectory {
+        let shards = shards.max(1);
+        ShardedDirectory {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    entries: Mutex::new(HashMap::new()),
+                    ready: Condvar::new(),
+                    counters: DirectoryCounters::default(),
+                })
+                .collect(),
+            origin,
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, name: &str) -> &Shard {
+        &self.shards[(fnv1a(name) % self.shards.len() as u64) as usize]
+    }
+
+    /// Which stripe serves `name` (stable across runs and nodes).
+    pub fn shard_index(&self, name: &str) -> usize {
+        (fnv1a(name) % self.shards.len() as u64) as usize
+    }
+
+    /// Per-shard counter snapshots `(registrations, lookups, unregisters,
+    /// contended)`, index = shard.
+    pub fn shard_snapshots(&self) -> Vec<(u64, u64, u64, u64)> {
+        self.shards.iter().map(|s| s.counters.snapshot()).collect()
+    }
+
+    /// Register with an explicit token (gossip nodes pre-assign tokens so
+    /// the entry can cross the wire). Returns the entry's new version.
+    pub(crate) fn register_local(
+        &self,
+        name: &str,
+        contact: Arc<LinkState>,
+        token: u64,
+    ) -> Result<u64, DirectoryError> {
+        let shard = self.shard_of(name);
+        let mut entries = shard.lock();
+        let version = match entries.get(name) {
+            Some(e) if e.contact.is_some() => {
+                return Err(DirectoryError::AlreadyRegistered(name.to_string()));
+            }
+            Some(tombstone) => tombstone.version + 1,
+            None => 1,
+        };
+        entries.insert(
+            name.to_string(),
+            VersionedEntry { contact: Some(contact), version, origin: self.origin, token },
+        );
+        shard.counters.registrations.fetch_add(1, Ordering::Relaxed);
+        shard.ready.notify_all();
+        Ok(version)
+    }
+
+    /// Tombstone a name; returns the tombstone's version if the name was
+    /// live.
+    pub(crate) fn unregister_local(&self, name: &str) -> Option<u64> {
+        let shard = self.shard_of(name);
+        let mut entries = shard.lock();
+        let entry = entries.get_mut(name)?;
+        entry.contact.as_ref()?;
+        entry.contact = None;
+        entry.token = 0;
+        entry.version += 1;
+        entry.origin = self.origin;
+        let version = entry.version;
+        shard.counters.unregisters.fetch_add(1, Ordering::Relaxed);
+        Some(version)
+    }
+
+    /// Apply a replicated entry if it beats the local one (anti-entropy
+    /// merge). Does **not** bump the registration counters — those count
+    /// client traffic, not replication. Returns whether the entry was
+    /// applied.
+    pub(crate) fn merge(&self, name: &str, incoming: VersionedEntry) -> bool {
+        let shard = self.shard_of(name);
+        let mut entries = shard.lock();
+        match entries.get(name) {
+            Some(local) if !incoming.beats(local) => return false,
+            _ => {}
+        }
+        let wake = incoming.contact.is_some();
+        entries.insert(name.to_string(), incoming);
+        if wake {
+            shard.ready.notify_all();
+        }
+        true
+    }
+
+    /// Snapshot every entry (gossip digest source).
+    pub(crate) fn export(&self) -> Vec<(String, VersionedEntry)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for (name, entry) in shard.lock().iter() {
+                out.push((name.clone(), entry.clone()));
+            }
+        }
+        out
+    }
+
+    /// Blocking wait for `name` on its shard's condvar, used by both the
+    /// trait `lookup` and the replicated handle (which waits in slices so
+    /// it can fail over between them).
+    pub(crate) fn wait_lookup(&self, name: &str, timeout: Duration) -> Option<Arc<LinkState>> {
+        let shard = self.shard_of(name);
+        let mut entries = shard.lock();
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(contact) = entries.get(name).and_then(|e| e.contact.clone()) {
+                shard.counters.lookups.fetch_add(1, Ordering::Relaxed);
+                return Some(contact);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            shard.ready.wait_for(&mut entries, deadline - now);
+        }
+    }
+}
+
+impl DirectoryService for ShardedDirectory {
+    fn register(&self, name: &str, contact: Arc<LinkState>) -> Result<(), DirectoryError> {
+        self.register_local(name, contact, 0).map(|_| ())
+    }
+
+    fn lookup(&self, name: &str, timeout: Duration) -> Result<Arc<LinkState>, DirectoryError> {
+        self.wait_lookup(name, timeout)
+            .ok_or_else(|| DirectoryError::LookupTimeout(name.to_string()))
+    }
+
+    fn try_lookup(&self, name: &str) -> Option<Arc<LinkState>> {
+        let shard = self.shard_of(name);
+        let contact = shard.lock().get(name)?.contact.clone()?;
+        shard.counters.lookups.fetch_add(1, Ordering::Relaxed);
+        Some(contact)
+    }
+
+    fn unregister(&self, name: &str) -> bool {
+        self.unregister_local(name).is_some()
+    }
+
+    fn registration_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.counters.registrations.load(Ordering::Relaxed)).sum()
+    }
+
+    fn lookup_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.counters.lookups.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn dummy_link() -> Arc<LinkState> {
+        crate::link::LinkState::for_tests()
+    }
+
+    #[test]
+    fn behaves_like_the_single_map_directory() {
+        let d = ShardedDirectory::new(8);
+        let link = dummy_link();
+        d.register("s", Arc::clone(&link)).unwrap();
+        assert!(Arc::ptr_eq(&link, &d.lookup("s", Duration::from_millis(5)).unwrap()));
+        assert_eq!(
+            d.register("s", dummy_link()),
+            Err(DirectoryError::AlreadyRegistered("s".into()))
+        );
+        assert!(d.unregister("s"));
+        assert!(!d.unregister("s"), "second unregister is a no-op");
+        d.register("s", dummy_link()).unwrap();
+        assert_eq!(d.registration_count(), 2);
+        assert_eq!(d.lookup_count(), 1);
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_single_map() {
+        let d = ShardedDirectory::new(1);
+        for i in 0..16 {
+            d.register(&format!("s{i}"), dummy_link()).unwrap();
+        }
+        assert_eq!(d.shard_count(), 1);
+        assert_eq!(d.shard_snapshots()[0].0, 16);
+    }
+
+    #[test]
+    fn names_spread_across_shards() {
+        let d = ShardedDirectory::new(8);
+        for i in 0..64 {
+            d.register(&format!("stream/{i}"), dummy_link()).unwrap();
+        }
+        let active = d.shard_snapshots().iter().filter(|s| s.0 > 0).count();
+        assert!(active >= 4, "64 names must spread over the 8 stripes, hit {active}");
+        assert_eq!(d.registration_count(), 64);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable() {
+        let a = ShardedDirectory::new(8);
+        let b = ShardedDirectory::new(8);
+        for name in ["x", "run42/particles", "a/very/long/stream/name"] {
+            assert_eq!(a.shard_index(name), b.shard_index(name));
+        }
+    }
+
+    #[test]
+    fn blocking_lookup_wakes_on_its_shard() {
+        let d = Arc::new(ShardedDirectory::new(8));
+        let d2 = Arc::clone(&d);
+        let t = thread::spawn(move || d2.lookup("late", Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        d.register("late", dummy_link()).unwrap();
+        assert!(t.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn reregistration_after_tombstone_bumps_version() {
+        let d = ShardedDirectory::new(4);
+        assert_eq!(d.register_local("s", dummy_link(), 0).unwrap(), 1);
+        assert_eq!(d.unregister_local("s"), Some(2));
+        assert_eq!(d.register_local("s", dummy_link(), 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn merge_respects_version_origin_order() {
+        let d = ShardedDirectory::with_origin(4, 1);
+        d.register_local("s", dummy_link(), 7).unwrap();
+        // A stale replica (version 0) must not clobber the live entry.
+        let stale = VersionedEntry { contact: None, version: 0, origin: 9, token: 0 };
+        assert!(!d.merge("s", stale));
+        assert!(d.try_lookup("s").is_some());
+        // A newer tombstone wins.
+        let newer = VersionedEntry { contact: None, version: 2, origin: 0, token: 0 };
+        assert!(d.merge("s", newer));
+        assert!(d.try_lookup("s").is_none());
+        // Same version: higher origin wins the tie.
+        let tie = VersionedEntry { contact: Some(dummy_link()), version: 2, origin: 3, token: 11 };
+        assert!(d.merge("s", tie));
+        assert!(d.try_lookup("s").is_some());
+    }
+}

@@ -6,9 +6,12 @@
 //! behind the unchanged ADIOS-style read/write API. This crate is the
 //! runtime that makes that work:
 //!
-//! * [`directory`] — the external directory server used for connection
+//! * [`directory`] — the external directory service used for connection
 //!   management: the writer's coordinator registers a stream name with its
 //!   contact information; the reader's coordinator looks it up (§II.C.1).
+//!   Behind the [`DirectoryService`] trait live three backends: the
+//!   original in-process map, a lock-striped sharded registry, and a
+//!   gossip-replicated multi-node cluster with failover.
 //! * [`link`] — the connection fabric between the two programs: per
 //!   `(writer rank, reader rank)` duplex channels whose transport (shared
 //!   memory vs RDMA) is **automatically selected from the placement** of
@@ -46,8 +49,11 @@ pub mod redistribute;
 pub mod relay;
 pub mod writer;
 
-pub use directory::Directory;
-pub use link::{FlexIo, Runtime, StreamHints};
+pub use directory::{
+    DirectoryCluster, DirectoryConfig, DirectoryError, DirectoryService, InProcDirectory,
+    ReplicatedDirectory, ShardedDirectory,
+};
+pub use link::{FlexIo, HintKey, Runtime, StreamHints, StreamHintsBuilder};
 pub use manager::{ManagerPolicy, PlacementManager, Recommendation};
 pub use monitor::{MonitorEvent, PerfMonitor};
 pub use plugins::{PluginPlacement, PluginSpec};

@@ -11,13 +11,13 @@ use std::time::{Duration, Instant};
 use adios::GroupConfig;
 use evpath::{
     inproc_pair, BoxedReceiver, BoxedSender, EvReceiver, EvSender, FaultPlan, FaultSpec,
-    NetTransport, RecvPoll, Record, ShmTransport,
+    NetTransport, Record, RecvPoll, ShmTransport,
 };
 use machine::{CoreLocation, MachineModel};
 use netsim::NetSim;
 use parking_lot::{Condvar, Mutex};
 
-use crate::directory::{Directory, DirectoryError};
+use crate::directory::{DirectoryError, DirectoryService, InProcDirectory};
 use crate::monitor::PerfMonitor;
 use crate::protocol::{CachingLevel, ProtocolCounters, WriteMode};
 use crate::reader::StreamReader;
@@ -120,35 +120,221 @@ impl Default for StreamHints {
     }
 }
 
+/// The typed vocabulary of XML `<hint>` names the runtime understands.
+/// [`StreamHints::from_config`] and [`crate::directory::DirectoryConfig`]
+/// look hints up through this enum instead of scattering string literals,
+/// so a typo'd key is a compile error (and the round-trip test iterates
+/// [`HintKey::ALL`] to prove every key is actually parsed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HintKey {
+    /// Handshake caching level (`NO_CACHING`/`CACHING_LOCAL`/`CACHING_ALL`).
+    Caching,
+    /// Pack a step's chunks per receiver into one message.
+    Batching,
+    /// `true` = async writes, any other value = sync.
+    Async,
+    /// Shared-memory queue depth.
+    QueueEntries,
+    /// Shared-memory inline payload capacity in bytes.
+    InlineCapacity,
+    /// Receive timeout in milliseconds.
+    TimeoutMs,
+    /// Retry attempts before giving up.
+    Retries,
+    /// Run the 2-phase-commit step transaction protocol.
+    Transactional,
+    /// Synthesize end-of-stream when the writer goes silent.
+    EosOnSilence,
+    /// Packed bulk marshaling + scatter-gather sends (default `true`).
+    PackedMarshal,
+    /// Engine backend (`blocking`/`reactor`).
+    Runtime,
+    /// Enables the `fault.*` hint family (the family's per-channel knobs
+    /// are parsed by prefix, not by this enum).
+    FaultSeed,
+    /// Directory registry lock stripes.
+    DirectoryShards,
+    /// Directory nodes (>1 builds a gossip-replicated cluster).
+    DirectoryNodes,
+    /// Anti-entropy gossip round interval in milliseconds.
+    DirectoryGossipMs,
+}
+
+impl HintKey {
+    /// Every key, for exhaustive round-trip tests.
+    pub const ALL: &'static [HintKey] = &[
+        HintKey::Caching,
+        HintKey::Batching,
+        HintKey::Async,
+        HintKey::QueueEntries,
+        HintKey::InlineCapacity,
+        HintKey::TimeoutMs,
+        HintKey::Retries,
+        HintKey::Transactional,
+        HintKey::EosOnSilence,
+        HintKey::PackedMarshal,
+        HintKey::Runtime,
+        HintKey::FaultSeed,
+        HintKey::DirectoryShards,
+        HintKey::DirectoryNodes,
+        HintKey::DirectoryGossipMs,
+    ];
+
+    /// The XML hint name this key reads.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HintKey::Caching => "caching",
+            HintKey::Batching => "batching",
+            HintKey::Async => "async",
+            HintKey::QueueEntries => "queue_entries",
+            HintKey::InlineCapacity => "inline_capacity",
+            HintKey::TimeoutMs => "timeout_ms",
+            HintKey::Retries => "retries",
+            HintKey::Transactional => "transactional",
+            HintKey::EosOnSilence => "eos_on_silence",
+            HintKey::PackedMarshal => "packed_marshal",
+            HintKey::Runtime => "runtime",
+            HintKey::FaultSeed => "fault.seed",
+            HintKey::DirectoryShards => "directory.shards",
+            HintKey::DirectoryNodes => "directory.nodes",
+            HintKey::DirectoryGossipMs => "directory.gossip_ms",
+        }
+    }
+}
+
 impl StreamHints {
+    /// A fluent builder starting from the defaults, so call sites (and
+    /// tests) state only the knobs they mean instead of mutating public
+    /// fields.
+    pub fn builder() -> StreamHintsBuilder {
+        StreamHintsBuilder { hints: StreamHints::default() }
+    }
+
     /// Derive hints from a parsed group configuration.
     pub fn from_config(cfg: &GroupConfig) -> StreamHints {
+        let hint = |k: HintKey| cfg.hint(k.as_str());
+        let hint_bool = |k: HintKey| cfg.hint_bool(k.as_str());
+        let hint_u64 = |k: HintKey| cfg.hint_u64(k.as_str());
         let mut h = StreamHints::default();
-        if let Some(c) = cfg.hint("caching").and_then(CachingLevel::from_hint) {
+        if let Some(c) = hint(HintKey::Caching).and_then(CachingLevel::from_hint) {
             h.caching = c;
         }
-        h.batching = cfg.hint_bool("batching");
-        if cfg.hint_bool("async") {
+        h.batching = hint_bool(HintKey::Batching);
+        if hint_bool(HintKey::Async) {
             h.write_mode = WriteMode::Async;
-        } else if cfg.hint("async").is_some() {
+        } else if hint(HintKey::Async).is_some() {
             h.write_mode = WriteMode::Sync;
         }
-        if let Some(q) = cfg.hint_u64("queue_entries") {
+        if let Some(q) = hint_u64(HintKey::QueueEntries) {
             h.queue_entries = q as usize;
         }
-        if let Some(ms) = cfg.hint_u64("timeout_ms") {
+        if let Some(cap) = hint_u64(HintKey::InlineCapacity) {
+            h.inline_capacity = cap as usize;
+        }
+        if let Some(ms) = hint_u64(HintKey::TimeoutMs) {
             h.recv_timeout = Duration::from_millis(ms);
         }
-        if let Some(r) = cfg.hint_u64("retries") {
+        if let Some(r) = hint_u64(HintKey::Retries) {
             h.retries = r as u32;
         }
-        h.transactional = cfg.hint_bool("transactional");
-        h.eos_on_silence = cfg.hint_bool("eos_on_silence");
-        if let Some(rt) = cfg.hint("runtime").and_then(Runtime::from_hint) {
+        h.transactional = hint_bool(HintKey::Transactional);
+        h.eos_on_silence = hint_bool(HintKey::EosOnSilence);
+        // Defaults to true, so only an explicit hint may flip it —
+        // `hint_bool` alone would silently disable packing on every
+        // config that doesn't mention it.
+        if hint(HintKey::PackedMarshal).is_some() {
+            h.packed_marshal = hint_bool(HintKey::PackedMarshal);
+        }
+        if let Some(rt) = hint(HintKey::Runtime).and_then(Runtime::from_hint) {
             h.runtime = rt;
         }
         h.faults = fault_plan_from_config(cfg).map(Arc::new);
         h
+    }
+}
+
+/// Builder returned by [`StreamHints::builder`].
+#[derive(Debug, Clone)]
+pub struct StreamHintsBuilder {
+    hints: StreamHints,
+}
+
+impl StreamHintsBuilder {
+    /// Handshake caching level.
+    pub fn caching(mut self, caching: CachingLevel) -> Self {
+        self.hints.caching = caching;
+        self
+    }
+
+    /// Pack a step's chunks per receiver into one message.
+    pub fn batching(mut self, batching: bool) -> Self {
+        self.hints.batching = batching;
+        self
+    }
+
+    /// Sync vs async write calls.
+    pub fn write_mode(mut self, mode: WriteMode) -> Self {
+        self.hints.write_mode = mode;
+        self
+    }
+
+    /// Shared-memory queue depth.
+    pub fn queue_entries(mut self, entries: usize) -> Self {
+        self.hints.queue_entries = entries;
+        self
+    }
+
+    /// Shared-memory inline payload capacity.
+    pub fn inline_capacity(mut self, bytes: usize) -> Self {
+        self.hints.inline_capacity = bytes;
+        self
+    }
+
+    /// Receive timeout for the timeout-and-retry scheme.
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.hints.recv_timeout = timeout;
+        self
+    }
+
+    /// Retry attempts before giving up.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.hints.retries = retries;
+        self
+    }
+
+    /// Run the 2-phase-commit step transaction protocol.
+    pub fn transactional(mut self, on: bool) -> Self {
+        self.hints.transactional = on;
+        self
+    }
+
+    /// Install a deterministic fault schedule on the stream's channels.
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.hints.faults = Some(plan);
+        self
+    }
+
+    /// Synthesize end-of-stream when the writer goes silent.
+    pub fn eos_on_silence(mut self, on: bool) -> Self {
+        self.hints.eos_on_silence = on;
+        self
+    }
+
+    /// Packed bulk marshaling + scatter-gather sends.
+    pub fn packed_marshal(mut self, on: bool) -> Self {
+        self.hints.packed_marshal = on;
+        self
+    }
+
+    /// Engine backend.
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.hints.runtime = runtime;
+        self
+    }
+
+    /// Finish, yielding the hints.
+    pub fn build(self) -> StreamHints {
+        self.hints
     }
 }
 
@@ -159,7 +345,7 @@ impl StreamHints {
 /// `delay_pm`, `delay_ms`, `crash_sender_after`, `crash_receiver_after`,
 /// `stall_ms`.
 fn fault_plan_from_config(cfg: &GroupConfig) -> Option<FaultPlan> {
-    let seed = cfg.hint_u64("fault.seed")?;
+    let seed = cfg.hint_u64(HintKey::FaultSeed.as_str())?;
     let mut specs: BTreeMap<String, FaultSpec> = BTreeMap::new();
     for (key, value) in cfg.hints_with_prefix("fault.") {
         let rest = &key["fault.".len()..];
@@ -231,6 +417,10 @@ pub enum ChannelId {
         /// Direction: true = rank→coordinator.
         up: bool,
     },
+    /// Monitoring relay: writer coordinator → reader coordinator. Off the
+    /// data path; discovered through the directory like every other
+    /// channel of the link.
+    Monitor,
 }
 
 impl ChannelId {
@@ -248,6 +438,7 @@ impl ChannelId {
             ChannelId::ReaderSide { rank, up } => {
                 format!("rside:{rank}:{}", if *up { "up" } else { "down" })
             }
+            ChannelId::Monitor => "mon:w2r".to_string(),
         }
     }
 }
@@ -475,13 +666,8 @@ impl LinkState {
     }
 
     fn endpoints_of(&self, id: ChannelId) -> (CoreLocation, CoreLocation) {
-        let reader_cores = || {
-            self.reader_info
-                .lock()
-                .clone()
-                .expect("reader info needed for channel placement")
-                .1
-        };
+        let reader_cores =
+            || self.reader_info.lock().clone().expect("reader info needed for channel placement").1;
         match id {
             ChannelId::Data { w, r } => (self.writer_cores[w], reader_cores()[r]),
             ChannelId::Ack { w, r } => (reader_cores()[r], self.writer_cores[w]),
@@ -504,6 +690,7 @@ impl LinkState {
                     (b, a)
                 }
             }
+            ChannelId::Monitor => (self.writer_cores[0], reader_cores()[0]),
         }
     }
 
@@ -544,10 +731,9 @@ impl LinkState {
         };
         match &self.faults {
             None => raw,
-            Some(plan) => Box::new(SeqSender {
-                inner: plan.wrap_sender(&id.label(), raw),
-                next: 0,
-            }),
+            Some(plan) => {
+                Box::new(SeqSender { inner: plan.wrap_sender(&id.label(), raw), next: 0 })
+            }
         }
     }
 
@@ -736,11 +922,12 @@ impl From<DirectoryError> for StreamError {
     }
 }
 
-/// The FlexIO runtime context: directory + interconnect model + machine
-/// description. One per coupled-application deployment; clone freely.
+/// The FlexIO runtime context: directory service + interconnect model +
+/// machine description. One per coupled-application deployment; clone
+/// freely.
 #[derive(Clone)]
 pub struct FlexIo {
-    directory: Directory,
+    directory: Arc<dyn DirectoryService>,
     net: Option<NetSim>,
     machine: Arc<MachineModel>,
     /// Program-local bulletin letting non-coordinator ranks find the link
@@ -755,7 +942,7 @@ impl FlexIo {
     pub fn new(machine: MachineModel, active_nodes: usize) -> FlexIo {
         let net = NetSim::new(machine.interconnect, active_nodes.max(1));
         FlexIo {
-            directory: Directory::new(),
+            directory: Arc::new(InProcDirectory::new()),
             net: Some(net),
             machine: Arc::new(machine),
             bulletin: Arc::new((Mutex::new(HashMap::new()), Condvar::new())),
@@ -766,15 +953,25 @@ impl FlexIo {
     /// helper-core/inline-only deployments.
     pub fn single_node(machine: MachineModel) -> FlexIo {
         FlexIo {
-            directory: Directory::new(),
+            directory: Arc::new(InProcDirectory::new()),
             net: None,
             machine: Arc::new(machine),
             bulletin: Arc::new((Mutex::new(HashMap::new()), Condvar::new())),
         }
     }
 
-    /// The directory server handle.
-    pub fn directory(&self) -> &Directory {
+    /// Swap the connection-management backend (default:
+    /// [`InProcDirectory`]) for any other [`DirectoryService`] — a
+    /// [`crate::directory::ShardedDirectory`], a handle onto a
+    /// gossip-replicated [`crate::directory::DirectoryCluster`], or a
+    /// test double. Builder-style: `FlexIo::new(...).with_directory(d)`.
+    pub fn with_directory(mut self, directory: Arc<dyn DirectoryService>) -> FlexIo {
+        self.directory = directory;
+        self
+    }
+
+    /// The directory service handle.
+    pub fn directory(&self) -> &Arc<dyn DirectoryService> {
         &self.directory
     }
 
@@ -989,10 +1186,7 @@ mod tests {
             None,
             &StreamHints::default(),
         );
-        link.set_reader_info(
-            1,
-            vec![CoreLocation { node: 0, numa: 1, core: 0 }],
-        );
+        link.set_reader_info(1, vec![CoreLocation { node: 0, numa: 1, core: 0 }]);
         link
     }
 
@@ -1153,11 +1347,8 @@ mod tests {
         );
         // Deep queue: these tests send everything before draining, which
         // would deadlock against the bounded shm queue's backpressure.
-        let hints = StreamHints {
-            faults: Some(Arc::new(plan)),
-            queue_entries: 4096,
-            ..Default::default()
-        };
+        let hints =
+            StreamHints { faults: Some(Arc::new(plan)), queue_entries: 4096, ..Default::default() };
         let link = LinkState::new(
             2,
             vec![
@@ -1175,8 +1366,8 @@ mod tests {
             tx.send(&i.to_le_bytes());
         }
         drop(tx); // flush any message held back by a reorder fault
-        // Despite duplication and pairwise swaps on the wire, the seq layer
-        // delivers the exact original sequence.
+                  // Despite duplication and pairwise swaps on the wire, the seq layer
+                  // delivers the exact original sequence.
         for i in 0u64..100 {
             let got = rx.recv();
             assert_eq!(u64::from_le_bytes(got[..8].try_into().unwrap()), i);
@@ -1193,11 +1384,8 @@ mod tests {
         plan.set("data", FaultSpec { drop_per_mille: 250, ..Default::default() });
         // Deep queue: these tests send everything before draining, which
         // would deadlock against the bounded shm queue's backpressure.
-        let hints = StreamHints {
-            faults: Some(Arc::new(plan)),
-            queue_entries: 4096,
-            ..Default::default()
-        };
+        let hints =
+            StreamHints { faults: Some(Arc::new(plan)), queue_entries: 4096, ..Default::default() };
         let link = LinkState::new(
             2,
             vec![

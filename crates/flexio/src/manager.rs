@@ -16,6 +16,7 @@
 //! * heavy plug-in cost relative to the simulation's budget ⇒ **reader
 //!   side** (don't steal simulation cycles).
 
+use crate::directory::{DirectoryError, DirectoryService};
 use crate::monitor::{MonitorEvent, PerfMonitor};
 use crate::plugins::PluginPlacement;
 
@@ -122,6 +123,22 @@ impl PlacementManager {
         };
         self.current = rec.placement;
         rec
+    }
+
+    /// Decide placement for stream `name` found through the directory
+    /// service: the manager reads the live link's shared [`PerfMonitor`]
+    /// directly, so a staging-node decision loop needs only a directory
+    /// handle — not a reference to whichever program opened the stream.
+    pub fn decide_stream(
+        &mut self,
+        directory: &dyn DirectoryService,
+        name: &str,
+        rank: usize,
+    ) -> Result<Recommendation, DirectoryError> {
+        let link = directory
+            .try_lookup(name)
+            .ok_or_else(|| DirectoryError::LookupTimeout(name.to_string()))?;
+        Ok(self.decide(&link.monitor, rank))
     }
 }
 

@@ -226,9 +226,6 @@ mod tests {
             m.record(MonitorEvent::DataRecv, step, 0, 10, 1);
         }
         m.record(MonitorEvent::DataRecv, 0, 9, 999, 1); // other rank
-        assert_eq!(
-            m.bytes_per_step(MonitorEvent::DataRecv, 0),
-            vec![(0, 20), (1, 10), (2, 30)]
-        );
+        assert_eq!(m.bytes_per_step(MonitorEvent::DataRecv, 0), vec![(0, 20), (1, 10), (2, 30)]);
     }
 }

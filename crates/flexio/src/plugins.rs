@@ -125,10 +125,7 @@ impl InstalledPlugin {
             return Err(PluginError::UnsupportedChunk("only f64 arrays supported"));
         };
         let input = Record::new().with(&self.spec.var, FieldValue::F64Array(data.clone()));
-        let output = self
-            .codelet
-            .run(&input)
-            .map_err(|e| PluginError::Run(e.to_string()))?;
+        let output = self.codelet.run(&input).map_err(|e| PluginError::Run(e.to_string()))?;
 
         let mut new_value = None;
         let mut extras = Vec::new();
@@ -156,10 +153,7 @@ impl InstalledPlugin {
             }
         }
         // Stamp the marker so the peer side never double-conditions.
-        extras.push((
-            DC_APPLIED_MARKER.to_string(),
-            VarValue::Scalar(adios::ScalarValue::U64(1)),
-        ));
+        extras.push((DC_APPLIED_MARKER.to_string(), VarValue::Scalar(adios::ScalarValue::U64(1))));
         // A plug-in that emits nothing for the variable drops it entirely
         // (maximal reduction, e.g. `summarize`): represent as empty array.
         let new_value = new_value.unwrap_or_else(|| {
@@ -214,10 +208,8 @@ mod tests {
         let (value, extras) = p.apply(&velocity_chunk()).unwrap();
         let VarValue::Block(b) = value else { panic!() };
         assert_eq!(b.data.as_f64(), &[1.5, 2.9, 1.1]);
-        assert!(extras
-            .iter()
-            .any(|(n, v)| n == "dc_selected"
-                && matches!(v, VarValue::Scalar(adios::ScalarValue::I64(3)))));
+        assert!(extras.iter().any(|(n, v)| n == "dc_selected"
+            && matches!(v, VarValue::Scalar(adios::ScalarValue::I64(3)))));
     }
 
     #[test]

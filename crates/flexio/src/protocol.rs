@@ -143,6 +143,38 @@ impl ProtocolCounters {
     }
 }
 
+/// Per-shard instrumentation of the directory service (one block per
+/// lock stripe): how much registration/lookup traffic the shard served
+/// and how often its lock was contended. The whole point of sharding the
+/// registry is to spread this traffic — tests and the directory bench
+/// read these to verify the spread actually happened.
+#[derive(Debug, Default)]
+pub struct DirectoryCounters {
+    /// Successful registrations handled by this shard.
+    pub registrations: AtomicU64,
+    /// Successful lookups (blocking or `try_lookup` hits) served.
+    pub lookups: AtomicU64,
+    /// Unregisters (tombstones written) handled.
+    pub unregisters: AtomicU64,
+    /// Lock acquisitions that found the shard mutex already held and had
+    /// to wait — the contention a single-map directory suffers on every
+    /// concurrent caller, and striping is meant to eliminate.
+    pub contended: AtomicU64,
+}
+
+impl DirectoryCounters {
+    /// Snapshot as plain numbers `(registrations, lookups, unregisters,
+    /// contended)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.registrations.load(Ordering::Relaxed),
+            self.lookups.load(Ordering::Relaxed),
+            self.unregisters.load(Ordering::Relaxed),
+            self.contended.load(Ordering::Relaxed),
+        )
+    }
+}
+
 // ---------------------------------------------------------------- wire
 
 /// Message type tags on the control and data channels.

@@ -317,7 +317,10 @@ impl StreamReader {
                     reply.set(&format!("sels.{r}"), FieldValue::Record(encode_subscriptions(sels)));
                 }
                 if first && !coord.all_plugins.is_empty() {
-                    reply.set("plugins", FieldValue::Record(encode_plugin_specs(&coord.all_plugins)));
+                    reply.set(
+                        "plugins",
+                        FieldValue::Record(encode_plugin_specs(&coord.all_plugins)),
+                    );
                     plugin_dirty = true;
                 }
                 coord.ctrl_tx.send(&reply.encode());
@@ -327,16 +330,14 @@ impl StreamReader {
 
             // Compute and distribute the plan.
             let coord = self.coord.as_mut().expect("rank 0 is coordinator");
-            let plugin_record =
-                plugin_dirty.then(|| encode_plugin_specs(&coord.all_plugins));
+            let plugin_record = plugin_dirty.then(|| encode_plugin_specs(&coord.all_plugins));
             let mut my_col = None;
             if plan_dirty {
                 let dists = writer_dists.as_ref().expect("exchange delivered dists");
                 let full = redistribute::plan(dists, &coord.cached_sels);
                 // Column for each reader rank r: plan[w][r] over w.
                 for r in 0..nranks {
-                    let col: Vec<Vec<ChunkPlan>> =
-                        full.iter().map(|row| row[r].clone()).collect();
+                    let col: Vec<Vec<ChunkPlan>> = full.iter().map(|row| row[r].clone()).collect();
                     if r == 0 {
                         my_col = Some(col);
                         continue;
@@ -417,9 +418,7 @@ impl StreamReader {
                         }
                     }
                     k => {
-                        return Err(StreamError::Protocol(format!(
-                            "expected chunk/batch, got {k}"
-                        )))
+                        return Err(StreamError::Protocol(format!("expected chunk/batch, got {k}")))
                     }
                 }
             }
@@ -431,11 +430,7 @@ impl StreamReader {
                         .entry(w)
                         .or_insert_with(|| link.claim_sender(ChannelId::Ack { w, r: rank }))
                 };
-                tx.send(
-                    &protocol::message(msg::ACK)
-                        .with("step", FieldValue::U64(step))
-                        .encode(),
-                );
+                tx.send(&protocol::message(msg::ACK).with("step", FieldValue::U64(step)).encode());
                 counters.bump(&counters.ack_msgs);
             }
         }
@@ -445,7 +440,8 @@ impl StreamReader {
     fn store_chunk(&mut self, record: &Record, step: u64) -> Result<(), StreamError> {
         let w = record
             .get_u64("w")
-            .ok_or_else(|| StreamError::Corrupt("chunk missing writer rank".into()))? as usize;
+            .ok_or_else(|| StreamError::Corrupt("chunk missing writer rank".into()))?
+            as usize;
         let chunk_step = record
             .get_u64("step")
             .ok_or_else(|| StreamError::Corrupt("chunk missing step".into()))?;
@@ -480,9 +476,8 @@ impl StreamReader {
         // the installed reader-side plug-in, or — when the chunk arrived
         // without the upstream marker — the fallback copy of a migrating
         // writer-side plug-in (exactly-once conditioning across handover).
-        let already_conditioned = extras
-            .iter()
-            .any(|(n, _)| n == crate::plugins::DC_APPLIED_MARKER);
+        let already_conditioned =
+            extras.iter().any(|(n, _)| n == crate::plugins::DC_APPLIED_MARKER);
         if matches!(value, VarValue::Block(_)) && !already_conditioned {
             if let Some(plugin) = self.installed.get(&var).or_else(|| self.fallback.get(&var)) {
                 // Plug-ins run over owned element storage; materialize the
@@ -513,11 +508,10 @@ impl StreamReader {
     fn txn_reader(&mut self, step: u64) -> Result<(), StreamError> {
         let hints = self.hints.clone();
         if self.rank != 0 {
-            self.side_up.as_mut().expect("non-coordinator has side_up").send(
-                &protocol::message("txn_recv")
-                    .with("step", FieldValue::U64(step))
-                    .encode(),
-            );
+            self.side_up
+                .as_mut()
+                .expect("non-coordinator has side_up")
+                .send(&protocol::message("txn_recv").with("step", FieldValue::U64(step)).encode());
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
             let decision = recv_record(rx, &hints, &self.link.counters)?;
             if protocol::kind_of(&decision) != msg::TXN_COMMIT {
@@ -554,9 +548,7 @@ impl StreamReader {
                 link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
             });
             tx.send(
-                &protocol::message(msg::TXN_COMMIT)
-                    .with("step", FieldValue::U64(step))
-                    .encode(),
+                &protocol::message(msg::TXN_COMMIT).with("step", FieldValue::U64(step)).encode(),
             );
         }
         if !ok {
@@ -752,7 +744,10 @@ impl StreamReader {
                     reply.set(&format!("sels.{r}"), FieldValue::Record(encode_subscriptions(sels)));
                 }
                 if first && !coord.all_plugins.is_empty() {
-                    reply.set("plugins", FieldValue::Record(encode_plugin_specs(&coord.all_plugins)));
+                    reply.set(
+                        "plugins",
+                        FieldValue::Record(encode_plugin_specs(&coord.all_plugins)),
+                    );
                     plugin_dirty = true;
                 }
                 coord.ctrl_tx.send(&reply.encode());
@@ -762,15 +757,13 @@ impl StreamReader {
 
             // Compute and distribute the plan.
             let coord = self.coord.as_mut().expect("rank 0 is coordinator");
-            let plugin_record =
-                plugin_dirty.then(|| encode_plugin_specs(&coord.all_plugins));
+            let plugin_record = plugin_dirty.then(|| encode_plugin_specs(&coord.all_plugins));
             let mut my_col = None;
             if plan_dirty {
                 let dists = writer_dists.as_ref().expect("exchange delivered dists");
                 let full = redistribute::plan(dists, &coord.cached_sels);
                 for r in 0..nranks {
-                    let col: Vec<Vec<ChunkPlan>> =
-                        full.iter().map(|row| row[r].clone()).collect();
+                    let col: Vec<Vec<ChunkPlan>> = full.iter().map(|row| row[r].clone()).collect();
                     if r == 0 {
                         my_col = Some(col);
                         continue;
@@ -851,9 +844,7 @@ impl StreamReader {
                         }
                     }
                     k => {
-                        return Err(StreamError::Protocol(format!(
-                            "expected chunk/batch, got {k}"
-                        )))
+                        return Err(StreamError::Protocol(format!("expected chunk/batch, got {k}")))
                     }
                 }
             }
@@ -865,11 +856,7 @@ impl StreamReader {
                         .entry(w)
                         .or_insert_with(|| link.claim_sender(ChannelId::Ack { w, r: rank }))
                 };
-                tx.send(
-                    &protocol::message(msg::ACK)
-                        .with("step", FieldValue::U64(step))
-                        .encode(),
-                );
+                tx.send(&protocol::message(msg::ACK).with("step", FieldValue::U64(step)).encode());
                 counters.bump(&counters.ack_msgs);
             }
         }
@@ -880,11 +867,10 @@ impl StreamReader {
     async fn txn_reader_rt(&mut self, step: u64) -> Result<(), StreamError> {
         let hints = self.hints.clone();
         if self.rank != 0 {
-            self.side_up.as_mut().expect("non-coordinator has side_up").send(
-                &protocol::message("txn_recv")
-                    .with("step", FieldValue::U64(step))
-                    .encode(),
-            );
+            self.side_up
+                .as_mut()
+                .expect("non-coordinator has side_up")
+                .send(&protocol::message("txn_recv").with("step", FieldValue::U64(step)).encode());
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
             let decision = recv_record_rt(rx, &hints, &self.link.counters).await?;
             if protocol::kind_of(&decision) != msg::TXN_COMMIT {
@@ -921,9 +907,7 @@ impl StreamReader {
                 link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
             });
             tx.send(
-                &protocol::message(msg::TXN_COMMIT)
-                    .with("step", FieldValue::U64(step))
-                    .encode(),
+                &protocol::message(msg::TXN_COMMIT).with("step", FieldValue::U64(step)).encode(),
             );
         }
         if !ok {
@@ -1032,7 +1016,5 @@ fn decode_plan_col(r: &Record) -> Option<Vec<Vec<ChunkPlan>>> {
 
 fn decode_writer_metas(r: &Record) -> Option<Vec<VarMeta>> {
     let n = r.get_u64("n")? as usize;
-    (0..n)
-        .map(|i| VarMeta::from_record(r.get_record(&format!("m.{i}"))?))
-        .collect()
+    (0..n).map(|i| VarMeta::from_record(r.get_record(&format!("m.{i}"))?)).collect()
 }

@@ -104,9 +104,9 @@ impl Subscription {
     pub fn to_record(&self) -> Record {
         let r = Record::new().with("var", FieldValue::Str(self.var.clone()));
         match &self.sel {
-            Selection::ProcessGroup(rank) => r
-                .with("sel", FieldValue::U64(0))
-                .with("rank", FieldValue::U64(*rank as u64)),
+            Selection::ProcessGroup(rank) => {
+                r.with("sel", FieldValue::U64(0)).with("rank", FieldValue::U64(*rank as u64))
+            }
             Selection::GlobalBox(b) => r
                 .with("sel", FieldValue::U64(1))
                 .with("offset", FieldValue::U64Array(b.offset.clone()))
@@ -153,9 +153,7 @@ pub fn plan(
     let nw = writer_dists.len();
     let nr = reader_sels.len();
     let has_scalar = |w: usize, var: &str| {
-        writer_dists[w]
-            .iter()
-            .any(|m| matches!(m, VarMeta::Scalar { name } if name == var))
+        writer_dists[w].iter().any(|m| matches!(m, VarMeta::Scalar { name } if name == var))
     };
     let mut out = vec![vec![Vec::new(); nr]; nw];
     for (w, vars) in writer_dists.iter().enumerate() {
@@ -377,12 +375,20 @@ mod tests {
     #[test]
     fn process_group_plan() {
         let dists = vec![
-            vec![VarMeta::Block { name: "zion".into(), shape: vec![4], offset: vec![0], count: vec![4] }],
-            vec![VarMeta::Block { name: "zion".into(), shape: vec![4], offset: vec![0], count: vec![4] }],
+            vec![VarMeta::Block {
+                name: "zion".into(),
+                shape: vec![4],
+                offset: vec![0],
+                count: vec![4],
+            }],
+            vec![VarMeta::Block {
+                name: "zion".into(),
+                shape: vec![4],
+                offset: vec![0],
+                count: vec![4],
+            }],
         ];
-        let sels = vec![vec![
-            Subscription { var: "zion".into(), sel: Selection::ProcessGroup(1) },
-        ]];
+        let sels = vec![vec![Subscription { var: "zion".into(), sel: Selection::ProcessGroup(1) }]];
         let p = plan(&dists, &sels);
         assert!(p[0][0].is_empty());
         assert_eq!(p[1][0], vec![ChunkPlan { var: "zion".into(), region: None }]);
@@ -421,14 +427,22 @@ mod tests {
     fn meta_and_subscription_roundtrip() {
         let metas = [
             VarMeta::Scalar { name: "s".into() },
-            VarMeta::Block { name: "b".into(), shape: vec![4, 4], offset: vec![0, 2], count: vec![4, 2] },
+            VarMeta::Block {
+                name: "b".into(),
+                shape: vec![4, 4],
+                offset: vec![0, 2],
+                count: vec![4, 2],
+            },
         ];
         for m in &metas {
             assert_eq!(VarMeta::from_record(&m.to_record()), Some(m.clone()));
         }
         let subs = [
             Subscription { var: "v".into(), sel: Selection::ProcessGroup(3) },
-            Subscription { var: "v".into(), sel: Selection::GlobalBox(BoxSel::new(vec![1], vec![2])) },
+            Subscription {
+                var: "v".into(),
+                sel: Selection::GlobalBox(BoxSel::new(vec![1], vec![2])),
+            },
             Subscription { var: "v".into(), sel: Selection::Scalar },
         ];
         for s in &subs {

@@ -14,8 +14,12 @@
 //! [`crate::manager::PlacementManager`]. The filter keeps the relay off
 //! the critical path: only every `stride`-th event crosses.
 
-use evpath::{BoxedReceiver, BoxedSender, EvGraph, FieldValue, RecvPoll, Record, StoneId};
+use std::time::Duration;
 
+use evpath::{BoxedReceiver, BoxedSender, EvGraph, FieldValue, Record, RecvPoll, StoneId};
+
+use crate::directory::{DirectoryError, DirectoryService};
+use crate::link::ChannelId;
 use crate::monitor::{MonitorEvent, PerfMonitor};
 
 fn event_from_name(name: &str) -> Option<MonitorEvent> {
@@ -45,16 +49,30 @@ impl MonitorRelay {
         assert!(stride >= 1);
         let mut graph = EvGraph::new();
         let bridge = graph.bridge(transport);
-        let annotate = graph.transform(
-            move |r| r.with("relay_rank", FieldValue::U64(rank as u64)),
-            bridge,
-        );
+        let annotate =
+            graph.transform(move |r| r.with("relay_rank", FieldValue::U64(rank as u64)), bridge);
         // Sampling filter driven by a sequence number stamped on entry.
-        let sample = graph.filter(
-            move |r| r.get_u64("seq").is_some_and(|s| s.is_multiple_of(stride)),
-            annotate,
-        );
+        let sample = graph
+            .filter(move |r| r.get_u64("seq").is_some_and(|s| s.is_multiple_of(stride)), annotate);
         MonitorRelay { graph, entry: sample, sent: 0 }
+    }
+
+    /// Build the relay on stream `name`'s own monitoring channel,
+    /// discovered through the directory service like every other channel
+    /// of the link (paper §II.C.1: the directory is how the two sides
+    /// find each other — the relay is no exception). The simulation-side
+    /// coordinator calls this once the coupling is up (the channel's
+    /// transport is placed from both coordinators' cores, so the reader
+    /// side must have attached).
+    pub fn for_stream(
+        directory: &dyn DirectoryService,
+        name: &str,
+        rank: usize,
+        stride: u64,
+        timeout: Duration,
+    ) -> Result<MonitorRelay, DirectoryError> {
+        let link = directory.lookup(name, timeout)?;
+        Ok(MonitorRelay::new(link.claim_sender(ChannelId::Monitor), rank, stride))
     }
 
     /// Submit one monitoring sample into the relay.
@@ -108,6 +126,18 @@ impl MonitorSink {
     /// Wrap the receiving end of the relay transport.
     pub fn new(rx: BoxedReceiver) -> MonitorSink {
         MonitorSink { rx, replica: PerfMonitor::new(), closed: false, corrupt_frames: 0 }
+    }
+
+    /// Attach to stream `name`'s monitoring channel through the directory
+    /// service (the analytics-side counterpart of
+    /// [`MonitorRelay::for_stream`]).
+    pub fn for_stream(
+        directory: &dyn DirectoryService,
+        name: &str,
+        timeout: Duration,
+    ) -> Result<MonitorSink, DirectoryError> {
+        let link = directory.lookup(name, timeout)?;
+        Ok(MonitorSink::new(link.claim_receiver(ChannelId::Monitor)))
     }
 
     /// Drain every currently-available relayed sample; returns how many
@@ -236,8 +266,7 @@ mod tests {
         }
         let mut sink = MonitorSink::new(rx);
         sink.drain();
-        let mut mgr =
-            PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
+        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
         let rec = mgr.decide(sink.monitor(), 0);
         assert_eq!(rec.placement, PluginPlacement::WriterSide);
     }

@@ -52,10 +52,7 @@ impl CtrlIn {
         expect: &[&str],
         hints: &StreamHints,
     ) -> Result<Record, StreamError> {
-        if let Some(idx) = self
-            .pending
-            .iter()
-            .position(|r| expect.contains(&protocol::kind_of(r)))
+        if let Some(idx) = self.pending.iter().position(|r| expect.contains(&protocol::kind_of(r)))
         {
             return Ok(self.pending.remove(idx).expect("index valid"));
         }
@@ -75,10 +72,7 @@ impl CtrlIn {
         expect: &[&str],
         hints: &StreamHints,
     ) -> Result<Record, StreamError> {
-        if let Some(idx) = self
-            .pending
-            .iter()
-            .position(|r| expect.contains(&protocol::kind_of(r)))
+        if let Some(idx) = self.pending.iter().position(|r| expect.contains(&protocol::kind_of(r)))
         {
             return Ok(self.pending.remove(idx).expect("index valid"));
         }
@@ -228,9 +222,7 @@ impl StreamWriter {
 
     fn decode_metas(r: &Record) -> Option<Vec<VarMeta>> {
         let n = r.get_u64("n")? as usize;
-        (0..n)
-            .map(|i| VarMeta::from_record(r.get_record(&format!("m.{i}"))?))
-            .collect()
+        (0..n).map(|i| VarMeta::from_record(r.get_record(&format!("m.{i}"))?)).collect()
     }
 
     fn encode_plan_row(row: &[Vec<ChunkPlan>]) -> Record {
@@ -259,9 +251,7 @@ impl StreamWriter {
                 let cr = r.get_record(&format!("chunk.{ri}.{ci}"))?;
                 let var = cr.get_str("var")?.to_string();
                 let region = match (cr.get_u64_array("offset"), cr.get_u64_array("count")) {
-                    (Some(o), Some(c)) => {
-                        Some(adios::BoxSel::new(o.to_vec(), c.to_vec()))
-                    }
+                    (Some(o), Some(c)) => Some(adios::BoxSel::new(o.to_vec(), c.to_vec())),
                     _ => None,
                 };
                 chunks.push(ChunkPlan { var, region });
@@ -322,10 +312,8 @@ impl StreamWriter {
                 )));
             }
             if let Some(plan) = go.get_record("plan") {
-                self.cached_plan_row =
-                    Self::decode_plan_row(plan).ok_or_else(|| {
-                        StreamError::Corrupt("bad plan row".to_string())
-                    })?;
+                self.cached_plan_row = Self::decode_plan_row(plan)
+                    .ok_or_else(|| StreamError::Corrupt("bad plan row".to_string()))?;
                 self.reader_count = self.cached_plan_row.len();
             }
             if let Some(pl) = go.get_record("plugins") {
@@ -339,8 +327,7 @@ impl StreamWriter {
         // ---- coordinator path ----
         // Make sure the reader side is attached before the first step.
         if first {
-            link.wait_reader_info(hints.recv_timeout)
-                .ok_or(StreamError::Timeout)?;
+            link.wait_reader_info(hints.recv_timeout).ok_or(StreamError::Timeout)?;
         }
         let coord = self.coord.as_mut().expect("rank 0 is coordinator");
         if coord.ctrl_tx.is_none() {
@@ -389,15 +376,19 @@ impl StreamWriter {
 
         let mut plan_dirty = false;
         if need_exchange {
-            let mut info = protocol::message(msg::WRITER_INFO)
-                .with("nranks", FieldValue::U64(nranks as u64));
+            let mut info =
+                protocol::message(msg::WRITER_INFO).with("nranks", FieldValue::U64(nranks as u64));
             for (w, metas) in coord.cached_dists.iter().enumerate() {
                 info.set(&format!("dists.{w}"), FieldValue::Record(Self::encode_metas(metas)));
             }
             coord.ctrl_tx.as_mut().expect("ctrl claimed").send(&info.encode());
             counters.bump(&counters.exchange_msgs);
 
-            let reply = coord.ctrl_in.as_mut().expect("ctrl claimed").recv_expect(&[msg::READER_INFO], &hints)?;
+            let reply = coord
+                .ctrl_in
+                .as_mut()
+                .expect("ctrl claimed")
+                .recv_expect(&[msg::READER_INFO], &hints)?;
             let nreaders = reply
                 .get_u64("nranks")
                 .ok_or_else(|| StreamError::Corrupt("reader_info missing nranks".into()))?
@@ -432,10 +423,7 @@ impl StreamWriter {
         }
 
         // Step 3: compute + broadcast the plan when it changed.
-        let cached = coord
-            .cached_sels
-            .as_ref()
-            .expect("selections known after first exchange");
+        let cached = coord.cached_sels.as_ref().expect("selections known after first exchange");
         let sels: Vec<Vec<Subscription>> = cached
             .iter()
             .enumerate()
@@ -560,7 +548,13 @@ impl StreamWriter {
                 }
                 if self.hints.packed_marshal {
                     let enc = batch.encode_segments();
-                    monitor.record(MonitorEvent::DataSend, step, self.rank, enc.total_len() as u64, 0);
+                    monitor.record(
+                        MonitorEvent::DataSend,
+                        step,
+                        self.rank,
+                        enc.total_len() as u64,
+                        0,
+                    );
                     tx.send_vectored(&enc.as_slices());
                 } else {
                     let flat = batch.encode_legacy();
@@ -572,11 +566,23 @@ impl StreamWriter {
                 for c in &encoded_chunks {
                     if self.hints.packed_marshal {
                         let enc = c.encode_segments();
-                        monitor.record(MonitorEvent::DataSend, step, self.rank, enc.total_len() as u64, 0);
+                        monitor.record(
+                            MonitorEvent::DataSend,
+                            step,
+                            self.rank,
+                            enc.total_len() as u64,
+                            0,
+                        );
                         tx.send_vectored(&enc.as_slices());
                     } else {
                         let flat = c.encode_legacy();
-                        monitor.record(MonitorEvent::DataSend, step, self.rank, flat.len() as u64, 0);
+                        monitor.record(
+                            MonitorEvent::DataSend,
+                            step,
+                            self.rank,
+                            flat.len() as u64,
+                            0,
+                        );
                         tx.send(&flat);
                     }
                     counters.bump(&counters.data_msgs);
@@ -650,16 +656,16 @@ impl StreamWriter {
         let group = self.current.take().expect("end_step without begin_step");
         let step = group.step;
         let metas = Self::metas(&group);
-        let result = self
-            .coordinate(metas, step)
-            .and_then(|()| self.send_chunks(&group, step))
-            .and_then(|()| {
-                if self.hints.transactional {
-                    self.commit_step_2pc(step)
-                } else {
-                    Ok(())
-                }
-            });
+        let result =
+            self.coordinate(metas, step).and_then(|()| self.send_chunks(&group, step)).and_then(
+                |()| {
+                    if self.hints.transactional {
+                        self.commit_step_2pc(step)
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
         match result {
             Ok(()) => {
                 self.steps_written += 1;
@@ -685,11 +691,7 @@ impl StreamWriter {
             self.side_up
                 .as_mut()
                 .expect("non-coordinator has side_up")
-                .send(
-                    &protocol::message("txn_sent")
-                        .with("step", FieldValue::U64(step))
-                        .encode(),
-                );
+                .send(&protocol::message("txn_sent").with("step", FieldValue::U64(step)).encode());
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
             let decision = recv_record(rx, &hints, &self.link.counters)?;
             if protocol::kind_of(&decision) != msg::TXN_COMMIT {
@@ -712,12 +714,11 @@ impl StreamWriter {
         }
         // Phase 1: PREPARE → reader coordinator votes.
         coord.ctrl_tx.as_mut().expect("ctrl claimed").send(
-            &protocol::message(msg::TXN_PREPARE)
-                .with("step", FieldValue::U64(step))
-                .encode(),
+            &protocol::message(msg::TXN_PREPARE).with("step", FieldValue::U64(step)).encode(),
         );
         link.counters.bump(&link.counters.step_msgs);
-        let vote = coord.ctrl_in.as_mut().expect("ctrl claimed").recv_expect(&[msg::TXN_VOTE], &hints)?;
+        let vote =
+            coord.ctrl_in.as_mut().expect("ctrl claimed").recv_expect(&[msg::TXN_VOTE], &hints)?;
         let ok = vote.get_u64("ok") == Some(1);
         // Phase 2: decision to the reader side and our own ranks.
         coord.ctrl_tx.as_mut().expect("ctrl claimed").send(
@@ -732,9 +733,7 @@ impl StreamWriter {
                 link.claim_sender(ChannelId::WriterSide { rank: r, up: false })
             });
             tx.send(
-                &protocol::message(msg::TXN_COMMIT)
-                    .with("step", FieldValue::U64(step))
-                    .encode(),
+                &protocol::message(msg::TXN_COMMIT).with("step", FieldValue::U64(step)).encode(),
             );
         }
         if !ok {
@@ -778,7 +777,11 @@ impl StreamWriter {
     }
 
     /// [`Self::coordinate`] as a poll-driven step.
-    async fn coordinate_rt(&mut self, my_metas: Vec<VarMeta>, step: u64) -> Result<(), StreamError> {
+    async fn coordinate_rt(
+        &mut self,
+        my_metas: Vec<VarMeta>,
+        step: u64,
+    ) -> Result<(), StreamError> {
         let first = self.steps_written == 0;
         let need_gather = first || self.hints.caching == CachingLevel::NoCaching;
         let need_exchange = first || self.hints.caching != CachingLevel::CachingAll;
@@ -879,8 +882,8 @@ impl StreamWriter {
 
         let mut plan_dirty = false;
         if need_exchange {
-            let mut info = protocol::message(msg::WRITER_INFO)
-                .with("nranks", FieldValue::U64(nranks as u64));
+            let mut info =
+                protocol::message(msg::WRITER_INFO).with("nranks", FieldValue::U64(nranks as u64));
             for (w, metas) in coord.cached_dists.iter().enumerate() {
                 info.set(&format!("dists.{w}"), FieldValue::Record(Self::encode_metas(metas)));
             }
@@ -924,10 +927,7 @@ impl StreamWriter {
         }
 
         // Step 3: compute + broadcast the plan when it changed.
-        let cached = coord
-            .cached_sels
-            .as_ref()
-            .expect("selections known after first exchange");
+        let cached = coord.cached_sels.as_ref().expect("selections known after first exchange");
         let sels: Vec<Vec<Subscription>> = cached
             .iter()
             .enumerate()
@@ -1046,7 +1046,13 @@ impl StreamWriter {
                 }
                 if self.hints.packed_marshal {
                     let enc = batch.encode_segments();
-                    monitor.record(MonitorEvent::DataSend, step, self.rank, enc.total_len() as u64, 0);
+                    monitor.record(
+                        MonitorEvent::DataSend,
+                        step,
+                        self.rank,
+                        enc.total_len() as u64,
+                        0,
+                    );
                     tx.send_vectored(&enc.as_slices());
                 } else {
                     let flat = batch.encode_legacy();
@@ -1058,11 +1064,23 @@ impl StreamWriter {
                 for c in &encoded_chunks {
                     if self.hints.packed_marshal {
                         let enc = c.encode_segments();
-                        monitor.record(MonitorEvent::DataSend, step, self.rank, enc.total_len() as u64, 0);
+                        monitor.record(
+                            MonitorEvent::DataSend,
+                            step,
+                            self.rank,
+                            enc.total_len() as u64,
+                            0,
+                        );
                         tx.send_vectored(&enc.as_slices());
                     } else {
                         let flat = c.encode_legacy();
-                        monitor.record(MonitorEvent::DataSend, step, self.rank, flat.len() as u64, 0);
+                        monitor.record(
+                            MonitorEvent::DataSend,
+                            step,
+                            self.rank,
+                            flat.len() as u64,
+                            0,
+                        );
                         tx.send(&flat);
                     }
                     counters.bump(&counters.data_msgs);
@@ -1128,11 +1146,7 @@ impl StreamWriter {
             self.side_up
                 .as_mut()
                 .expect("non-coordinator has side_up")
-                .send(
-                    &protocol::message("txn_sent")
-                        .with("step", FieldValue::U64(step))
-                        .encode(),
-                );
+                .send(&protocol::message("txn_sent").with("step", FieldValue::U64(step)).encode());
             let rx = self.side_down.as_mut().expect("non-coordinator has side_down");
             let decision = recv_record_rt(rx, &hints, &self.link.counters).await?;
             if protocol::kind_of(&decision) != msg::TXN_COMMIT {
@@ -1153,9 +1167,7 @@ impl StreamWriter {
             }
         }
         coord.ctrl_tx.as_mut().expect("ctrl claimed").send(
-            &protocol::message(msg::TXN_PREPARE)
-                .with("step", FieldValue::U64(step))
-                .encode(),
+            &protocol::message(msg::TXN_PREPARE).with("step", FieldValue::U64(step)).encode(),
         );
         link.counters.bump(&link.counters.step_msgs);
         let vote = coord
@@ -1177,9 +1189,7 @@ impl StreamWriter {
                 link.claim_sender(ChannelId::WriterSide { rank: r, up: false })
             });
             tx.send(
-                &protocol::message(msg::TXN_COMMIT)
-                    .with("step", FieldValue::U64(step))
-                    .encode(),
+                &protocol::message(msg::TXN_COMMIT).with("step", FieldValue::U64(step)).encode(),
             );
         }
         if !ok {
@@ -1197,10 +1207,7 @@ impl WriteEngine for StreamWriter {
     }
 
     fn write(&mut self, name: &str, value: VarValue) {
-        self.current
-            .as_mut()
-            .expect("write outside begin_step/end_step")
-            .push(name, value);
+        self.current.as_mut().expect("write outside begin_step/end_step").push(name, value);
     }
 
     fn end_step(&mut self) {
@@ -1232,10 +1239,7 @@ impl StreamWriter {
                 // A reader may never have attached (stream never used);
                 // only then is there no one to notify.
                 if coord.ctrl_tx.is_none()
-                    && self
-                        .link
-                        .wait_reader_info(std::time::Duration::from_millis(0))
-                        .is_some()
+                    && self.link.wait_reader_info(std::time::Duration::from_millis(0)).is_some()
                 {
                     coord.ctrl_tx = Some(self.link.claim_sender(ChannelId::ControlToReader));
                 }
@@ -1267,9 +1271,7 @@ pub(crate) fn encode_subscriptions(subs: &[Subscription]) -> Record {
 
 pub(crate) fn decode_subscriptions(r: &Record) -> Option<Vec<Subscription>> {
     let n = r.get_u64("n")? as usize;
-    (0..n)
-        .map(|i| Subscription::from_record(r.get_record(&format!("s.{i}"))?))
-        .collect()
+    (0..n).map(|i| Subscription::from_record(r.get_record(&format!("s.{i}"))?)).collect()
 }
 
 pub(crate) fn encode_plugin_specs(specs: &[PluginSpec]) -> Record {
@@ -1282,7 +1284,5 @@ pub(crate) fn encode_plugin_specs(specs: &[PluginSpec]) -> Record {
 
 pub(crate) fn decode_plugin_specs(r: &Record) -> Option<Vec<PluginSpec>> {
     let n = r.get_u64("n")? as usize;
-    (0..n)
-        .map(|i| PluginSpec::from_record(r.get_record(&format!("p.{i}"))?))
-        .collect()
+    (0..n).map(|i| PluginSpec::from_record(r.get_record(&format!("p.{i}"))?)).collect()
 }

@@ -24,7 +24,8 @@ fn manager_migrates_plugin_when_wire_volume_spikes() {
     let writer = thread::spawn(move || {
         rankrt::launch(1, move |_| {
             let core = CoreLocation { node: 0, numa: 0, core: 0 };
-            let mut w = io_w.open_writer("adaptive", 0, 1, core, vec![core], hints_w.clone()).unwrap();
+            let mut w =
+                io_w.open_writer("adaptive", 0, 1, core, vec![core], hints_w.clone()).unwrap();
             for step in 0..STEPS {
                 w.begin_step(step);
                 w.write(
@@ -49,7 +50,8 @@ fn manager_migrates_plugin_when_wire_volume_spikes() {
     let reader = thread::spawn(move || {
         rankrt::launch(1, move |_| {
             let core = CoreLocation { node: 0, numa: 1, core: 0 };
-            let mut r = io_r.open_reader("adaptive", 0, 1, core, vec![core], hints.clone()).unwrap();
+            let mut r =
+                io_r.open_reader("adaptive", 0, 1, core, vec![core], hints.clone()).unwrap();
             r.subscribe("signal", Selection::ProcessGroup(0));
             // Start with reader-side conditioning (the full signal crosses
             // the wire) and let the manager decide per step.
@@ -77,8 +79,7 @@ fn manager_migrates_plugin_when_wire_volume_spikes() {
                         lens.push(b.data.as_f64().len());
                         r.end_step();
                         let rec = manager.decide(&monitor, 0);
-                        if rec.placement != PluginPlacement::ReaderSide
-                            && migration_step.is_none()
+                        if rec.placement != PluginPlacement::ReaderSide && migration_step.is_none()
                         {
                             migration_step = Some(step);
                             r.install_plugin(sampling(rec.placement));

@@ -44,8 +44,9 @@ fn abandoned_writer_becomes_synthesized_eos() {
             loop {
                 match r.begin_step() {
                     StepStatus::Step(s) => {
-                        let v =
-                            r.read("v", &Selection::GlobalBox(BoxSel::new(vec![0], vec![3]))).unwrap();
+                        let v = r
+                            .read("v", &Selection::GlobalBox(BoxSel::new(vec![0], vec![3])))
+                            .unwrap();
                         let VarValue::Block(b) = v else { panic!() };
                         assert_eq!(b.data.as_f64(), &[s as f64; 3]);
                         steps.push(s);

@@ -68,7 +68,11 @@ fn run_once(seed: u64) -> RunSignature {
                         let VarValue::Block(b) = v else { panic!() };
                         for (i, &x) in b.data.as_f64().iter().enumerate() {
                             let g = rank as u64 * 6 + i as u64;
-                            assert_eq!(x, (step * 100 + g) as f64, "seed {seed} step {step} idx {g}");
+                            assert_eq!(
+                                x,
+                                (step * 100 + g) as f64,
+                                "seed {seed} step {step} idx {g}"
+                            );
                         }
                         steps += 1;
                         r.end_step();
@@ -95,10 +99,8 @@ fn run_once(seed: u64) -> RunSignature {
 
 #[test]
 fn same_seed_replays_identical_fault_schedule() {
-    let seed = std::env::var("FLEXIO_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xF1EC5);
+    let seed =
+        std::env::var("FLEXIO_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xF1EC5);
     let first = run_once(seed);
     let second = run_once(seed);
     assert_eq!(first, second, "seed {seed} must replay bit-identical counters");

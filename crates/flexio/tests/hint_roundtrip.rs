@@ -1,0 +1,123 @@
+//! Exhaustive XML-hint round trip: one config setting every key in
+//! [`HintKey::ALL`] to a non-default value, asserting each parsed field
+//! changed accordingly. This is the regression fence for the class of
+//! bug where a hint is documented but silently ignored by `from_config`
+//! (as `inline_capacity` and `packed_marshal` once were).
+
+use std::time::Duration;
+
+use adios::IoConfig;
+use flexio::{CachingLevel, DirectoryConfig, HintKey, Runtime, StreamHints, WriteMode};
+
+/// The non-default value each key is set to in the round-trip config.
+/// (`runtime`'s default is environment-sensitive — `FLEXIO_RUNTIME`
+/// overrides it — so its non-default is computed, not hardcoded.)
+fn nondefault_value(key: HintKey) -> &'static str {
+    match key {
+        HintKey::Caching => "CACHING_ALL",
+        HintKey::Batching => "true",
+        // Default write mode is Async, so the non-default is sync.
+        HintKey::Async => "false",
+        HintKey::QueueEntries => "7",
+        HintKey::InlineCapacity => "9000",
+        HintKey::TimeoutMs => "1234",
+        HintKey::Retries => "9",
+        HintKey::Transactional => "true",
+        HintKey::EosOnSilence => "true",
+        HintKey::PackedMarshal => "false",
+        HintKey::Runtime => match StreamHints::default().runtime {
+            Runtime::Reactor => "blocking",
+            _ => "reactor",
+        },
+        HintKey::FaultSeed => "77",
+        HintKey::DirectoryShards => "16",
+        HintKey::DirectoryNodes => "3",
+        HintKey::DirectoryGossipMs => "25",
+    }
+}
+
+#[test]
+fn every_hint_key_round_trips_through_xml() {
+    let hints_xml: String = HintKey::ALL
+        .iter()
+        .map(|&k| format!(r#"<hint name="{}" value="{}"/>"#, k.as_str(), nondefault_value(k)))
+        .collect();
+    let xml = format!(
+        r#"<adios-config><group name="g"><method transport="STREAM">{hints_xml}</method></group></adios-config>"#
+    );
+    let cfg = IoConfig::from_xml(&xml).unwrap();
+    let group = cfg.group("g").unwrap();
+
+    let h = StreamHints::from_config(group);
+    assert_eq!(h.caching, CachingLevel::CachingAll);
+    assert!(h.batching);
+    assert_eq!(h.write_mode, WriteMode::Sync);
+    assert_eq!(h.queue_entries, 7);
+    assert_eq!(h.inline_capacity, 9000, "inline_capacity hint must be parsed");
+    assert_eq!(h.recv_timeout, Duration::from_millis(1234));
+    assert_eq!(h.retries, 9);
+    assert!(h.transactional);
+    assert!(h.eos_on_silence);
+    assert!(!h.packed_marshal, "packed_marshal hint must be parsed");
+    let expected_rt = match StreamHints::default().runtime {
+        Runtime::Reactor => Runtime::Blocking,
+        _ => Runtime::Reactor,
+    };
+    assert_eq!(h.runtime, expected_rt);
+    assert_eq!(h.faults.as_ref().expect("fault.seed enables the plan").seed(), 77);
+
+    let d = DirectoryConfig::from_config(group);
+    assert_eq!(d.shards, 16);
+    assert_eq!(d.nodes, 3);
+    assert_eq!(d.gossip_interval, Duration::from_millis(25));
+
+    // Each asserted value differs from the default, so a silently
+    // ignored key cannot pass by accident.
+    let defaults = StreamHints::default();
+    assert_ne!(h.caching, defaults.caching);
+    assert_ne!(h.batching, defaults.batching);
+    assert_ne!(h.write_mode, defaults.write_mode);
+    assert_ne!(h.queue_entries, defaults.queue_entries);
+    assert_ne!(h.inline_capacity, defaults.inline_capacity);
+    assert_ne!(h.recv_timeout, defaults.recv_timeout);
+    assert_ne!(h.retries, defaults.retries);
+    assert_ne!(h.transactional, defaults.transactional);
+    assert_ne!(h.eos_on_silence, defaults.eos_on_silence);
+    assert_ne!(h.packed_marshal, defaults.packed_marshal);
+    assert_ne!(h.runtime, defaults.runtime);
+    assert!(defaults.faults.is_none());
+    let ddef = DirectoryConfig::default();
+    assert_ne!(d.shards, ddef.shards);
+    assert_ne!(d.nodes, ddef.nodes);
+    assert_ne!(d.gossip_interval, ddef.gossip_interval);
+}
+
+#[test]
+fn builder_mirrors_the_parsed_config() {
+    // The fluent builder must be able to express everything the XML can
+    // (minus the fault plan's seed, which it takes pre-built).
+    let h = StreamHints::builder()
+        .caching(CachingLevel::CachingAll)
+        .batching(true)
+        .write_mode(WriteMode::Sync)
+        .queue_entries(7)
+        .inline_capacity(9000)
+        .recv_timeout(Duration::from_millis(1234))
+        .retries(9)
+        .transactional(true)
+        .eos_on_silence(true)
+        .packed_marshal(false)
+        .runtime(Runtime::Reactor)
+        .build();
+    assert_eq!(h.caching, CachingLevel::CachingAll);
+    assert!(h.batching);
+    assert_eq!(h.write_mode, WriteMode::Sync);
+    assert_eq!(h.queue_entries, 7);
+    assert_eq!(h.inline_capacity, 9000);
+    assert_eq!(h.recv_timeout, Duration::from_millis(1234));
+    assert_eq!(h.retries, 9);
+    assert!(h.transactional);
+    assert!(h.eos_on_silence);
+    assert!(!h.packed_marshal);
+    assert_eq!(h.runtime, Runtime::Reactor);
+}

@@ -78,12 +78,8 @@ fn sync_async_batching_matrix_is_data_identical() {
         let (data_msgs, ack_msgs, arrays) = run_cell(mode, batching);
 
         // Message accounting per cell.
-        let expected_data =
-            if batching { PAIRS * STEPS } else { PAIRS * STEPS * NVARS };
-        assert_eq!(
-            data_msgs, expected_data,
-            "{mode:?} batching={batching}: data message count"
-        );
+        let expected_data = if batching { PAIRS * STEPS } else { PAIRS * STEPS * NVARS };
+        assert_eq!(data_msgs, expected_data, "{mode:?} batching={batching}: data message count");
         let expected_acks = if mode == WriteMode::Sync { PAIRS * STEPS } else { 0 };
         assert_eq!(ack_msgs, expected_acks, "{mode:?} batching={batching}: ack count");
 

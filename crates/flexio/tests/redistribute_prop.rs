@@ -3,7 +3,9 @@
 //! element exactly once and both sides compute identical expectations.
 
 use adios::{ArrayData, BoxSel, LocalBlock, Selection, VarValue};
-use flexio::redistribute::{expected_messages, extract_block_chunk, plan, BoxAssembler, Subscription, VarMeta};
+use flexio::redistribute::{
+    expected_messages, extract_block_chunk, plan, BoxAssembler, Subscription, VarMeta,
+};
 use proptest::prelude::*;
 
 const GLOBAL: u64 = 24;
@@ -35,9 +37,7 @@ fn arb_decomposition(n: usize) -> impl Strategy<Value = Vec<(u64, u64)>> {
 
 fn arb_reader_boxes(n: usize) -> impl Strategy<Value = Vec<BoxSel>> {
     proptest::collection::vec((0u64..GLOBAL, 1u64..=GLOBAL), n).prop_map(|raw| {
-        raw.into_iter()
-            .map(|(o, c)| BoxSel::new(vec![o], vec![c.min(GLOBAL - o)]))
-            .collect()
+        raw.into_iter().map(|(o, c)| BoxSel::new(vec![o], vec![c.min(GLOBAL - o)])).collect()
     })
 }
 

@@ -95,10 +95,8 @@ fn run_once(seed: u64, runtime: Runtime) -> RunSignature {
 
 #[test]
 fn reactor_backend_matches_blocking_backend_byte_for_byte() {
-    let seed = std::env::var("FLEXIO_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xBACCE4D);
+    let seed =
+        std::env::var("FLEXIO_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0xBACCE4D);
     let blocking = run_once(seed, Runtime::Blocking);
     let reactor = run_once(seed, Runtime::Reactor);
     assert_eq!(

@@ -152,10 +152,7 @@ fn process_group_pattern_with_scalars() {
         |mut w, rank| {
             w.begin_step(0);
             w.write("nparticles", VarValue::Scalar(ScalarValue::U64(100 + rank as u64)));
-            w.write(
-                "zion",
-                block_1d(0, vec![rank as f64; 5], 5),
-            );
+            w.write("zion", block_1d(0, vec![rank as f64; 5], 5));
             w.end_step();
             w.close();
         },
@@ -570,7 +567,14 @@ fn directory_is_out_of_the_critical_path() {
         rankrt::launch(3, move |comm| {
             let rank = comm.rank();
             let mut w = io_w
-                .open_writer("d", rank, 3, writer_core(rank), writer_roster(3), StreamHints::default())
+                .open_writer(
+                    "d",
+                    rank,
+                    3,
+                    writer_core(rank),
+                    writer_roster(3),
+                    StreamHints::default(),
+                )
                 .unwrap();
             for step in 0..10 {
                 w.begin_step(step);
@@ -584,7 +588,14 @@ fn directory_is_out_of_the_critical_path() {
         rankrt::launch(2, move |comm| {
             let rank = comm.rank();
             let mut r = io_r
-                .open_reader("d", rank, 2, reader_core(rank), reader_roster(2), StreamHints::default())
+                .open_reader(
+                    "d",
+                    rank,
+                    2,
+                    reader_core(rank),
+                    reader_roster(2),
+                    StreamHints::default(),
+                )
                 .unwrap();
             r.subscribe("v", Selection::GlobalBox(BoxSel::new(vec![0], vec![3])));
             while let StepStatus::Step(_) = r.begin_step() {
@@ -604,9 +615,7 @@ fn directory_is_out_of_the_critical_path() {
 fn double_open_same_stream_name_fails() {
     let io = FlexIo::single_node(laptop());
     let core = CoreLocation { node: 0, numa: 0, core: 0 };
-    let _w1 = io
-        .open_writer("dup", 0, 1, core, vec![core], StreamHints::default())
-        .unwrap();
+    let _w1 = io.open_writer("dup", 0, 1, core, vec![core], StreamHints::default()).unwrap();
     let err = io.open_writer("dup", 0, 1, core, vec![core], StreamHints::default());
     assert!(err.is_err(), "second registration must fail");
 }
@@ -652,7 +661,8 @@ fn cross_node_placement_uses_rdma_and_delivers() {
                 .unwrap();
             r.subscribe("v", Selection::GlobalBox(BoxSel::new(vec![0], vec![100_000])));
             assert_eq!(r.begin_step(), StepStatus::Step(0));
-            let v = r.read("v", &Selection::GlobalBox(BoxSel::new(vec![0], vec![100_000]))).unwrap();
+            let v =
+                r.read("v", &Selection::GlobalBox(BoxSel::new(vec![0], vec![100_000]))).unwrap();
             let VarValue::Block(b) = v else { panic!() };
             assert_eq!(b.data.as_f64()[0], 0.0);
             assert_eq!(b.data.as_f64()[99_999], 1.0);

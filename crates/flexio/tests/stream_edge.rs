@@ -27,12 +27,7 @@ fn block(offset: u64, data: Vec<f64>, global: u64) -> VarValue {
 
 fn cores(n: usize, from_top: bool) -> Vec<CoreLocation> {
     let m = laptop();
-    (0..n)
-        .map(|r| {
-            m.node
-                .location_of(if from_top { m.total_cores() - 1 - r } else { r })
-        })
-        .collect()
+    (0..n).map(|r| m.node.location_of(if from_top { m.total_cores() - 1 - r } else { r })).collect()
 }
 
 #[test]
@@ -163,8 +158,7 @@ fn mixed_selection_patterns_in_one_stream() {
                 panic!()
             };
             assert_eq!(grid.data.as_f64(), &[0.0, 0.0, 1.0, 1.0]);
-            let VarValue::Block(pg) =
-                r.read("particles", &Selection::ProcessGroup(1)).unwrap()
+            let VarValue::Block(pg) = r.read("particles", &Selection::ProcessGroup(1)).unwrap()
             else {
                 panic!()
             };
@@ -195,9 +189,7 @@ fn caching_misconfiguration_is_detected_not_hung() {
                 retries: 0,
                 ..StreamHints::default()
             };
-            let mut w = io_w
-                .open_writer("edge4", 0, 1, roster[0], roster.clone(), hints)
-                .unwrap();
+            let mut w = io_w.open_writer("edge4", 0, 1, roster[0], roster.clone(), hints).unwrap();
             for step in 0..2 {
                 w.begin_step(step);
                 w.write("v", block(0, vec![1.0], 1));
@@ -218,9 +210,7 @@ fn caching_misconfiguration_is_detected_not_hung() {
                 retries: 0,
                 ..StreamHints::default()
             };
-            let mut r = io_r
-                .open_reader("edge4", 0, 1, roster[0], roster.clone(), hints)
-                .unwrap();
+            let mut r = io_r.open_reader("edge4", 0, 1, roster[0], roster.clone(), hints).unwrap();
             r.subscribe("v", Selection::GlobalBox(BoxSel::whole(&[1])));
             // First step agrees (both sides always exchange on step 0).
             assert_eq!(r.try_begin_step().unwrap(), StepStatus::Step(0));
@@ -272,9 +262,7 @@ fn empty_step_moves_no_data_but_advances() {
                 caching: CachingLevel::NoCaching, // re-plan every step
                 ..StreamHints::default()
             };
-            let mut r = io_r
-                .open_reader("edge5", 0, 1, roster[0], roster.clone(), hints)
-                .unwrap();
+            let mut r = io_r.open_reader("edge5", 0, 1, roster[0], roster.clone(), hints).unwrap();
             r.subscribe("v", Selection::GlobalBox(BoxSel::whole(&[4])));
             let mut seen = Vec::new();
             while let StepStatus::Step(s) = r.begin_step() {

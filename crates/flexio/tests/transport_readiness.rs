@@ -16,11 +16,7 @@ use flexio::{ProtocolCounters, StreamHints};
 use shm::channel::shm_channel;
 
 fn fast_hints() -> StreamHints {
-    StreamHints {
-        recv_timeout: Duration::from_millis(5),
-        retries: 1,
-        ..StreamHints::default()
-    }
+    StreamHints { recv_timeout: Duration::from_millis(5), retries: 1, ..StreamHints::default() }
 }
 
 /// Wrap the receiving half in an active (non-noop) fault plan, as every
@@ -78,11 +74,8 @@ fn peer_close_fails_fast_without_burning_the_retry_budget() {
 
     // Generous budget: with the old blind-retry scheme this would stall
     // 10s × (1 + 2 + 4) before giving up on a dead peer.
-    let hints = StreamHints {
-        recv_timeout: Duration::from_secs(10),
-        retries: 2,
-        ..StreamHints::default()
-    };
+    let hints =
+        StreamHints { recv_timeout: Duration::from_secs(10), retries: 2, ..StreamHints::default() };
     let counters = ProtocolCounters::new_shared();
     drop(btx); // producer dies; closed flag is ordered after its last push
 

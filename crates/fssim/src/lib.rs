@@ -95,8 +95,8 @@ impl SimFs {
     /// Read object `name`; returns the bytes and modelled nanoseconds.
     pub fn read(&self, name: &str) -> Option<(Arc<Vec<u8>>, f64)> {
         let data = self.inner.objects.lock().get(name).cloned()?;
-        let ns = self.inner.params.per_op_ns
-            + data.len() as f64 / self.inner.params.per_writer_bw * 1e9;
+        let ns =
+            self.inner.params.per_op_ns + data.len() as f64 / self.inner.params.per_writer_bw * 1e9;
         self.inner.reads.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
         Some((data, ns))

@@ -143,9 +143,6 @@ mod tests {
         let one_page = reg.dynamic_cost_ns(100);
         let many_pages = reg.dynamic_cost_ns(1 << 20);
         assert!(many_pages > one_page);
-        assert_eq!(
-            reg.dynamic_cost_ns(4096),
-            reg.alloc_ns + reg.base_ns + reg.per_page_ns
-        );
+        assert_eq!(reg.dynamic_cost_ns(4096), reg.alloc_ns + reg.base_ns + reg.per_page_ns);
     }
 }

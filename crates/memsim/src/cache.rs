@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn associativity_conflicts() {
         let mut c = small_cache(); // 32 sets, 4 ways
-        // 5 lines mapping to the same set (stride = sets * line = 2048).
+                                   // 5 lines mapping to the same set (stride = sets * line = 2048).
         let conflicting: Vec<u64> = (0..5).map(|i| i * 2048).collect();
         for _ in 0..3 {
             for &a in &conflicting {

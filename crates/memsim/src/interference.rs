@@ -41,7 +41,11 @@ pub struct CorunReport {
 /// volume. Accesses are interleaved in proportion to each workload's
 /// APKI-weighted rate, deterministic round-robin over a proportional
 /// schedule.
-pub fn corun_mpki(params: CacheParams, workloads: &[Workload], total_accesses: u64) -> Vec<CorunReport> {
+pub fn corun_mpki(
+    params: CacheParams,
+    workloads: &[Workload],
+    total_accesses: u64,
+) -> Vec<CorunReport> {
     assert!(!workloads.is_empty());
     let mut cache = CacheSim::new(params);
     let mut streams: Vec<AddressStream> = workloads
@@ -56,8 +60,12 @@ pub fn corun_mpki(params: CacheParams, workloads: &[Workload], total_accesses: u
     let mut credit = vec![0.0f64; workloads.len()];
     let mut counts = vec![(0u64, 0u64); workloads.len()]; // (accesses, misses)
 
-    let run = |n: u64, record: bool, cache: &mut CacheSim, streams: &mut [AddressStream],
-                   counts: &mut [(u64, u64)], credit: &mut [f64]| {
+    let run = |n: u64,
+               record: bool,
+               cache: &mut CacheSim,
+               streams: &mut [AddressStream],
+               counts: &mut [(u64, u64)],
+               credit: &mut [f64]| {
         for _ in 0..n {
             // Accumulate credit, then pick the workload with the most.
             for (c, rate) in credit.iter_mut().zip(&rates) {
@@ -127,11 +135,7 @@ mod tests {
         Workload {
             name: name.to_string(),
             accesses_per_kilo_instruction: apki,
-            pattern: AccessPattern::Streaming {
-                base: 1 << 40,
-                region_bytes: region,
-                stride: 64,
-            },
+            pattern: AccessPattern::Streaming { base: 1 << 40, region_bytes: region, stride: 64 },
         }
     }
 

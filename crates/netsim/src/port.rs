@@ -89,9 +89,7 @@ impl NetSim {
         nodes: usize,
         cache_threshold: u64,
     ) -> NetSim {
-        let nics = (0..nodes)
-            .map(|_| Arc::new(Nic::new(params, cache_threshold)))
-            .collect();
+        let nics = (0..nodes).map(|_| Arc::new(Nic::new(params, cache_threshold))).collect();
         NetSim {
             shared: Arc::new(FabricShared {
                 params,
@@ -161,7 +159,12 @@ impl Port {
     /// Send `payload` to `dst`. Small payloads (≤ eager threshold) travel
     /// the mailbox path; larger ones stage into a registered send buffer
     /// and post a control message for the receiver's Get.
-    pub fn send(&mut self, dst: &PortAddress, payload: &[u8], registration: Registration) -> SendReceipt {
+    pub fn send(
+        &mut self,
+        dst: &PortAddress,
+        payload: &[u8],
+        registration: Registration,
+    ) -> SendReceipt {
         let params = &self.shared.params;
         let nic = &self.shared.nics[self.address.node];
         let dst_tx = {
@@ -252,9 +255,7 @@ impl Port {
                     window.map_or(pending, |w| pending.min(w))
                 };
                 let flows_there = src_nic.pending_outbound().max(1);
-                let bw = my_nic
-                    .contended_bw(flows_here)
-                    .min(src_nic.contended_bw(flows_there));
+                let bw = my_nic.contended_bw(flows_here).min(src_nic.contended_bw(flows_there));
                 let get_ns = params.latency_ns + params.per_message_ns + len as f64 / bw * 1e9;
                 total_ns += get_ns;
                 my_nic.charge_ns(reg_ns + get_ns);

@@ -39,7 +39,11 @@ pub struct PlacementPlan {
 /// and analytics processes into as many groups as the number of nodes, and
 /// then assigns each process group to a node with each process mapped to
 /// one core." Intra-program edges are ignored by construction.
-pub fn data_aware_mapping(graph: &CommGraph, machine: &MachineModel, nodes: usize) -> PlacementPlan {
+pub fn data_aware_mapping(
+    graph: &CommGraph,
+    machine: &MachineModel,
+    nodes: usize,
+) -> PlacementPlan {
     let cores_per_node = machine.node.cores_per_node();
     assert!(graph.len() <= nodes * cores_per_node, "not enough cores");
     // Strip intra-program edges.
@@ -119,11 +123,8 @@ mod tests {
     fn all_policies_produce_valid_bindings() {
         let m = smoky();
         let g = workload();
-        for plan in [
-            data_aware_mapping(&g, &m, 2),
-            holistic(&g, &m, 2),
-            topology_aware(&g, &m, 2),
-        ] {
+        for plan in [data_aware_mapping(&g, &m, 2), holistic(&g, &m, 2), topology_aware(&g, &m, 2)]
+        {
             assert_eq!(plan.core_of_vertex.len(), 32);
             let mut cores = plan.core_of_vertex.clone();
             cores.sort_unstable();
@@ -141,11 +142,8 @@ mod tests {
         // interconnect).
         let m = smoky();
         let g = workload();
-        for plan in [
-            data_aware_mapping(&g, &m, 2),
-            holistic(&g, &m, 2),
-            topology_aware(&g, &m, 2),
-        ] {
+        for plan in [data_aware_mapping(&g, &m, 2), holistic(&g, &m, 2), topology_aware(&g, &m, 2)]
+        {
             let mut on_node = 0.0;
             let mut cross = 0.0;
             for u in 0..g.len() {

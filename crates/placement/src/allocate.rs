@@ -36,7 +36,11 @@ impl AnalyticsScaling {
 /// matching). Returns `None` if even `max_procs` cannot keep up (the
 /// analytics' serial fraction exceeds the interval) — the caller then
 /// switches the analytics offline, the paper's §II.B escape hatch.
-pub fn allocate_sync(scaling: &AnalyticsScaling, interval_s: f64, max_procs: usize) -> Option<usize> {
+pub fn allocate_sync(
+    scaling: &AnalyticsScaling,
+    interval_s: f64,
+    max_procs: usize,
+) -> Option<usize> {
     assert!(interval_s > 0.0 && max_procs >= 1);
     if scaling.serial_s >= interval_s {
         return None;

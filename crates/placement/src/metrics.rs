@@ -37,7 +37,11 @@ impl MovementVolume {
 }
 
 /// Classify every edge's bytes by where its endpoints landed.
-pub fn movement_volume(graph: &CommGraph, plan: &PlacementPlan, machine: &MachineModel) -> MovementVolume {
+pub fn movement_volume(
+    graph: &CommGraph,
+    plan: &PlacementPlan,
+    machine: &MachineModel,
+) -> MovementVolume {
     let mut out = MovementVolume::default();
     for u in 0..graph.len() {
         for (v, w) in graph.neighbors(u) {

@@ -12,7 +12,11 @@ use crate::graph::CommGraph;
 /// Split `vertices` into two parts of exactly `target_first` and
 /// `vertices.len() - target_first` vertices, minimizing the weight of
 /// edges crossing the parts.
-pub fn bisect(graph: &CommGraph, vertices: &[usize], target_first: usize) -> (Vec<usize>, Vec<usize>) {
+pub fn bisect(
+    graph: &CommGraph,
+    vertices: &[usize],
+    target_first: usize,
+) -> (Vec<usize>, Vec<usize>) {
     assert!(target_first <= vertices.len());
     if target_first == 0 {
         return (Vec::new(), vertices.to_vec());
@@ -20,8 +24,7 @@ pub fn bisect(graph: &CommGraph, vertices: &[usize], target_first: usize) -> (Ve
     if target_first == vertices.len() {
         return (vertices.to_vec(), Vec::new());
     }
-    let in_set: HashMap<usize, usize> =
-        vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let in_set: HashMap<usize, usize> = vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
     // Multi-start (as SCOTCH's strategy strings do): refine both a
     // BFS-grown seed partition and the contiguous-order split — the
@@ -90,8 +93,10 @@ fn bfs_initial(
     let seed = *vertices
         .iter()
         .max_by(|&&a, &&b| {
-            let wa: f64 = graph.neighbors(a).filter(|(n, _)| in_set.contains_key(n)).map(|(_, w)| w).sum();
-            let wb: f64 = graph.neighbors(b).filter(|(n, _)| in_set.contains_key(n)).map(|(_, w)| w).sum();
+            let wa: f64 =
+                graph.neighbors(a).filter(|(n, _)| in_set.contains_key(n)).map(|(_, w)| w).sum();
+            let wb: f64 =
+                graph.neighbors(b).filter(|(n, _)| in_set.contains_key(n)).map(|(_, w)| w).sum();
             wa.partial_cmp(&wb).expect("weights are finite")
         })
         .expect("non-empty vertex set");
@@ -337,8 +342,16 @@ mod tests {
         }
         // Heavy pairs: (0,2) (1,3) (4,6) (5,7) — naive split 0-3|4-7 is
         // fine, but pairs (0,4),(1,5) pull across... build interleaved:
-        for (a, b, w) in [(0, 4, 10.0), (1, 5, 10.0), (2, 6, 10.0), (3, 7, 10.0),
-                          (0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0), (6, 7, 1.0)] {
+        for (a, b, w) in [
+            (0, 4, 10.0),
+            (1, 5, 10.0),
+            (2, 6, 10.0),
+            (3, 7, 10.0),
+            (0, 1, 1.0),
+            (2, 3, 1.0),
+            (4, 5, 1.0),
+            (6, 7, 1.0),
+        ] {
             g.add_edge(a, b, w);
         }
         let all: Vec<usize> = (0..8).collect();

@@ -6,9 +6,7 @@
 //! (flat root-based trees for gather/bcast, dissemination for barrier),
 //! which is appropriate for the in-process scale of this runtime.
 
-use crate::comm::{
-    Comm, COLLECTIVE_SEQ_WINDOWS, COLLECTIVE_SLOTS, COLLECTIVE_TAG_BASE, Tag,
-};
+use crate::comm::{Comm, Tag, COLLECTIVE_SEQ_WINDOWS, COLLECTIVE_SLOTS, COLLECTIVE_TAG_BASE};
 
 /// Per-operation slot offsets within a collective's sequence window.
 /// Slots 0..63 are the barrier's per-round tags.
@@ -310,9 +308,8 @@ mod tests {
     #[test]
     fn alltoall_transposes() {
         let results = launch(3, |comm| {
-            let parts: Vec<Vec<u8>> = (0..3)
-                .map(|dst| vec![comm.rank() as u8, dst as u8])
-                .collect();
+            let parts: Vec<Vec<u8>> =
+                (0..3).map(|dst| vec![comm.rank() as u8, dst as u8]).collect();
             comm.alltoall(&parts)
         });
         for (rank, received) in results.iter().enumerate() {
@@ -367,8 +364,7 @@ mod tests {
                 comm.barrier();
             }
             for round in 0u64..10 {
-                let parts: Vec<Vec<u8>> =
-                    (0..4).map(|d| vec![(round * 4 + d) as u8]).collect();
+                let parts: Vec<Vec<u8>> = (0..4).map(|d| vec![(round * 4 + d) as u8]).collect();
                 let got = comm.alltoall(&parts);
                 for (src, msg) in got.iter().enumerate() {
                     assert_eq!(msg[0], (round * 4 + comm.rank() as u64) as u8, "from {src}");

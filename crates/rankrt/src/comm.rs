@@ -121,11 +121,7 @@ impl Comm {
     /// Send an owned payload, avoiding a copy.
     pub fn send_owned(&self, dst: usize, tag: Tag, payload: Vec<u8>) {
         assert!(dst < self.size(), "destination rank {dst} out of range");
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            payload,
-        };
+        let env = Envelope { src: self.rank, tag, payload };
         // The receiver half only disappears if the peer thread has exited,
         // which in this runtime means the program is tearing down; sends to
         // departed ranks are silently dropped like MPI after finalize.
@@ -142,9 +138,8 @@ impl Comm {
     /// Blocking receive matching any source with the given tag.
     /// Returns `(source_rank, payload)`.
     pub fn recv_any(&self, tag: Tag) -> (usize, Vec<u8>) {
-        let env = self
-            .recv_matching(|e| e.tag == tag, None)
-            .expect("blocking recv cannot time out");
+        let env =
+            self.recv_matching(|e| e.tag == tag, None).expect("blocking recv cannot time out");
         (env.src, env.payload)
     }
 
@@ -163,8 +158,7 @@ impl Comm {
     /// Non-blocking probe-and-receive for `(src, tag)`.
     pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Vec<u8>> {
         self.drain_inbox();
-        self.take_pending(|e| e.src == src && e.tag == tag)
-            .map(|e| e.payload)
+        self.take_pending(|e| e.src == src && e.tag == tag).map(|e| e.payload)
     }
 
     /// Non-blocking receive of any message with the given tag.
@@ -224,10 +218,7 @@ impl Comm {
 
 impl std::fmt::Debug for Comm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Comm")
-            .field("rank", &self.rank)
-            .field("size", &self.size())
-            .finish()
+        f.debug_struct("Comm").field("rank", &self.rank).field("size", &self.size()).finish()
     }
 }
 

@@ -17,10 +17,7 @@ pub fn f64s_as_bytes(values: &[f64]) -> Vec<u8> {
 /// multiple of 8.
 pub fn bytes_as_f64s(bytes: &[u8]) -> Vec<f64> {
     assert!(bytes.len().is_multiple_of(8), "payload is not a whole number of f64s");
-    bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 /// Encode a slice of `u64`s as little-endian bytes.
@@ -36,10 +33,7 @@ pub fn u64s_as_bytes(values: &[u64]) -> Vec<u8> {
 /// multiple of 8.
 pub fn bytes_as_u64s(bytes: &[u8]) -> Vec<u64> {
     assert!(bytes.len().is_multiple_of(8), "payload is not a whole number of u64s");
-    bytes
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 #[cfg(test)]

@@ -100,9 +100,7 @@ fn idle_round() -> bool {
 /// Park until the next wheel deadline, or escalate `backoff` when the
 /// wheel is empty (tasks are polling something that isn't a timer).
 fn park(backoff: &mut Backoff) {
-    let deadline = CX.with(|cx| {
-        cx.borrow().as_ref().and_then(|cx| cx.wheel.next_deadline())
-    });
+    let deadline = CX.with(|cx| cx.borrow().as_ref().and_then(|cx| cx.wheel.next_deadline()));
     match deadline {
         Some(d) => {
             let nap = d.saturating_duration_since(Instant::now());

@@ -32,5 +32,7 @@ mod exec;
 mod wheel;
 
 pub use backoff::Backoff;
-pub use exec::{block_on, in_reactor, note_progress, sleep, sleep_until, yield_now, Pacing, Reactor};
+pub use exec::{
+    block_on, in_reactor, note_progress, sleep, sleep_until, yield_now, Pacing, Reactor,
+};
 pub use wheel::{TimerId, TimerWheel};

@@ -124,11 +124,7 @@ impl TimerWheel {
     /// may park. O(len) scan; wheels here hold at most a few entries
     /// per in-flight stream.
     pub fn next_deadline(&self) -> Option<Instant> {
-        let tick = self
-            .slots
-            .iter()
-            .flat_map(|s| s.iter().map(|e| e.tick))
-            .min()?;
+        let tick = self.slots.iter().flat_map(|s| s.iter().map(|e| e.tick)).min()?;
         let nanos = (self.tick.as_nanos().min(u64::MAX as u128) as u64).saturating_mul(tick);
         Some(self.origin + Duration::from_nanos(nanos))
     }

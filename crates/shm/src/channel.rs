@@ -179,10 +179,10 @@ impl ShmSender {
         let token = self.next_token;
         self.next_token += 1;
         let (done_tx, done_rx) = bounded(1);
-        self.shared.transfers.lock().insert(
-            token,
-            Transfer::Mapped { data: payload, done: done_tx },
-        );
+        self.shared
+            .transfers
+            .lock()
+            .insert(token, Transfer::Mapped { data: payload, done: done_tx });
         self.queue
             .push(&control_frame(KIND_MAPPED, token))
             .expect("control frame fits entry capacity");
@@ -208,10 +208,7 @@ impl ShmSender {
         // roll back on Full.
         let mut buf = self.pool.acquire(payload.len());
         buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
-        self.shared.transfers.lock().insert(
-            token,
-            Transfer::Pooled { buf, len: payload.len() },
-        );
+        self.shared.transfers.lock().insert(token, Transfer::Pooled { buf, len: payload.len() });
         match self.queue.try_push(&frame) {
             Ok(()) => {
                 self.shared.producer_copies.fetch_add(1, Ordering::Relaxed);
@@ -349,9 +346,7 @@ fn control_frame(kind: u8, token: u64) -> [u8; 9] {
 }
 
 fn token_of(frame: &[u8]) -> Result<u64, ChannelError> {
-    let bytes = frame
-        .get(1..9)
-        .ok_or(ChannelError::Corrupt("truncated control frame"))?;
+    let bytes = frame.get(1..9).ok_or(ChannelError::Corrupt("truncated control frame"))?;
     Ok(u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes")))
 }
 
@@ -491,17 +486,11 @@ mod tests {
 
         // Unknown kind byte.
         tx.queue.push(&[42u8, 0, 0, 0]).unwrap();
-        assert_eq!(
-            rx.try_recv(),
-            Err(ChannelError::Corrupt("unknown frame kind"))
-        );
+        assert_eq!(rx.try_recv(), Err(ChannelError::Corrupt("unknown frame kind")));
 
         // Truncated control frame (pooled kind but no room for a token).
         tx.queue.push(&[KIND_POOLED, 1, 2]).unwrap();
-        assert_eq!(
-            rx.try_recv(),
-            Err(ChannelError::Corrupt("truncated control frame"))
-        );
+        assert_eq!(rx.try_recv(), Err(ChannelError::Corrupt("truncated control frame")));
 
         // Well-formed pooled frame whose token was never parked.
         tx.queue.push(&control_frame(KIND_POOLED, 99)).unwrap();
@@ -538,10 +527,10 @@ mod tests {
         let (mut tx, mut rx) = shm_channel(8, 64);
         // Park a mapped transfer, then forge a POOLED frame for its token.
         let (done_tx, _done_rx) = bounded(1);
-        tx.shared.transfers.lock().insert(
-            7,
-            Transfer::Mapped { data: Arc::new(vec![1, 2, 3]), done: done_tx },
-        );
+        tx.shared
+            .transfers
+            .lock()
+            .insert(7, Transfer::Mapped { data: Arc::new(vec![1, 2, 3]), done: done_tx });
         tx.queue.push(&control_frame(KIND_POOLED, 7)).unwrap();
         assert_eq!(
             rx.try_recv(),

@@ -37,10 +37,7 @@ pub fn naive_queue(capacity: usize) -> (NaiveSender, NaiveReceiver) {
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
     });
-    (
-        NaiveSender { inner: Arc::clone(&inner) },
-        NaiveReceiver { inner },
-    )
+    (NaiveSender { inner: Arc::clone(&inner) }, NaiveReceiver { inner })
 }
 
 impl NaiveSender {

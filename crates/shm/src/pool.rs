@@ -111,9 +111,7 @@ impl BufferPool {
             let hit_class = if free.get(&class).is_some_and(|v| !v.is_empty()) {
                 Some(class)
             } else {
-                free.range(class..)
-                    .find(|(_, v)| !v.is_empty())
-                    .map(|(c, _)| *c)
+                free.range(class..).find(|(_, v)| !v.is_empty()).map(|(c, _)| *c)
             };
             hit_class.and_then(|c| {
                 let buf = free.get_mut(&c)?.pop()?;
@@ -123,20 +121,13 @@ impl BufferPool {
         match reused {
             Some((c, data)) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                self.inner
-                    .free_bytes
-                    .fetch_sub(1u64 << c, Ordering::Relaxed);
+                self.inner.free_bytes.fetch_sub(1u64 << c, Ordering::Relaxed);
                 PoolBuffer { data, class: c }
             }
             None => {
                 self.inner.misses.fetch_add(1, Ordering::Relaxed);
-                self.inner
-                    .resident_bytes
-                    .fetch_add(cap as u64, Ordering::Relaxed);
-                PoolBuffer {
-                    data: vec![0u8; cap].into_boxed_slice(),
-                    class,
-                }
+                self.inner.resident_bytes.fetch_add(cap as u64, Ordering::Relaxed);
+                PoolBuffer { data: vec![0u8; cap].into_boxed_slice(), class }
             }
         }
     }
@@ -230,8 +221,8 @@ mod tests {
     #[test]
     fn reclamation_bounds_memory() {
         let pool = BufferPool::new(8192); // tiny threshold
-        // Hold several buffers live at once so the free list exceeds the
-        // threshold when they all come back.
+                                          // Hold several buffers live at once so the free list exceeds the
+                                          // threshold when they all come back.
         let held: Vec<_> = (0..10).map(|_| pool.acquire(4096)).collect();
         for buf in held {
             pool.give_back(buf);

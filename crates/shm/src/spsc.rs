@@ -113,10 +113,7 @@ pub fn spsc_queue(entries: usize, payload_capacity: usize) -> (Producer, Consume
         dequeued: AtomicU64::new(0),
         bytes: AtomicU64::new(0),
     });
-    (
-        Producer { shared: Arc::clone(&shared), head: 0 },
-        Consumer { shared, tail: 0 },
-    )
+    (Producer { shared: Arc::clone(&shared), head: 0 }, Consumer { shared, tail: 0 })
 }
 
 impl Producer {
@@ -268,10 +265,7 @@ mod tests {
     #[test]
     fn oversized_payload_rejected() {
         let (mut tx, _rx) = spsc_queue(2, 4);
-        assert_eq!(
-            tx.try_push(b"too-big"),
-            Err(PushError::TooLarge { capacity: 4, requested: 7 })
-        );
+        assert_eq!(tx.try_push(b"too-big"), Err(PushError::TooLarge { capacity: 4, requested: 7 }));
     }
 
     #[test]

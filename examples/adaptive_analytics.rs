@@ -27,7 +27,8 @@ fn main() {
     let sim = thread::spawn(move || {
         rankrt::launch(1, move |_| {
             let core = CoreLocation { node: 0, numa: 0, core: 0 };
-            let mut w = io_w.open_writer("adaptive", 0, 1, core, vec![core], hints_w.clone()).unwrap();
+            let mut w =
+                io_w.open_writer("adaptive", 0, 1, core, vec![core], hints_w.clone()).unwrap();
             for step in 0..STEPS {
                 // The simulation's output grows over time (a refinement
                 // phase kicking in) — the trigger for migration.
@@ -57,7 +58,8 @@ fn main() {
     let ana = thread::spawn(move || {
         rankrt::launch(1, move |_| {
             let core = CoreLocation { node: 0, numa: 1, core: 0 };
-            let mut r = io_r.open_reader("adaptive", 0, 1, core, vec![core], hints.clone()).unwrap();
+            let mut r =
+                io_r.open_reader("adaptive", 0, 1, core, vec![core], hints.clone()).unwrap();
             r.subscribe("field", Selection::ProcessGroup(0));
             let summarize = |placement| PluginSpec {
                 var: "field".to_string(),
@@ -66,10 +68,7 @@ fn main() {
             };
             r.install_plugin(summarize(PluginPlacement::ReaderSide));
             let mut manager = PlacementManager::new(
-                ManagerPolicy {
-                    wire_bytes_threshold: 100_000,
-                    ..ManagerPolicy::default()
-                },
+                ManagerPolicy { wire_bytes_threshold: 100_000, ..ManagerPolicy::default() },
                 PluginPlacement::ReaderSide,
             );
             let monitor = r.link().monitor.clone();

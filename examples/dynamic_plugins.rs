@@ -114,8 +114,5 @@ fn main() {
         late > early * (STRIDE as f64) * 0.5,
         "wire volume must grow after migration: early {early}, late {late}"
     );
-    println!(
-        "writer-side conditioning moved ~{:.0}x fewer bytes than reader-side.",
-        late / early
-    );
+    println!("writer-side conditioning moved ~{:.0}x fewer bytes than reader-side.", late / early);
 }

@@ -44,9 +44,17 @@ fn main() {
             let roster: Vec<CoreLocation> =
                 (0..SIM_RANKS).map(|r| laptop().node.location_of(r)).collect();
             let mut writer = io_w
-                .open_writer("gts.particles", rank, SIM_RANKS, roster[rank], roster, hints_w.clone())
+                .open_writer(
+                    "gts.particles",
+                    rank,
+                    SIM_RANKS,
+                    roster[rank],
+                    roster,
+                    hints_w.clone(),
+                )
                 .expect("open writer");
-            let mut gts = Gts::new(rank, GtsConfig { particles_per_rank: 3000, ..Default::default() });
+            let mut gts =
+                Gts::new(rank, GtsConfig { particles_per_rank: 3000, ..Default::default() });
             let mut written = 0u64;
             for _ in 0..CYCLES {
                 gts.step();
@@ -82,9 +90,8 @@ fn main() {
     let ana = thread::spawn(move || {
         rankrt::launch_named(ANA_RANKS, "analytics", move |comm| {
             let rank = comm.rank();
-            let roster: Vec<CoreLocation> = (0..ANA_RANKS)
-                .map(|r| laptop().node.location_of(15 - r))
-                .collect();
+            let roster: Vec<CoreLocation> =
+                (0..ANA_RANKS).map(|r| laptop().node.location_of(15 - r)).collect();
             let mut reader = io_r
                 .open_reader("gts.particles", rank, ANA_RANKS, roster[rank], roster, hints.clone())
                 .expect("open reader");
@@ -165,10 +172,7 @@ fn main() {
     assert!(written.iter().all(|&w| w == CYCLES / 2));
     let (seen, selected) = results[0];
     let frac = selected as f64 / seen as f64;
-    assert!(
-        (0.10..=0.35).contains(&frac),
-        "selectivity {frac} strayed from the ~20% band"
-    );
+    assert!((0.10..=0.35).contains(&frac), "selectivity {frac} strayed from the ~20% band");
     assert_eq!(ATTRS, 7, "paper's seven-attribute layout");
     println!("GTS pipeline complete.");
 }

@@ -9,8 +9,8 @@
 use dessim::{gts_outcome, GtsScale, Placement};
 use machine::{smoky, titan};
 use placement::{
-    allocate_sync, data_aware_mapping, holistic, movement_volume, topology_aware,
-    AnalyticsScaling, CommGraph, PolicyKind,
+    allocate_sync, data_aware_mapping, holistic, movement_volume, topology_aware, AnalyticsScaling,
+    CommGraph, PolicyKind,
 };
 
 fn main() {
@@ -19,12 +19,11 @@ fn main() {
     // ---- resource binding: the three algorithms on a 2-node microcosm.
     println!("== resource binding (24 GTS + 8 analytics processes, 2 Smoky nodes) ==");
     let g = CommGraph::coupled(24, 4, 50_000.0, 8, 110_000_000.0, 100_000.0);
-    let plans = [
-        data_aware_mapping(&g, &m, 2),
-        holistic(&g, &m, 2),
-        topology_aware(&g, &m, 2),
-    ];
-    println!("{:<24} {:>14} {:>16} {:>16}", "policy", "modelled cost", "inter-node B", "intra-node B");
+    let plans = [data_aware_mapping(&g, &m, 2), holistic(&g, &m, 2), topology_aware(&g, &m, 2)];
+    println!(
+        "{:<24} {:>14} {:>16} {:>16}",
+        "policy", "modelled cost", "inter-node B", "intra-node B"
+    );
     for plan in &plans {
         let vol = movement_volume(&g, plan, &m);
         println!(

@@ -10,8 +10,8 @@
 use std::thread;
 
 use adios::{
-    ArrayData, BoxSel, IoConfig, IoMethod, LocalBlock, ReadEngine, Selection, StepStatus,
-    VarValue, WriteEngine,
+    ArrayData, BoxSel, IoConfig, IoMethod, LocalBlock, ReadEngine, Selection, StepStatus, VarValue,
+    WriteEngine,
 };
 use flexio::{FlexIo, StreamHints};
 use machine::{laptop, CoreLocation};

@@ -70,19 +70,15 @@ fn main() {
             let rank = comm.rank();
             let cfg = config();
             let [gx, gy, gz] = cfg.global_shape();
-            let roster: Vec<CoreLocation> = (0..ANA_RANKS)
-                .map(|r| laptop().node.location_of(15 - r))
-                .collect();
+            let roster: Vec<CoreLocation> =
+                (0..ANA_RANKS).map(|r| laptop().node.location_of(15 - r)).collect();
             let mut reader = io_r
                 .open_reader("s3d.species", rank, ANA_RANKS, roster[rank], roster, hints.clone())
                 .expect("open reader");
             // Z-slab decomposition: rank 0 takes the near half, rank 1
             // the far half — nothing like the writers' 2×2×2 blocks.
             let slab_z = gz / ANA_RANKS as u64;
-            let my_slab = BoxSel::new(
-                vec![0, 0, rank as u64 * slab_z],
-                vec![gx, gy, slab_z],
-            );
+            let my_slab = BoxSel::new(vec![0, 0, rank as u64 * slab_z], vec![gx, gy, slab_z]);
             for s in 0..RENDERED_SPECIES {
                 reader.subscribe(&format!("species{s:02}"), Selection::GlobalBox(my_slab.clone()));
             }
@@ -102,8 +98,7 @@ fn main() {
                             let partial = render_slab(&block, &tf);
                             // Gather partial images at rank 0 in depth
                             // order and composite.
-                            let mine: Vec<f64> =
-                                partial.pixels.iter().map(|&p| p as f64).collect();
+                            let mine: Vec<f64> = partial.pixels.iter().map(|&p| p as f64).collect();
                             let gathered = comm.gather(0, &rankrt::f64s_as_bytes(&mine));
                             if let Some(parts) = gathered {
                                 let slabs: Vec<apps::Image> = parts

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Repo verification: release build, full test suite, lints, a 20-seed
+# Repo verification: release build, full test suite, rustfmt + clippy, a 20-seed
 # sweep of the fault-injection replay test (the determinism property must
 # hold for arbitrary seeds, not just the checked-in one), the same
 # mode-matrix + fault battery replayed on the reactor runtime, and a
@@ -12,6 +12,9 @@ cargo build --release --offline
 
 echo "== workspace tests =="
 cargo test -q --offline --workspace
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
 
 echo "== clippy =="
 cargo clippy -q --offline --workspace --all-targets -- -D warnings

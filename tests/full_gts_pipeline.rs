@@ -121,11 +121,9 @@ fn full_analytics_chain_preserves_population_statistics() {
     let sim = thread::spawn(move || {
         rankrt::launch(2, move |comm| {
             let rank = comm.rank();
-            let roster: Vec<CoreLocation> =
-                (0..2).map(|r| laptop().node.location_of(r)).collect();
-            let mut w = io_w
-                .open_writer("gts2", rank, 2, roster[rank], roster, hints_w.clone())
-                .unwrap();
+            let roster: Vec<CoreLocation> = (0..2).map(|r| laptop().node.location_of(r)).collect();
+            let mut w =
+                io_w.open_writer("gts2", rank, 2, roster[rank], roster, hints_w.clone()).unwrap();
             let gts = Gts::new(rank, GtsConfig { particles_per_rank: 2000, ..Default::default() });
             w.begin_step(0);
             for (name, value) in gts.output_vars() {

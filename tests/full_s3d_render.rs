@@ -86,15 +86,13 @@ fn streamed_slab_render_matches_single_process_render() {
             let rank = comm.rank();
             let cfg = config();
             let [gx, gy, gz] = cfg.global_shape();
-            let roster: Vec<CoreLocation> = (0..ANA_RANKS)
-                .map(|r| laptop().node.location_of(15 - r))
-                .collect();
+            let roster: Vec<CoreLocation> =
+                (0..ANA_RANKS).map(|r| laptop().node.location_of(15 - r)).collect();
             let mut r = io_r
                 .open_reader("s3d", rank, ANA_RANKS, roster[rank], roster, hints.clone())
                 .unwrap();
             let slab_z = gz / ANA_RANKS as u64;
-            let my_slab =
-                BoxSel::new(vec![0, 0, rank as u64 * slab_z], vec![gx, gy, slab_z]);
+            let my_slab = BoxSel::new(vec![0, 0, rank as u64 * slab_z], vec![gx, gy, slab_z]);
             r.subscribe("species00", Selection::GlobalBox(my_slab.clone()));
             assert_eq!(r.begin_step(), StepStatus::Step(cycles));
             let v = r.read("species00", &Selection::GlobalBox(my_slab)).unwrap();
@@ -110,7 +108,10 @@ fn streamed_slab_render_matches_single_process_render() {
                     .map(|bytes| Image {
                         width: gx as usize,
                         height: gy as usize,
-                        pixels: rankrt::bytes_as_f64s(bytes).into_iter().map(|p| p as f32).collect(),
+                        pixels: rankrt::bytes_as_f64s(bytes)
+                            .into_iter()
+                            .map(|p| p as f32)
+                            .collect(),
                     })
                     .collect();
                 composite_slabs(&slabs)

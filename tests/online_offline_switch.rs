@@ -7,8 +7,8 @@
 use std::thread;
 
 use adios::{
-    ArrayData, BoxSel, FileReadEngine, FileWriteEngine, IoConfig, IoMethod, LocalBlock,
-    ReadEngine, Selection, StepStatus, VarValue, WriteEngine,
+    ArrayData, BoxSel, FileReadEngine, FileWriteEngine, IoConfig, IoMethod, LocalBlock, ReadEngine,
+    Selection, StepStatus, VarValue, WriteEngine,
 };
 use flexio::{FlexIo, StreamHints};
 use machine::{laptop, CoreLocation};
@@ -47,9 +47,8 @@ fn consume(engine: &mut dyn ReadEngine) -> Vec<(f64, f64)> {
     loop {
         match engine.begin_step() {
             StepStatus::Step(_) => {
-                let u = engine
-                    .read("u", &Selection::GlobalBox(BoxSel::whole(&[GLOBAL])))
-                    .expect("u");
+                let u =
+                    engine.read("u", &Selection::GlobalBox(BoxSel::whole(&[GLOBAL]))).expect("u");
                 let VarValue::Block(b) = u else { panic!() };
                 let sum: f64 = b.data.as_f64().iter().sum();
                 let t = match engine.read("t", &Selection::Scalar) {
@@ -84,9 +83,8 @@ fn run_online(hints: StreamHints) -> Vec<(f64, f64)> {
     let rt = thread::spawn(move || {
         rankrt::launch(1, move |_| {
             let core = laptop().node.location_of(15);
-            let mut r = io_r
-                .open_reader("switch", 0, 1, core, vec![core], hints_r.clone())
-                .unwrap();
+            let mut r =
+                io_r.open_reader("switch", 0, 1, core, vec![core], hints_r.clone()).unwrap();
             r.subscribe("u", Selection::GlobalBox(BoxSel::whole(&[GLOBAL])));
             r.subscribe("t", Selection::Scalar);
             consume(&mut r)
@@ -116,9 +114,7 @@ fn run_offline() -> Vec<(f64, f64)> {
     out
 }
 
-fn parking_lot_mutexes(
-    engines: Vec<FileWriteEngine>,
-) -> Vec<std::sync::Mutex<FileWriteEngine>> {
+fn parking_lot_mutexes(engines: Vec<FileWriteEngine>) -> Vec<std::sync::Mutex<FileWriteEngine>> {
     engines.into_iter().map(std::sync::Mutex::new).collect()
 }
 
@@ -134,7 +130,9 @@ fn xml_config_switches_between_online_and_offline() {
     let file_cfg = IoConfig::from_xml(&file_xml).unwrap();
 
     let online = match stream_cfg.group("fields").unwrap().method {
-        IoMethod::Stream => run_online(StreamHints::from_config(stream_cfg.group("fields").unwrap())),
+        IoMethod::Stream => {
+            run_online(StreamHints::from_config(stream_cfg.group("fields").unwrap()))
+        }
         IoMethod::File => unreachable!(),
     };
     let offline = match file_cfg.group("fields").unwrap().method {
