@@ -1,0 +1,145 @@
+//! **Socket transport** — raw channel throughput of the three byte
+//! transports a coupling can ride: the lock-free shared-memory queue,
+//! loopback TCP, and Unix-domain sockets, swept over payload size.
+//!
+//! Each configuration pushes `msgs` frames of `payload_bytes` from a
+//! sender thread while the main thread drains the receiving half through
+//! the `poll_recv` readiness contract — the same nonblocking path the
+//! reactor runtime drives in production. The numbers answer the placement
+//! question the socket transport raises: what does crossing a real
+//! process boundary (TCP/UDS framing + kernel copies) cost relative to
+//! the intra-node shm path?
+//!
+//! Results land in `BENCH_net.json` at the repo root; the summary JSON is
+//! printed to stdout (one line, machine-parsable). Run with
+//! `cargo bench --bench net`; set `NET_QUICK=1` for a smoke-sized sweep.
+
+use std::thread;
+use std::time::Instant;
+
+use evpath::socket::socket_pair;
+use evpath::{RecvPoll, ShmTransport, SocketKind};
+
+const KIB: usize = 1 << 10;
+const MIB: usize = 1 << 20;
+
+struct RunResult {
+    payload_bytes: usize,
+    transport: &'static str,
+    msgs: u64,
+    elapsed_s: f64,
+}
+
+impl RunResult {
+    fn gbps(&self) -> f64 {
+        (self.msgs as f64 * self.payload_bytes as f64) / self.elapsed_s / 1e9
+    }
+
+    fn msgs_per_s(&self) -> f64 {
+        self.msgs as f64 / self.elapsed_s
+    }
+}
+
+/// Push `msgs` frames of `payload_bytes` through one channel; the drain
+/// runs on the caller's thread via the readiness poll. Returns wall time
+/// from first send to last frame received.
+fn run_channel(transport: &'static str, payload_bytes: usize, msgs: u64) -> f64 {
+    let (mut tx, mut rx) = match transport {
+        "shm" => ShmTransport::pair(64, 64 * KIB),
+        "tcp" => socket_pair(SocketKind::Tcp),
+        "uds" => socket_pair(SocketKind::Uds),
+        other => panic!("unknown transport {other}"),
+    };
+    let payload = vec![0xA5u8; payload_bytes];
+    let start = Instant::now();
+    let sender = thread::spawn(move || {
+        for _ in 0..msgs {
+            tx.send(&payload);
+        }
+        tx // keep the half alive until the drain is done
+    });
+    let mut received = 0u64;
+    while received < msgs {
+        match rx.poll_recv() {
+            RecvPoll::Msg(m) => {
+                assert_eq!(m.len(), payload_bytes, "frame arrived whole");
+                received += 1;
+            }
+            RecvPoll::Empty => std::hint::spin_loop(),
+            RecvPoll::Closed => panic!("{transport} channel closed mid-bench"),
+            RecvPoll::Corrupt(why) => panic!("{transport} corrupt frame: {why}"),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    drop(sender.join().expect("sender thread"));
+    elapsed
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        println!("net: skipped under test harness");
+        return;
+    }
+    let quick = std::env::var("NET_QUICK").is_ok();
+    // (payload bytes, messages) — counts scale down with size so every
+    // configuration moves a comparable total volume.
+    let sizes: Vec<(usize, u64)> = vec![
+        (4 * KIB, if quick { 2_000 } else { 40_000 }),
+        (64 * KIB, if quick { 500 } else { 8_000 }),
+        (MIB, if quick { 60 } else { 1_000 }),
+        (8 * MIB, if quick { 10 } else { 120 }),
+    ];
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &(payload_bytes, msgs) in &sizes {
+        for transport in ["shm", "tcp", "uds"] {
+            let elapsed_s = run_channel(transport, payload_bytes, msgs);
+            let r = RunResult { payload_bytes, transport, msgs, elapsed_s };
+            eprintln!(
+                "net: {:>9} B  {:4}  {:10.0} msgs/s  {:7.3} GB/s",
+                r.payload_bytes,
+                r.transport,
+                r.msgs_per_s(),
+                r.gbps()
+            );
+            results.push(r);
+        }
+    }
+
+    let best_of = |t: &str| {
+        results
+            .iter()
+            .filter(|r| r.transport == t && r.payload_bytes == 8 * MIB)
+            .map(RunResult::gbps)
+            .fold(0.0f64, f64::max)
+    };
+    let (shm_8m, tcp_8m, uds_8m) = (best_of("shm"), best_of("tcp"), best_of("uds"));
+
+    let mut entries = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(", ");
+        }
+        entries.push_str(&format!(
+            "{{\"payload_bytes\": {}, \"transport\": \"{}\", \"msgs\": {}, \
+             \"elapsed_s\": {:.6}, \"msgs_per_s\": {:.3}, \"gbps\": {:.4}}}",
+            r.payload_bytes,
+            r.transport,
+            r.msgs,
+            r.elapsed_s,
+            r.msgs_per_s(),
+            r.gbps()
+        ));
+    }
+    let json = format!(
+        "{{\"bench\": \"net\", \"gbps_8mib\": {{\"shm\": {shm_8m:.4}, \"tcp\": {tcp_8m:.4}, \
+         \"uds\": {uds_8m:.4}}}, \"results\": [{entries}]}}"
+    );
+    println!("{json}");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_net.json");
+    eprintln!(
+        "net: wrote {out} (8 MiB frames: shm {shm_8m:.2} / tcp {tcp_8m:.2} / uds {uds_8m:.2} GB/s)"
+    );
+}

@@ -20,6 +20,9 @@
 //!   the [`shm`] lock-free shared-memory channel (intra-node), and the
 //!   [`netsim`] RDMA fabric (inter-node). FlexIO picks among them per the
 //!   analytics placement.
+//! * [`socket`] — real stream sockets (TCP and Unix-domain) behind the
+//!   same contract, with length-prefixed framing, so couplings can cross
+//!   an actual process boundary.
 
 //! * [`fault`] — a deterministic, seedable fault-injection layer that wraps
 //!   any transport pair with scheduled drops, duplicates, reorders, delays
@@ -28,6 +31,7 @@
 
 pub mod fault;
 pub mod ffs;
+pub mod socket;
 pub mod stones;
 pub mod transport;
 
@@ -35,6 +39,11 @@ pub use fault::{FaultCounters, FaultPlan, FaultSpec};
 pub use ffs::{
     DecodeError, EncSegment, EncodedRecord, FieldValue, PackedArray, PackedDtype, Record,
     ZERO_COPY_MIN_BYTES,
+};
+pub use socket::{
+    connect, connect_retry, decode_frame_header, encode_frame_header, read_frame, receiver_over,
+    sender_over, socket_pair, write_frame, SockStream, SocketKind, SocketListener, SocketReceiver,
+    SocketSender, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
 };
 pub use stones::{EvGraph, StoneId};
 pub use transport::{

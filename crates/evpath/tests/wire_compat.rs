@@ -177,3 +177,60 @@ fn bulk_le_helpers_match_per_element_layout() {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 }
+
+// ------------------------------------------------- socket frame headers
+
+mod frame_header {
+    use evpath::{
+        decode_frame_header, encode_frame_header, read_frame, socket::raw_socket_pair, write_frame,
+        SocketKind, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
+    };
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every encodable length round-trips through the header codec,
+        /// from the zero-length frame up to the hard cap.
+        #[test]
+        fn header_roundtrips_any_length(len in prop_oneof![
+            Just(0u32),
+            Just(MAX_FRAME_LEN),
+            0..=MAX_FRAME_LEN,
+        ]) {
+            let header = encode_frame_header(len);
+            prop_assert_eq!(header.len(), FRAME_HEADER_LEN);
+            prop_assert_eq!(&header[..4], FRAME_MAGIC.as_slice());
+            prop_assert_eq!(decode_frame_header(&header, MAX_FRAME_LEN), Ok(len));
+        }
+
+        /// Any corruption of the magic bytes is rejected — a desynced
+        /// byte stream can never be misread as a frame boundary.
+        #[test]
+        fn damaged_magic_never_decodes(byte in 0usize..4, flip in 1u8..=255, len in 0..=MAX_FRAME_LEN) {
+            let mut header = encode_frame_header(len);
+            header[byte] ^= flip;
+            prop_assert!(decode_frame_header(&header, MAX_FRAME_LEN).is_err());
+        }
+
+        /// Lengths above the receiver's cap are rejected at the header,
+        /// before any allocation.
+        #[test]
+        fn oversize_lengths_are_rejected(cap in 0u32..MAX_FRAME_LEN, over in 1u32..1024) {
+            let len = cap.saturating_add(over);
+            prop_assume!(len > cap);
+            let header = encode_frame_header(len);
+            prop_assert!(decode_frame_header(&header, cap).is_err());
+            prop_assert_eq!(decode_frame_header(&header, len), Ok(len));
+        }
+
+        /// Arbitrary payloads — zero-length included — cross a real
+        /// socket intact through the framed blocking helpers.
+        #[test]
+        fn framed_payloads_cross_a_socket(payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let (mut tx, mut rx) = raw_socket_pair(SocketKind::Tcp);
+            write_frame(&mut tx, &payload).unwrap();
+            let _ = rx.set_nonblocking(false);
+            let got = read_frame(&mut rx, MAX_FRAME_LEN).unwrap();
+            prop_assert_eq!(got, payload);
+        }
+    }
+}

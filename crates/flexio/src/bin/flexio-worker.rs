@@ -1,0 +1,171 @@
+//! One rank of a cross-process coupling (or one directory node).
+//!
+//! Spawned by `rankrt::spawn_ranks`, which tells the process its role and
+//! rank through the `RANKRT_*` environment protocol; everything else
+//! (stream name, directory addresses, socket family, step count, pacing)
+//! arrives via `FLEXIO_*` variables. The process narrates progress on
+//! stdout — one flushed line per event — because the parent (the chaos
+//! test) watches those lines to time its `kill -9`:
+//!
+//! * `DIRADDR <addr>` — a directory node announcing where it listens.
+//! * `WORKER step=<n>` — a writer/reader rank completing a step.
+//! * `RESULT role=<r> rank=<k> ...` — final counters before exit.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use adios::{
+    ArrayData, BoxSel, LocalBlock, ReadEngine, ScalarValue, Selection, StepStatus, VarValue,
+    WriteEngine,
+};
+use evpath::SocketKind;
+use flexio::{
+    open_reader_proc, open_writer_proc, CachingLevel, ProcConfig, StreamHints, WireDirNode,
+    WriteMode,
+};
+use rankrt::RankEnv;
+
+/// Elements each writer rank owns per step.
+const PER_RANK: u64 = 4;
+
+fn env_str(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn sock_kind() -> SocketKind {
+    match env_str("FLEXIO_SOCK", "tcp").as_str() {
+        "uds" => SocketKind::Uds,
+        _ => SocketKind::Tcp,
+    }
+}
+
+fn say(line: &str) {
+    println!("{line}");
+    let _ = std::io::stdout().flush();
+}
+
+fn hints(write_side: bool) -> StreamHints {
+    StreamHints {
+        caching: CachingLevel::CachingAll,
+        write_mode: WriteMode::Sync,
+        recv_timeout: Duration::from_millis(env_u64("FLEXIO_TIMEOUT_MS", 400)),
+        retries: 2,
+        eos_on_silence: !write_side,
+        ..StreamHints::default()
+    }
+}
+
+fn proc_config(env: &RankEnv, write_side: bool) -> ProcConfig {
+    ProcConfig {
+        stream: env_str("FLEXIO_STREAM", "chaos"),
+        rank: env.rank,
+        nranks: env.nranks,
+        dir_addrs: env_str("FLEXIO_DIR_ADDRS", "")
+            .split(',')
+            .filter(|a| !a.is_empty())
+            .map(str::to_string)
+            .collect(),
+        kind: sock_kind(),
+        hints: hints(write_side),
+    }
+}
+
+/// Directory node role: announce the listen address, then serve forever
+/// (peer addresses arrive later via a `dpeers` request from the parent).
+fn run_dirnode(env: &RankEnv) {
+    let node = WireDirNode::bind(
+        env.rank as u64 + 1,
+        sock_kind(),
+        Duration::from_millis(env_u64("FLEXIO_DIR_GOSSIP_MS", 20)),
+    )
+    .expect("bind directory node");
+    say(&format!("DIRADDR {}", node.addr()));
+    node.serve();
+}
+
+/// Writer rank role: produce `FLEXIO_STEPS` steps of a 1-D global array,
+/// each element stamped `step*1000 + owner rank`, pacing by
+/// `FLEXIO_STEP_MS` between steps (the window the chaos test kills in).
+fn run_writer(env: &RankEnv) {
+    let steps = env_u64("FLEXIO_STEPS", 4);
+    let step_ms = env_u64("FLEXIO_STEP_MS", 50);
+    let mut w = open_writer_proc(proc_config(env, true)).expect("open writer");
+    w.link().wait_reader_info(Duration::from_secs(10)).expect("readers attached");
+    let global = PER_RANK * env.nranks as u64;
+    let offset = PER_RANK * env.rank as u64;
+    let mut done = 0;
+    for step in 0..steps {
+        w.begin_step(step);
+        let data = vec![(step * 1000 + env.rank as u64) as f64; PER_RANK as usize];
+        w.write("nelems", VarValue::Scalar(ScalarValue::U64(global)));
+        w.write(
+            "field",
+            VarValue::Block(
+                LocalBlock {
+                    global_shape: vec![global],
+                    offset: vec![offset],
+                    count: vec![PER_RANK],
+                    data: ArrayData::F64(data),
+                }
+                .validated(),
+            ),
+        );
+        if w.try_end_step().is_err() {
+            break;
+        }
+        done += 1;
+        say(&format!("WORKER step={step}"));
+        std::thread::sleep(Duration::from_millis(step_ms));
+    }
+    w.close();
+    let (_, _, _, _, eos_synth, evictions, degraded) = w.link().counters.resilience_snapshot();
+    say(&format!(
+        "RESULT role=writer rank={} steps={done} evictions={evictions} degraded={degraded} eos_synth={eos_synth}",
+        env.rank
+    ));
+}
+
+/// Reader rank role: subscribe to the whole array (so every writer rank
+/// feeds every reader rank) and verify each element's stamp until EOS.
+fn run_reader(env: &RankEnv) {
+    let mut r = open_reader_proc(proc_config(env, false)).expect("open reader");
+    let global = PER_RANK * r.link().writer_count as u64;
+    let sel = Selection::GlobalBox(BoxSel::whole(&[global]));
+    r.subscribe("field", sel.clone());
+    let mut steps = 0u64;
+    loop {
+        match r.begin_step() {
+            StepStatus::Step(step) => {
+                let v = r.read("field", &sel).expect("field present");
+                let VarValue::Block(block) = v else { panic!("field is a block") };
+                let ArrayData::F64(data) = &block.data else { panic!("field is f64") };
+                assert_eq!(data.len() as u64, global, "full array assembled");
+                for (i, val) in data.iter().enumerate() {
+                    let owner = i as u64 / PER_RANK;
+                    assert_eq!(*val, (step * 1000 + owner) as f64, "element {i} of step {step}");
+                }
+                r.end_step();
+                steps += 1;
+                say(&format!("WORKER step={step}"));
+            }
+            StepStatus::EndOfStream => break,
+        }
+    }
+    r.close();
+    let (_, _, _, _, eos_synth, ..) = r.link().counters.resilience_snapshot();
+    say(&format!("RESULT role=reader rank={} steps={steps} eos_synth={eos_synth}", env.rank));
+}
+
+fn main() {
+    let env = RankEnv::from_env().expect("spawned via rankrt::spawn_ranks");
+    match env.name.as_str() {
+        "dirnode" => run_dirnode(&env),
+        "writer" => run_writer(&env),
+        "reader" => run_reader(&env),
+        other => panic!("unknown worker role `{other}`"),
+    }
+}

@@ -29,12 +29,28 @@ use crate::link::LinkState;
 use super::shard::{ShardedDirectory, VersionedEntry};
 use super::DirectoryError;
 
+/// The serialized form of one contact: what a directory node hands out
+/// when the endpoint lives in *another process*. `addr` is a connectable
+/// socket address string (`tcp:host:port` / `uds:/path`); `meta` carries
+/// endpoint-specific numbers (a writer endpoint ships its rank count and
+/// packed core placements).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireContact {
+    /// Connectable socket address (`tcp:host:port` / `uds:/path`).
+    pub addr: String,
+    /// Endpoint-specific payload (rank counts, packed cores, ...).
+    pub meta: Vec<u64>,
+}
+
 /// Cluster-wide token → contact resolution (see module docs). Shared by
-/// every node of one cluster.
+/// every node of one cluster. In-process contacts resolve to
+/// `Arc<LinkState>` handles; cross-process contacts resolve to their
+/// serialized [`WireContact`] form, which *can* cross a byte transport.
 #[derive(Default)]
 pub(crate) struct ContactTable {
     next: AtomicU64,
     by_token: Mutex<HashMap<u64, Arc<LinkState>>>,
+    wire_by_token: Mutex<HashMap<u64, WireContact>>,
 }
 
 impl ContactTable {
@@ -48,6 +64,26 @@ impl ContactTable {
 
     fn resolve(&self, token: u64) -> Option<Arc<LinkState>> {
         self.by_token.lock().get(&token).cloned()
+    }
+
+    /// Store a serialized contact under a caller-chosen token (wire
+    /// directory nodes namespace tokens by node id, so two nodes never
+    /// mint the same one).
+    pub(crate) fn put_wire(&self, token: u64, contact: WireContact) {
+        self.wire_by_token.lock().insert(token, contact);
+    }
+
+    /// Resolve a token to its serialized contact.
+    pub(crate) fn resolve_wire(&self, token: u64) -> Option<WireContact> {
+        self.wire_by_token.lock().get(&token).cloned()
+    }
+
+    /// Every serialized contact this table knows, for gossip shipment.
+    pub(crate) fn export_wire(&self) -> Vec<(u64, WireContact)> {
+        let mut all: Vec<(u64, WireContact)> =
+            self.wire_by_token.lock().iter().map(|(t, c)| (*t, c.clone())).collect();
+        all.sort_by_key(|(t, _)| *t);
+        all
     }
 }
 
@@ -248,7 +284,7 @@ impl DirectoryNode {
 /// (token 0 = tombstone).
 const MAGIC: &[u8; 4] = b"DGSP";
 
-fn encode_digest(from: u64, entries: &[(String, VersionedEntry)]) -> Vec<u8> {
+pub(crate) fn encode_digest(from: u64, entries: &[(String, VersionedEntry)]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(16 + entries.len() * 48);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&from.to_le_bytes());
@@ -263,9 +299,9 @@ fn encode_digest(from: u64, entries: &[(String, VersionedEntry)]) -> Vec<u8> {
     buf
 }
 
-type DigestEntry = (String, u64, u64, u64);
+pub(crate) type DigestEntry = (String, u64, u64, u64);
 
-fn decode_digest(frame: &[u8]) -> Option<(u64, Vec<DigestEntry>)> {
+pub(crate) fn decode_digest(frame: &[u8]) -> Option<(u64, Vec<DigestEntry>)> {
     let mut at = 0usize;
     let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
         let s = frame.get(*at..*at + n)?;
@@ -290,6 +326,61 @@ fn decode_digest(frame: &[u8]) -> Option<(u64, Vec<DigestEntry>)> {
         return None;
     }
     Some((from, entries))
+}
+
+/// Contact-table frame layout (all little-endian):
+/// `magic "CTB1" · u32 entry count · entries`, each entry
+/// `u64 token · u32 addr length · addr bytes · u32 meta count · meta u64s`.
+/// Cross-process directory nodes gossip this alongside the digest so a
+/// token arriving from a peer is resolvable locally.
+const CONTACT_MAGIC: &[u8; 4] = b"CTB1";
+
+/// Encode a set of `(token, contact)` pairs for the gossip wire.
+pub fn encode_contact_table(entries: &[(u64, WireContact)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8 + entries.len() * 48);
+    buf.extend_from_slice(CONTACT_MAGIC);
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (token, c) in entries {
+        buf.extend_from_slice(&token.to_le_bytes());
+        buf.extend_from_slice(&(c.addr.len() as u32).to_le_bytes());
+        buf.extend_from_slice(c.addr.as_bytes());
+        buf.extend_from_slice(&(c.meta.len() as u32).to_le_bytes());
+        for m in &c.meta {
+            buf.extend_from_slice(&m.to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Decode a contact-table frame; `None` on any malformation (bad magic,
+/// truncation, trailing bytes, non-UTF-8 address).
+pub fn decode_contact_table(frame: &[u8]) -> Option<Vec<(u64, WireContact)>> {
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = frame.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    if take(&mut at, 4)? != CONTACT_MAGIC {
+        return None;
+    }
+    let count = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let token = u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let alen = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let addr = String::from_utf8(take(&mut at, alen)?.to_vec()).ok()?;
+        let mlen = u32::from_le_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let mut meta = Vec::with_capacity(mlen.min(1024));
+        for _ in 0..mlen {
+            meta.push(u64::from_le_bytes(take(&mut at, 8)?.try_into().ok()?));
+        }
+        entries.push((token, WireContact { addr, meta }));
+    }
+    if at != frame.len() {
+        return None;
+    }
+    Some(entries)
 }
 
 #[cfg(test)]
@@ -327,5 +418,34 @@ mod tests {
         let mut trailing = encode_digest(1, &[]);
         trailing.push(0xFF);
         assert!(decode_digest(&trailing).is_none());
+    }
+
+    #[test]
+    fn contact_table_round_trips() {
+        let entries = vec![
+            (
+                (1u64 << 48) | 1,
+                WireContact { addr: "tcp:127.0.0.1:45123".to_string(), meta: vec![4, 0, 1, 2, 3] },
+            ),
+            ((2u64 << 48) | 7, WireContact { addr: "uds:/tmp/x.sock".to_string(), meta: vec![] }),
+        ];
+        let frame = encode_contact_table(&entries);
+        assert_eq!(decode_contact_table(&frame), Some(entries));
+        assert_eq!(decode_contact_table(&encode_contact_table(&[])), Some(Vec::new()));
+    }
+
+    #[test]
+    fn garbage_contact_tables_are_rejected() {
+        assert!(decode_contact_table(b"").is_none());
+        assert!(decode_contact_table(b"DGSP").is_none());
+        let mut truncated = encode_contact_table(&[(
+            3,
+            WireContact { addr: "tcp:h:1".to_string(), meta: vec![9] },
+        )]);
+        truncated.pop();
+        assert!(decode_contact_table(&truncated).is_none());
+        let mut trailing = encode_contact_table(&[]);
+        trailing.push(0);
+        assert!(decode_contact_table(&trailing).is_none());
     }
 }

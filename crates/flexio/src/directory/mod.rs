@@ -37,9 +37,13 @@ mod gossip;
 mod service;
 mod shard;
 
-pub use gossip::{DirectoryNode, GossipCounters};
+pub use gossip::{
+    decode_contact_table, encode_contact_table, DirectoryNode, GossipCounters, WireContact,
+};
+pub(crate) use gossip::{decode_digest, encode_digest, ContactTable};
 pub use service::{DirectoryCluster, ReplicatedDirectory};
 pub use shard::ShardedDirectory;
+pub(crate) use shard::VersionedEntry;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -43,6 +43,7 @@ pub mod link;
 pub mod manager;
 pub mod monitor;
 pub mod plugins;
+pub mod procnet;
 pub mod protocol;
 pub mod reader;
 pub mod redistribute;
@@ -50,13 +51,17 @@ pub mod relay;
 pub mod writer;
 
 pub use directory::{
-    DirectoryCluster, DirectoryConfig, DirectoryError, DirectoryService, InProcDirectory,
-    ReplicatedDirectory, ShardedDirectory,
+    decode_contact_table, encode_contact_table, DirectoryCluster, DirectoryConfig, DirectoryError,
+    DirectoryService, InProcDirectory, ReplicatedDirectory, ShardedDirectory, WireContact,
 };
-pub use link::{FlexIo, HintKey, Runtime, StreamHints, StreamHintsBuilder};
+pub use link::{FlexIo, HintKey, Runtime, StreamHints, StreamHintsBuilder, Transport};
 pub use manager::{ManagerPolicy, PlacementManager, Recommendation};
 pub use monitor::{MonitorEvent, PerfMonitor};
 pub use plugins::{PluginPlacement, PluginSpec};
+pub use procnet::{
+    open_reader_proc, open_writer_proc, send_peer_list, ChannelHub, ProcConfig, RemoteDirectory,
+    WireDirNode,
+};
 pub use protocol::{CachingLevel, ProtocolCounters, WriteMode};
 pub use reader::StreamReader;
 pub use relay::{MonitorRelay, MonitorSink};

@@ -63,6 +63,52 @@ fn default_runtime() -> Runtime {
     })
 }
 
+/// Which byte transport a stream's channels run over.
+///
+/// `Auto` is the paper's behaviour — placement picks in-proc, shm or the
+/// RDMA fabric per channel. The explicit selections force every channel
+/// of the stream onto one backend, which is how the verify suite replays
+/// the whole mode-matrix and fault battery over real sockets
+/// (`FLEXIO_TRANSPORT=tcp`) without touching the tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Placement-driven choice (in-proc / shm / RDMA-sim).
+    Auto,
+    /// Force the shared-memory queue for every channel.
+    Shm,
+    /// Force loopback TCP sockets for every channel.
+    Tcp,
+    /// Force Unix-domain sockets for every channel.
+    Uds,
+}
+
+impl Transport {
+    /// Parse an XML `transport` hint value (also the `FLEXIO_TRANSPORT`
+    /// environment syntax).
+    pub fn from_hint(value: &str) -> Option<Transport> {
+        match value {
+            "auto" => Some(Transport::Auto),
+            "shm" => Some(Transport::Shm),
+            "tcp" => Some(Transport::Tcp),
+            "uds" => Some(Transport::Uds),
+            _ => None,
+        }
+    }
+}
+
+/// Process-wide default transport: `FLEXIO_TRANSPORT=tcp|uds|shm` flips
+/// every stream that doesn't set an explicit `transport` hint.
+fn default_transport() -> Transport {
+    static DEFAULT: std::sync::OnceLock<Transport> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("FLEXIO_TRANSPORT")
+            .ok()
+            .as_deref()
+            .and_then(Transport::from_hint)
+            .unwrap_or(Transport::Auto)
+    })
+}
+
 /// Per-stream tuning hints, populated from the XML config (§II.B: "To
 /// tune transports, transport-specific parameters specified as hints in an
 /// XML configuration file are passed to the FlexIO runtime").
@@ -99,6 +145,14 @@ pub struct StreamHints {
     /// Engine backend: thread-per-stream blocking calls (default) or the
     /// single-threaded reactor event loop.
     pub runtime: Runtime,
+    /// Byte transport beneath every channel of the stream.
+    pub transport: Transport,
+    /// Budget for establishing one socket connection (covers the window
+    /// where the peer process has registered but not finished binding).
+    pub net_connect_timeout: Duration,
+    /// Per-frame payload cap on socket channels, in bytes; a length field
+    /// above it reads as a corrupt frame.
+    pub net_max_frame: u32,
 }
 
 impl Default for StreamHints {
@@ -116,6 +170,9 @@ impl Default for StreamHints {
             eos_on_silence: false,
             packed_marshal: true,
             runtime: default_runtime(),
+            transport: default_transport(),
+            net_connect_timeout: Duration::from_secs(2),
+            net_max_frame: evpath::MAX_FRAME_LEN,
         }
     }
 }
@@ -149,6 +206,12 @@ pub enum HintKey {
     PackedMarshal,
     /// Engine backend (`blocking`/`reactor`).
     Runtime,
+    /// Byte transport beneath every channel (`auto`/`shm`/`tcp`/`uds`).
+    TransportSel,
+    /// Socket connect budget in milliseconds.
+    NetConnectMs,
+    /// Socket per-frame payload cap in mebibytes.
+    NetMaxFrameMb,
     /// Enables the `fault.*` hint family (the family's per-channel knobs
     /// are parsed by prefix, not by this enum).
     FaultSeed,
@@ -174,6 +237,9 @@ impl HintKey {
         HintKey::EosOnSilence,
         HintKey::PackedMarshal,
         HintKey::Runtime,
+        HintKey::TransportSel,
+        HintKey::NetConnectMs,
+        HintKey::NetMaxFrameMb,
         HintKey::FaultSeed,
         HintKey::DirectoryShards,
         HintKey::DirectoryNodes,
@@ -194,6 +260,9 @@ impl HintKey {
             HintKey::EosOnSilence => "eos_on_silence",
             HintKey::PackedMarshal => "packed_marshal",
             HintKey::Runtime => "runtime",
+            HintKey::TransportSel => "transport",
+            HintKey::NetConnectMs => "net.connect_ms",
+            HintKey::NetMaxFrameMb => "net.max_frame_mb",
             HintKey::FaultSeed => "fault.seed",
             HintKey::DirectoryShards => "directory.shards",
             HintKey::DirectoryNodes => "directory.nodes",
@@ -247,6 +316,15 @@ impl StreamHints {
         }
         if let Some(rt) = hint(HintKey::Runtime).and_then(Runtime::from_hint) {
             h.runtime = rt;
+        }
+        if let Some(t) = hint(HintKey::TransportSel).and_then(Transport::from_hint) {
+            h.transport = t;
+        }
+        if let Some(ms) = hint_u64(HintKey::NetConnectMs) {
+            h.net_connect_timeout = Duration::from_millis(ms);
+        }
+        if let Some(mb) = hint_u64(HintKey::NetMaxFrameMb) {
+            h.net_max_frame = (mb as u32).saturating_mul(1 << 20);
         }
         h.faults = fault_plan_from_config(cfg).map(Arc::new);
         h
@@ -329,6 +407,24 @@ impl StreamHintsBuilder {
     /// Engine backend.
     pub fn runtime(mut self, runtime: Runtime) -> Self {
         self.hints.runtime = runtime;
+        self
+    }
+
+    /// Byte transport beneath every channel of the stream.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.hints.transport = transport;
+        self
+    }
+
+    /// Socket connect budget.
+    pub fn net_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.hints.net_connect_timeout = timeout;
+        self
+    }
+
+    /// Socket per-frame payload cap in bytes.
+    pub fn net_max_frame(mut self, bytes: u32) -> Self {
+        self.hints.net_max_frame = bytes;
         self
     }
 
@@ -593,12 +689,18 @@ pub struct LinkState {
     pub monitor: PerfMonitor,
     hints_queue_entries: usize,
     hints_inline_capacity: usize,
+    hints_transport: Transport,
+    hints_net_max_frame: u32,
     /// Fault schedule installed on channels (from the writer's hints);
     /// shared so both sides observe one deterministic plan.
     faults: Option<Arc<FaultPlan>>,
     /// Reader ranks written off after repeated ack timeouts. The writer
     /// plans later steps around them; they never receive data again.
     evicted: Mutex<HashSet<usize>>,
+    /// Cross-process channel factory. When set, this link half lives in
+    /// its own OS process: channels are real sockets dialed through the
+    /// fabric instead of halves parked in shared memory.
+    fabric: Option<Arc<crate::procnet::ProcFabric>>,
 }
 
 impl LinkState {
@@ -620,8 +722,41 @@ impl LinkState {
             monitor: PerfMonitor::new(),
             hints_queue_entries: hints.queue_entries,
             hints_inline_capacity: hints.inline_capacity,
+            hints_transport: hints.transport,
+            hints_net_max_frame: hints.net_max_frame,
             faults: hints.faults.clone(),
             evicted: Mutex::new(HashSet::new()),
+            fabric: None,
+        })
+    }
+
+    /// A link half for a rank process of a cross-process coupling: every
+    /// channel is a socket made by `fabric`, so this process never parks
+    /// transport halves for a peer (there is no shared address space to
+    /// park them in).
+    pub(crate) fn new_remote(
+        writer_count: usize,
+        writer_cores: Vec<CoreLocation>,
+        hints: &StreamHints,
+        fabric: Arc<crate::procnet::ProcFabric>,
+    ) -> Arc<LinkState> {
+        Arc::new(LinkState {
+            writer_count,
+            writer_cores,
+            reader_info: Mutex::new(None),
+            reader_ready: Condvar::new(),
+            halves: Mutex::new(Halves { parked: HashMap::new() }),
+            half_ready: Condvar::new(),
+            net: None,
+            counters: ProtocolCounters::new_shared(),
+            monitor: PerfMonitor::new(),
+            hints_queue_entries: hints.queue_entries,
+            hints_inline_capacity: hints.inline_capacity,
+            hints_transport: hints.transport,
+            hints_net_max_frame: hints.net_max_frame,
+            faults: hints.faults.clone(),
+            evicted: Mutex::new(HashSet::new()),
+            fabric: Some(fabric),
         })
     }
 
@@ -696,8 +831,27 @@ impl LinkState {
 
     /// Build the right transport for a channel given its endpoints'
     /// placement: shared memory on-node, RDMA across nodes, in-proc when
-    /// both endpoints are the *same core* (inline placement).
+    /// both endpoints are the *same core* (inline placement). An explicit
+    /// `transport` hint (or `FLEXIO_TRANSPORT`) overrides placement and
+    /// forces every channel onto one backend.
     fn make_transport(&self, src: CoreLocation, dst: CoreLocation) -> (BoxedSender, BoxedReceiver) {
+        match self.hints_transport {
+            Transport::Auto => {}
+            Transport::Shm => {
+                return ShmTransport::pair(self.hints_queue_entries, self.hints_inline_capacity)
+            }
+            Transport::Tcp | Transport::Uds => {
+                let kind = if self.hints_transport == Transport::Tcp {
+                    evpath::SocketKind::Tcp
+                } else {
+                    evpath::SocketKind::Uds
+                };
+                let (tx, rx) = evpath::socket::raw_socket_pair(kind);
+                let mut receiver = evpath::SocketReceiver::over(rx);
+                receiver.set_max_frame(self.hints_net_max_frame);
+                return (evpath::sender_over(tx), Box::new(receiver));
+            }
+        }
         if src == dst {
             return inproc_pair();
         }
@@ -717,7 +871,9 @@ impl LinkState {
     /// installed the half is wrapped: protocol → seq framing → fault layer
     /// → raw transport.
     pub fn claim_sender(&self, id: ChannelId) -> BoxedSender {
-        let raw = {
+        let raw = if let Some(fabric) = &self.fabric {
+            fabric.make_sender(id)
+        } else {
             let mut halves = self.halves.lock();
             if let Some(ParkedHalf::Sender(s)) = halves.parked.remove(&id) {
                 s
@@ -739,7 +895,9 @@ impl LinkState {
 
     /// Claim the receiving half of a channel (see [`Self::claim_sender`]).
     pub fn claim_receiver(&self, id: ChannelId) -> BoxedReceiver {
-        let raw = {
+        let raw = if let Some(fabric) = &self.fabric {
+            fabric.make_receiver(id)
+        } else {
             let mut halves = self.halves.lock();
             if let Some(ParkedHalf::Receiver(r)) = halves.parked.remove(&id) {
                 r

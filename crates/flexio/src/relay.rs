@@ -14,6 +14,7 @@
 //! [`crate::manager::PlacementManager`]. The filter keeps the relay off
 //! the critical path: only every `stride`-th event crosses.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use evpath::{BoxedReceiver, BoxedSender, EvGraph, FieldValue, Record, RecvPoll, StoneId};
@@ -120,12 +121,30 @@ pub struct MonitorSink {
     replica: PerfMonitor,
     closed: bool,
     corrupt_frames: u64,
+    /// Link-level protocol counters to mirror transport health into, so a
+    /// dead or corrupting monitor peer shows up in the same
+    /// `closed_channels`/`corrupt_frames` books as data-plane channels.
+    counters: Option<Arc<crate::protocol::ProtocolCounters>>,
 }
 
 impl MonitorSink {
     /// Wrap the receiving end of the relay transport.
     pub fn new(rx: BoxedReceiver) -> MonitorSink {
-        MonitorSink { rx, replica: PerfMonitor::new(), closed: false, corrupt_frames: 0 }
+        MonitorSink {
+            rx,
+            replica: PerfMonitor::new(),
+            closed: false,
+            corrupt_frames: 0,
+            counters: None,
+        }
+    }
+
+    /// Mirror transport health (peer close, corrupt frames) into a link's
+    /// shared protocol counters. [`Self::for_stream`] installs the
+    /// stream's own counters automatically.
+    pub fn with_counters(mut self, counters: Arc<crate::protocol::ProtocolCounters>) -> Self {
+        self.counters = Some(counters);
+        self
     }
 
     /// Attach to stream `name`'s monitoring channel through the directory
@@ -137,7 +156,8 @@ impl MonitorSink {
         timeout: Duration,
     ) -> Result<MonitorSink, DirectoryError> {
         let link = directory.lookup(name, timeout)?;
-        Ok(MonitorSink::new(link.claim_receiver(ChannelId::Monitor)))
+        let counters = Arc::clone(&link.counters);
+        Ok(MonitorSink::new(link.claim_receiver(ChannelId::Monitor)).with_counters(counters))
     }
 
     /// Drain every currently-available relayed sample; returns how many
@@ -152,11 +172,19 @@ impl MonitorSink {
                 RecvPoll::Msg(bytes) => bytes,
                 RecvPoll::Empty => break,
                 RecvPoll::Closed => {
+                    if !self.closed {
+                        if let Some(c) = &self.counters {
+                            c.bump(&c.closed_channels);
+                        }
+                    }
                     self.closed = true;
                     break;
                 }
                 RecvPoll::Corrupt(_) => {
                     self.corrupt_frames += 1;
+                    if let Some(c) = &self.counters {
+                        c.bump(&c.corrupt_frames);
+                    }
                     continue;
                 }
             };

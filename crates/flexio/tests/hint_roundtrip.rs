@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use adios::IoConfig;
-use flexio::{CachingLevel, DirectoryConfig, HintKey, Runtime, StreamHints, WriteMode};
+use flexio::{CachingLevel, DirectoryConfig, HintKey, Runtime, StreamHints, Transport, WriteMode};
 
 /// The non-default value each key is set to in the round-trip config.
 /// (`runtime`'s default is environment-sensitive — `FLEXIO_RUNTIME`
@@ -30,6 +30,14 @@ fn nondefault_value(key: HintKey) -> &'static str {
             _ => "reactor",
         },
         HintKey::FaultSeed => "77",
+        // Like `runtime`, the transport default is environment-sensitive
+        // (`FLEXIO_TRANSPORT`), so pick whichever value it is not.
+        HintKey::TransportSel => match StreamHints::default().transport {
+            Transport::Tcp => "uds",
+            _ => "tcp",
+        },
+        HintKey::NetConnectMs => "777",
+        HintKey::NetMaxFrameMb => "64",
         HintKey::DirectoryShards => "16",
         HintKey::DirectoryNodes => "3",
         HintKey::DirectoryGossipMs => "25",
@@ -65,6 +73,13 @@ fn every_hint_key_round_trips_through_xml() {
     };
     assert_eq!(h.runtime, expected_rt);
     assert_eq!(h.faults.as_ref().expect("fault.seed enables the plan").seed(), 77);
+    let expected_tp = match StreamHints::default().transport {
+        Transport::Tcp => Transport::Uds,
+        _ => Transport::Tcp,
+    };
+    assert_eq!(h.transport, expected_tp);
+    assert_eq!(h.net_connect_timeout, Duration::from_millis(777));
+    assert_eq!(h.net_max_frame, 64 << 20, "net.max_frame_mb is in MiB");
 
     let d = DirectoryConfig::from_config(group);
     assert_eq!(d.shards, 16);
@@ -85,6 +100,9 @@ fn every_hint_key_round_trips_through_xml() {
     assert_ne!(h.eos_on_silence, defaults.eos_on_silence);
     assert_ne!(h.packed_marshal, defaults.packed_marshal);
     assert_ne!(h.runtime, defaults.runtime);
+    assert_ne!(h.transport, defaults.transport);
+    assert_ne!(h.net_connect_timeout, defaults.net_connect_timeout);
+    assert_ne!(h.net_max_frame, defaults.net_max_frame);
     assert!(defaults.faults.is_none());
     let ddef = DirectoryConfig::default();
     assert_ne!(d.shards, ddef.shards);
@@ -108,6 +126,9 @@ fn builder_mirrors_the_parsed_config() {
         .eos_on_silence(true)
         .packed_marshal(false)
         .runtime(Runtime::Reactor)
+        .transport(Transport::Uds)
+        .net_connect_timeout(Duration::from_millis(777))
+        .net_max_frame(64 << 20)
         .build();
     assert_eq!(h.caching, CachingLevel::CachingAll);
     assert!(h.batching);
@@ -120,4 +141,7 @@ fn builder_mirrors_the_parsed_config() {
     assert!(h.eos_on_silence);
     assert!(!h.packed_marshal);
     assert_eq!(h.runtime, Runtime::Reactor);
+    assert_eq!(h.transport, Transport::Uds);
+    assert_eq!(h.net_connect_timeout, Duration::from_millis(777));
+    assert_eq!(h.net_max_frame, 64 << 20);
 }

@@ -1,0 +1,203 @@
+//! Cross-process chaos battery: a writer rank, a reader group and a
+//! 3-node directory cluster run as *separate OS processes* over real
+//! sockets, and the test kills one of them with `SIGKILL` mid-step.
+//!
+//! The parent watches each child's flushed stdout lines (`DIRADDR`,
+//! `WORKER step=N`, `RESULT ...`) to time the kill and to collect final
+//! protocol counters. A killed process is pure silence on the wire —
+//! exactly what the eviction (writer side) and EOS-synthesis (reader
+//! side) machinery must absorb.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+use rankrt::{spawn_ranks, RankProc};
+
+const BIN: &str = env!("CARGO_BIN_EXE_flexio-worker");
+const DEADLINE: Duration = Duration::from_secs(90);
+
+/// Child processes that must not outlive the test (directory nodes serve
+/// forever; workers might wedge on a bug).
+struct Group {
+    procs: Vec<RankProc>,
+}
+
+impl Drop for Group {
+    fn drop(&mut self) {
+        for p in &mut self.procs {
+            let _ = p.child.kill();
+            let _ = p.child.wait();
+        }
+    }
+}
+
+impl Group {
+    fn kill(&mut self, rank: usize) {
+        let p = &mut self.procs[rank];
+        p.child.kill().expect("SIGKILL delivered");
+        let _ = p.child.wait();
+    }
+}
+
+/// A progress line from one child.
+#[derive(Debug)]
+struct Event {
+    role: &'static str,
+    rank: usize,
+    line: String,
+}
+
+/// Start the 3-node directory cluster: read each node's announced
+/// address, then bootstrap every node with the full peer list.
+fn start_directory(kind: &str) -> (Group, String) {
+    let envs = vec![("FLEXIO_SOCK".to_string(), kind.to_string())];
+    let mut procs = spawn_ranks(BIN, "dirnode", 3, &envs).expect("spawn dirnodes");
+    let mut addrs = Vec::new();
+    for p in &mut procs {
+        let stdout = p.child.stdout.as_mut().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("dirnode announces");
+        let addr = line.trim().strip_prefix("DIRADDR ").expect("DIRADDR line");
+        addrs.push(addr.to_string());
+    }
+    for addr in &addrs {
+        flexio::send_peer_list(addr, &addrs).expect("peer bootstrap");
+    }
+    (Group { procs }, addrs.join(","))
+}
+
+/// Spawn a worker rank group and feed its stdout lines into `tx`.
+fn start_workers(
+    role: &'static str,
+    nranks: usize,
+    envs: &[(String, String)],
+    tx: &Sender<Event>,
+) -> Group {
+    let mut procs = spawn_ranks(BIN, role, nranks, envs).expect("spawn workers");
+    for p in &mut procs {
+        let stdout = p.child.stdout.take().expect("stdout piped");
+        let rank = p.rank;
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines().map_while(Result::ok) {
+                let _ = tx.send(Event { role, rank, line });
+            }
+        });
+    }
+    Group { procs }
+}
+
+fn worker_envs(
+    kind: &str,
+    stream: &str,
+    dir_addrs: &str,
+    steps: u64,
+    step_ms: u64,
+) -> Vec<(String, String)> {
+    [
+        ("FLEXIO_SOCK", kind),
+        ("FLEXIO_STREAM", stream),
+        ("FLEXIO_DIR_ADDRS", dir_addrs),
+        ("FLEXIO_STEPS", &steps.to_string()),
+        ("FLEXIO_STEP_MS", &step_ms.to_string()),
+        ("FLEXIO_TIMEOUT_MS", "400"),
+        ("FLEXIO_DIR_GOSSIP_MS", "20"),
+    ]
+    .iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect()
+}
+
+/// `RESULT role=writer rank=0 steps=4 ...` → field map.
+fn parse_result(line: &str) -> HashMap<String, String> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn field(result: &HashMap<String, String>, key: &str) -> u64 {
+    result.get(key).and_then(|v| v.parse().ok()).unwrap_or_else(|| panic!("field {key}"))
+}
+
+fn next_event(rx: &Receiver<Event>, deadline: Instant) -> Event {
+    let now = Instant::now();
+    assert!(now < deadline, "chaos scenario timed out");
+    rx.recv_timeout(deadline - now).expect("children still talking")
+}
+
+/// Kill -9 a reader rank mid-step: the writer must evict the silent
+/// reader after ack timeouts, re-plan the MxN distribution around it, and
+/// still complete every remaining step (degraded); the surviving reader
+/// must observe all steps and a clean end-of-stream.
+#[test]
+fn killing_a_reader_rank_evicts_it_and_the_step_loop_completes() {
+    let (_dirs, dir_addrs) = start_directory("tcp");
+    let envs = worker_envs("tcp", "chaos-reader-kill", &dir_addrs, 4, 200);
+    let (tx, rx) = channel();
+    let _writers = start_workers("writer", 1, &envs, &tx);
+    let mut readers = start_workers("reader", 2, &envs, &tx);
+
+    let deadline = Instant::now() + DEADLINE;
+    let mut killed = false;
+    let mut results: HashMap<(&'static str, usize), HashMap<String, String>> = HashMap::new();
+    while !(results.contains_key(&("writer", 0)) && results.contains_key(&("reader", 0))) {
+        let ev = next_event(&rx, deadline);
+        if !killed && ev.role == "reader" && ev.rank == 1 && ev.line.starts_with("WORKER step=") {
+            readers.kill(1);
+            killed = true;
+        }
+        if ev.line.starts_with("RESULT ") {
+            results.insert((ev.role, ev.rank), parse_result(&ev.line));
+        }
+    }
+    assert!(killed, "reader rank 1 progressed far enough to be killed");
+
+    let writer = &results[&("writer", 0)];
+    assert_eq!(field(writer, "steps"), 4, "writer completed every step");
+    assert!(field(writer, "evictions") >= 1, "silent reader was evicted: {writer:?}");
+    assert!(field(writer, "degraded") >= 1, "steps after the kill ran degraded: {writer:?}");
+
+    let survivor = &results[&("reader", 0)];
+    assert_eq!(field(survivor, "steps"), 4, "surviving reader saw every step");
+    assert_eq!(field(survivor, "eos_synth"), 0, "writer closed cleanly, no synthesized EOS");
+}
+
+/// Kill -9 the writer between steps: the reader coordinator's control
+/// channel goes silent, so it must synthesize end-of-stream and forward
+/// it to every reader rank — both readers exit cleanly having seen only
+/// the steps produced before the kill.
+#[test]
+fn killing_the_writer_synthesizes_eos_for_all_readers() {
+    let (_dirs, dir_addrs) = start_directory("uds");
+    let envs = worker_envs("uds", "chaos-writer-kill", &dir_addrs, 6, 300);
+    let (tx, rx) = channel();
+    let mut writers = start_workers("writer", 1, &envs, &tx);
+    let _readers = start_workers("reader", 2, &envs, &tx);
+
+    let deadline = Instant::now() + DEADLINE;
+    let mut killed = false;
+    let mut results: HashMap<(&'static str, usize), HashMap<String, String>> = HashMap::new();
+    while !(results.contains_key(&("reader", 0)) && results.contains_key(&("reader", 1))) {
+        let ev = next_event(&rx, deadline);
+        if !killed && ev.role == "writer" && ev.line == "WORKER step=1" {
+            writers.kill(0);
+            killed = true;
+        }
+        if ev.line.starts_with("RESULT ") {
+            results.insert((ev.role, ev.rank), parse_result(&ev.line));
+        }
+    }
+    assert!(killed, "writer progressed far enough to be killed");
+
+    for rank in 0..2 {
+        let reader = &results[&("reader", rank)];
+        let steps = field(reader, "steps");
+        assert!(steps >= 2, "reader {rank} kept the steps before the kill: {reader:?}");
+        assert!(steps < 6, "reader {rank} cannot have seen steps after the kill: {reader:?}");
+    }
+    let coord = &results[&("reader", 0)];
+    assert!(field(coord, "eos_synth") >= 1, "coordinator synthesized EOS: {coord:?}");
+}

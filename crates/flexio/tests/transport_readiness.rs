@@ -10,9 +10,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use evpath::{EvReceiver, FaultPlan, FaultSpec, FieldValue, Record, ShmTransport};
+use evpath::socket::{raw_socket_pair, receiver_over, SocketKind, SocketSender};
+use evpath::{EvReceiver, EvSender, FaultPlan, FaultSpec, FieldValue, Record, ShmTransport};
 use flexio::link::{recv_record, ChannelId, LinkState, StreamError};
-use flexio::{ProtocolCounters, StreamHints};
+use flexio::{MonitorSink, ProtocolCounters, StreamHints};
 use shm::channel::shm_channel;
 
 fn fast_hints() -> StreamHints {
@@ -152,6 +153,82 @@ fn oversize_payload_rides_the_pooled_path_intact() {
     assert_eq!(r.get_u64_array("big"), Some(&big[..]));
     assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), 0);
     assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn socket_peer_close_counts_exact_like_shm_peer_close() {
+    // Same fail-fast contract as `peer_close_fails_fast...`, but the
+    // channel underneath is a real TCP stream: dropping the sender is the
+    // wire-level analogue of a killed process.
+    let (tx, rx) = raw_socket_pair(SocketKind::Tcp);
+    let (_plan, mut rx) = plan_wrapped(receiver_over(rx));
+    let hints =
+        StreamHints { recv_timeout: Duration::from_secs(10), retries: 2, ..StreamHints::default() };
+    let counters = ProtocolCounters::new_shared();
+    drop(tx);
+
+    let start = Instant::now();
+    let err = recv_record(&mut rx, &hints, &counters).expect_err("closed socket");
+    assert_eq!(err, StreamError::Timeout);
+    assert!(start.elapsed() < Duration::from_secs(2), "socket peer death must fail fast");
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 1);
+    assert_eq!(counters.retries.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn socket_corruption_counts_once_then_the_stream_is_closed() {
+    // A byte stream cannot resync after garbage: one Corrupt verdict,
+    // then the poisoned channel reads as closed — and the counters book
+    // exactly one of each.
+    let (tx, rx) = raw_socket_pair(SocketKind::Tcp);
+    let mut tx = SocketSender::over(tx);
+    tx.send(&record_bytes(3));
+    tx.inject_raw_bytes(b"XXXXXXXXXXXX"); // bad magic mid-stream
+    let (_plan, mut rx) = plan_wrapped(receiver_over(rx));
+
+    let hints = fast_hints();
+    let counters = ProtocolCounters::new_shared();
+    let first = recv_record(&mut rx, &hints, &counters).expect("frame before the damage");
+    assert_eq!(first.get_u64("tag"), Some(3));
+
+    let err = recv_record(&mut rx, &hints, &counters).expect_err("corrupt frame");
+    assert!(matches!(err, StreamError::Corrupt(_)), "got {err:?}");
+    assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), 1);
+
+    let err = recv_record(&mut rx, &hints, &counters).expect_err("poisoned stream");
+    assert_eq!(err, StreamError::Timeout, "poisoned socket reads as closed");
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 1);
+    assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), 1, "corruption charged once");
+}
+
+#[test]
+fn monitor_sink_mirrors_socket_peer_health_into_link_counters() {
+    // Satellite contract: a MonitorSink draining a *socket* peer reports
+    // closed/corrupt through the same shared ProtocolCounters the
+    // data-plane channels charge — not just its local accessors.
+    let (tx, rx) = raw_socket_pair(SocketKind::Uds);
+    let mut tx = SocketSender::over(tx);
+    let counters = ProtocolCounters::new_shared();
+    let mut sink = MonitorSink::new(receiver_over(rx)).with_counters(Arc::clone(&counters));
+
+    tx.inject_raw_bytes(b"????????"); // garbage where a frame header belongs
+    drop(tx); // then the peer dies
+
+    // Drain until the sink sees the close (header bytes may land across
+    // two polls on a real socket).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !sink.peer_closed() {
+        assert!(Instant::now() < deadline, "sink never observed peer death");
+        sink.drain();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(sink.corrupt_frames(), 1, "local book keeps the corrupt frame");
+    assert_eq!(counters.corrupt_frames.load(Ordering::Relaxed), 1, "shared book matches");
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 1, "peer death mirrored once");
+
+    // Further drains must not double-charge the close.
+    sink.drain();
+    assert_eq!(counters.closed_channels.load(Ordering::Relaxed), 1);
 }
 
 #[test]

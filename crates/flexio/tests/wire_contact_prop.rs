@@ -1,0 +1,68 @@
+//! Property tests for the `CTB1` contact-table wire encoding — the frame
+//! that lets directory nodes hand out connectable addresses across a
+//! process boundary. Arbitrary contact sets (any UTF-8 address, any
+//! metadata, empty sets and empty fields included) must round-trip
+//! bit-exactly, and damaged frames must be rejected, never misdecoded.
+
+use flexio::{decode_contact_table, encode_contact_table, WireContact};
+use proptest::prelude::*;
+
+fn arb_contacts() -> impl Strategy<Value = Vec<(u64, WireContact)>> {
+    proptest::collection::vec(
+        (any::<u64>(), ".{0,40}", proptest::collection::vec(any::<u64>(), 0..8)),
+        0..16,
+    )
+    .prop_map(|entries| {
+        let mut out: Vec<(u64, WireContact)> = entries
+            .into_iter()
+            .map(|(token, addr, meta)| (token, WireContact { addr, meta }))
+            .collect();
+        out.sort_by_key(|(token, _)| *token);
+        out.dedup_by_key(|(token, _)| *token);
+        out
+    })
+}
+
+proptest! {
+    /// Any contact set round-trips through the wire encoding: tokens,
+    /// addresses (arbitrary UTF-8, empty included) and metadata all
+    /// survive bit-exactly.
+    #[test]
+    fn contact_tables_roundtrip(contacts in arb_contacts()) {
+        let encoded = encode_contact_table(&contacts);
+        let decoded = decode_contact_table(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(decoded.len(), contacts.len());
+        for ((t_in, c_in), (t_out, c_out)) in contacts.iter().zip(&decoded) {
+            prop_assert_eq!(t_in, t_out);
+            prop_assert_eq!(&c_in.addr, &c_out.addr);
+            prop_assert_eq!(&c_in.meta, &c_out.meta);
+        }
+    }
+
+    /// Every strict prefix of a valid frame is rejected — truncation on
+    /// the wire can never yield a phantom partial table.
+    #[test]
+    fn truncated_frames_are_rejected(contacts in arb_contacts()) {
+        let encoded = encode_contact_table(&contacts);
+        for cut in 0..encoded.len() {
+            prop_assert_eq!(decode_contact_table(&encoded[..cut]), None, "prefix of {} bytes", cut);
+        }
+    }
+
+    /// Trailing garbage after a well-formed table is rejected (the frame
+    /// length is authoritative; leftovers mean a desynced stream).
+    #[test]
+    fn trailing_bytes_are_rejected(contacts in arb_contacts(), junk in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let mut encoded = encode_contact_table(&contacts);
+        encoded.extend_from_slice(&junk);
+        prop_assert_eq!(decode_contact_table(&encoded), None);
+    }
+
+    /// A flipped magic byte is rejected no matter the payload.
+    #[test]
+    fn damaged_magic_is_rejected(contacts in arb_contacts(), byte in 0usize..4, flip in 1u8..=255) {
+        let mut encoded = encode_contact_table(&contacts);
+        encoded[byte] ^= flip;
+        prop_assert_eq!(decode_contact_table(&encoded), None);
+    }
+}

@@ -39,5 +39,8 @@ mod launch;
 mod typed;
 
 pub use comm::{Comm, Envelope, RecvTimeoutError, Tag};
-pub use launch::{launch, launch_named, LaunchError};
+pub use launch::{
+    launch, launch_named, spawn_ranks, LaunchError, RankEnv, RankProc, ENV_NAME, ENV_NRANKS,
+    ENV_RANK,
+};
 pub use typed::{bytes_as_f64s, bytes_as_u64s, f64s_as_bytes, u64s_as_bytes};

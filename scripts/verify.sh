@@ -2,8 +2,10 @@
 # Repo verification: release build, full test suite, rustfmt + clippy, a 20-seed
 # sweep of the fault-injection replay test (the determinism property must
 # hold for arbitrary seeds, not just the checked-in one), the same
-# mode-matrix + fault battery replayed on the reactor runtime, and a
-# 10-second chaos soak alternating both backends.
+# mode-matrix + fault battery replayed on the reactor runtime and again
+# with every channel forced onto real TCP sockets, the cross-process
+# kill -9 chaos suite, a socket-vs-shm throughput sweep, and a 10-second
+# chaos soak alternating backends and transports.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +42,34 @@ FLEXIO_RUNTIME=reactor cargo test -q --offline -p flexio \
     --test stream_edge \
     >/dev/null || { echo "reactor runtime replay FAILED"; exit 1; }
 echo "reactor runtime replay ok"
+
+echo "== socket transport: mode matrix + fault battery =="
+# The socket transport must be protocol-invisible too: the same battery
+# with every channel forced onto loopback TCP (framing, nonblocking
+# readiness, peer-close mapping all under the production protocol).
+FLEXIO_TRANSPORT=tcp cargo test -q --offline -p flexio \
+    --test mode_matrix --test fault_determinism --test fault_injection \
+    --test fault_crash --test stream --test stream_edge \
+    --test transport_readiness \
+    >/dev/null || { echo "tcp transport replay FAILED"; exit 1; }
+echo "tcp transport replay ok"
+
+# And the two axes compose: sockets driven by the reactor event loop.
+FLEXIO_TRANSPORT=tcp FLEXIO_RUNTIME=reactor cargo test -q --offline -p flexio \
+    --test mode_matrix --test fault_injection --test stream \
+    >/dev/null || { echo "tcp+reactor replay FAILED"; exit 1; }
+echo "tcp+reactor replay ok"
+
+echo "== cross-process chaos battery (worker binary + kill -9) =="
+cargo build -q --offline -p flexio --bin flexio-worker
+cargo test -q --offline -p flexio --test process_chaos \
+    >/dev/null || { echo "process chaos FAILED"; exit 1; }
+echo "process chaos ok"
+
+echo "== socket throughput sweep (BENCH_net.json) =="
+NET_QUICK=1 cargo bench -q --offline -p bench --bench net \
+    >/dev/null || { echo "net bench FAILED"; exit 1; }
+echo "net bench ok ($(head -c 120 BENCH_net.json)...)"
 
 echo "== chaos soak (10s, alternating backends) =="
 FLEXIO_SOAK_SECS=10 cargo test -q --offline -p flexio --test chaos_soak \
