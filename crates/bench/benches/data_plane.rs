@@ -237,42 +237,32 @@ fn main() {
         .fold(0.0f64, f64::max);
     let speedup = best_64m_shm / baseline.gbps();
 
-    let mut entries = String::new();
-    for (i, r) in results.iter().enumerate() {
-        if i > 0 {
-            entries.push_str(", ");
-        }
-        entries.push_str(&format!(
-            "{{\"payload_bytes\": {}, \"transport\": \"{}\", \"batching\": {}, \"steps\": {}, \
-             \"elapsed_s\": {:.6}, \"steps_per_s\": {:.3}, \"gbps\": {:.4}}}",
-            r.payload_bytes,
-            r.transport,
-            r.batching,
-            r.steps,
-            r.elapsed_s,
-            r.steps_per_s(),
-            r.gbps()
-        ));
+    let mut rep = bench::report::Report::new("data_plane")
+        .obj(
+            "baseline",
+            bench::report::Obj::new()
+                .str("path", "per_element_encode_flat_send")
+                .u64("payload_bytes", BASELINE_BYTES as u64)
+                .str("transport", "shm")
+                .bool("batching", true)
+                .u64("steps", baseline.steps)
+                .f64("steps_per_s", baseline.steps_per_s(), 3)
+                .f64("gbps", baseline.gbps(), 4),
+        )
+        .f64("legacy_marshal_roundtrip_gbps", marshal_gbps, 4)
+        .f64("speedup_64mib_shm_vs_baseline", speedup, 2);
+    for r in &results {
+        rep.push(
+            bench::report::Obj::new()
+                .u64("payload_bytes", r.payload_bytes as u64)
+                .str("transport", r.transport)
+                .bool("batching", r.batching)
+                .u64("steps", r.steps)
+                .f64("elapsed_s", r.elapsed_s, 6)
+                .f64("steps_per_s", r.steps_per_s(), 3)
+                .f64("gbps", r.gbps(), 4),
+        );
     }
-    let json = format!(
-        "{{\"bench\": \"data_plane\", \"baseline\": {{\"path\": \"per_element_encode_flat_send\", \
-         \"payload_bytes\": {}, \"transport\": \"shm\", \"batching\": true, \"steps\": {}, \
-         \"steps_per_s\": {:.3}, \"gbps\": {:.4}}}, \
-         \"legacy_marshal_roundtrip_gbps\": {:.4}, \
-         \"speedup_64mib_shm_vs_baseline\": {:.2}, \"results\": [{}]}}",
-        BASELINE_BYTES,
-        baseline.steps,
-        baseline.steps_per_s(),
-        baseline.gbps(),
-        marshal_gbps,
-        speedup,
-        entries
-    );
-
-    // One-line machine-parsable summary on stdout.
-    println!("{json}");
-
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_data_plane.json");
-    std::fs::write(out, format!("{json}\n")).expect("write BENCH_data_plane.json");
-    eprintln!("data_plane: wrote {out} (64 MiB shm is {speedup:.2}x the per-element baseline)");
+    rep.write();
+    eprintln!("data_plane: 64 MiB shm is {speedup:.2}x the per-element baseline");
 }

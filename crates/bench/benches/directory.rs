@@ -228,33 +228,23 @@ fn main() {
          discovery {discovery_speedup:.2}x"
     );
 
-    let mut entries = String::new();
-    for (i, r) in results.iter().enumerate() {
-        if i > 0 {
-            entries.push_str(", ");
-        }
-        entries.push_str(&format!(
-            "{{\"mode\": \"{}\", \"shards\": {}, \"nodes\": {}, \"threads\": {THREADS}, \
-             \"ops\": {}, \"elapsed_s\": {:.6}, \"ops_per_s\": {:.3}, \"converge_ms\": {:.4}}}",
-            r.mode,
-            r.shards,
-            r.nodes,
-            r.ops,
-            r.elapsed_s,
-            r.ops_per_s(),
-            r.converge_ms
-        ));
+    let mut rep = bench::report::Report::new("directory")
+        .u64("names", NAMES as u64)
+        .f64("lookup_speedup_8shard", lookup_speedup, 3)
+        .f64("discovery_speedup_8shard", discovery_speedup, 3)
+        .f64("speedup_8shard", lookup_speedup.max(discovery_speedup), 3);
+    for r in &results {
+        rep.push(
+            bench::report::Obj::new()
+                .str("mode", r.mode)
+                .u64("shards", r.shards as u64)
+                .u64("nodes", r.nodes as u64)
+                .u64("threads", THREADS as u64)
+                .u64("ops", r.ops)
+                .f64("elapsed_s", r.elapsed_s, 6)
+                .f64("ops_per_s", r.ops_per_s(), 3)
+                .f64("converge_ms", r.converge_ms, 4),
+        );
     }
-    let json = format!(
-        "{{\"bench\": \"directory\", \"names\": {NAMES}, \
-         \"lookup_speedup_8shard\": {lookup_speedup:.3}, \
-         \"discovery_speedup_8shard\": {discovery_speedup:.3}, \
-         \"speedup_8shard\": {:.3}, \"results\": [{}]}}",
-        lookup_speedup.max(discovery_speedup),
-        entries
-    );
-    println!("{json}");
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_directory.json");
-    std::fs::write(out, format!("{json}\n")).expect("write BENCH_directory.json");
-    eprintln!("directory: wrote {out}");
+    rep.write();
 }

@@ -115,31 +115,21 @@ fn main() {
     };
     let (shm_8m, tcp_8m, uds_8m) = (best_of("shm"), best_of("tcp"), best_of("uds"));
 
-    let mut entries = String::new();
-    for (i, r) in results.iter().enumerate() {
-        if i > 0 {
-            entries.push_str(", ");
-        }
-        entries.push_str(&format!(
-            "{{\"payload_bytes\": {}, \"transport\": \"{}\", \"msgs\": {}, \
-             \"elapsed_s\": {:.6}, \"msgs_per_s\": {:.3}, \"gbps\": {:.4}}}",
-            r.payload_bytes,
-            r.transport,
-            r.msgs,
-            r.elapsed_s,
-            r.msgs_per_s(),
-            r.gbps()
-        ));
+    let mut rep = bench::report::Report::new("net").obj(
+        "gbps_8mib",
+        bench::report::Obj::new().f64("shm", shm_8m, 4).f64("tcp", tcp_8m, 4).f64("uds", uds_8m, 4),
+    );
+    for r in &results {
+        rep.push(
+            bench::report::Obj::new()
+                .u64("payload_bytes", r.payload_bytes as u64)
+                .str("transport", r.transport)
+                .u64("msgs", r.msgs)
+                .f64("elapsed_s", r.elapsed_s, 6)
+                .f64("msgs_per_s", r.msgs_per_s(), 3)
+                .f64("gbps", r.gbps(), 4),
+        );
     }
-    let json = format!(
-        "{{\"bench\": \"net\", \"gbps_8mib\": {{\"shm\": {shm_8m:.4}, \"tcp\": {tcp_8m:.4}, \
-         \"uds\": {uds_8m:.4}}}, \"results\": [{entries}]}}"
-    );
-    println!("{json}");
-
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
-    std::fs::write(out, format!("{json}\n")).expect("write BENCH_net.json");
-    eprintln!(
-        "net: wrote {out} (8 MiB frames: shm {shm_8m:.2} / tcp {tcp_8m:.2} / uds {uds_8m:.2} GB/s)"
-    );
+    rep.write();
+    eprintln!("net: 8 MiB frames: shm {shm_8m:.2} / tcp {tcp_8m:.2} / uds {uds_8m:.2} GB/s");
 }

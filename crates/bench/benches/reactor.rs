@@ -1,13 +1,15 @@
 //! **Reactor runtime** — steps/s for N concurrent 1-writer/1-reader
 //! streams, thread-per-stream blocking backend vs the single-threaded
-//! reactor event loop, swept over stream count × transport.
+//! reactor event loop, swept over stream count × transport, plus a
+//! payload sweep {1 KiB, 64 KiB, 1 MiB} at a fixed stream count.
 //!
 //! The blocking backend spends 2×N OS threads; the reactor drives all 2×N
-//! protocol state machines from one core. Payloads are small (1 KiB) on
-//! purpose: this bench measures scheduling and protocol multiplexing
-//! overhead, not memory bandwidth — the data-plane bench owns that axis.
-//! Sync write mode bounds each stream's in-flight data so 64 streams'
-//! traffic cannot overrun the bounded shm queues regardless of backend.
+//! protocol state machines from one core. The stream sweep keeps payloads
+//! small (1 KiB) on purpose: it measures scheduling and protocol
+//! multiplexing overhead, not memory bandwidth — the payload sweep shows
+//! where the runtime stops mattering because copies dominate. Sync write
+//! mode bounds each stream's in-flight data so 64 streams' traffic cannot
+//! overrun the bounded shm queues regardless of backend.
 //!
 //! Results land in `BENCH_reactor.json` at the repo root and the summary
 //! JSON is printed to stdout (one line, machine-parsable).
@@ -30,6 +32,7 @@ const ELEMS: usize = 128; // 1 KiB of f64 per step
 
 struct RunResult {
     streams: usize,
+    payload_bytes: usize,
     transport: &'static str,
     backend: &'static str,
     steps_total: u64,
@@ -51,13 +54,13 @@ fn hints(runtime: Runtime) -> StreamHints {
     }
 }
 
-fn payload(stream: usize, step: u64) -> VarValue {
-    let data: Vec<f64> = (0..ELEMS).map(|e| (stream * ELEMS + e) as f64 + step as f64).collect();
+fn payload(stream: usize, step: u64, elems: usize) -> VarValue {
+    let data: Vec<f64> = (0..elems).map(|e| (stream * elems + e) as f64 + step as f64).collect();
     VarValue::Block(
         LocalBlock {
-            global_shape: vec![ELEMS as u64],
+            global_shape: vec![elems as u64],
             offset: vec![0],
-            count: vec![ELEMS as u64],
+            count: vec![elems as u64],
             data: ArrayData::F64(data),
         }
         .validated(),
@@ -77,7 +80,7 @@ fn cores(transport: &str, stream: usize) -> (machine::CoreLocation, machine::Cor
 }
 
 /// Thread-per-stream backend: 2 OS threads per coupling, blocking calls.
-fn run_threads(streams: usize, transport: &'static str, steps: u64) -> f64 {
+fn run_threads(streams: usize, transport: &'static str, steps: u64, elems: usize) -> f64 {
     let io = FlexIo::single_node(laptop());
     let start = Instant::now();
     let mut handles = Vec::new();
@@ -92,7 +95,7 @@ fn run_threads(streams: usize, transport: &'static str, steps: u64) -> f64 {
                 .expect("open writer");
             for step in 0..steps {
                 w.begin_step(step);
-                w.write("u", payload(i, step));
+                w.write("u", payload(i, step, elems));
                 w.end_step();
             }
             w.close();
@@ -102,7 +105,7 @@ fn run_threads(streams: usize, transport: &'static str, steps: u64) -> f64 {
             let mut r = io_r
                 .open_reader(&name, 0, 1, rcore, vec![rcore], hints(Runtime::Blocking))
                 .expect("open reader");
-            r.subscribe("u", Selection::GlobalBox(BoxSel::whole(&[ELEMS as u64])));
+            r.subscribe("u", Selection::GlobalBox(BoxSel::whole(&[elems as u64])));
             let mut seen = 0u64;
             while let StepStatus::Step(_) = r.begin_step() {
                 seen += 1;
@@ -119,7 +122,7 @@ fn run_threads(streams: usize, transport: &'static str, steps: u64) -> f64 {
 }
 
 /// Reactor backend: one event loop on this thread drives all 2×N engines.
-fn run_reactor(streams: usize, transport: &'static str, steps: u64) -> f64 {
+fn run_reactor(streams: usize, transport: &'static str, steps: u64, elems: usize) -> f64 {
     let io = FlexIo::single_node(laptop());
     let mut reactor = flexio_reactor::Reactor::new();
     let done = Rc::new(Cell::new(0usize));
@@ -137,7 +140,7 @@ fn run_reactor(streams: usize, transport: &'static str, steps: u64) -> f64 {
                 .expect("open writer");
             for step in 0..steps {
                 w.begin_step(step);
-                w.write("u", payload(i, step));
+                w.write("u", payload(i, step, elems));
                 w.end_step_rt().await.expect("end_step");
             }
             w.close();
@@ -150,7 +153,7 @@ fn run_reactor(streams: usize, transport: &'static str, steps: u64) -> f64 {
                 .open_reader_rt(&name, 0, 1, rcore, vec![rcore], hints(Runtime::Reactor))
                 .await
                 .expect("open reader");
-            r.subscribe("u", Selection::GlobalBox(BoxSel::whole(&[ELEMS as u64])));
+            r.subscribe("u", Selection::GlobalBox(BoxSel::whole(&[elems as u64])));
             let mut seen = 0u64;
             loop {
                 match r.begin_step_rt().await.expect("begin_step") {
@@ -180,30 +183,41 @@ fn main() {
     let quick = std::env::var("REACTOR_QUICK").is_ok();
     // Steps per stream scale down with stream count so every cell moves a
     // comparable total step volume.
-    let sweep: Vec<(usize, u64)> = vec![
+    let stream_sweep: Vec<(usize, u64)> = vec![
         (1, if quick { 64 } else { 512 }),
         (8, if quick { 16 } else { 128 }),
         (64, if quick { 4 } else { 16 }),
     ];
+    // Payload sweep at a fixed 8 streams: 1 KiB (scheduling-bound),
+    // 64 KiB, 1 MiB (copy-bound). Steps shrink as payloads grow so every
+    // cell moves a comparable byte volume.
+    let payload_sweep: Vec<(usize, u64)> = vec![
+        (128, if quick { 16 } else { 128 }),    // 1 KiB
+        (8 << 10, if quick { 8 } else { 32 }),  // 64 KiB
+        (128 << 10, if quick { 2 } else { 8 }), // 1 MiB
+    ];
+    const PAYLOAD_STREAMS: usize = 8;
 
     let mut results: Vec<RunResult> = Vec::new();
-    for &(streams, steps) in &sweep {
+    let mut run_cell = |streams: usize, steps: u64, elems: usize| {
         for transport in ["inproc", "shm"] {
             for backend in ["threads", "reactor"] {
                 let elapsed_s = match backend {
-                    "threads" => run_threads(streams, transport, steps),
-                    _ => run_reactor(streams, transport, steps),
+                    "threads" => run_threads(streams, transport, steps, elems),
+                    _ => run_reactor(streams, transport, steps, elems),
                 };
                 let r = RunResult {
                     streams,
+                    payload_bytes: elems * 8,
                     transport,
                     backend,
                     steps_total: streams as u64 * steps,
                     elapsed_s,
                 };
                 eprintln!(
-                    "reactor: {:3} streams  {:6}  {:7}  {:8.1} steps/s",
+                    "reactor: {:3} streams  {:8} B  {:6}  {:7}  {:8.1} steps/s",
                     r.streams,
+                    r.payload_bytes,
                     r.transport,
                     r.backend,
                     r.steps_per_s()
@@ -211,31 +225,29 @@ fn main() {
                 results.push(r);
             }
         }
+    };
+    for &(streams, steps) in &stream_sweep {
+        run_cell(streams, steps, ELEMS);
+    }
+    for &(elems, steps) in &payload_sweep {
+        if elems == ELEMS {
+            continue; // the 8-stream × 1 KiB cell already ran in the stream sweep
+        }
+        run_cell(PAYLOAD_STREAMS, steps, elems);
     }
 
-    let mut entries = String::new();
-    for (i, r) in results.iter().enumerate() {
-        if i > 0 {
-            entries.push_str(", ");
-        }
-        entries.push_str(&format!(
-            "{{\"streams\": {}, \"transport\": \"{}\", \"backend\": \"{}\", \
-             \"steps_total\": {}, \"elapsed_s\": {:.6}, \"steps_per_s\": {:.3}}}",
-            r.streams,
-            r.transport,
-            r.backend,
-            r.steps_total,
-            r.elapsed_s,
-            r.steps_per_s()
-        ));
+    let mut rep = bench::report::Report::new("reactor").u64("payload_bytes", (ELEMS * 8) as u64);
+    for r in &results {
+        rep.push(
+            bench::report::Obj::new()
+                .u64("streams", r.streams as u64)
+                .u64("payload_bytes", r.payload_bytes as u64)
+                .str("transport", r.transport)
+                .str("backend", r.backend)
+                .u64("steps_total", r.steps_total)
+                .f64("elapsed_s", r.elapsed_s, 6)
+                .f64("steps_per_s", r.steps_per_s(), 3),
+        );
     }
-    let json = format!(
-        "{{\"bench\": \"reactor\", \"payload_bytes\": {}, \"results\": [{}]}}",
-        ELEMS * 8,
-        entries
-    );
-    println!("{json}");
-    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reactor.json");
-    std::fs::write(out, format!("{json}\n")).expect("write BENCH_reactor.json");
-    eprintln!("reactor: wrote {out}");
+    rep.write();
 }

@@ -4,6 +4,8 @@
 //! under Criterion in `benches/`. See DESIGN.md §4 for the experiment
 //! index and EXPERIMENTS.md for paper-vs-measured records.
 
+pub mod report;
+
 /// Print a row-oriented table: a header, then each row as label +
 /// fixed-width numeric columns.
 pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<f64>)], precision: usize) {

@@ -1,0 +1,242 @@
+//! The staging node's multi-core runtime: a [`ReactorFleet`] wired to
+//! the machine's NUMA topology (paper §V applied to FlexIO itself).
+//!
+//! `flexio-reactor` provides the mechanism — worker threads, shard
+//! injectors, the rebalancer. This module supplies the policy FlexIO
+//! cares about:
+//!
+//! * **thread count** — the `runtime.threads` XML hint, overridden by
+//!   the `FLEXIO_REACTOR_THREADS` environment variable, defaulting to
+//!   the host's available parallelism (see [`resolve_threads`]).
+//! * **shard→core→domain assignment** — shards stripe over the modelled
+//!   node's cores ([`machine::NodeParams`]), so every NUMA domain with a
+//!   shard gets its own pinned buffer pool.
+//! * **buffer placement** — each worker installs a per-shard
+//!   [`shm::BufferPool`] pinned to its domain via
+//!   [`shm::placement::install_thread_pool`]; every shm channel a shard
+//!   creates from then on allocates pooled buffers "locally".
+//! * **coupling placement** — [`FleetRuntime::spawn_for`] scores the
+//!   candidate domains with [`memsim::best_domain`] over the coupling's
+//!   endpoint cores and spawns into the cheapest one, which is
+//!   producer-local placement (§III.B.3) when the producer is the lone
+//!   endpoint.
+//!
+//! The control-plane pollers ride the same fleet:
+//! [`FleetRuntime::spawn_monitor_sink`] and
+//! [`FleetRuntime::spawn_manager`] turn the relay drain and the
+//! placement decision loop into reactor tasks, so a staging node runs
+//! entirely on its fleet cores.
+
+use std::future::Future;
+use std::sync::Arc;
+use std::time::Duration;
+
+use flexio_reactor::{FleetHandle, FleetTopology, ReactorFleet, ShardSnapshot};
+use machine::{CoreLocation, MachineModel};
+use shm::BufferPool;
+
+use crate::directory::DirectoryService;
+use crate::manager::{ManagerTaskHandle, PlacementManager};
+use crate::relay::{MonitorSink, SinkTaskHandle};
+
+/// Per-shard pool reclamation threshold: the same 64 MiB default as a
+/// private channel pool, but shared by every channel the shard owns.
+const SHARD_POOL_THRESHOLD: u64 = 64 << 20;
+
+/// Nominal transfer size used when scoring candidate NUMA domains for a
+/// coupling (the cost model only needs relative ordering).
+const PLACEMENT_PROBE_BYTES: u64 = 1 << 20;
+
+/// Resolve the fleet's worker-thread count: an explicit non-zero hint
+/// wins, else the `FLEXIO_REACTOR_THREADS` environment variable, else
+/// the host's available parallelism.
+pub fn resolve_threads(hint: usize) -> usize {
+    if hint > 0 {
+        return hint;
+    }
+    if let Some(n) = std::env::var("FLEXIO_REACTOR_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// A [`ReactorFleet`] plus the NUMA-pinned per-shard buffer pools and
+/// the machine model its placement decisions read. See the module docs.
+pub struct FleetRuntime {
+    fleet: ReactorFleet,
+    /// Per-shard pinned pools, in shard order (also installed
+    /// thread-locally on the matching workers).
+    pools: Vec<BufferPool>,
+    machine: MachineModel,
+}
+
+impl FleetRuntime {
+    /// Build a fleet of `threads` workers (0 = auto, see
+    /// [`resolve_threads`]) striped over `machine`'s node topology, with
+    /// one NUMA-pinned buffer pool per shard.
+    pub fn new(machine: &MachineModel, threads: usize) -> FleetRuntime {
+        let threads = resolve_threads(threads);
+        let node = &machine.node;
+        let topology = FleetTopology::striped(threads, node.numa_domains, node.cores_per_numa);
+        let pools: Vec<BufferPool> = topology
+            .slots()
+            .iter()
+            .map(|s| BufferPool::new_pinned(SHARD_POOL_THRESHOLD, s.numa_domain))
+            .collect();
+        let init_pools = pools.clone();
+        let fleet = ReactorFleet::builder(topology)
+            .worker_init(move |slot| {
+                shm::placement::install_thread_pool(init_pools[slot.shard].clone());
+            })
+            .build();
+        FleetRuntime { fleet, pools, machine: machine.clone() }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.fleet.threads()
+    }
+
+    /// A cloneable spawner/observer for the underlying fleet.
+    pub fn handle(&self) -> FleetHandle {
+        self.fleet.handle()
+    }
+
+    /// The machine model placement decisions are scored against.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// Spawn onto the least-loaded shard.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + Send + 'static) {
+        self.fleet.spawn(fut);
+    }
+
+    /// Spawn a coupling task near its endpoints: score every NUMA
+    /// domain's copy cost to `endpoints` with [`memsim::best_domain`]
+    /// and spawn into the cheapest domain's least-loaded shard. With one
+    /// endpoint (the producer) this is the paper's producer-local
+    /// placement; endpoints on other nodes can't matter to on-node
+    /// buffer placement, so only same-node endpoints are scored.
+    pub fn spawn_for(
+        &self,
+        endpoints: &[CoreLocation],
+        fut: impl Future<Output = ()> + Send + 'static,
+    ) {
+        let local: Vec<CoreLocation> = match endpoints.first() {
+            Some(first) => endpoints.iter().copied().filter(|e| e.node == first.node).collect(),
+            None => Vec::new(),
+        };
+        if local.is_empty() {
+            self.fleet.spawn(fut);
+            return;
+        }
+        let domain = memsim::best_domain(&self.machine.node, &local, PLACEMENT_PROBE_BYTES);
+        self.fleet.spawn_in_domain(domain, fut);
+    }
+
+    /// Fold a monitor-relay drain into the fleet: the sink becomes a
+    /// periodic reactor task (see [`MonitorSink::into_task`]).
+    pub fn spawn_monitor_sink(&self, sink: MonitorSink, interval: Duration) -> SinkTaskHandle {
+        let (handle, task) = sink.into_task(interval);
+        self.fleet.spawn(task);
+        handle
+    }
+
+    /// Fold a placement-manager decision loop into the fleet (see
+    /// [`PlacementManager::into_task`]).
+    pub fn spawn_manager(
+        &self,
+        manager: PlacementManager,
+        directory: Arc<dyn DirectoryService>,
+        stream: impl Into<String>,
+        rank: usize,
+        interval: Duration,
+    ) -> ManagerTaskHandle {
+        let (handle, task) = manager.into_task(directory, stream.into(), rank, interval);
+        self.fleet.spawn(task);
+        handle
+    }
+
+    /// Stats of every shard's pinned pool, in shard order:
+    /// `(shard, numa_domain, stats)`.
+    pub fn pool_stats(&self) -> Vec<(usize, usize, shm::PoolStats)> {
+        self.pools
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.numa_domain().expect("fleet pools are pinned"), p.stats()))
+            .collect()
+    }
+
+    /// Wait for every spawned task to finish and stop the workers,
+    /// returning final per-shard counters.
+    pub fn join(self) -> Vec<ShardSnapshot> {
+        self.fleet.join()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::laptop;
+
+    #[test]
+    fn resolve_threads_prefers_explicit_hint() {
+        assert_eq!(resolve_threads(3), 3);
+        // 0 = auto: env or host parallelism, but never zero.
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn shards_stripe_domains_and_pools_match() {
+        // laptop: 2 NUMA domains × 2 cores. 4 shards cover both domains;
+        // each shard's pool is pinned to its own domain.
+        let rt = FleetRuntime::new(&laptop(), 4);
+        assert_eq!(rt.threads(), 4);
+        let topo = rt.handle().topology().clone();
+        assert!(!topo.shards_in_domain(0).is_empty());
+        assert!(!topo.shards_in_domain(1).is_empty());
+        for (shard, domain, _) in rt.pool_stats() {
+            assert_eq!(domain, topo.slot(shard).numa_domain);
+        }
+        rt.join();
+    }
+
+    #[test]
+    fn workers_see_their_shard_pool() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let rt = FleetRuntime::new(&laptop(), 4);
+        let expect = rt.handle().topology().clone();
+        let checked = Arc::new(AtomicUsize::new(0));
+        for shard in 0..rt.threads() {
+            let expect = expect.clone();
+            let checked = Arc::clone(&checked);
+            rt.handle().spawn_on(shard, async move {
+                let pool = shm::placement::thread_pool().expect("worker has a pool");
+                assert_eq!(pool.numa_domain(), Some(expect.slot(shard).numa_domain));
+                checked.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        rt.join();
+        assert_eq!(checked.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn spawn_for_places_producer_local() {
+        // A producer in domain 1: the coupling must land on a shard
+        // pinned to domain 1 (laptop has 2 domains; 4 shards cover both).
+        let rt = FleetRuntime::new(&laptop(), 4);
+        let domain1 = rt.handle().topology().shards_in_domain(1);
+        let producer = CoreLocation { node: 0, numa: 1, core: 0 };
+        for _ in 0..6 {
+            rt.spawn_for(&[producer], async {});
+        }
+        let snaps = rt.join();
+        let on_domain1: u64 = domain1.iter().map(|&s| snaps[s].completed).sum();
+        assert_eq!(on_domain1, 6, "producer-local placement violated: {snaps:?}");
+    }
+}

@@ -39,6 +39,7 @@
 //!   writer/reader step protocol (enable with `StreamHints::transactional`).
 
 pub mod directory;
+pub mod fleet;
 pub mod link;
 pub mod manager;
 pub mod monitor;
@@ -54,8 +55,9 @@ pub use directory::{
     decode_contact_table, encode_contact_table, DirectoryCluster, DirectoryConfig, DirectoryError,
     DirectoryService, InProcDirectory, ReplicatedDirectory, ShardedDirectory, WireContact,
 };
+pub use fleet::{resolve_threads, FleetRuntime};
 pub use link::{FlexIo, HintKey, Runtime, StreamHints, StreamHintsBuilder, Transport};
-pub use manager::{ManagerPolicy, PlacementManager, Recommendation};
+pub use manager::{ManagerPolicy, ManagerTaskHandle, PlacementManager, Recommendation};
 pub use monitor::{MonitorEvent, PerfMonitor};
 pub use plugins::{PluginPlacement, PluginSpec};
 pub use procnet::{
@@ -64,5 +66,5 @@ pub use procnet::{
 };
 pub use protocol::{CachingLevel, ProtocolCounters, WriteMode};
 pub use reader::StreamReader;
-pub use relay::{MonitorRelay, MonitorSink};
+pub use relay::{MonitorRelay, MonitorSink, SinkTaskHandle};
 pub use writer::StreamWriter;

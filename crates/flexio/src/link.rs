@@ -145,6 +145,10 @@ pub struct StreamHints {
     /// Engine backend: thread-per-stream blocking calls (default) or the
     /// single-threaded reactor event loop.
     pub runtime: Runtime,
+    /// Worker threads for the reactor fleet (`crate::fleet`): 0 = auto
+    /// (the `FLEXIO_REACTOR_THREADS` env var, else the host's available
+    /// parallelism). Ignored by the blocking backend.
+    pub runtime_threads: usize,
     /// Byte transport beneath every channel of the stream.
     pub transport: Transport,
     /// Budget for establishing one socket connection (covers the window
@@ -170,6 +174,7 @@ impl Default for StreamHints {
             eos_on_silence: false,
             packed_marshal: true,
             runtime: default_runtime(),
+            runtime_threads: 0,
             transport: default_transport(),
             net_connect_timeout: Duration::from_secs(2),
             net_max_frame: evpath::MAX_FRAME_LEN,
@@ -206,6 +211,8 @@ pub enum HintKey {
     PackedMarshal,
     /// Engine backend (`blocking`/`reactor`).
     Runtime,
+    /// Reactor-fleet worker thread count (0 = auto).
+    RuntimeThreads,
     /// Byte transport beneath every channel (`auto`/`shm`/`tcp`/`uds`).
     TransportSel,
     /// Socket connect budget in milliseconds.
@@ -237,6 +244,7 @@ impl HintKey {
         HintKey::EosOnSilence,
         HintKey::PackedMarshal,
         HintKey::Runtime,
+        HintKey::RuntimeThreads,
         HintKey::TransportSel,
         HintKey::NetConnectMs,
         HintKey::NetMaxFrameMb,
@@ -260,6 +268,7 @@ impl HintKey {
             HintKey::EosOnSilence => "eos_on_silence",
             HintKey::PackedMarshal => "packed_marshal",
             HintKey::Runtime => "runtime",
+            HintKey::RuntimeThreads => "runtime.threads",
             HintKey::TransportSel => "transport",
             HintKey::NetConnectMs => "net.connect_ms",
             HintKey::NetMaxFrameMb => "net.max_frame_mb",
@@ -316,6 +325,9 @@ impl StreamHints {
         }
         if let Some(rt) = hint(HintKey::Runtime).and_then(Runtime::from_hint) {
             h.runtime = rt;
+        }
+        if let Some(n) = hint_u64(HintKey::RuntimeThreads) {
+            h.runtime_threads = n as usize;
         }
         if let Some(t) = hint(HintKey::TransportSel).and_then(Transport::from_hint) {
             h.transport = t;
@@ -407,6 +419,12 @@ impl StreamHintsBuilder {
     /// Engine backend.
     pub fn runtime(mut self, runtime: Runtime) -> Self {
         self.hints.runtime = runtime;
+        self
+    }
+
+    /// Reactor-fleet worker thread count (0 = auto).
+    pub fn runtime_threads(mut self, threads: usize) -> Self {
+        self.hints.runtime_threads = threads;
         self
     }
 

@@ -16,6 +16,13 @@
 //! * heavy plug-in cost relative to the simulation's budget ⇒ **reader
 //!   side** (don't steal simulation cycles).
 
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
 use crate::directory::{DirectoryError, DirectoryService};
 use crate::monitor::{MonitorEvent, PerfMonitor};
 use crate::plugins::PluginPlacement;
@@ -139,6 +146,74 @@ impl PlacementManager {
             .try_lookup(name)
             .ok_or_else(|| DirectoryError::LookupTimeout(name.to_string()))?;
         Ok(self.decide(&link.monitor, rank))
+    }
+
+    /// Convert the manager into a periodic decision loop for a reactor
+    /// (the staging node's placement poller folded into the fleet). The
+    /// task re-decides stream `name`'s placement every `interval` from
+    /// the live link's monitor, publishing each recommendation through
+    /// the handle. It ends on its own once a stream it has seen becomes
+    /// unregistered (the coupling is gone), or early via the handle's
+    /// `stop`.
+    pub fn into_task(
+        mut self,
+        directory: Arc<dyn DirectoryService>,
+        name: String,
+        rank: usize,
+        interval: Duration,
+    ) -> (ManagerTaskHandle, impl Future<Output = ()> + Send) {
+        let handle = ManagerTaskHandle {
+            latest: Arc::new(Mutex::new(None)),
+            decisions: Arc::new(AtomicU64::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        let (latest, decisions, stop) =
+            (Arc::clone(&handle.latest), Arc::clone(&handle.decisions), Arc::clone(&handle.stop));
+        let task = async move {
+            let mut seen = false;
+            while !stop.load(Ordering::Acquire) {
+                match directory.try_lookup(&name) {
+                    Some(link) => {
+                        seen = true;
+                        let rec = self.decide(&link.monitor, rank);
+                        *latest.lock() = Some(rec);
+                        decisions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A stream that was up and is now gone won't come
+                    // back under the same registration; stop polling.
+                    None if seen => break,
+                    None => {}
+                }
+                flexio_reactor::sleep(interval).await;
+            }
+        };
+        (handle, task)
+    }
+}
+
+/// Observer/controller for a fleet-spawned [`PlacementManager::into_task`]
+/// decision loop. Cloning shares the underlying state.
+#[derive(Clone)]
+pub struct ManagerTaskHandle {
+    latest: Arc<Mutex<Option<Recommendation>>>,
+    decisions: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ManagerTaskHandle {
+    /// The most recent recommendation, if any decision has run yet.
+    pub fn latest(&self) -> Option<Recommendation> {
+        self.latest.lock().clone()
+    }
+
+    /// Decision rounds completed so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Ask the task to exit after its current round.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
     }
 }
 

@@ -606,6 +606,9 @@ impl StreamReader {
         }
         self.current_step = Some(step);
         self.steps_read += 1;
+        // Feed the fleet's per-shard steps/s counter (no-op outside a
+        // reactor).
+        flexio_reactor::note_step();
         Ok(StepStatus::Step(step))
     }
 

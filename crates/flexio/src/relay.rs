@@ -14,6 +14,8 @@
 //! [`crate::manager::PlacementManager`]. The filter keeps the relay off
 //! the critical path: only every `stride`-th event crosses.
 
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -220,6 +222,85 @@ impl MonitorSink {
     /// [`crate::manager::PlacementManager`].
     pub fn monitor(&self) -> &PerfMonitor {
         &self.replica
+    }
+
+    /// Convert the sink into a periodic drain task for a reactor (one of
+    /// the staging node's ad-hoc pollers folded into the fleet). The
+    /// task drains every `interval`, ends on its own when the producing
+    /// side goes away, and can be ended early through the handle's
+    /// `stop`. The handle shares the live [`PerfMonitor`] replica, so a
+    /// manager can read it while the task runs.
+    pub fn into_task(
+        mut self,
+        interval: Duration,
+    ) -> (SinkTaskHandle, impl Future<Output = ()> + Send) {
+        let handle = SinkTaskHandle {
+            absorbed: Arc::new(AtomicU64::new(0)),
+            corrupt: Arc::new(AtomicU64::new(0)),
+            closed: Arc::new(AtomicBool::new(false)),
+            stop: Arc::new(AtomicBool::new(false)),
+            replica: self.replica.clone(),
+        };
+        let (absorbed, corrupt, closed, stop) = (
+            Arc::clone(&handle.absorbed),
+            Arc::clone(&handle.corrupt),
+            Arc::clone(&handle.closed),
+            Arc::clone(&handle.stop),
+        );
+        let task = async move {
+            while !stop.load(Ordering::Acquire) {
+                let n = self.drain();
+                if n > 0 {
+                    absorbed.fetch_add(n as u64, Ordering::Relaxed);
+                    flexio_reactor::note_progress();
+                }
+                corrupt.store(self.corrupt_frames, Ordering::Relaxed);
+                if self.peer_closed() {
+                    closed.store(true, Ordering::Release);
+                    break;
+                }
+                flexio_reactor::sleep(interval).await;
+            }
+        };
+        (handle, task)
+    }
+}
+
+/// Observer/controller for a fleet-spawned [`MonitorSink::into_task`]
+/// drain loop. Cloning shares the underlying state.
+#[derive(Clone)]
+pub struct SinkTaskHandle {
+    absorbed: Arc<AtomicU64>,
+    corrupt: Arc<AtomicU64>,
+    closed: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    replica: PerfMonitor,
+}
+
+impl SinkTaskHandle {
+    /// Samples absorbed into the replica so far.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed.load(Ordering::Relaxed)
+    }
+
+    /// Damaged frames skipped so far.
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Whether the task saw the producing side gone (and exited).
+    pub fn peer_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// The live monitor replica (shared with the running task).
+    pub fn monitor(&self) -> &PerfMonitor {
+        &self.replica
+    }
+
+    /// Ask the task to exit after its current drain.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
     }
 }
 

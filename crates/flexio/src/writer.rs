@@ -767,6 +767,9 @@ impl StreamWriter {
         match result {
             Ok(()) => {
                 self.steps_written += 1;
+                // Feed the fleet's per-shard steps/s counter (no-op
+                // outside a reactor).
+                flexio_reactor::note_step();
                 Ok(())
             }
             Err(e) => {

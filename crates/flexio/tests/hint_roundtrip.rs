@@ -29,6 +29,7 @@ fn nondefault_value(key: HintKey) -> &'static str {
             Runtime::Reactor => "blocking",
             _ => "reactor",
         },
+        HintKey::RuntimeThreads => "6",
         HintKey::FaultSeed => "77",
         // Like `runtime`, the transport default is environment-sensitive
         // (`FLEXIO_TRANSPORT`), so pick whichever value it is not.
@@ -72,6 +73,7 @@ fn every_hint_key_round_trips_through_xml() {
         _ => Runtime::Reactor,
     };
     assert_eq!(h.runtime, expected_rt);
+    assert_eq!(h.runtime_threads, 6, "runtime.threads hint must be parsed");
     assert_eq!(h.faults.as_ref().expect("fault.seed enables the plan").seed(), 77);
     let expected_tp = match StreamHints::default().transport {
         Transport::Tcp => Transport::Uds,
@@ -100,6 +102,7 @@ fn every_hint_key_round_trips_through_xml() {
     assert_ne!(h.eos_on_silence, defaults.eos_on_silence);
     assert_ne!(h.packed_marshal, defaults.packed_marshal);
     assert_ne!(h.runtime, defaults.runtime);
+    assert_ne!(h.runtime_threads, defaults.runtime_threads);
     assert_ne!(h.transport, defaults.transport);
     assert_ne!(h.net_connect_timeout, defaults.net_connect_timeout);
     assert_ne!(h.net_max_frame, defaults.net_max_frame);
@@ -126,6 +129,7 @@ fn builder_mirrors_the_parsed_config() {
         .eos_on_silence(true)
         .packed_marshal(false)
         .runtime(Runtime::Reactor)
+        .runtime_threads(6)
         .transport(Transport::Uds)
         .net_connect_timeout(Duration::from_millis(777))
         .net_max_frame(64 << 20)
@@ -141,6 +145,7 @@ fn builder_mirrors_the_parsed_config() {
     assert!(h.eos_on_silence);
     assert!(!h.packed_marshal);
     assert_eq!(h.runtime, Runtime::Reactor);
+    assert_eq!(h.runtime_threads, 6);
     assert_eq!(h.transport, Transport::Uds);
     assert_eq!(h.net_connect_timeout, Duration::from_millis(777));
     assert_eq!(h.net_max_frame, 64 << 20);

@@ -83,6 +83,13 @@ impl NodeParams {
             core: within % self.cores_per_numa,
         }
     }
+
+    /// NUMA domain of a machine-wide linear core index (node-relative:
+    /// the domain index within that core's own node). The fleet's
+    /// shard→core→domain assignment is built from this.
+    pub fn numa_of_linear(&self, linear: usize) -> usize {
+        self.location_of(linear).numa
+    }
 }
 
 #[cfg(test)]

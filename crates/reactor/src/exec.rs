@@ -33,6 +33,10 @@ struct Cx {
     /// Set by futures when they did useful work (received a message,
     /// finished a protocol phase) or want an immediate re-poll.
     progressed: bool,
+    /// Application-level units of work (protocol steps) completed since
+    /// the executor last harvested the counter — the fleet's per-shard
+    /// steps/s signal.
+    steps: u64,
 }
 
 thread_local! {
@@ -56,16 +60,48 @@ pub fn note_progress() {
     });
 }
 
+/// Tell the executor one application-level unit of work (a protocol
+/// step) completed. The engines call this when a step commits; a
+/// [`crate::ReactorFleet`] harvests the count per poll round into its
+/// per-shard steps/s counter, which is what the rebalancer weighs.
+/// Implies [`note_progress`]. A no-op outside a reactor.
+pub fn note_step() {
+    CX.with(|cx| {
+        if let Some(cx) = cx.borrow_mut().as_mut() {
+            cx.steps += 1;
+            cx.progressed = true;
+        }
+    });
+}
+
+/// Take-and-clear the step counter accumulated by [`note_step`] since
+/// the last harvest. Fleet-internal.
+pub(crate) fn take_steps() -> u64 {
+    CX.with(|cx| {
+        cx.borrow_mut().as_mut().map_or(0, |cx| {
+            let n = cx.steps;
+            cx.steps = 0;
+            n
+        })
+    })
+}
+
+/// The wheel's next deadline, if any — how long a worker may park.
+/// Fleet-internal.
+pub(crate) fn next_wheel_deadline() -> Option<Instant> {
+    CX.with(|cx| cx.borrow().as_ref().and_then(|cx| cx.wheel.next_deadline()))
+}
+
 fn with_wheel<R>(f: impl FnOnce(&mut TimerWheel) -> R) -> Option<R> {
     CX.with(|cx| cx.borrow_mut().as_mut().map(|cx| f(&mut cx.wheel)))
 }
 
 /// Clears the thread-local context on scope exit (including panics), so
 /// a poisoned reactor doesn't wedge the thread for the next one.
-struct CxGuard;
+pub(crate) struct CxGuard;
 
 impl CxGuard {
-    fn enter() -> CxGuard {
+    pub(crate) fn enter() -> CxGuard {
         CX.with(|cx| {
             let mut cx = cx.borrow_mut();
             assert!(
@@ -73,7 +109,7 @@ impl CxGuard {
                 "nested reactor: block_on/run called from inside a reactor task \
                  (use the *_rt async variants instead of the blocking wrappers)"
             );
-            *cx = Some(Cx { wheel: TimerWheel::default(), progressed: false });
+            *cx = Some(Cx { wheel: TimerWheel::default(), progressed: false, steps: 0 });
         });
         CxGuard
     }
@@ -86,7 +122,7 @@ impl Drop for CxGuard {
 }
 
 /// Sweep the wheel, take-and-clear the progress flag.
-fn idle_round() -> bool {
+pub(crate) fn idle_round() -> bool {
     CX.with(|cx| {
         let mut cx = cx.borrow_mut();
         let cx = cx.as_mut().expect("reactor context");

@@ -1,0 +1,773 @@
+//! Thread-per-core reactor fleet.
+//!
+//! One [`crate::Reactor`] drives many streams on one core; the fleet
+//! scales that design sideways instead of up. N worker threads each run
+//! the *same* single-threaded poll loop over their own shard of tasks —
+//! no shared run queue, no work stealing, no wakers. What crosses shard
+//! boundaries is coarse and explicit:
+//!
+//! * **submission** — [`FleetHandle::spawn`] pushes a boxed future into
+//!   the least-loaded shard's injector queue (a mutexed `VecDeque`) and
+//!   pokes that worker's condvar. Workers adopt injected tasks at the
+//!   top of every poll round.
+//! * **rebalancing** — every worker publishes per-round counters
+//!   (polls, busy rounds, committed steps) as relaxed atomics; whichever
+//!   worker trips the policy interval snapshots them and asks
+//!   [`crate::rebalance::plan`] for a migration order. The order is
+//!   *posted to the donor*, never executed remotely: only the thread
+//!   that owns a future may move it, so a donor ships whole futures from
+//!   the tail of its run queue into the recipient's injector. `!Send`
+//!   state never crosses threads — fleet tasks are `Send` by type.
+//! * **placement** — each shard carries a [`ShardSlot`] naming the
+//!   modelled core and NUMA domain it represents. A `worker_init` hook
+//!   runs on each worker thread before its loop starts, which is where
+//!   the embedding layer pins thread-local buffer pools to the shard's
+//!   domain ([`FleetHandle::spawn_in_domain`] then routes couplings to
+//!   the shards whose pools they'll allocate from).
+//!
+//! A task migrated between shards may hold a `Sleep` whose deadline is
+//! registered on the old shard's wheel. Completion stays correct — the
+//! sleep checks the clock, not the wheel — but the new shard doesn't
+//! know the deadline, so it can park past it by up to the worker's park
+//! cap (1 ms). That bound is why workers never park unboundedly.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::exec;
+use crate::rebalance::{plan, Migration, RebalancePolicy, ShardLoad};
+
+/// A future the fleet can own: `Send` because it may be spawned from any
+/// thread and later migrated between workers.
+pub type FleetTask = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Hook run on each worker thread before its poll loop starts — the
+/// embedding layer's chance to install thread-local state (e.g. a NUMA-
+/// pinned buffer pool) keyed by the shard's placement.
+pub type WorkerInit = Arc<dyn Fn(ShardSlot) + Send + Sync>;
+
+/// Static placement of one shard: which modelled core polls it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSlot {
+    /// Shard index within the fleet (also the worker thread index).
+    pub shard: usize,
+    /// Machine-wide linear core index the shard represents.
+    pub core: usize,
+    /// NUMA domain of that core.
+    pub numa_domain: usize,
+}
+
+/// Shard→core→NUMA-domain assignment, fixed at fleet startup.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetTopology {
+    slots: Vec<ShardSlot>,
+}
+
+impl FleetTopology {
+    /// Topology-blind assignment: shard i is core i, everything in
+    /// domain 0. What `ReactorFleet::new` uses when the embedding layer
+    /// has no machine model.
+    pub fn flat(threads: usize) -> FleetTopology {
+        FleetTopology::from_cores((0..threads.max(1)).map(|c| (c, 0)).collect())
+    }
+
+    /// Explicit (core, numa_domain) per shard, in shard order.
+    pub fn from_cores(cores: Vec<(usize, usize)>) -> FleetTopology {
+        assert!(!cores.is_empty(), "fleet topology needs at least one shard");
+        FleetTopology {
+            slots: cores
+                .into_iter()
+                .enumerate()
+                .map(|(shard, (core, numa_domain))| ShardSlot { shard, core, numa_domain })
+                .collect(),
+        }
+    }
+
+    /// Stripe `threads` shards across a node of `numa_domains` domains
+    /// with `cores_per_numa` cores each, round-robin over the cores.
+    pub fn striped(threads: usize, numa_domains: usize, cores_per_numa: usize) -> FleetTopology {
+        let domains = numa_domains.max(1);
+        let per = cores_per_numa.max(1);
+        let total = domains * per;
+        FleetTopology::from_cores(
+            (0..threads.max(1)).map(|i| (i % total, (i % total) / per)).collect(),
+        )
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Placement of shard `i`.
+    pub fn slot(&self, shard: usize) -> ShardSlot {
+        self.slots[shard]
+    }
+
+    /// All placements, in shard order.
+    pub fn slots(&self) -> &[ShardSlot] {
+        &self.slots
+    }
+
+    /// Shards pinned to `domain`, in shard order.
+    pub fn shards_in_domain(&self, domain: usize) -> Vec<usize> {
+        self.slots.iter().filter(|s| s.numa_domain == domain).map(|s| s.shard).collect()
+    }
+}
+
+/// Per-shard counters, written relaxed by the owning worker, read by
+/// the rebalancer and by [`FleetHandle::snapshots`].
+#[derive(Default)]
+struct ShardStats {
+    /// Tasks in the local run queue (excludes the injector).
+    owned: AtomicUsize,
+    /// Task polls performed.
+    polls: AtomicU64,
+    /// Poll rounds completed.
+    rounds: AtomicU64,
+    /// Rounds where something progressed (task made progress, timer
+    /// fired, task finished).
+    busy_rounds: AtomicU64,
+    /// Protocol steps committed (harvested from [`exec::note_step`]).
+    steps: AtomicU64,
+    /// Tasks run to completion on this shard.
+    completed: AtomicU64,
+    /// Tasks adopted from other shards' migration orders.
+    migrated_in: AtomicU64,
+    /// Tasks shipped away by migration orders.
+    migrated_out: AtomicU64,
+}
+
+/// Plain-data copy of one shard's counters and placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Placement of this shard.
+    pub slot: ShardSlot,
+    /// Tasks currently in the shard's local run queue.
+    pub tasks: usize,
+    /// Task polls performed since startup.
+    pub polls: u64,
+    /// Poll rounds completed since startup.
+    pub rounds: u64,
+    /// Rounds where something progressed.
+    pub busy_rounds: u64,
+    /// Protocol steps committed on this shard.
+    pub steps: u64,
+    /// Tasks run to completion on this shard.
+    pub completed: u64,
+    /// Tasks adopted via migration.
+    pub migrated_in: u64,
+    /// Tasks shipped away via migration.
+    pub migrated_out: u64,
+}
+
+struct ShardState {
+    slot: ShardSlot,
+    /// Cross-thread submission queue; paired with `wake` for parking.
+    injector: Mutex<VecDeque<FleetTask>>,
+    wake: Condvar,
+    /// Pending migration order, posted by the rebalancer, taken by the
+    /// owning worker.
+    migrate_out: Mutex<Option<Migration>>,
+    stats: ShardStats,
+}
+
+impl ShardState {
+    fn queued(&self) -> usize {
+        self.stats.owned.load(Ordering::Relaxed) + self.injector.lock().unwrap().len()
+    }
+
+    fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            slot: self.slot,
+            tasks: self.stats.owned.load(Ordering::Relaxed),
+            polls: self.stats.polls.load(Ordering::Relaxed),
+            rounds: self.stats.rounds.load(Ordering::Relaxed),
+            busy_rounds: self.stats.busy_rounds.load(Ordering::Relaxed),
+            steps: self.stats.steps.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            migrated_in: self.stats.migrated_in.load(Ordering::Relaxed),
+            migrated_out: self.stats.migrated_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Rebalancer bookkeeping: previous counter values, so each planning
+/// round sees window deltas rather than lifetime totals.
+struct RebalanceState {
+    last: Instant,
+    /// (rounds, busy_rounds, steps) at the last planning round.
+    prev: Vec<(u64, u64, u64)>,
+}
+
+struct FleetShared {
+    topology: FleetTopology,
+    shards: Vec<ShardState>,
+    policy: RebalancePolicy,
+    /// Spawned-but-not-completed tasks, fleet-wide.
+    live: AtomicUsize,
+    /// Set by `join` once `live` hits zero: workers exit when idle.
+    draining: AtomicBool,
+    /// Set by `Drop` without `join`: workers exit now, dropping tasks.
+    abort: AtomicBool,
+    rebalance: Mutex<RebalanceState>,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl FleetShared {
+    /// Run a planning round if the interval elapsed. Any worker may
+    /// trip this; try-lock keeps it single-flight and keeps workers
+    /// from stalling on each other.
+    fn maybe_rebalance(&self) {
+        let Ok(mut st) = self.rebalance.try_lock() else { return };
+        let now = Instant::now();
+        let dt = now.saturating_duration_since(st.last);
+        if dt < self.policy.interval {
+            return;
+        }
+        let secs = dt.as_secs_f64().max(1e-9);
+        let mut loads = Vec::with_capacity(self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            let rounds = s.stats.rounds.load(Ordering::Relaxed);
+            let busy = s.stats.busy_rounds.load(Ordering::Relaxed);
+            let steps = s.stats.steps.load(Ordering::Relaxed);
+            let (pr, pb, ps) = st.prev[i];
+            st.prev[i] = (rounds, busy, steps);
+            let dr = rounds.saturating_sub(pr);
+            loads.push(ShardLoad {
+                shard: i,
+                tasks: s.queued(),
+                occupancy: if dr == 0 { 0.0 } else { busy.saturating_sub(pb) as f64 / dr as f64 },
+                steps_per_s: steps.saturating_sub(ps) as f64 / secs,
+            });
+        }
+        st.last = now;
+        for order in plan(&self.policy, &loads) {
+            *self.shards[order.from].migrate_out.lock().unwrap() = Some(order);
+            // The donor might be parked on an empty-looking round; poke
+            // it so the order is served promptly.
+            self.shards[order.from].wake.notify_one();
+        }
+    }
+
+    fn task_done(&self) {
+        if self.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Take the lock so a joiner can't slip between its live
+            // check and its wait.
+            let _g = self.done.lock().unwrap();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// First park interval after a round that made no progress; doubles per
+/// consecutive idle round up to [`PARK_MAX`].
+const PARK_MIN: Duration = Duration::from_micros(10);
+/// Longest single park. Also bounds how far a worker can oversleep a
+/// migrated-in task's timer (whose deadline lives on the donor's wheel).
+const PARK_MAX: Duration = Duration::from_millis(1);
+
+fn park_cap(idle_streak: u32) -> Duration {
+    (PARK_MIN * 2u32.pow(idle_streak.min(7))).min(PARK_MAX)
+}
+
+fn worker(shared: Arc<FleetShared>, me: usize, init: Option<WorkerInit>) {
+    let shard = &shared.shards[me];
+    if let Some(init) = &init {
+        init(shard.slot);
+    }
+    let _guard = exec::CxGuard::enter();
+    let waker = Waker::noop();
+    let mut ctx = Context::from_waker(waker);
+    let mut local: Vec<FleetTask> = Vec::new();
+    let mut idle_streak = 0u32;
+    loop {
+        if shared.abort.load(Ordering::Acquire) {
+            break;
+        }
+        // Adopt injected tasks (submissions and migrated-in futures).
+        {
+            let mut inj = shard.injector.lock().unwrap();
+            while let Some(t) = inj.pop_front() {
+                local.push(t);
+            }
+        }
+        // Serve a migration order: ship futures off the tail of the run
+        // queue (the tail is the least-recently-adopted work, so
+        // long-resident hot tasks keep their cache home).
+        if let Some(order) = shard.migrate_out.lock().unwrap().take() {
+            let n = order.tasks.min(local.len());
+            if n > 0 && order.to != me && order.to < shared.shards.len() {
+                let moved: Vec<FleetTask> = local.drain(local.len() - n..).collect();
+                shard.stats.migrated_out.fetch_add(n as u64, Ordering::Relaxed);
+                let target = &shared.shards[order.to];
+                target.stats.migrated_in.fetch_add(n as u64, Ordering::Relaxed);
+                target.injector.lock().unwrap().extend(moved);
+                target.wake.notify_one();
+            }
+        }
+        // One cooperative poll round over the shard.
+        let mut finished = false;
+        let mut polled = 0u64;
+        let mut i = 0;
+        while i < local.len() {
+            match local[i].as_mut().poll(&mut ctx) {
+                Poll::Ready(()) => {
+                    drop(local.swap_remove(i));
+                    shard.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    finished = true;
+                    shared.task_done();
+                }
+                Poll::Pending => i += 1,
+            }
+            polled += 1;
+        }
+        let busy = finished || !exec::idle_round();
+        shard.stats.polls.fetch_add(polled, Ordering::Relaxed);
+        shard.stats.rounds.fetch_add(1, Ordering::Relaxed);
+        if busy {
+            shard.stats.busy_rounds.fetch_add(1, Ordering::Relaxed);
+            idle_streak = 0;
+        }
+        shard.stats.steps.fetch_add(exec::take_steps(), Ordering::Relaxed);
+        shard.stats.owned.store(local.len(), Ordering::Relaxed);
+        shared.maybe_rebalance();
+        if local.is_empty()
+            && shared.draining.load(Ordering::Acquire)
+            && shared.live.load(Ordering::Acquire) == 0
+        {
+            break;
+        }
+        if !busy {
+            idle_streak = idle_streak.saturating_add(1);
+            let mut nap = park_cap(idle_streak);
+            if let Some(d) = exec::next_wheel_deadline() {
+                nap = nap.min(d.saturating_duration_since(Instant::now()));
+            }
+            if !nap.is_zero() {
+                let inj = shard.injector.lock().unwrap();
+                if inj.is_empty() && !shared.abort.load(Ordering::Acquire) {
+                    // Submissions and migration orders notify `wake`, so
+                    // the park ends early on new work.
+                    let _ = shard.wake.wait_timeout(inj, nap).unwrap();
+                }
+            }
+        }
+    }
+    // Abandoned tasks (abort path) drop inside the context guard so
+    // their Sleep entries cancel against the right wheel.
+    drop(local);
+}
+
+/// Cloneable spawner/observer for a running fleet. Obtained from
+/// [`ReactorFleet::handle`]; safe to use from inside fleet tasks.
+#[derive(Clone)]
+pub struct FleetHandle {
+    shared: Arc<FleetShared>,
+}
+
+impl FleetHandle {
+    /// Spawn onto the least-loaded shard.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + Send + 'static) {
+        let shard = self.least_loaded(None).expect("fleet has at least one shard");
+        self.spawn_on(shard, fut);
+    }
+
+    /// Spawn onto the least-loaded shard pinned to `domain`, falling
+    /// back to the fleet-wide least-loaded shard when no shard lives
+    /// there. This is the placement path: a coupling spawned into its
+    /// buffers' domain is polled by the core its pool is pinned to.
+    pub fn spawn_in_domain(&self, domain: usize, fut: impl Future<Output = ()> + Send + 'static) {
+        let shard = self
+            .least_loaded(Some(domain))
+            .or_else(|| self.least_loaded(None))
+            .expect("fleet has at least one shard");
+        self.spawn_on(shard, fut);
+    }
+
+    /// Spawn onto a specific shard.
+    pub fn spawn_on(&self, shard: usize, fut: impl Future<Output = ()> + Send + 'static) {
+        let s = &self.shared.shards[shard];
+        debug_assert!(
+            !self.shared.draining.load(Ordering::Acquire),
+            "spawn after ReactorFleet::join"
+        );
+        self.shared.live.fetch_add(1, Ordering::AcqRel);
+        s.injector.lock().unwrap().push_back(Box::pin(fut));
+        s.wake.notify_one();
+    }
+
+    fn least_loaded(&self, domain: Option<usize>) -> Option<usize> {
+        self.shared
+            .shards
+            .iter()
+            .filter(|s| domain.is_none_or(|d| s.slot.numa_domain == d))
+            .min_by_key(|s| s.queued())
+            .map(|s| s.slot.shard)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The fleet's shard→core→domain assignment.
+    pub fn topology(&self) -> &FleetTopology {
+        &self.shared.topology
+    }
+
+    /// Spawned-but-not-completed tasks, fleet-wide.
+    pub fn live(&self) -> usize {
+        self.shared.live.load(Ordering::Acquire)
+    }
+
+    /// Current per-shard counters, in shard order.
+    pub fn snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shared.shards.iter().map(ShardState::snapshot).collect()
+    }
+}
+
+/// Configures a [`ReactorFleet`] before its workers start.
+pub struct FleetBuilder {
+    topology: FleetTopology,
+    policy: RebalancePolicy,
+    worker_init: Option<WorkerInit>,
+}
+
+impl FleetBuilder {
+    /// Override the rebalance policy.
+    pub fn policy(mut self, policy: RebalancePolicy) -> FleetBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Install a hook that runs on each worker thread (with that
+    /// shard's placement) before its poll loop starts.
+    pub fn worker_init(mut self, f: impl Fn(ShardSlot) + Send + Sync + 'static) -> FleetBuilder {
+        self.worker_init = Some(Arc::new(f));
+        self
+    }
+
+    /// Start the worker threads.
+    pub fn build(self) -> ReactorFleet {
+        let n = self.topology.threads();
+        let shards = self
+            .topology
+            .slots()
+            .iter()
+            .map(|&slot| ShardState {
+                slot,
+                injector: Mutex::new(VecDeque::new()),
+                wake: Condvar::new(),
+                migrate_out: Mutex::new(None),
+                stats: ShardStats::default(),
+            })
+            .collect();
+        let shared = Arc::new(FleetShared {
+            topology: self.topology,
+            shards,
+            policy: self.policy,
+            live: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            rebalance: Mutex::new(RebalanceState {
+                last: Instant::now(),
+                prev: vec![(0, 0, 0); n],
+            }),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let init = self.worker_init.clone();
+                thread::Builder::new()
+                    .name(format!("flexio-shard-{i}"))
+                    .spawn(move || worker(shared, i, init))
+                    .expect("spawn fleet worker")
+            })
+            .collect();
+        ReactorFleet { handle: FleetHandle { shared }, workers }
+    }
+}
+
+/// N reactor threads, each owning a shard of tasks. See the module docs.
+pub struct ReactorFleet {
+    handle: FleetHandle,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ReactorFleet {
+    /// A fleet of `threads` workers with a topology-blind (single
+    /// domain) placement and the default rebalance policy.
+    pub fn new(threads: usize) -> ReactorFleet {
+        ReactorFleet::builder(FleetTopology::flat(threads)).build()
+    }
+
+    /// Start configuring a fleet over an explicit topology.
+    pub fn builder(topology: FleetTopology) -> FleetBuilder {
+        FleetBuilder { topology, policy: RebalancePolicy::default(), worker_init: None }
+    }
+
+    /// A cloneable spawner/observer for this fleet.
+    pub fn handle(&self) -> FleetHandle {
+        self.handle.clone()
+    }
+
+    /// Spawn onto the least-loaded shard.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + Send + 'static) {
+        self.handle.spawn(fut);
+    }
+
+    /// Spawn onto the least-loaded shard in `domain` (see
+    /// [`FleetHandle::spawn_in_domain`]).
+    pub fn spawn_in_domain(&self, domain: usize, fut: impl Future<Output = ()> + Send + 'static) {
+        self.handle.spawn_in_domain(domain, fut);
+    }
+
+    /// Spawn onto a specific shard.
+    pub fn spawn_on(&self, shard: usize, fut: impl Future<Output = ()> + Send + 'static) {
+        self.handle.spawn_on(shard, fut);
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handle.threads()
+    }
+
+    /// Wait for every spawned task to complete, stop the workers, and
+    /// return final per-shard counters. The caller promises not to
+    /// spawn from outside the fleet once `join` is called (tasks may
+    /// still spawn siblings until they finish).
+    pub fn join(mut self) -> Vec<ShardSnapshot> {
+        let shared = &self.handle.shared;
+        {
+            let mut g = shared.done.lock().unwrap();
+            while shared.live.load(Ordering::Acquire) != 0 {
+                g = shared.done_cv.wait(g).unwrap();
+            }
+        }
+        shared.draining.store(true, Ordering::Release);
+        for s in &shared.shards {
+            s.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.handle.snapshots()
+    }
+}
+
+impl Drop for ReactorFleet {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // joined
+        }
+        // Dropped without join: abandon pending tasks and stop.
+        self.handle.shared.abort.store(true, Ordering::Release);
+        for s in &self.handle.shared.shards {
+            s.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sleep, yield_now};
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn tasks_complete_across_shards() {
+        let fleet = ReactorFleet::new(3);
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            fleet.spawn(async move {
+                yield_now().await;
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let snaps = fleet.join();
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+        assert_eq!(snaps.iter().map(|s| s.completed).sum::<u64>(), 50);
+        assert_eq!(snaps.len(), 3);
+    }
+
+    #[test]
+    fn spawn_balances_across_shards() {
+        let fleet = ReactorFleet::new(4);
+        // A barrier-style task set: none can finish until all are
+        // spawned, so the least-loaded choice at spawn time is visible
+        // in the completion counts.
+        let release = Arc::new(AtomicBool::new(false));
+        for _ in 0..40 {
+            let release = Arc::clone(&release);
+            fleet.spawn(async move {
+                while !release.load(Ordering::Acquire) {
+                    yield_now().await;
+                }
+            });
+        }
+        release.store(true, Ordering::Release);
+        let snaps = fleet.join();
+        for s in &snaps {
+            assert!(s.completed >= 5, "shard {} starved: {:?}", s.slot.shard, snaps);
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_fleet_workers() {
+        let fleet = ReactorFleet::new(2);
+        let t0 = Instant::now();
+        let done = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            fleet.spawn(async move {
+                sleep(Duration::from_millis(5)).await;
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        fleet.join();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn spawn_in_domain_prefers_resident_shards() {
+        let topo = FleetTopology::from_cores(vec![(0, 0), (1, 0), (2, 1)]);
+        assert_eq!(topo.shards_in_domain(1), vec![2]);
+        let fleet = ReactorFleet::builder(topo).build();
+        let release = Arc::new(AtomicBool::new(false));
+        for _ in 0..6 {
+            let release = Arc::clone(&release);
+            fleet.spawn_in_domain(1, async move {
+                while !release.load(Ordering::Acquire) {
+                    yield_now().await;
+                }
+            });
+        }
+        release.store(true, Ordering::Release);
+        let snaps = fleet.join();
+        assert_eq!(snaps[2].completed, 6, "domain-1 work must land on the domain-1 shard");
+        // An unknown domain still spawns (fleet-wide fallback).
+        let fleet = ReactorFleet::new(1);
+        fleet.spawn_in_domain(9, async {});
+        assert_eq!(fleet.join().iter().map(|s| s.completed).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn worker_init_runs_once_per_shard_with_its_slot() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let topo = FleetTopology::striped(3, 2, 2);
+        let fleet = {
+            let seen = Arc::clone(&seen);
+            ReactorFleet::builder(topo)
+                .worker_init(move |slot| seen.lock().unwrap().push(slot))
+                .build()
+        };
+        fleet.spawn(async {});
+        fleet.join();
+        let mut got = seen.lock().unwrap().clone();
+        got.sort_by_key(|s| s.shard);
+        assert_eq!(
+            got,
+            vec![
+                ShardSlot { shard: 0, core: 0, numa_domain: 0 },
+                ShardSlot { shard: 1, core: 1, numa_domain: 0 },
+                ShardSlot { shard: 2, core: 2, numa_domain: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rebalancer_migrates_under_skew() {
+        // Everything is force-spawned onto shard 0 of a 2-shard fleet
+        // with a hair-trigger policy; the rebalancer must ship some of
+        // the backlog to shard 1.
+        let policy = RebalancePolicy {
+            interval: Duration::from_millis(2),
+            min_task_gap: 2,
+            min_occupancy_gap: 0.0,
+            max_moves: 64,
+        };
+        let fleet = ReactorFleet::builder(FleetTopology::flat(2)).policy(policy).build();
+        let release = Arc::new(AtomicBool::new(false));
+        for _ in 0..32 {
+            let release = Arc::clone(&release);
+            fleet.spawn_on(0, async move {
+                while !release.load(Ordering::Acquire) {
+                    sleep(Duration::from_micros(200)).await;
+                }
+            });
+        }
+        let handle = fleet.handle();
+        let t0 = Instant::now();
+        while t0.elapsed() < Duration::from_secs(5) {
+            let snaps = handle.snapshots();
+            if snaps[1].migrated_in > 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        release.store(true, Ordering::Release);
+        let snaps = fleet.join();
+        assert!(
+            snaps[0].migrated_out > 0 && snaps[1].migrated_in > 0,
+            "no migration under skew: {snaps:?}"
+        );
+        assert_eq!(snaps.iter().map(|s| s.completed).sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn migrated_sleep_still_completes() {
+        // A task that sleeps, gets migrated mid-sleep, then sleeps
+        // again: its first Sleep's wheel entry is stranded on the donor
+        // shard, but completion is clock-driven so nothing hangs.
+        let policy = RebalancePolicy {
+            interval: Duration::from_millis(1),
+            min_task_gap: 1,
+            min_occupancy_gap: 0.0,
+            max_moves: 64,
+        };
+        let fleet = ReactorFleet::builder(FleetTopology::flat(2)).policy(policy).build();
+        let done = Arc::new(AtomicU32::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            fleet.spawn_on(0, async move {
+                sleep(Duration::from_millis(10)).await;
+                sleep(Duration::from_millis(5)).await;
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        fleet.join();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn join_with_no_tasks_returns_immediately() {
+        let snaps = ReactorFleet::new(2).join();
+        assert_eq!(snaps.iter().map(|s| s.completed).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn drop_without_join_abandons_pending_tasks() {
+        let fleet = ReactorFleet::new(2);
+        fleet.spawn(async {
+            loop {
+                sleep(Duration::from_millis(50)).await;
+            }
+        });
+        drop(fleet); // must not hang
+    }
+}

@@ -24,15 +24,26 @@
 //! is discovered by polling and the wheel only bounds *how long* the
 //! core sleeps between discovery rounds. Futures that make progress call
 //! [`note_progress`] so the executor knows to keep spinning hot.
+//!
+//! When one core stops being enough, [`ReactorFleet`] runs N of these
+//! loops on worker threads — each owning a shard of tasks, with a
+//! cross-shard submission queue, per-shard progress counters
+//! ([`note_step`] feeds the steps/s signal), and a periodic rebalancer
+//! that migrates work from hot shards to cold ones (see the
+//! [`fleet`] and [`rebalance`] module docs).
 
 #![forbid(unsafe_code)]
 
 mod backoff;
 mod exec;
+pub mod fleet;
+pub mod rebalance;
 mod wheel;
 
 pub use backoff::Backoff;
 pub use exec::{
-    block_on, in_reactor, note_progress, sleep, sleep_until, yield_now, Pacing, Reactor,
+    block_on, in_reactor, note_progress, note_step, sleep, sleep_until, yield_now, Pacing, Reactor,
 };
+pub use fleet::{FleetBuilder, FleetHandle, FleetTopology, ReactorFleet, ShardSlot, ShardSnapshot};
+pub use rebalance::{Migration, RebalancePolicy, ShardLoad};
 pub use wheel::{TimerId, TimerWheel};

@@ -1,0 +1,160 @@
+//! Load-rebalance policy for the reactor fleet.
+//!
+//! The fleet's workers publish three per-shard signals every poll round:
+//! how many tasks they own, what fraction of recent rounds did useful
+//! work (poll-loop *occupancy* — the share of rounds where a task
+//! progressed, a timer fired, or a step committed), and how many
+//! protocol steps committed (steps/s). [`plan`] turns a snapshot of
+//! those signals into at most one migration order: ship roughly half
+//! the task-count gap from the hottest shard to the coldest one.
+//!
+//! The policy is deliberately damped — one donor→recipient pair per
+//! planning round, and only when *both* the task-count gap and the
+//! occupancy gap clear their thresholds. A busy-but-balanced fleet
+//! (every shard saturated) must not churn tasks between cores: moving a
+//! future invalidates its cache footprint and briefly strands its timer
+//! deadlines on the old shard's wheel, so migration has to buy real
+//! imbalance relief to be worth it.
+//!
+//! Pure functions over plain data: the fleet calls [`plan`] under its
+//! rebalance lock, but nothing here touches threads or atomics, so the
+//! policy is exhaustively unit-testable.
+
+use std::time::Duration;
+
+/// Tunables for the periodic rebalancer.
+#[derive(Debug, Clone)]
+pub struct RebalancePolicy {
+    /// Minimum time between planning rounds.
+    pub interval: Duration,
+    /// Minimum task-count gap (hottest − coldest) before a move is
+    /// considered. Below this, migration churn outweighs the imbalance.
+    pub min_task_gap: usize,
+    /// Minimum occupancy gap (hottest − coldest, in [0, 1]) before a
+    /// move is considered. Guards the busy-but-balanced case: equal
+    /// occupancy means no shard is starving even if counts differ.
+    pub min_occupancy_gap: f64,
+    /// Cap on tasks shipped per planning round.
+    pub max_moves: usize,
+}
+
+impl Default for RebalancePolicy {
+    fn default() -> Self {
+        RebalancePolicy {
+            interval: Duration::from_millis(20),
+            min_task_gap: 2,
+            min_occupancy_gap: 0.10,
+            max_moves: 64,
+        }
+    }
+}
+
+/// One shard's load signals over the last planning window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardLoad {
+    /// Shard index.
+    pub shard: usize,
+    /// Tasks currently owned (local run queue + pending injector).
+    pub tasks: usize,
+    /// Fraction of recent poll rounds that did useful work, in [0, 1].
+    pub occupancy: f64,
+    /// Protocol steps committed per second over the window.
+    pub steps_per_s: f64,
+}
+
+/// A migration order: `from` ships `tasks` futures to `to`'s injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Donor shard (executes the order itself — only the owning worker
+    /// thread may touch its futures).
+    pub from: usize,
+    /// Recipient shard.
+    pub to: usize,
+    /// Number of tasks to ship.
+    pub tasks: usize,
+}
+
+/// Decide migrations for one planning round. Returns at most one order:
+/// hottest shard → coldest shard, half the task-count gap, when both
+/// the count gap and the occupancy gap clear the policy thresholds.
+pub fn plan(policy: &RebalancePolicy, loads: &[ShardLoad]) -> Vec<Migration> {
+    if loads.len() < 2 {
+        return Vec::new();
+    }
+    // Hotness orders by occupancy first (a saturated poll loop is the
+    // real scarcity signal), steps/s and task count as tiebreaks.
+    let key = |l: &ShardLoad| (l.occupancy, l.steps_per_s, l.tasks as f64);
+    let cmp = |a: &&ShardLoad, b: &&ShardLoad| {
+        key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal)
+    };
+    let hottest = loads.iter().max_by(cmp).expect("len >= 2");
+    let coldest = loads.iter().min_by(cmp).expect("len >= 2");
+    if hottest.shard == coldest.shard {
+        return Vec::new();
+    }
+    let gap = hottest.tasks.saturating_sub(coldest.tasks);
+    if gap < policy.min_task_gap {
+        return Vec::new();
+    }
+    if hottest.occupancy - coldest.occupancy < policy.min_occupancy_gap {
+        return Vec::new();
+    }
+    let tasks = (gap / 2).min(policy.max_moves);
+    if tasks == 0 {
+        return Vec::new();
+    }
+    vec![Migration { from: hottest.shard, to: coldest.shard, tasks }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(shard: usize, tasks: usize, occupancy: f64) -> ShardLoad {
+        ShardLoad { shard, tasks, occupancy, steps_per_s: 0.0 }
+    }
+
+    #[test]
+    fn balanced_fleet_stays_put() {
+        let p = RebalancePolicy::default();
+        let loads = [load(0, 10, 0.9), load(1, 10, 0.9), load(2, 9, 0.88)];
+        assert!(plan(&p, &loads).is_empty());
+    }
+
+    #[test]
+    fn skew_moves_half_the_gap_to_the_coldest() {
+        let p = RebalancePolicy::default();
+        let loads = [load(0, 20, 0.95), load(1, 4, 0.10), load(2, 6, 0.30)];
+        assert_eq!(plan(&p, &loads), vec![Migration { from: 0, to: 1, tasks: 8 }]);
+    }
+
+    #[test]
+    fn busy_but_balanced_occupancy_blocks_migration() {
+        // Task counts differ but both poll loops are equally saturated:
+        // nobody is starving, so churn would buy nothing.
+        let p = RebalancePolicy::default();
+        let loads = [load(0, 20, 0.95), load(1, 10, 0.93)];
+        assert!(plan(&p, &loads).is_empty());
+    }
+
+    #[test]
+    fn single_shard_and_empty_are_noops() {
+        let p = RebalancePolicy::default();
+        assert!(plan(&p, &[]).is_empty());
+        assert!(plan(&p, &[load(0, 100, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn max_moves_caps_the_shipment() {
+        let p = RebalancePolicy { max_moves: 3, ..Default::default() };
+        let loads = [load(0, 100, 1.0), load(1, 0, 0.0)];
+        assert_eq!(plan(&p, &loads), vec![Migration { from: 0, to: 1, tasks: 3 }]);
+    }
+
+    #[test]
+    fn tiny_gap_below_threshold_is_left_alone() {
+        let p = RebalancePolicy::default();
+        let loads = [load(0, 5, 0.9), load(1, 4, 0.1)];
+        assert!(plan(&p, &loads).is_empty());
+    }
+}

@@ -13,11 +13,19 @@
 //! executor's idle loop: *did any deadline fire since last round?* and
 //! *how long may the core sleep before the next one?*
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Handle to a pending wheel entry, for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
+
+/// Process-global id allocator. Ids must be unique *across* wheels, not
+/// just within one: a task migrated between fleet shards can still hold
+/// a `TimerId` registered on its old shard's wheel, and its eventual
+/// `cancel` on the new wheel must be a harmless miss — never a hit on an
+/// unrelated entry that happened to reuse the number.
+static NEXT_TIMER_ID: AtomicU64 = AtomicU64::new(0);
 
 #[derive(Debug)]
 struct Entry {
@@ -37,7 +45,6 @@ pub struct TimerWheel {
     len: usize,
     /// Last tick index processed by `advance`.
     cursor: u64,
-    next_id: u64,
 }
 
 /// Default tick granularity: fine enough that poll pacing (~50 µs) and
@@ -58,7 +65,6 @@ impl TimerWheel {
             slots: (0..nslots).map(|_| Vec::new()).collect(),
             len: 0,
             cursor: 0,
-            next_id: 0,
         }
     }
 
@@ -72,8 +78,7 @@ impl TimerWheel {
 
     /// Register a deadline; returns a handle usable with [`cancel`](Self::cancel).
     pub fn insert(&mut self, deadline: Instant) -> TimerId {
-        let id = TimerId(self.next_id);
-        self.next_id += 1;
+        let id = TimerId(NEXT_TIMER_ID.fetch_add(1, Ordering::Relaxed));
         // Entries in the current tick would be skipped by the cursor
         // walk; clamp into the next tick so they fire on the upcoming
         // `advance` instead of never.
@@ -178,6 +183,100 @@ mod tests {
         let now = Instant::now();
         let id = w.insert(now + Duration::from_micros(100));
         assert!(w.cancel(id));
+        assert_eq!(w.advance(now + Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn far_future_deadline_survives_many_revolutions() {
+        // A deadline dozens of revolutions out hashes into a bucket the
+        // sweep visits on every revolution; it must survive each visit
+        // untouched and fire exactly once when its own tick arrives.
+        let mut w = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        let far = w.insert(now + Duration::from_millis(100)); // 12.5 revolutions
+        let mut fired = 0;
+        for ms in (1..100).step_by(3) {
+            fired += w.advance(now + Duration::from_millis(ms));
+        }
+        assert_eq!(fired, 0, "far entry fired early");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.advance(now + Duration::from_millis(101)), 1);
+        assert!(w.is_empty());
+        assert!(!w.cancel(far), "already fired");
+    }
+
+    #[test]
+    fn far_future_deadline_fires_on_one_giant_leap() {
+        // The sweep caps its bucket walk at one revolution; a single
+        // advance that jumps past a many-revolution deadline must still
+        // fire it (every bucket is visited, retain is against the
+        // absolute tick).
+        let mut w = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        w.insert(now + Duration::from_millis(500));
+        w.insert(now + Duration::from_millis(2));
+        assert_eq!(w.advance(now + Duration::from_secs(2)), 2);
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn many_timers_same_tick_all_fire_together() {
+        let mut w = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        let deadline = now + Duration::from_millis(3);
+        let ids: Vec<TimerId> = (0..100).map(|_| w.insert(deadline)).collect();
+        // Distinct handles even for identical deadlines.
+        for (i, a) in ids.iter().enumerate() {
+            assert!(ids[i + 1..].iter().all(|b| a != b));
+        }
+        assert_eq!(w.len(), 100);
+        assert_eq!(w.advance(now + Duration::from_millis(2)), 0);
+        assert_eq!(w.advance(now + Duration::from_millis(4)), 100);
+        assert!(w.is_empty());
+        assert!(ids.iter().all(|&id| !w.cancel(id)));
+    }
+
+    #[test]
+    fn cancellation_racing_expiry_is_exact() {
+        // Cancel half of a same-tick cohort just before the sweep: the
+        // cancelled half must not fire, the survivors must all fire,
+        // and cancelling a just-fired entry must report false without
+        // disturbing the count of a later cohort.
+        let mut w = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        let deadline = now + Duration::from_millis(3);
+        let ids: Vec<TimerId> = (0..20).map(|_| w.insert(deadline)).collect();
+        let late = w.insert(now + Duration::from_millis(6));
+        for id in ids.iter().skip(10) {
+            assert!(w.cancel(*id), "pending entry must cancel");
+        }
+        assert_eq!(w.advance(now + Duration::from_millis(4)), 10);
+        // The race's other half: cancel after expiry is a miss...
+        assert!(ids.iter().take(10).all(|&id| !w.cancel(id)));
+        // ...and double-cancel is a miss too, not a double decrement.
+        assert!(!w.cancel(ids[15]));
+        assert_eq!(w.len(), 1, "late entry untouched by the churn");
+        assert_eq!(w.advance(now + Duration::from_millis(7)), 1);
+        assert!(w.is_empty());
+        let _ = late;
+    }
+
+    #[test]
+    fn cancel_then_reinsert_same_deadline_keeps_ids_distinct() {
+        // The expiry/cancel/reinsert cycle a retry loop performs: a new
+        // entry at the same deadline must get a fresh id, so a stale
+        // handle from the cancelled incarnation can't touch it.
+        let mut w = TimerWheel::default();
+        let now = Instant::now();
+        let deadline = now + Duration::from_millis(2);
+        let first = w.insert(deadline);
+        assert!(w.cancel(first));
+        let second = w.insert(deadline);
+        assert_ne!(first, second);
+        assert!(!w.cancel(first), "stale handle must miss");
+        assert_eq!(w.len(), 1);
+        assert!(w.cancel(second));
         assert_eq!(w.advance(now + Duration::from_secs(1)), 0);
     }
 

@@ -103,11 +103,23 @@ pub struct ShmReceiver {
 /// `inline_capacity` bytes each. Payloads up to `inline_capacity - 1`
 /// travel inline; larger ones take the pooled or mapped path.
 pub fn shm_channel(entries: usize, inline_capacity: usize) -> (ShmSender, ShmReceiver) {
-    assert!(inline_capacity >= 32, "need room for control messages");
-    let (producer, consumer) = spsc_queue(entries, inline_capacity);
     // Default reclamation threshold: 64 MiB of free pooled capacity, the
     // "configurable threshold value [that] controls total memory usage".
-    let pool = BufferPool::new(64 << 20);
+    // A thread with an installed placement pool (a fleet worker pinned
+    // to a NUMA domain) shares that pool instead of allocating its own.
+    let pool = crate::placement::thread_pool().unwrap_or_else(|| BufferPool::new(64 << 20));
+    shm_channel_with_pool(entries, inline_capacity, pool)
+}
+
+/// Like [`shm_channel`], but drawing pooled buffers from an explicit
+/// (possibly NUMA-pinned, possibly shared) pool.
+pub fn shm_channel_with_pool(
+    entries: usize,
+    inline_capacity: usize,
+    pool: BufferPool,
+) -> (ShmSender, ShmReceiver) {
+    assert!(inline_capacity >= 32, "need room for control messages");
+    let (producer, consumer) = spsc_queue(entries, inline_capacity);
     let shared = Arc::new(Shared {
         transfers: Mutex::new(HashMap::new()),
         producer_copies: AtomicU64::new(0),
@@ -241,6 +253,11 @@ impl ShmSender {
         self.pool.stats()
     }
 
+    /// NUMA domain of the channel's buffer pool, if placement-pinned.
+    pub fn pool_domain(&self) -> Option<usize> {
+        self.pool.numa_domain()
+    }
+
     /// Number of producer-side payload copies performed so far.
     pub fn producer_copies(&self) -> u64 {
         self.shared.producer_copies.load(Ordering::Relaxed)
@@ -257,6 +274,11 @@ impl Drop for ShmSender {
 }
 
 impl ShmReceiver {
+    /// NUMA domain of the channel's buffer pool, if placement-pinned.
+    pub fn pool_domain(&self) -> Option<usize> {
+        self.pool.numa_domain()
+    }
+
     /// Blocking receive; returns the payload bytes, or the corruption error
     /// for a frame that cannot be decoded.
     pub fn recv(&mut self) -> Result<Vec<u8>, ChannelError> {
@@ -437,6 +459,30 @@ mod tests {
         let stats = tx.pool_stats();
         assert_eq!(stats.misses, 1, "only the first send allocates: {stats:?}");
         assert_eq!(stats.hits, 49);
+    }
+
+    #[test]
+    fn channels_share_the_installed_placement_pool() {
+        // Channels created on a thread with an installed placement pool
+        // draw pooled buffers from it (and report its domain); other
+        // threads keep private unpinned pools.
+        let t = thread::spawn(|| {
+            let pinned = crate::BufferPool::new_pinned(64 << 20, 2);
+            crate::placement::install_thread_pool(pinned.clone());
+            let (mut a_tx, mut a_rx) = shm_channel(8, 64);
+            let (tx2, _rx2) = shm_channel(8, 64);
+            assert_eq!(a_tx.pool_domain(), Some(2));
+            assert_eq!(a_rx.pool_domain(), Some(2));
+            assert_eq!(tx2.pool_domain(), Some(2));
+            a_tx.send_copy(&vec![7u8; 4096]); // pooled path
+            assert_eq!(a_rx.recv().unwrap().len(), 4096);
+            // Both channels' traffic lands in the one shared pool.
+            assert_eq!(pinned.stats().misses, 1);
+            crate::placement::clear_thread_pool();
+        });
+        t.join().unwrap();
+        let (tx, _rx) = shm_channel(8, 64);
+        assert_eq!(tx.pool_domain(), None, "no placement installed here");
     }
 
     #[test]

@@ -64,6 +64,11 @@ struct Inner {
     free: Mutex<BTreeMap<usize, Vec<Box<[u8]>>>>,
     /// Reclamation threshold in bytes of *free* capacity.
     reclaim_threshold: u64,
+    /// NUMA domain this pool's buffers are modelled as resident in
+    /// (None = unpinned). Placement metadata only: in this in-process
+    /// reproduction it tags which reactor shard's domain owns the pool,
+    /// mirroring the paper's node-topology-aware buffer pinning (§V).
+    numa_domain: Option<usize>,
     free_bytes: AtomicU64,
     resident_bytes: AtomicU64,
     hits: AtomicU64,
@@ -82,10 +87,22 @@ impl BufferPool {
     /// Create a pool that reclaims free buffers once their total capacity
     /// exceeds `reclaim_threshold` bytes.
     pub fn new(reclaim_threshold: u64) -> BufferPool {
+        Self::build(reclaim_threshold, None)
+    }
+
+    /// Like [`new`](Self::new), but tags the pool as resident in NUMA
+    /// domain `numa_domain` — the reactor fleet pins one pool per shard
+    /// so a coupling's buffers live on the core that polls it.
+    pub fn new_pinned(reclaim_threshold: u64, numa_domain: usize) -> BufferPool {
+        Self::build(reclaim_threshold, Some(numa_domain))
+    }
+
+    fn build(reclaim_threshold: u64, numa_domain: Option<usize>) -> BufferPool {
         BufferPool {
             inner: Arc::new(Inner {
                 free: Mutex::new(BTreeMap::new()),
                 reclaim_threshold,
+                numa_domain,
                 free_bytes: AtomicU64::new(0),
                 resident_bytes: AtomicU64::new(0),
                 hits: AtomicU64::new(0),
@@ -93,6 +110,11 @@ impl BufferPool {
                 reclaimed: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The NUMA domain this pool is pinned to, if any.
+    pub fn numa_domain(&self) -> Option<usize> {
+        self.inner.numa_domain
     }
 
     /// Size class (log2 of capacity) for a requested length.

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare one fresh BENCH_*.json against its committed baseline.
+
+Usage: git show HEAD:BENCH_x.json | bench_diff.py BENCH_x.json THRESHOLD_PCT
+
+Rows are matched by their identity fields (sweep coordinates: stream
+counts, transports, backends, ...); measured fields (rates, timings,
+counters) are excluded from the match key. For each matched row the
+throughput metric (steps_per_s / ops_per_s / msgs_per_s / gbps — higher
+is better) is compared; a drop beyond the threshold is a regression.
+Rows present on only one side are reported but never fail the run, so
+sweeps may grow or shrink freely. Exits 1 on any regression."""
+
+import json
+import sys
+
+# Fields that carry measurements rather than sweep coordinates.
+MEASURED = {
+    "elapsed_s",
+    "steps_per_s",
+    "steps_per_s_per_thread",
+    "ops_per_s",
+    "msgs_per_s",
+    "gbps",
+    "converge_ms",
+    "migrations",
+    "steps",
+    "steps_total",
+    "msgs",
+    "ops",
+}
+# Throughput metrics, in preference order; higher is better.
+RATES = ("gbps", "steps_per_s", "ops_per_s", "msgs_per_s")
+
+
+def key_of(row):
+    return tuple(sorted((k, v) for k, v in row.items() if k not in MEASURED))
+
+
+def rate_of(row):
+    for r in RATES:
+        if r in row:
+            return r, float(row[r])
+    return None, None
+
+
+def main():
+    fresh_path, threshold = sys.argv[1], float(sys.argv[2])
+    baseline = json.load(sys.stdin)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    name = fresh.get("bench", fresh_path)
+    base_rows = {key_of(r): r for r in baseline.get("results", [])}
+    fresh_rows = {key_of(r): r for r in fresh.get("results", [])}
+
+    regressions = 0
+    compared = 0
+    for key, new in fresh_rows.items():
+        old = base_rows.get(key)
+        if old is None:
+            coords = ", ".join(f"{k}={v}" for k, v in key)
+            print(f"  {name}: new row ({coords}) — no baseline, skipping")
+            continue
+        metric, new_v = rate_of(new)
+        _, old_v = rate_of(old)
+        if metric is None or old_v is None or old_v <= 0:
+            continue
+        compared += 1
+        delta_pct = 100.0 * (new_v - old_v) / old_v
+        if delta_pct < -threshold:
+            coords = ", ".join(f"{k}={v}" for k, v in key)
+            print(
+                f"  {name}: REGRESSION ({coords}): {metric} "
+                f"{old_v:.3f} -> {new_v:.3f} ({delta_pct:+.1f}%)"
+            )
+            regressions += 1
+    for key in base_rows.keys() - fresh_rows.keys():
+        coords = ", ".join(f"{k}={v}" for k, v in key)
+        print(f"  {name}: baseline row ({coords}) missing from fresh results")
+
+    print(f"  {name}: {compared} rows compared, {regressions} regressions")
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Compare freshly-generated BENCH_*.json results against the committed
+# baselines (git HEAD) and flag throughput regressions beyond a
+# threshold (default 20%).
+#
+# Usage: scripts/bench_diff.sh [--threshold PCT] [BENCH_file.json ...]
+#
+# With no files, every BENCH_*.json present in the working tree that also
+# exists in HEAD is compared. Rows are matched by their identity fields
+# (everything except measured values); the compared metric is the row's
+# rate field (steps_per_s / ops_per_s / msgs_per_s / gbps — whichever the
+# row carries). Exits nonzero if any matched row regressed, so CI can
+# gate on it. Rows only present on one side are reported but never fail
+# the run (sweeps are allowed to grow).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD=20
+FILES=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --threshold) THRESHOLD="$2"; shift 2 ;;
+        *) FILES+=("$1"); shift ;;
+    esac
+done
+if [ ${#FILES[@]} -eq 0 ]; then
+    for f in BENCH_*.json; do
+        [ -e "$f" ] && FILES+=("$f")
+    done
+fi
+
+fail=0
+for f in "${FILES[@]}"; do
+    if ! git cat-file -e "HEAD:$f" 2>/dev/null; then
+        echo "bench_diff: $f has no committed baseline (new bench) — skipping"
+        continue
+    fi
+    if ! out=$(git show "HEAD:$f" | python3 scripts/bench_diff.py "$f" "$THRESHOLD"); then
+        fail=1
+    fi
+    echo "$out"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_diff: REGRESSION over ${THRESHOLD}% detected"
+    exit 1
+fi
+echo "bench_diff: all benches within ${THRESHOLD}% of committed baselines"

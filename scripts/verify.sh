@@ -60,6 +60,15 @@ FLEXIO_TRANSPORT=tcp FLEXIO_RUNTIME=reactor cargo test -q --offline -p flexio \
     >/dev/null || { echo "tcp+reactor replay FAILED"; exit 1; }
 echo "tcp+reactor replay ok"
 
+echo "== reactor fleet: equivalence + multiplex battery =="
+# Sharding couplings over the multi-core fleet must be protocol-invisible:
+# byte-identical counters/fault schedules/data vs both single-threaded
+# backends, and the control plane (monitor sink, placement manager) must
+# run as fleet tasks.
+cargo test -q --offline -p flexio --test fleet_equivalence --test fleet_multiplex \
+    >/dev/null || { echo "fleet battery FAILED"; exit 1; }
+echo "fleet battery ok"
+
 echo "== cross-process chaos battery (worker binary + kill -9) =="
 cargo build -q --offline -p flexio --bin flexio-worker
 cargo test -q --offline -p flexio --test process_chaos \
@@ -70,6 +79,18 @@ echo "== socket throughput sweep (BENCH_net.json) =="
 NET_QUICK=1 cargo bench -q --offline -p bench --bench net \
     >/dev/null || { echo "net bench FAILED"; exit 1; }
 echo "net bench ok ($(head -c 120 BENCH_net.json)...)"
+
+echo "== fleet throughput sweep (BENCH_reactor_fleet.json) =="
+FLEET_QUICK=1 cargo bench -q --offline -p bench --bench reactor_fleet \
+    >/dev/null || { echo "reactor_fleet bench FAILED"; exit 1; }
+echo "reactor_fleet bench ok ($(head -c 120 BENCH_reactor_fleet.json)...)"
+
+echo "== bench regression check (quick runs vs committed baselines) =="
+# Quick-mode runs are noisy (fewer steps amortize less setup), so the
+# verify gate uses a loose 50% bar; scripts/bench_diff.sh defaults to
+# 20% for full-length runs.
+./scripts/bench_diff.sh --threshold 50 BENCH_net.json BENCH_reactor_fleet.json \
+    || { echo "bench regression FAILED"; exit 1; }
 
 echo "== chaos soak (10s, alternating backends) =="
 FLEXIO_SOAK_SECS=10 cargo test -q --offline -p flexio --test chaos_soak \
