@@ -165,6 +165,14 @@ impl BpFile {
         BpFile::parse(&bytes)
     }
 
+    /// Consume the container, yielding every process group ordered by
+    /// `(step, rank)` — the owned-extraction path replay consumers use so
+    /// a spilled step is decoded once, not cloned per reader group.
+    pub fn into_groups(mut self) -> Vec<ProcessGroup> {
+        self.groups.sort_by_key(|g| (g.step, g.rank));
+        self.groups
+    }
+
     /// Sorted distinct steps present.
     pub fn steps(&self) -> Vec<u64> {
         let steps: BTreeSet<u64> = self.groups.iter().map(|g| g.step).collect();

@@ -1,0 +1,203 @@
+//! **Pub/sub fan-out** — steps/s for one writer feeding {1, 4, 16}
+//! reader groups under three delivery shapes:
+//!
+//! * `live` — groups tail the in-memory replay ring concurrently with
+//!   the publisher (no spill; the zero-copy `Arc` fan-out path);
+//! * `late_join` — groups attach *after* the writer closed, through the
+//!   cross-process [`flexio::ReaderGroup::tail`] path, replaying every
+//!   step out of BP spill segments;
+//! * `replay_heavy` — groups register up front (so their cursors are
+//!   live) but only drain after the run, riding the in-process
+//!   memory → spill seam for almost the whole stream.
+//!
+//! The headline number is writer overhead: publishing to a 16-group
+//! fan-out must stay under 2× the single-group write-path latency,
+//! because sealing a step is one ring append regardless of group count.
+//!
+//! Results land in `BENCH_pubsub.json` at the repo root. Run with
+//! `cargo bench --bench pubsub`; set `PUBSUB_QUICK=1` for smoke runs.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use adios::{ArrayData, LocalBlock, StepStatus, VarValue, WriteEngine};
+use flexio::{FlexIo, PubSubConfig, Qos, ReaderGroup, StreamHints};
+use machine::laptop;
+
+const ELEMS: usize = 128; // 1 KiB of f64 per step
+
+fn hints() -> StreamHints {
+    StreamHints { recv_timeout: Duration::from_secs(5), retries: 2, ..StreamHints::default() }
+}
+
+fn payload(step: u64) -> VarValue {
+    let data: Vec<f64> = (0..ELEMS).map(|e| (step * 1000 + e as u64) as f64).collect();
+    VarValue::Block(
+        LocalBlock {
+            global_shape: vec![ELEMS as u64],
+            offset: vec![0],
+            count: vec![ELEMS as u64],
+            data: ArrayData::F64(data),
+        }
+        .validated(),
+    )
+}
+
+/// Publish `steps` steps, returning the write-path elapsed seconds.
+fn publish(mut w: flexio::StepPublisher, steps: u64) -> f64 {
+    let start = Instant::now();
+    for step in 0..steps {
+        w.begin_step(step);
+        w.write("u", payload(step));
+        w.end_step();
+    }
+    w.close();
+    start.elapsed().as_secs_f64()
+}
+
+fn drain(mut r: ReaderGroup, expect: u64) {
+    let mut seen = 0u64;
+    loop {
+        match r.try_begin_step().expect("begin_step") {
+            StepStatus::Step(_) => {
+                seen += 1;
+                adios::ReadEngine::end_step(&mut r);
+            }
+            StepStatus::EndOfStream => break,
+        }
+    }
+    assert_eq!(seen, expect, "every group drains the full stream");
+    adios::ReadEngine::close(&mut r);
+}
+
+struct Cell {
+    scenario: &'static str,
+    groups: usize,
+    steps: u64,
+    publish_s: f64,
+    total_s: f64,
+}
+
+/// `live`: groups tail concurrently; the ring retains everything.
+fn run_live(groups: usize, steps: u64) -> Cell {
+    let io = FlexIo::single_node(laptop());
+    let cfg = PubSubConfig { groups, replay_steps: steps as usize + 1, ..PubSubConfig::default() };
+    let name = format!("bench-live-{groups}");
+    let w = io.open_publisher(&name, 0, 1, &cfg, hints()).expect("open publisher");
+    let readers: Vec<ReaderGroup> = (0..groups)
+        .map(|g| io.open_reader_group(&name, &format!("g{g}"), None, hints()).expect("group"))
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> =
+        readers.into_iter().map(|r| thread::spawn(move || drain(r, steps))).collect();
+    let publish_s = publish(w, steps);
+    for h in handles {
+        h.join().expect("group thread");
+    }
+    Cell { scenario: "live", groups, steps, publish_s, total_s: start.elapsed().as_secs_f64() }
+}
+
+/// Spill-backed cells. `late` attaches fresh `ReaderGroup::tail` groups
+/// after the writer closed; otherwise in-process groups registered up
+/// front drain the memory → spill seam.
+fn run_spilled(scenario: &'static str, groups: usize, steps: u64, late: bool) -> Cell {
+    let io = FlexIo::single_node(laptop());
+    let spill = std::env::temp_dir()
+        .join(format!("flexio-bench-{scenario}-{groups}-{}", std::process::id()));
+    std::fs::remove_dir_all(&spill).ok();
+    let cfg = PubSubConfig {
+        groups,
+        replay_steps: 2,
+        spill_dir: Some(spill.clone()),
+        ..PubSubConfig::default()
+    };
+    let name = format!("bench-{scenario}-{groups}");
+    let w = io.open_publisher(&name, 0, 1, &cfg, hints()).expect("open publisher");
+    let early: Vec<ReaderGroup> = if late {
+        Vec::new()
+    } else {
+        (0..groups)
+            .map(|g| io.open_reader_group(&name, &format!("g{g}"), None, hints()).expect("group"))
+            .collect()
+    };
+    let start = Instant::now();
+    let publish_s = publish(w, steps);
+    let handles: Vec<_> = if late {
+        (0..groups)
+            .map(|g| {
+                let spill = spill.clone();
+                let name = name.clone();
+                thread::spawn(move || {
+                    let r =
+                        ReaderGroup::tail(&spill, &name, &format!("g{g}"), Qos::Lossless, &hints())
+                            .expect("tail attach");
+                    drain(r, steps);
+                })
+            })
+            .collect()
+    } else {
+        early.into_iter().map(|r| thread::spawn(move || drain(r, steps))).collect()
+    };
+    for h in handles {
+        h.join().expect("group thread");
+    }
+    let total_s = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&spill).ok();
+    Cell { scenario, groups, steps, publish_s, total_s }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        println!("pubsub: skipped under test harness");
+        return;
+    }
+    let quick = std::env::var("PUBSUB_QUICK").is_ok();
+    // Spilled cells write one BP segment per step; fewer steps keep the
+    // sweep's file I/O volume comparable to the in-memory cells.
+    let live_steps: u64 = if quick { 64 } else { 512 };
+    let spill_steps: u64 = if quick { 16 } else { 128 };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for groups in [1usize, 4, 16] {
+        cells.push(run_live(groups, live_steps));
+        cells.push(run_spilled("late_join", groups, spill_steps, true));
+        cells.push(run_spilled("replay_heavy", groups, spill_steps, false));
+    }
+    for c in &cells {
+        eprintln!(
+            "pubsub: {:12} {:3} groups  {:6.1} write-steps/s  {:8.1} delivered-steps/s",
+            c.scenario,
+            c.groups,
+            c.steps as f64 / c.publish_s,
+            (c.groups as u64 * c.steps) as f64 / c.total_s,
+        );
+    }
+
+    // The acceptance headline: fan-out must not tax the write path.
+    let write_s = |groups: usize| {
+        cells
+            .iter()
+            .find(|c| c.scenario == "live" && c.groups == groups)
+            .map(|c| c.publish_s)
+            .expect("live cell present")
+    };
+    let overhead_16g = write_s(16) / write_s(1);
+    eprintln!("pubsub: 16-group vs 1-group write-path ratio {overhead_16g:.3} (must stay < 2)");
+
+    let mut rep = bench::report::Report::new("pubsub")
+        .u64("payload_bytes", (ELEMS * 8) as u64)
+        .f64("write_path_overhead_16g", overhead_16g, 3);
+    for c in &cells {
+        rep.push(
+            bench::report::Obj::new()
+                .str("scenario", c.scenario)
+                .u64("groups", c.groups as u64)
+                .u64("steps", c.steps)
+                .f64("publish_s", c.publish_s, 6)
+                .f64("total_s", c.total_s, 6)
+                .f64("write_steps_per_s", c.steps as f64 / c.publish_s, 3)
+                .f64("delivered_steps_per_s", (c.groups as u64 * c.steps) as f64 / c.total_s, 3),
+        );
+    }
+    rep.write();
+}

@@ -12,6 +12,8 @@
 //! * `RESULT role=<r> rank=<k> ...` — final counters before exit.
 
 use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use adios::{
@@ -20,9 +22,10 @@ use adios::{
 };
 use evpath::SocketKind;
 use flexio::{
-    open_reader_proc, open_writer_proc, CachingLevel, ProcConfig, StreamHints, WireDirNode,
-    WriteMode,
+    open_reader_proc, open_writer_proc, CachingLevel, FlexIo, ProcConfig, PubSubConfig, Qos,
+    ReaderGroup, StreamHints, WireDirNode, WriteMode,
 };
+use machine::laptop;
 use rankrt::RankEnv;
 
 /// Elements each writer rank owns per step.
@@ -160,12 +163,101 @@ fn run_reader(env: &RankEnv) {
     say(&format!("RESULT role=reader rank={} steps={steps} eos_synth={eos_synth}", env.rank));
 }
 
+/// Pub/sub publisher role: one writer rank feeding a spill-backed
+/// [`flexio::StreamLog`] (`FLEXIO_SPILL`, `FLEXIO_REPLAY`), narrating
+/// each sealed step — by the time `WORKER step=N` prints, step N's BP
+/// segment and manifest entry are durable, so the chaos parent can time
+/// its `kill -9` against guaranteed-visible state.
+fn run_publisher(env: &RankEnv) {
+    let steps = env_u64("FLEXIO_STEPS", 4);
+    let step_ms = env_u64("FLEXIO_STEP_MS", 50);
+    let cfg = PubSubConfig {
+        replay_steps: env_u64("FLEXIO_REPLAY", 2).max(1) as usize,
+        spill_dir: Some(PathBuf::from(env_str("FLEXIO_SPILL", "/tmp/flexio-pubsub-spill"))),
+        ..PubSubConfig::default()
+    };
+    let io = FlexIo::single_node(laptop());
+    let stream = env_str("FLEXIO_STREAM", "chaos");
+    let mut w = io.open_publisher(&stream, 0, 1, &cfg, hints(true)).expect("open publisher");
+    let mut done = 0;
+    for step in 0..steps {
+        w.begin_step(step);
+        let data: Vec<f64> = (0..PER_RANK).map(|e| (step * 1000 + e) as f64).collect();
+        w.write(
+            "field",
+            VarValue::Block(
+                LocalBlock {
+                    global_shape: vec![PER_RANK],
+                    offset: vec![0],
+                    count: vec![PER_RANK],
+                    data: ArrayData::F64(data),
+                }
+                .validated(),
+            ),
+        );
+        w.write("t", VarValue::Scalar(ScalarValue::F64(step as f64 * 0.5)));
+        if w.try_end_step().is_err() {
+            break;
+        }
+        done += 1;
+        say(&format!("WORKER step={step}"));
+        std::thread::sleep(Duration::from_millis(step_ms));
+    }
+    w.close();
+    let spilled = w.log().counters().spilled_steps.load(Ordering::Relaxed);
+    say(&format!("RESULT role=publisher rank={} steps={done} spilled={spilled}", env.rank));
+}
+
+/// Pub/sub subscriber role: a lossless reader group tailing the stream
+/// through the spill directory (`FLEXIO_GROUP` names the group, so a
+/// restart resumes the same durable cursor). The commit — which persists
+/// the cursor — happens BEFORE the step is narrated: once the parent has
+/// read `WORKER step=N`, a `kill -9` cannot lose that step.
+fn run_subscriber(env: &RankEnv) {
+    let spill = PathBuf::from(env_str("FLEXIO_SPILL", "/tmp/flexio-pubsub-spill"));
+    let stream = env_str("FLEXIO_STREAM", "chaos");
+    let group = env_str("FLEXIO_GROUP", "g");
+    let mut r =
+        ReaderGroup::tail(&spill, &stream, &group, Qos::Lossless, &hints(false)).expect("attach");
+    let resumed = r.counters().resumed_from.load(Ordering::Relaxed);
+    let mut steps = 0u64;
+    let mut first = None;
+    loop {
+        match r.try_begin_step() {
+            Ok(StepStatus::Step(step)) => {
+                let v = r.read("field", &Selection::ProcessGroup(0)).expect("field present");
+                let VarValue::Block(block) = v else { panic!("field is a block") };
+                let ArrayData::F64(data) = &block.data else { panic!("field is f64") };
+                for (e, val) in data.iter().enumerate() {
+                    assert_eq!(*val, (step * 1000 + e as u64) as f64, "element {e} of step {step}");
+                }
+                r.end_step();
+                first.get_or_insert(step);
+                steps += 1;
+                say(&format!("WORKER step={step}"));
+            }
+            Ok(StepStatus::EndOfStream) => break,
+            Err(e) => panic!("subscriber fetch failed: {e}"),
+        }
+    }
+    let (_, replayed, _, _) = r.counters().snapshot();
+    let eos_synth = r.counters().eos_synthesized.load(Ordering::Relaxed);
+    r.close();
+    say(&format!(
+        "RESULT role=subscriber rank={} steps={steps} first={} resumed={resumed} replayed={replayed} eos_synth={eos_synth}",
+        env.rank,
+        first.unwrap_or(0),
+    ));
+}
+
 fn main() {
     let env = RankEnv::from_env().expect("spawned via rankrt::spawn_ranks");
     match env.name.as_str() {
         "dirnode" => run_dirnode(&env),
         "writer" => run_writer(&env),
         "reader" => run_reader(&env),
+        "publisher" => run_publisher(&env),
+        "subscriber" => run_subscriber(&env),
         other => panic!("unknown worker role `{other}`"),
     }
 }

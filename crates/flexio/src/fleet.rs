@@ -139,6 +139,19 @@ impl FleetRuntime {
         self.fleet.spawn_in_domain(domain, fut);
     }
 
+    /// Run a pub/sub reader group's delivery loop as a fleet task placed
+    /// near `endpoints` (see [`Self::spawn_for`]) — fan-out consumers
+    /// land next to the data they drain. Returns the observer handle.
+    pub fn spawn_reader_group(
+        &self,
+        group: crate::pubsub::ReaderGroup,
+        endpoints: &[CoreLocation],
+    ) -> crate::pubsub::GroupTaskHandle {
+        let (handle, task) = group.into_task();
+        self.spawn_for(endpoints, task);
+        handle
+    }
+
     /// Fold a monitor-relay drain into the fleet: the sink becomes a
     /// periodic reactor task (see [`MonitorSink::into_task`]).
     pub fn spawn_monitor_sink(&self, sink: MonitorSink, interval: Duration) -> SinkTaskHandle {

@@ -33,6 +33,10 @@
 //!   monitoring data into dynamic plug-in placement (§II.G/§IV);
 //!   [`relay`] — the stone-graph relay that ships monitoring samples from
 //!   the simulation side to the analytics side online.
+//! * [`pubsub`] — pub/sub fan-out with durable replay: one writer stream
+//!   feeds N independent reader groups through a bounded replay ring with
+//!   per-group QoS/backpressure and BP-spilled retention, so late joiners
+//!   and restarted groups catch up from any retained step.
 //! * Resiliency (§II.H): the simple timeout-and-retry scheme the paper
 //!   ships lives in [`link::recv_record`]; the 2-phase-commit step
 //!   transaction it names as future work is implemented inside the
@@ -46,6 +50,7 @@ pub mod monitor;
 pub mod plugins;
 pub mod procnet;
 pub mod protocol;
+pub mod pubsub;
 pub mod reader;
 pub mod redistribute;
 pub mod relay;
@@ -65,6 +70,10 @@ pub use procnet::{
     WireDirNode,
 };
 pub use protocol::{CachingLevel, ProtocolCounters, WriteMode};
+pub use pubsub::{
+    step_digest, Fetch, GroupCounters, GroupTaskHandle, PubSubConfig, PubSubCounters, Qos,
+    ReaderGroup, SealedStep, SpillStore, SpillTail, StepPublisher, StreamLog,
+};
 pub use reader::StreamReader;
 pub use relay::{MonitorRelay, MonitorSink, SinkTaskHandle};
 pub use writer::StreamWriter;

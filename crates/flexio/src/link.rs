@@ -228,6 +228,14 @@ pub enum HintKey {
     DirectoryNodes,
     /// Anti-entropy gossip round interval in milliseconds.
     DirectoryGossipMs,
+    /// Expected pub/sub reader-group count (sizing/observability only).
+    PubsubGroups,
+    /// Pub/sub in-memory replay ring bound, in steps.
+    PubsubReplaySteps,
+    /// Directory for BP spill segments (enables durable replay).
+    PubsubSpillDir,
+    /// Default pub/sub delivery QoS (`lossless`/`latest`).
+    PubsubQos,
 }
 
 impl HintKey {
@@ -252,6 +260,10 @@ impl HintKey {
         HintKey::DirectoryShards,
         HintKey::DirectoryNodes,
         HintKey::DirectoryGossipMs,
+        HintKey::PubsubGroups,
+        HintKey::PubsubReplaySteps,
+        HintKey::PubsubSpillDir,
+        HintKey::PubsubQos,
     ];
 
     /// The XML hint name this key reads.
@@ -276,6 +288,10 @@ impl HintKey {
             HintKey::DirectoryShards => "directory.shards",
             HintKey::DirectoryNodes => "directory.nodes",
             HintKey::DirectoryGossipMs => "directory.gossip_ms",
+            HintKey::PubsubGroups => "pubsub.groups",
+            HintKey::PubsubReplaySteps => "pubsub.replay_steps",
+            HintKey::PubsubSpillDir => "pubsub.spill_dir",
+            HintKey::PubsubQos => "pubsub.qos",
         }
     }
 }
@@ -719,10 +735,15 @@ pub struct LinkState {
     /// its own OS process: channels are real sockets dialed through the
     /// fabric instead of halves parked in shared memory.
     fabric: Option<Arc<crate::procnet::ProcFabric>>,
+    /// Subsystem payload riding the directory registration: the pub/sub
+    /// layer attaches its [`crate::pubsub::StreamLog`] here so reader
+    /// groups discover the log through the same [`DirectoryService`]
+    /// lookup that resolves stream contacts.
+    attachment: Mutex<Option<Arc<dyn std::any::Any + Send + Sync>>>,
 }
 
 impl LinkState {
-    fn new(
+    pub(crate) fn new(
         writer_count: usize,
         writer_cores: Vec<CoreLocation>,
         net: Option<NetSim>,
@@ -745,6 +766,7 @@ impl LinkState {
             faults: hints.faults.clone(),
             evicted: Mutex::new(HashSet::new()),
             fabric: None,
+            attachment: Mutex::new(None),
         })
     }
 
@@ -775,6 +797,7 @@ impl LinkState {
             faults: hints.faults.clone(),
             evicted: Mutex::new(HashSet::new()),
             fabric: Some(fabric),
+            attachment: Mutex::new(None),
         })
     }
 
@@ -786,6 +809,17 @@ impl LinkState {
             None,
             &StreamHints::default(),
         )
+    }
+
+    /// Attach a subsystem payload to this link (see the `attachment`
+    /// field). Last write wins.
+    pub fn set_attachment(&self, payload: Arc<dyn std::any::Any + Send + Sync>) {
+        *self.attachment.lock() = Some(payload);
+    }
+
+    /// Downcast the attached payload, if any.
+    pub fn attachment<T: std::any::Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        self.attachment.lock().clone().and_then(|a| a.downcast::<T>().ok())
     }
 
     /// The reader coordinator announces its side.
@@ -1304,13 +1338,13 @@ impl FlexIo {
         Ok(StreamReader::new(link, rank, nranks, name.to_string(), hints))
     }
 
-    fn post_bulletin(&self, key: &str, link: Arc<LinkState>) {
+    pub(crate) fn post_bulletin(&self, key: &str, link: Arc<LinkState>) {
         let (lock, cvar) = &*self.bulletin;
         lock.lock().insert(key.to_string(), link);
         cvar.notify_all();
     }
 
-    fn wait_bulletin(&self, key: &str, timeout: Duration) -> Option<Arc<LinkState>> {
+    pub(crate) fn wait_bulletin(&self, key: &str, timeout: Duration) -> Option<Arc<LinkState>> {
         let (lock, cvar) = &*self.bulletin;
         let mut map = lock.lock();
         let deadline = Instant::now() + timeout;

@@ -30,6 +30,10 @@ pub enum MonitorEvent {
     Allocation,
     /// A synchronous-mode wait for acknowledgements.
     SyncWait,
+    /// A pub/sub step delivered to one reader group.
+    PubSubDeliver,
+    /// A pub/sub step spilled to (or replayed from) a BP segment.
+    PubSubSpill,
 }
 
 impl MonitorEvent {
@@ -41,6 +45,8 @@ impl MonitorEvent {
             MonitorEvent::PluginExec => "plugin_exec",
             MonitorEvent::Allocation => "allocation",
             MonitorEvent::SyncWait => "sync_wait",
+            MonitorEvent::PubSubDeliver => "pubsub_deliver",
+            MonitorEvent::PubSubSpill => "pubsub_spill",
         }
     }
 }
@@ -72,7 +78,7 @@ const DEFAULT_SAMPLE_CAPACITY: usize = 100_000;
 #[derive(Default)]
 struct Inner {
     samples: std::collections::VecDeque<Sample>,
-    aggregates: [Aggregate; 6],
+    aggregates: [Aggregate; 8],
     epoch: Option<Instant>,
 }
 
@@ -84,6 +90,8 @@ fn event_index(event: MonitorEvent) -> usize {
         MonitorEvent::PluginExec => 3,
         MonitorEvent::Allocation => 4,
         MonitorEvent::SyncWait => 5,
+        MonitorEvent::PubSubDeliver => 6,
+        MonitorEvent::PubSubSpill => 7,
     }
 }
 

@@ -1,0 +1,339 @@
+//! The consumer side: a [`ReaderGroup`] is an [`adios::ReadEngine`]
+//! whose steps come off a [`StreamLog`] cursor (same process) or a
+//! [`SpillTail`] (another process, through the durable spill files),
+//! with memory → spill → live-tail transitions invisible to the caller.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adios::hyperslab::{copy_region, BoxSel};
+use adios::{ArrayData, LocalBlock, ProcessGroup, ReadEngine, Selection, StepStatus, VarValue};
+use parking_lot::Mutex;
+
+use super::log::{Fetch, SealedStep, StreamLog};
+use super::spill::SpillTail;
+use super::{GroupCounters, Qos};
+use crate::directory::DirectoryService;
+use crate::link::{StreamError, StreamHints};
+
+enum Source {
+    /// Cursor into an in-process [`StreamLog`].
+    Local(Arc<StreamLog>),
+    /// Cross-process tail over the spill directory.
+    Tail(Box<SpillTail>),
+}
+
+/// One named reader group: an independent cursor over a pub/sub stream
+/// with its own QoS and counters. Implements [`ReadEngine`], so any
+/// analytics loop written against the ADIOS step API consumes a fan-out
+/// stream unchanged.
+pub struct ReaderGroup {
+    source: Source,
+    group: String,
+    recv_timeout: Duration,
+    retries: u32,
+    eos_on_silence: bool,
+    current: Option<Arc<SealedStep>>,
+    counters: Arc<GroupCounters>,
+    registration: Option<(Arc<dyn DirectoryService>, String)>,
+    closed: bool,
+}
+
+impl ReaderGroup {
+    /// Attach `group` to an in-process log, registering (or resuming)
+    /// its cursor.
+    pub fn attach(
+        log: Arc<StreamLog>,
+        group: &str,
+        qos: Option<Qos>,
+        hints: &StreamHints,
+    ) -> Result<ReaderGroup, StreamError> {
+        let (counters, _cursor) = log.register_group(group, qos);
+        Ok(ReaderGroup {
+            source: Source::Local(log),
+            group: group.to_string(),
+            recv_timeout: hints.recv_timeout,
+            retries: hints.retries,
+            eos_on_silence: hints.eos_on_silence,
+            current: None,
+            counters,
+            registration: None,
+            closed: false,
+        })
+    }
+
+    /// Attach `group` to the spill directory of `stream` under `root` —
+    /// the cross-process path a late joiner or a restarted (`kill -9`)
+    /// group takes; it resumes from its durable cursor.
+    pub fn tail(
+        root: &std::path::Path,
+        stream: &str,
+        group: &str,
+        qos: Qos,
+        hints: &StreamHints,
+    ) -> Result<ReaderGroup, StreamError> {
+        let tail = SpillTail::attach(root, stream, group, qos, hints)?;
+        let counters = tail.counters();
+        Ok(ReaderGroup {
+            source: Source::Tail(Box::new(tail)),
+            group: group.to_string(),
+            recv_timeout: hints.recv_timeout,
+            retries: hints.retries,
+            eos_on_silence: hints.eos_on_silence,
+            current: None,
+            counters,
+            registration: None,
+            closed: false,
+        })
+    }
+
+    /// This group's shared delivery counters.
+    pub fn counters(&self) -> Arc<GroupCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Remember a directory registration to drop at close.
+    pub(crate) fn with_registration(
+        mut self,
+        dir: Arc<dyn DirectoryService>,
+        key: String,
+    ) -> ReaderGroup {
+        self.registration = Some((dir, key));
+        self
+    }
+
+    /// One non-blocking poll of the cursor.
+    fn poll(&mut self) -> Result<Fetch, StreamError> {
+        match &mut self.source {
+            Source::Local(log) => log.try_fetch(&self.group),
+            Source::Tail(tail) => tail.try_fetch(),
+        }
+    }
+
+    fn take_step(&mut self, fetch: Fetch) -> Option<StepStatus> {
+        let sealed = match fetch {
+            Fetch::Step(s) | Fetch::Spilled(s) | Fetch::Skipped { step: s, .. } => s,
+            Fetch::Eos { .. } => return Some(StepStatus::EndOfStream),
+            Fetch::Pending => return None,
+        };
+        let step = sealed.step;
+        self.current = Some(sealed);
+        Some(StepStatus::Step(step))
+    }
+
+    fn synthesize_eos(&mut self) -> StepStatus {
+        self.counters.eos_synthesized.fetch_add(1, Ordering::Relaxed);
+        if let Source::Tail(tail) = &mut self.source {
+            tail.note_synthesized_eos();
+        }
+        StepStatus::EndOfStream
+    }
+
+    /// Advance to the next step with the timeout-and-retry discipline of
+    /// [`crate::StreamReader`]: attempt `i` waits `recv_timeout << min(i,
+    /// 3)`, and exhausted budgets either synthesize end-of-stream
+    /// (`eos_on_silence`, the crashed-writer posture) or surface
+    /// [`StreamError::Timeout`].
+    pub fn try_begin_step(&mut self) -> Result<StepStatus, StreamError> {
+        assert!(self.current.is_none(), "begin_step without end_step");
+        let mut backoff = flexio_reactor::Backoff::new();
+        for attempt in 0..=self.retries {
+            let deadline = Instant::now() + self.recv_timeout * (1u32 << attempt.min(3));
+            loop {
+                let fetch = self.poll()?;
+                if let Some(status) = self.take_step(fetch) {
+                    return Ok(status);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                backoff.snooze_capped(deadline - now);
+            }
+        }
+        if self.eos_on_silence {
+            return Ok(self.synthesize_eos());
+        }
+        Err(StreamError::Timeout)
+    }
+
+    /// Async mirror of [`Self::try_begin_step`] for reactor/fleet tasks.
+    pub async fn try_begin_step_rt(&mut self) -> Result<StepStatus, StreamError> {
+        assert!(self.current.is_none(), "begin_step without end_step");
+        for attempt in 0..=self.retries {
+            let deadline = Instant::now() + self.recv_timeout * (1u32 << attempt.min(3));
+            let mut pacing = flexio_reactor::Pacing::new();
+            loop {
+                let fetch = self.poll()?;
+                if let Some(status) = self.take_step(fetch) {
+                    return Ok(status);
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+                pacing.pause(Some(deadline)).await;
+            }
+        }
+        if self.eos_on_silence {
+            return Ok(self.synthesize_eos());
+        }
+        Err(StreamError::Timeout)
+    }
+
+    /// Digest of the step currently open (None outside a step). The
+    /// fan-out equivalence tests compare these across groups, backends
+    /// and replay sources.
+    pub fn current_step_digest(&self) -> Option<u64> {
+        self.current.as_ref().map(|s| s.digest())
+    }
+
+    /// The raw process groups of the step currently open.
+    pub fn current_groups(&self) -> Option<&Arc<Vec<ProcessGroup>>> {
+        self.current.as_ref().map(|s| &s.groups)
+    }
+
+    fn commit(&mut self, next: u64) {
+        match &mut self.source {
+            Source::Local(log) => log.commit(&self.group, next),
+            Source::Tail(tail) => tail.commit(next),
+        }
+    }
+
+    /// Convert into a delivery task: a `Send` future that drains the
+    /// stream to end-of-stream (committing after every step) plus a
+    /// handle exposing the per-step digests, completion flag and any
+    /// error — the unit [`crate::FleetRuntime::spawn_reader_group`]
+    /// places near the consuming analytics.
+    pub fn into_task(mut self) -> (GroupTaskHandle, impl std::future::Future<Output = ()> + Send) {
+        let state = Arc::new(TaskState {
+            steps: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+            error: Mutex::new(None),
+            counters: Arc::clone(&self.counters),
+        });
+        let shared = Arc::clone(&state);
+        let task = async move {
+            loop {
+                match self.try_begin_step_rt().await {
+                    Ok(StepStatus::Step(step)) => {
+                        let digest = self.current_step_digest().expect("open step has a digest");
+                        shared.steps.lock().push((step, digest));
+                        self.end_step();
+                    }
+                    Ok(StepStatus::EndOfStream) => break,
+                    Err(e) => {
+                        *shared.error.lock() = Some(e);
+                        break;
+                    }
+                }
+            }
+            self.close();
+            shared.done.store(true, Ordering::Release);
+        };
+        (GroupTaskHandle { state }, task)
+    }
+}
+
+impl ReadEngine for ReaderGroup {
+    fn begin_step(&mut self) -> StepStatus {
+        self.try_begin_step().expect("pub/sub step fetch failed")
+    }
+
+    fn read(&mut self, name: &str, sel: &Selection) -> Option<VarValue> {
+        let sealed = self.current.as_ref().expect("read outside begin_step/end_step");
+        assemble(&sealed.groups, name, sel)
+    }
+
+    fn end_step(&mut self) {
+        let sealed = self.current.take().expect("end_step without begin_step");
+        self.commit(sealed.seq + 1);
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.current = None;
+        if let Some((dir, key)) = self.registration.take() {
+            dir.unregister(&key);
+        }
+    }
+}
+
+/// Assemble one variable of a sealed step under a selection, mirroring
+/// [`adios::FileReadEngine`] semantics (and [`adios::bp::BpFile::read_box`]
+/// for the global-box path).
+fn assemble(groups: &[ProcessGroup], name: &str, sel: &Selection) -> Option<VarValue> {
+    match sel {
+        Selection::ProcessGroup(rank) => {
+            groups.iter().find(|g| g.rank == *rank)?.get(name).cloned()
+        }
+        Selection::Scalar => groups.iter().find_map(|g| match g.get(name) {
+            Some(v @ VarValue::Scalar(_)) => Some(v.clone()),
+            _ => None,
+        }),
+        Selection::GlobalBox(sel) => {
+            let mut out: Option<LocalBlock> = None;
+            for g in groups {
+                let Some(VarValue::Block(block)) = g.get(name) else { continue };
+                let out = out.get_or_insert_with(|| LocalBlock {
+                    global_shape: block.global_shape.clone(),
+                    offset: sel.offset.clone(),
+                    count: sel.count.clone(),
+                    data: ArrayData::zeros(block.data.data_type(), sel.num_elements() as usize),
+                });
+                assert_eq!(
+                    out.global_shape, block.global_shape,
+                    "inconsistent global shape for `{name}`"
+                );
+                let block_box = BoxSel::new(block.offset.clone(), block.count.clone());
+                if let Some(region) = block_box.intersect(sel) {
+                    copy_region(block, out, &region);
+                }
+            }
+            out.map(VarValue::Block)
+        }
+    }
+}
+
+struct TaskState {
+    steps: Mutex<Vec<(u64, u64)>>,
+    done: AtomicBool,
+    error: Mutex<Option<StreamError>>,
+    counters: Arc<GroupCounters>,
+}
+
+/// Observer handle for a reader group running as a reactor/fleet task.
+#[derive(Clone)]
+pub struct GroupTaskHandle {
+    state: Arc<TaskState>,
+}
+
+impl GroupTaskHandle {
+    /// `(step, digest)` pairs delivered so far, in delivery order.
+    pub fn steps(&self) -> Vec<(u64, u64)> {
+        self.state.steps.lock().clone()
+    }
+
+    /// The task drained to end-of-stream (or failed) and closed.
+    pub fn is_done(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+
+    /// The error that stopped delivery, if any.
+    pub fn error(&self) -> Option<StreamError> {
+        self.state.error.lock().clone()
+    }
+
+    /// The group's shared counters.
+    pub fn counters(&self) -> Arc<GroupCounters> {
+        Arc::clone(&self.state.counters)
+    }
+}

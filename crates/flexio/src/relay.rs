@@ -33,6 +33,8 @@ fn event_from_name(name: &str) -> Option<MonitorEvent> {
         "plugin_exec" => MonitorEvent::PluginExec,
         "allocation" => MonitorEvent::Allocation,
         "sync_wait" => MonitorEvent::SyncWait,
+        "pubsub_deliver" => MonitorEvent::PubSubDeliver,
+        "pubsub_spill" => MonitorEvent::PubSubSpill,
         _ => return None,
     })
 }
@@ -87,6 +89,8 @@ impl MonitorRelay {
             MonitorEvent::PluginExec => "plugin_exec",
             MonitorEvent::Allocation => "allocation",
             MonitorEvent::SyncWait => "sync_wait",
+            MonitorEvent::PubSubDeliver => "pubsub_deliver",
+            MonitorEvent::PubSubSpill => "pubsub_spill",
         };
         let record = Record::new()
             .with("seq", FieldValue::U64(self.sent))

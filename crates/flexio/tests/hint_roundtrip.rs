@@ -4,10 +4,14 @@
 //! bug where a hint is documented but silently ignored by `from_config`
 //! (as `inline_capacity` and `packed_marshal` once were).
 
+use std::path::Path;
 use std::time::Duration;
 
 use adios::IoConfig;
-use flexio::{CachingLevel, DirectoryConfig, HintKey, Runtime, StreamHints, Transport, WriteMode};
+use flexio::{
+    CachingLevel, DirectoryConfig, HintKey, PubSubConfig, Qos, Runtime, StreamHints, Transport,
+    WriteMode,
+};
 
 /// The non-default value each key is set to in the round-trip config.
 /// (`runtime`'s default is environment-sensitive — `FLEXIO_RUNTIME`
@@ -42,6 +46,10 @@ fn nondefault_value(key: HintKey) -> &'static str {
         HintKey::DirectoryShards => "16",
         HintKey::DirectoryNodes => "3",
         HintKey::DirectoryGossipMs => "25",
+        HintKey::PubsubGroups => "5",
+        HintKey::PubsubReplaySteps => "3",
+        HintKey::PubsubSpillDir => "/tmp/flexio-pubsub-hint",
+        HintKey::PubsubQos => "latest",
     }
 }
 
@@ -88,6 +96,12 @@ fn every_hint_key_round_trips_through_xml() {
     assert_eq!(d.nodes, 3);
     assert_eq!(d.gossip_interval, Duration::from_millis(25));
 
+    let p = PubSubConfig::from_config(group);
+    assert_eq!(p.groups, 5);
+    assert_eq!(p.replay_steps, 3);
+    assert_eq!(p.spill_dir.as_deref(), Some(Path::new("/tmp/flexio-pubsub-hint")));
+    assert_eq!(p.qos, Qos::LatestOnly);
+
     // Each asserted value differs from the default, so a silently
     // ignored key cannot pass by accident.
     let defaults = StreamHints::default();
@@ -111,6 +125,11 @@ fn every_hint_key_round_trips_through_xml() {
     assert_ne!(d.shards, ddef.shards);
     assert_ne!(d.nodes, ddef.nodes);
     assert_ne!(d.gossip_interval, ddef.gossip_interval);
+    let pdef = PubSubConfig::default();
+    assert_ne!(p.groups, pdef.groups);
+    assert_ne!(p.replay_steps, pdef.replay_steps);
+    assert_ne!(p.spill_dir, pdef.spill_dir);
+    assert_ne!(p.qos, pdef.qos);
 }
 
 #[test]

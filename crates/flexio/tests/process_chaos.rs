@@ -128,6 +128,133 @@ fn next_event(rx: &Receiver<Event>, deadline: Instant) -> Event {
     rx.recv_timeout(deadline - now).expect("children still talking")
 }
 
+fn pubsub_envs(
+    stream: &str,
+    spill: &std::path::Path,
+    steps: u64,
+    step_ms: u64,
+) -> Vec<(String, String)> {
+    [
+        ("FLEXIO_STREAM", stream),
+        ("FLEXIO_SPILL", &spill.display().to_string()),
+        ("FLEXIO_REPLAY", "2"),
+        ("FLEXIO_STEPS", &steps.to_string()),
+        ("FLEXIO_STEP_MS", &step_ms.to_string()),
+        ("FLEXIO_TIMEOUT_MS", "400"),
+    ]
+    .iter()
+    .map(|(k, v)| (k.to_string(), v.to_string()))
+    .collect()
+}
+
+/// Kill -9 a pub/sub reader group mid-replay: its durable cursor (written
+/// at each commit, before the step is narrated) survives the kill, so a
+/// restarted group with the same name resumes exactly where it committed
+/// and the two incarnations together deliver every step — zero lost under
+/// lossless QoS.
+#[test]
+fn killing_a_subscriber_mid_replay_resumes_from_its_durable_cursor() {
+    const STEPS: u64 = 8;
+    let spill = std::env::temp_dir().join(format!("flexio-chaos-sub-{}", std::process::id()));
+    std::fs::remove_dir_all(&spill).ok();
+    let envs = pubsub_envs("chaos-sub-kill", &spill, STEPS, 150);
+    let (tx, rx) = channel();
+    let _publisher = start_workers("publisher", 1, &envs, &tx);
+
+    let deadline = Instant::now() + DEADLINE;
+    // Wait for the first sealed step so the spill directory exists, then
+    // start the subscriber.
+    loop {
+        let ev = next_event(&rx, deadline);
+        if ev.role == "publisher" && ev.line == "WORKER step=0" {
+            break;
+        }
+    }
+    let mut subs = start_workers("subscriber", 1, &envs, &tx);
+
+    // Kill the subscriber right after it commits (and narrates) step 2.
+    let mut killed = false;
+    let mut results: HashMap<(&'static str, usize), HashMap<String, String>> = HashMap::new();
+    while !results.contains_key(&("publisher", 0)) {
+        let ev = next_event(&rx, deadline);
+        if !killed && ev.role == "subscriber" && ev.line == "WORKER step=2" {
+            subs.kill(0);
+            killed = true;
+        }
+        if ev.line.starts_with("RESULT ") {
+            results.insert((ev.role, ev.rank), parse_result(&ev.line));
+        }
+    }
+    assert!(killed, "subscriber progressed far enough to be killed");
+    let publisher = &results[&("publisher", 0)];
+    assert_eq!(
+        field(publisher, "steps"),
+        STEPS,
+        "the kill never touches the writer: {publisher:?}"
+    );
+    assert_eq!(field(publisher, "spilled"), STEPS, "write-through spill retains every step");
+
+    // Restart the group under the same name: it must resume from the
+    // durable cursor and drain the remainder out of the BP spill.
+    let _subs2 = start_workers("subscriber", 1, &envs, &tx);
+    while !results.contains_key(&("subscriber", 0)) {
+        let ev = next_event(&rx, deadline);
+        if ev.line.starts_with("RESULT ") {
+            results.insert((ev.role, ev.rank), parse_result(&ev.line));
+        }
+    }
+    let sub = &results[&("subscriber", 0)];
+    let resumed = field(sub, "resumed");
+    assert!(resumed >= 3, "step 2 was committed before the kill: {sub:?}");
+    assert_eq!(field(sub, "first"), resumed, "restart picks up exactly at the cursor: {sub:?}");
+    assert_eq!(field(sub, "steps"), STEPS - resumed, "no step delivered twice or lost: {sub:?}");
+    assert_eq!(field(sub, "replayed"), STEPS - resumed, "the remainder came from BP spill");
+    assert_eq!(field(sub, "eos_synth"), 0, "closed stream ends cleanly: {sub:?}");
+    std::fs::remove_dir_all(&spill).ok();
+}
+
+/// Kill -9 the pub/sub publisher mid-stream: the spill manifest is never
+/// finalized, so the tailing group drains every step sealed before the
+/// kill and then synthesizes end-of-stream off writer silence.
+#[test]
+fn killing_the_publisher_leaves_subscribers_draining_spilled_steps_to_eos() {
+    const STEPS: u64 = 6;
+    let spill = std::env::temp_dir().join(format!("flexio-chaos-pub-{}", std::process::id()));
+    std::fs::remove_dir_all(&spill).ok();
+    let envs = pubsub_envs("chaos-pub-kill", &spill, STEPS, 300);
+    let (tx, rx) = channel();
+    let mut publisher = start_workers("publisher", 1, &envs, &tx);
+
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let ev = next_event(&rx, deadline);
+        if ev.role == "publisher" && ev.line == "WORKER step=0" {
+            break;
+        }
+    }
+    let _subs = start_workers("subscriber", 1, &envs, &tx);
+
+    let mut killed = false;
+    let mut results: HashMap<(&'static str, usize), HashMap<String, String>> = HashMap::new();
+    while !results.contains_key(&("subscriber", 0)) {
+        let ev = next_event(&rx, deadline);
+        if !killed && ev.role == "publisher" && ev.line == "WORKER step=1" {
+            publisher.kill(0);
+            killed = true;
+        }
+        if ev.line.starts_with("RESULT ") {
+            results.insert((ev.role, ev.rank), parse_result(&ev.line));
+        }
+    }
+    assert!(killed, "publisher progressed far enough to be killed");
+    let sub = &results[&("subscriber", 0)];
+    let steps = field(sub, "steps");
+    assert!(steps >= 2, "steps sealed before the kill are delivered: {sub:?}");
+    assert!(steps < STEPS, "the subscriber cannot see steps that never sealed: {sub:?}");
+    assert!(field(sub, "eos_synth") >= 1, "writer silence synthesizes EOS: {sub:?}");
+    std::fs::remove_dir_all(&spill).ok();
+}
+
 /// Kill -9 a reader rank mid-step: the writer must evict the silent
 /// reader after ack timeouts, re-plan the MxN distribution around it, and
 /// still complete every remaining step (degraded); the surviving reader

@@ -69,7 +69,19 @@ cargo test -q --offline -p flexio --test fleet_equivalence --test fleet_multiple
     >/dev/null || { echo "fleet battery FAILED"; exit 1; }
 echo "fleet battery ok"
 
+echo "== pub/sub fan-out battery =="
+# One writer, N reader groups: log semantics (QoS, backpressure, durable
+# cursors), BP-spill edge cases (rollover, corruption, seam), and the
+# cross-backend fan-out equivalence run under a seeded writer-crash plan.
+cargo test -q --offline -p flexio \
+    --test pubsub_log --test pubsub_spill --test pubsub_fanout \
+    >/dev/null || { echo "pubsub battery FAILED"; exit 1; }
+echo "pubsub battery ok"
+
 echo "== cross-process chaos battery (worker binary + kill -9) =="
+# Includes the pub/sub passes: kill -9 a subscriber mid-replay (restart
+# resumes from its durable cursor) and kill -9 the publisher (groups
+# drain the BP spill, then synthesize EOS).
 cargo build -q --offline -p flexio --bin flexio-worker
 cargo test -q --offline -p flexio --test process_chaos \
     >/dev/null || { echo "process chaos FAILED"; exit 1; }
@@ -85,11 +97,16 @@ FLEET_QUICK=1 cargo bench -q --offline -p bench --bench reactor_fleet \
     >/dev/null || { echo "reactor_fleet bench FAILED"; exit 1; }
 echo "reactor_fleet bench ok ($(head -c 120 BENCH_reactor_fleet.json)...)"
 
+echo "== pub/sub fan-out sweep (BENCH_pubsub.json) =="
+PUBSUB_QUICK=1 cargo bench -q --offline -p bench --bench pubsub \
+    >/dev/null || { echo "pubsub bench FAILED"; exit 1; }
+echo "pubsub bench ok ($(head -c 120 BENCH_pubsub.json)...)"
+
 echo "== bench regression check (quick runs vs committed baselines) =="
 # Quick-mode runs are noisy (fewer steps amortize less setup), so the
 # verify gate uses a loose 50% bar; scripts/bench_diff.sh defaults to
 # 20% for full-length runs.
-./scripts/bench_diff.sh --threshold 50 BENCH_net.json BENCH_reactor_fleet.json \
+./scripts/bench_diff.sh --threshold 50 BENCH_net.json BENCH_reactor_fleet.json BENCH_pubsub.json \
     || { echo "bench regression FAILED"; exit 1; }
 
 echo "== chaos soak (10s, alternating backends) =="

@@ -10,7 +10,7 @@ use adios::{
     ArrayData, BoxSel, FileReadEngine, FileWriteEngine, IoConfig, IoMethod, LocalBlock, ReadEngine,
     Selection, StepStatus, VarValue, WriteEngine,
 };
-use flexio::{FlexIo, StreamHints};
+use flexio::{FlexIo, PubSubConfig, Qos, ReaderGroup, StreamHints};
 use machine::{laptop, CoreLocation};
 
 const WRITERS: usize = 3;
@@ -142,6 +142,83 @@ fn xml_config_switches_between_online_and_offline() {
 
     assert_eq!(online.len(), STEPS as usize);
     assert_eq!(online, offline, "online and offline analytics must agree exactly");
+}
+
+/// Publish the standard `produce` workload over pub/sub from `WRITERS`
+/// real rank threads, returning when all ranks closed.
+fn publish_hybrid(io: &FlexIo, stream: &str, cfg: &PubSubConfig, hints: &StreamHints) {
+    let io = io.clone();
+    let cfg = cfg.clone();
+    let hints = hints.clone();
+    let stream = stream.to_string();
+    rankrt::launch(WRITERS, move |comm| {
+        let rank = comm.rank();
+        let mut w =
+            io.open_publisher(&stream, rank, WRITERS, &cfg, hints.clone()).expect("open publisher");
+        produce(&mut w, rank);
+    });
+}
+
+#[test]
+fn hybrid_mode_serves_live_tailing_and_late_replay_groups_identically() {
+    // The third deployment mode the paper's online/offline dichotomy
+    // misses: ONE simulation output feeding an online group that tails
+    // the stream live AND an offline-style group that joins after the
+    // run ended, replaying from BP spill. Both must observe the byte
+    // stream a plain single-group run observes.
+    let io = FlexIo::single_node(laptop());
+    let spill = std::env::temp_dir().join(format!("flexio-hybrid-{}", std::process::id()));
+    std::fs::remove_dir_all(&spill).ok();
+    let cfg = PubSubConfig {
+        groups: 2,
+        // A ring far smaller than the run: most steps reach the late
+        // joiner only through the BP spill segments.
+        replay_steps: 1,
+        spill_dir: Some(spill.clone()),
+        ..PubSubConfig::default()
+    };
+    let hints = StreamHints::default();
+
+    // Baseline: the same workload, one group, its own stream.
+    publish_hybrid(&io, "hybrid-base", &cfg, &hints);
+    let mut base =
+        ReaderGroup::tail(&spill, "hybrid-base", "only", Qos::Lossless, &hints).expect("baseline");
+    let baseline = consume(&mut base);
+    assert_eq!(baseline.len(), STEPS as usize);
+
+    // Hybrid run: the online group attaches in-process and tails while
+    // the writers are still producing.
+    let io_online = io.clone();
+    let hints_online = hints.clone();
+    let online_thread = thread::spawn(move || {
+        let mut r = io_online
+            .open_reader_group("hybrid", "online", None, hints_online)
+            .expect("online group");
+        let out = consume(&mut r);
+        (out, r.counters().snapshot())
+    });
+    let writers = {
+        let io = io.clone();
+        let cfg = cfg.clone();
+        let hints = hints.clone();
+        thread::spawn(move || publish_hybrid(&io, "hybrid", &cfg, &hints))
+    };
+    writers.join().unwrap();
+    let (online, _online_counters) = online_thread.join().unwrap();
+
+    // The offline-style group joins AFTER the writers are gone — the
+    // cross-process spill path, as a restarted analysis would.
+    let mut late =
+        ReaderGroup::tail(&spill, "hybrid", "late", Qos::Lossless, &hints).expect("late group");
+    let offline = consume(&mut late);
+    let (delivered, replayed, dropped, _) = late.counters().snapshot();
+    assert_eq!(delivered, STEPS, "late joiner misses nothing");
+    assert_eq!(replayed, STEPS, "every step the late joiner saw came from BP spill");
+    assert_eq!(dropped, 0);
+
+    assert_eq!(online, baseline, "live tailing must not perturb the data");
+    assert_eq!(offline, baseline, "spill replay must reproduce the stream byte-for-byte");
+    std::fs::remove_dir_all(&spill).ok();
 }
 
 #[test]
