@@ -255,6 +255,52 @@ impl PackedArray {
         assert_eq!(self.dtype, PackedDtype::U8, "packed view is not bytes");
         self.bytes().to_vec()
     }
+
+    /// Iterate `f64` elements straight off the wire bytes — no owned
+    /// vector is materialized; each element is one fixed-width LE decode
+    /// out of the shared buffer, so chunk-consuming operators (the
+    /// `flexio-query` kernels) stay zero-copy. Panics unless `dtype` is
+    /// `F64`.
+    pub fn iter_f64(&self) -> impl Iterator<Item = f64> + '_ {
+        assert_eq!(self.dtype, PackedDtype::F64, "packed view is not f64");
+        self.bytes().chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+    }
+
+    /// Iterate `u64` elements off the wire bytes (see [`Self::iter_f64`]).
+    /// Panics unless `dtype` is `U64`.
+    pub fn iter_u64(&self) -> impl Iterator<Item = u64> + '_ {
+        assert_eq!(self.dtype, PackedDtype::U64, "packed view is not u64");
+        self.bytes().chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+    }
+
+    /// Iterate `i64` elements off the wire bytes (see [`Self::iter_f64`]).
+    /// Panics unless `dtype` is `I64`.
+    pub fn iter_i64(&self) -> impl Iterator<Item = i64> + '_ {
+        assert_eq!(self.dtype, PackedDtype::I64, "packed view is not i64");
+        self.bytes().chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+    }
+
+    /// One `f64` element by index, decoded in place. Panics unless
+    /// `dtype` is `F64` and `i` is in bounds.
+    pub fn f64_at(&self, i: usize) -> f64 {
+        assert_eq!(self.dtype, PackedDtype::F64, "packed view is not f64");
+        let b = self.bytes();
+        f64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap())
+    }
+
+    /// One `u64` element by index (see [`Self::f64_at`]).
+    pub fn u64_at(&self, i: usize) -> u64 {
+        assert_eq!(self.dtype, PackedDtype::U64, "packed view is not u64");
+        let b = self.bytes();
+        u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap())
+    }
+
+    /// One `i64` element by index (see [`Self::f64_at`]).
+    pub fn i64_at(&self, i: usize) -> i64 {
+        assert_eq!(self.dtype, PackedDtype::I64, "packed view is not i64");
+        let b = self.bytes();
+        i64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().unwrap())
+    }
 }
 
 impl std::fmt::Debug for PackedArray {

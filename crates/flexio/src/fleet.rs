@@ -152,6 +152,19 @@ impl FleetRuntime {
         handle
     }
 
+    /// Fold a query session into the fleet: the residual plan runs as a
+    /// reactor task placed near its endpoints (see
+    /// [`crate::query::QuerySession::into_task`]).
+    pub fn spawn_query(
+        &self,
+        session: crate::query::QuerySession,
+        endpoints: &[CoreLocation],
+    ) -> crate::query::QueryHandle {
+        let (handle, task) = session.into_task();
+        self.spawn_for(endpoints, task);
+        handle
+    }
+
     /// Fold a monitor-relay drain into the fleet: the sink becomes a
     /// periodic reactor task (see [`MonitorSink::into_task`]).
     pub fn spawn_monitor_sink(&self, sink: MonitorSink, interval: Duration) -> SinkTaskHandle {

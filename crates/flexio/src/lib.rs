@@ -37,6 +37,10 @@
 //!   feeds N independent reader groups through a bounded replay ring with
 //!   per-group QoS/backpressure and BP-spilled retention, so late joiners
 //!   and restarted groups catch up from any retained step.
+//! * [`query`] — declarative vectorized array queries over live streams:
+//!   a small logical plan with filter pushdown, where eligible predicates
+//!   lower to writer-side Data Conditioning plug-ins so filtered-out
+//!   elements never cross the transport.
 //! * Resiliency (§II.H): the simple timeout-and-retry scheme the paper
 //!   ships lives in [`link::recv_record`]; the 2-phase-commit step
 //!   transaction it names as future work is implemented inside the
@@ -51,6 +55,7 @@ pub mod plugins;
 pub mod procnet;
 pub mod protocol;
 pub mod pubsub;
+pub mod query;
 pub mod reader;
 pub mod redistribute;
 pub mod relay;
@@ -74,6 +79,7 @@ pub use pubsub::{
     step_digest, Fetch, GroupCounters, GroupTaskHandle, PubSubConfig, PubSubCounters, Qos,
     ReaderGroup, SealedStep, SpillStore, SpillTail, StepPublisher, StreamLog,
 };
+pub use query::{QueryConfig, QueryCounters, QueryHandle, QuerySession};
 pub use reader::StreamReader;
 pub use relay::{MonitorRelay, MonitorSink, SinkTaskHandle};
 pub use writer::StreamWriter;

@@ -236,6 +236,16 @@ pub enum HintKey {
     PubsubSpillDir,
     /// Default pub/sub delivery QoS (`lossless`/`latest`).
     PubsubQos,
+    /// Enable writer-side query pushdown (default `true`).
+    QueryPushdown,
+    /// Tumbling-window width in steps for query aggregates (0 = one
+    /// window over the whole stream).
+    QueryWindowSteps,
+    /// Cap on total query output rows (0 = unlimited).
+    QueryMaxRows,
+    /// Run the naive row-at-a-time oracle next to the vectorized
+    /// executor and assert bit-identical results (default `false`).
+    QueryOracle,
 }
 
 impl HintKey {
@@ -264,6 +274,10 @@ impl HintKey {
         HintKey::PubsubReplaySteps,
         HintKey::PubsubSpillDir,
         HintKey::PubsubQos,
+        HintKey::QueryPushdown,
+        HintKey::QueryWindowSteps,
+        HintKey::QueryMaxRows,
+        HintKey::QueryOracle,
     ];
 
     /// The XML hint name this key reads.
@@ -292,6 +306,10 @@ impl HintKey {
             HintKey::PubsubReplaySteps => "pubsub.replay_steps",
             HintKey::PubsubSpillDir => "pubsub.spill_dir",
             HintKey::PubsubQos => "pubsub.qos",
+            HintKey::QueryPushdown => "query.pushdown",
+            HintKey::QueryWindowSteps => "query.window_steps",
+            HintKey::QueryMaxRows => "query.max_rows",
+            HintKey::QueryOracle => "query.oracle",
         }
     }
 }

@@ -34,6 +34,15 @@ pub enum MonitorEvent {
     PubSubDeliver,
     /// A pub/sub step spilled to (or replayed from) a BP segment.
     PubSubSpill,
+    /// Rows entering a query's filter (`bytes` = row count).
+    QueryRowsIn,
+    /// Rows surviving into a query's output (`bytes` = row count).
+    QueryRowsOut,
+    /// Payload bytes filtered writer-side before the transport.
+    QueryBytesPushed,
+    /// Payload bytes that never crossed the transport thanks to
+    /// writer-side pushdown (dropped rows × element width).
+    QueryBytesSaved,
 }
 
 impl MonitorEvent {
@@ -47,6 +56,10 @@ impl MonitorEvent {
             MonitorEvent::SyncWait => "sync_wait",
             MonitorEvent::PubSubDeliver => "pubsub_deliver",
             MonitorEvent::PubSubSpill => "pubsub_spill",
+            MonitorEvent::QueryRowsIn => "query_rows_in",
+            MonitorEvent::QueryRowsOut => "query_rows_out",
+            MonitorEvent::QueryBytesPushed => "query_bytes_pushed",
+            MonitorEvent::QueryBytesSaved => "query_bytes_saved",
         }
     }
 }
@@ -78,7 +91,7 @@ const DEFAULT_SAMPLE_CAPACITY: usize = 100_000;
 #[derive(Default)]
 struct Inner {
     samples: std::collections::VecDeque<Sample>,
-    aggregates: [Aggregate; 8],
+    aggregates: [Aggregate; 12],
     epoch: Option<Instant>,
 }
 
@@ -92,6 +105,10 @@ fn event_index(event: MonitorEvent) -> usize {
         MonitorEvent::SyncWait => 5,
         MonitorEvent::PubSubDeliver => 6,
         MonitorEvent::PubSubSpill => 7,
+        MonitorEvent::QueryRowsIn => 8,
+        MonitorEvent::QueryRowsOut => 9,
+        MonitorEvent::QueryBytesPushed => 10,
+        MonitorEvent::QueryBytesSaved => 11,
     }
 }
 

@@ -121,10 +121,15 @@ impl InstalledPlugin {
         let VarValue::Block(block) = value else {
             return Err(PluginError::UnsupportedChunk("scalars are not conditioned"));
         };
-        let ArrayData::F64(data) = &block.data else {
-            return Err(PluginError::UnsupportedChunk("only f64 arrays supported"));
+        // The codelet needs owned element storage; decode a packed wire
+        // view with one bulk conversion (no intermediate materialization —
+        // the caller keeps the zero-copy view if we reject the chunk).
+        let data: Vec<f64> = match &block.data {
+            ArrayData::F64(data) => data.clone(),
+            ArrayData::Packed(p) if p.dtype() == evpath::ffs::PackedDtype::F64 => p.to_f64_vec(),
+            _ => return Err(PluginError::UnsupportedChunk("only f64 arrays supported")),
         };
-        let input = Record::new().with(&self.spec.var, FieldValue::F64Array(data.clone()));
+        let input = Record::new().with(&self.spec.var, FieldValue::F64Array(data));
         let output = self.codelet.run(&input).map_err(|e| PluginError::Run(e.to_string()))?;
 
         let mut new_value = None;

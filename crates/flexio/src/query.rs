@@ -1,0 +1,404 @@
+//! Live-stream query execution: `flexio-query` plans wired to
+//! [`StreamReader`] engines.
+//!
+//! A [`QuerySession`] owns a reader, a validated plan and the
+//! vectorized executor. At attach time the pushdown planner splits the
+//! plan at the stream boundary: an eligible filter lowers to a codelet
+//! [`PluginSpec`] installed `WriterSide` through the existing Data
+//! Conditioning machinery, so filtered-out elements never cross the
+//! transport; the residual plan (aggregates, windows, assembly, row
+//! limits) runs here over the surviving chunks. Projection pushdown is
+//! the subscription model itself: un-selected variables are never
+//! subscribed, so they are never sent.
+//!
+//! Execution is available three ways, mirroring the rest of the stack:
+//! blocking ([`QuerySession::step`] / [`QuerySession::run_to_end`]),
+//! reactor ([`QuerySession::step_rt`]), and as a spawnable task
+//! ([`QuerySession::into_task`], fleet-placed via
+//! [`crate::fleet::FleetRuntime::spawn_query`]) — the same
+//! `(handle, future)` shape as `ReaderGroup::into_task`.
+//!
+//! With `query.oracle` enabled every step is also fed to the naive
+//! row-at-a-time evaluator and the final outputs must digest
+//! bit-identically — the runtime arm of the differential-testing
+//! contract.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use adios::{ArrayData, GroupConfig, ReadEngine, ScalarValue, Selection, StepStatus, VarValue};
+use flexio_query::{lower_pushdown, ChunkView, Executor, NaiveExecutor, Q_ROWS_IN};
+/// The plan/expression vocabulary, re-exported so applications can build
+/// queries with `flexio::query::{Plan, Expr, AggFunc}` alone.
+pub use flexio_query::{
+    AggFunc, AggRow, BinOp, CmpOp, Expr, ExprType, Plan, PlanError, QueryOutput, StepRows,
+    StepStats, TypeError,
+};
+use parking_lot::Mutex;
+
+use crate::link::{HintKey, StreamError};
+use crate::monitor::MonitorEvent;
+use crate::plugins::{PluginPlacement, PluginSpec, DC_APPLIED_MARKER};
+use crate::reader::StreamReader;
+
+/// Query-tier knobs, parsed from the `query.*` hint family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryConfig {
+    /// Lower eligible filters to a writer-side plug-in (default `true`).
+    pub pushdown: bool,
+    /// Override the plan's tumbling-window width in steps (0 = keep the
+    /// plan's own setting).
+    pub window_steps: u64,
+    /// Override the plan's output-row cap (0 = keep the plan's own).
+    pub max_rows: u64,
+    /// Run the naive oracle next to the vectorized executor and require
+    /// bit-identical outputs (default `false`; used by test batteries).
+    pub oracle: bool,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig { pushdown: true, window_steps: 0, max_rows: 0, oracle: false }
+    }
+}
+
+impl QueryConfig {
+    /// Derive the query configuration from a parsed group config.
+    pub fn from_config(cfg: &GroupConfig) -> QueryConfig {
+        let mut c = QueryConfig::default();
+        // Defaults to true: only an explicit hint may disable pushdown.
+        if cfg.hint(HintKey::QueryPushdown.as_str()).is_some() {
+            c.pushdown = cfg.hint_bool(HintKey::QueryPushdown.as_str());
+        }
+        if let Some(n) = cfg.hint_u64(HintKey::QueryWindowSteps.as_str()) {
+            c.window_steps = n;
+        }
+        if let Some(n) = cfg.hint_u64(HintKey::QueryMaxRows.as_str()) {
+            c.max_rows = n;
+        }
+        c.oracle = cfg.hint_bool(HintKey::QueryOracle.as_str());
+        c
+    }
+}
+
+/// Shared per-query throughput counters (mirrored into the monitor as
+/// `query_*` events, so a [`crate::MonitorRelay`]/[`crate::MonitorSink`]
+/// pair ships them across programs like any other measurement point).
+#[derive(Debug, Default)]
+pub struct QueryCounters {
+    /// Rows entering the filter (pre-pushdown original counts).
+    pub rows_in: AtomicU64,
+    /// Rows surviving into the output/aggregate.
+    pub rows_out: AtomicU64,
+    /// Payload bytes the writer-side plug-in processed before the
+    /// transport (wire-marked chunks only).
+    pub bytes_pushed_down: AtomicU64,
+    /// Payload bytes that never crossed the transport (rows dropped
+    /// writer-side × element width).
+    pub bytes_saved: AtomicU64,
+}
+
+impl QueryCounters {
+    fn bump(&self, c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot `(rows_in, rows_out, bytes_pushed_down, bytes_saved)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (
+            self.rows_in.load(Ordering::Relaxed),
+            self.rows_out.load(Ordering::Relaxed),
+            self.bytes_pushed_down.load(Ordering::Relaxed),
+            self.bytes_saved.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A live query over one stream: reader + residual executor (+ oracle).
+pub struct QuerySession {
+    reader: StreamReader,
+    nwriters: usize,
+    plan: Plan,
+    exec: Option<Executor>,
+    oracle: Option<NaiveExecutor>,
+    counters: Arc<QueryCounters>,
+    /// Whether a writer-side plug-in was actually installed.
+    pushdown: bool,
+    eos: bool,
+}
+
+impl QuerySession {
+    /// Attach a plan to a reader. Subscribes the plan's variables
+    /// (process-group pattern, writers `0..nwriters`), installs the
+    /// lowered writer-side plug-in when eligible (coordinator rank
+    /// only), and builds the executors. Must be called before the first
+    /// `begin_step`.
+    pub fn attach(
+        mut reader: StreamReader,
+        nwriters: usize,
+        mut plan: Plan,
+        cfg: QueryConfig,
+    ) -> Result<QuerySession, StreamError> {
+        if cfg.window_steps > 0 {
+            plan.window_steps = cfg.window_steps;
+        }
+        if cfg.max_rows > 0 {
+            plan.max_rows = cfg.max_rows;
+        }
+        plan.validate().map_err(|e| StreamError::Protocol(e.to_string()))?;
+        let mut pushdown = false;
+        if cfg.pushdown && reader.rank() == 0 {
+            if let Some(lowered) = lower_pushdown(&plan) {
+                reader.install_plugin(PluginSpec {
+                    var: lowered.var,
+                    source: lowered.source,
+                    placement: PluginPlacement::WriterSide,
+                });
+                pushdown = true;
+            }
+        }
+        for var in &plan.vars {
+            for w in 0..nwriters {
+                reader.subscribe(var, Selection::ProcessGroup(w));
+            }
+        }
+        let exec = Executor::new(plan.clone()).map_err(|e| StreamError::Protocol(e.to_string()))?;
+        let oracle = if cfg.oracle {
+            Some(
+                NaiveExecutor::new(plan.clone())
+                    .map_err(|e| StreamError::Protocol(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        Ok(QuerySession {
+            reader,
+            nwriters,
+            plan,
+            exec: Some(exec),
+            oracle,
+            counters: Arc::new(QueryCounters::default()),
+            pushdown,
+            eos: false,
+        })
+    }
+
+    /// Shared counters handle (live during and after the run).
+    pub fn counters(&self) -> Arc<QueryCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Whether the filter was lowered to a writer-side plug-in.
+    pub fn pushdown_active(&self) -> bool {
+        self.pushdown
+    }
+
+    /// The effective (validated, config-merged) plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Drive one step through the blocking engine. `Ok(Some(stats))`
+    /// after feeding a step, `Ok(None)` at end-of-stream.
+    pub fn step(&mut self) -> Result<Option<StepStats>, StreamError> {
+        if self.eos {
+            return Ok(None);
+        }
+        match self.reader.try_begin_step()? {
+            StepStatus::Step(step) => {
+                let stats = self.process_step(step)?;
+                self.reader.end_step();
+                Ok(Some(stats))
+            }
+            StepStatus::EndOfStream => {
+                self.eos = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Reactor variant of [`QuerySession::step`].
+    pub async fn step_rt(&mut self) -> Result<Option<StepStats>, StreamError> {
+        if self.eos {
+            return Ok(None);
+        }
+        match self.reader.begin_step_rt().await? {
+            StepStatus::Step(step) => {
+                let stats = self.process_step(step)?;
+                self.reader.end_step();
+                Ok(Some(stats))
+            }
+            StepStatus::EndOfStream => {
+                self.eos = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Run to end-of-stream and return the query output (oracle-checked
+    /// when enabled).
+    pub fn run_to_end(mut self) -> Result<QueryOutput, StreamError> {
+        while self.step()?.is_some() {}
+        self.reader.close();
+        self.finish()
+    }
+
+    /// Finish after end-of-stream: flush windows, check the oracle.
+    pub fn finish(mut self) -> Result<QueryOutput, StreamError> {
+        let out = self.exec.take().expect("finish called once").finish();
+        if let Some(oracle) = self.oracle.take() {
+            let expect = oracle.finish();
+            if out.digest() != expect.digest() {
+                return Err(StreamError::Protocol(format!(
+                    "query oracle mismatch: vectorized {:#x} != naive {:#x}",
+                    out.digest(),
+                    expect.digest()
+                )));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Feed one open step into the executors and update the counters.
+    fn process_step(&mut self, step: u64) -> Result<StepStats, StreamError> {
+        let reader = &self.reader;
+        let plan = &self.plan;
+        let rank = reader.rank();
+        // Assemble this step's chunks writer by writer. A writer whose
+        // chunks were routed to another reader rank simply has nothing
+        // stored here.
+        let mut chunks: Vec<ChunkView<'_>> = Vec::new();
+        let mut pushed_bytes = 0u64;
+        let mut saved_bytes = 0u64;
+        for w in 0..self.nwriters {
+            let mut columns: Vec<&ArrayData> = Vec::with_capacity(plan.vars.len());
+            let mut complete = true;
+            for var in &plan.vars {
+                match reader.stored(w, var).and_then(|vs| vs.first()) {
+                    Some(VarValue::Block(b)) => columns.push(&b.data),
+                    _ => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                continue;
+            }
+            // Conditioned chunks (writer-side pushdown *or* the reader's
+            // migration-fallback copy) arrive pre-filtered with the
+            // original element count in the `q_rows_in` extra.
+            let conditioned = reader.stored(w, DC_APPLIED_MARKER).is_some_and(|vs| !vs.is_empty());
+            let chunk = if conditioned {
+                let rows_in = match reader.stored(w, Q_ROWS_IN).and_then(|vs| vs.first()) {
+                    Some(VarValue::Scalar(ScalarValue::I64(n))) => *n as u64,
+                    _ => columns.first().map_or(0, |c| c.len() as u64),
+                };
+                let survivors = columns.first().map_or(0, |c| c.len() as u64);
+                // True pushdown (marker crossed the wire) is what moves
+                // the bytes-moved needle; local fallback conditioning
+                // saves nothing.
+                if self.pushdown && reader.arrived_conditioned(w, &plan.vars[0]) {
+                    let width = 8; // plug-ins condition f64 arrays
+                    pushed_bytes += rows_in * width;
+                    saved_bytes += rows_in.saturating_sub(survivors) * width;
+                }
+                ChunkView::conditioned(columns, rows_in)
+            } else {
+                ChunkView::raw(columns)
+            };
+            chunks.push(chunk);
+        }
+
+        let exec = self.exec.as_mut().expect("session not finished");
+        let stats = exec.feed_step(step, &chunks);
+        if let Some(oracle) = self.oracle.as_mut() {
+            let ostats = oracle.feed_step(step, &chunks);
+            if ostats != stats {
+                return Err(StreamError::Protocol(format!(
+                    "query oracle step stats mismatch at step {step}: \
+                     vectorized {stats:?} != naive {ostats:?}"
+                )));
+            }
+        }
+        drop(chunks);
+
+        self.counters.bump(&self.counters.rows_in, stats.rows_in);
+        self.counters.bump(&self.counters.rows_out, stats.rows_out);
+        self.counters.bump(&self.counters.bytes_pushed_down, pushed_bytes);
+        self.counters.bump(&self.counters.bytes_saved, saved_bytes);
+        let monitor = &self.reader.link().monitor;
+        monitor.record(MonitorEvent::QueryRowsIn, step, rank, stats.rows_in, 0);
+        monitor.record(MonitorEvent::QueryRowsOut, step, rank, stats.rows_out, 0);
+        if pushed_bytes > 0 || saved_bytes > 0 {
+            monitor.record(MonitorEvent::QueryBytesPushed, step, rank, pushed_bytes, 0);
+            monitor.record(MonitorEvent::QueryBytesSaved, step, rank, saved_bytes, 0);
+        }
+        Ok(stats)
+    }
+
+    /// Convert into a spawnable task for the reactor/fleet backends —
+    /// the same `(handle, future)` shape as `ReaderGroup::into_task`.
+    pub fn into_task(mut self) -> (QueryHandle, impl std::future::Future<Output = ()> + Send) {
+        let state = Arc::new(TaskState {
+            steps: Mutex::new(Vec::new()),
+            output: Mutex::new(None),
+            done: AtomicBool::new(false),
+            counters: Arc::clone(&self.counters),
+        });
+        let shared = Arc::clone(&state);
+        let task = async move {
+            loop {
+                match self.step_rt().await {
+                    Ok(Some(stats)) => shared.steps.lock().push(stats),
+                    Ok(None) => {
+                        self.reader.close();
+                        *shared.output.lock() = Some(self.finish());
+                        break;
+                    }
+                    Err(e) => {
+                        *shared.output.lock() = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+            shared.done.store(true, Ordering::Release);
+        };
+        (QueryHandle { state }, task)
+    }
+}
+
+struct TaskState {
+    steps: Mutex<Vec<StepStats>>,
+    output: Mutex<Option<Result<QueryOutput, StreamError>>>,
+    done: AtomicBool,
+    counters: Arc<QueryCounters>,
+}
+
+/// Handle onto a spawned query task.
+pub struct QueryHandle {
+    state: Arc<TaskState>,
+}
+
+impl QueryHandle {
+    /// Whether the task has finished (end-of-stream or error).
+    pub fn is_done(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+
+    /// Per-step stats observed so far.
+    pub fn steps(&self) -> Vec<StepStats> {
+        self.state.steps.lock().clone()
+    }
+
+    /// Shared counters.
+    pub fn counters(&self) -> Arc<QueryCounters> {
+        Arc::clone(&self.state.counters)
+    }
+
+    /// Take the finished output (or terminal error). `None` until the
+    /// task completes; consumes the result.
+    pub fn take_output(&self) -> Option<Result<QueryOutput, StreamError>> {
+        self.state.output.lock().take()
+    }
+}

@@ -8,7 +8,7 @@
 //! by the transport and analytics components receive End-of-Stream as
 //! return values from their read calls."
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use adios::{BoxSel, ReadEngine, Selection, StepStatus, VarValue};
@@ -61,6 +61,10 @@ pub struct StreamReader {
     steps_read: u64,
     current_step: Option<u64>,
     store: HashMap<(usize, String), Vec<VarValue>>,
+    /// `(writer, var)` chunks of the current step that arrived already
+    /// conditioned (the `dc_applied` marker was stamped upstream), i.e.
+    /// the writer-side plug-in really ran before the transport.
+    wire_conditioned: HashSet<(usize, String)>,
     eos: bool,
 }
 
@@ -111,6 +115,7 @@ impl StreamReader {
             steps_read: 0,
             current_step: None,
             store: HashMap::new(),
+            wire_conditioned: HashSet::new(),
             eos: false,
         }
     }
@@ -150,6 +155,22 @@ impl StreamReader {
         coord.all_plugins.retain(|p| p.var != spec.var);
         coord.all_plugins.push(spec);
         self.plugins_dirty = true;
+    }
+
+    /// Borrow the chunks stored for `(writer, var)` in the current step,
+    /// in arrival order, without copying — packed wire views stay packed.
+    /// The query executor reads chunks through this (zero-copy path);
+    /// `read()` stays the materializing application API.
+    pub fn stored(&self, w: usize, var: &str) -> Option<&[VarValue]> {
+        self.store.get(&(w, var.to_string())).map(|v| v.as_slice())
+    }
+
+    /// Whether `(writer, var)`'s chunk for the current step arrived
+    /// already conditioned (the `dc_applied` marker was stamped before
+    /// the transport) — i.e. writer-side pushdown actually ran, as
+    /// opposed to the reader's local fallback copy.
+    pub fn arrived_conditioned(&self, w: usize, var: &str) -> bool {
+        self.wire_conditioned.contains(&(w, var.to_string()))
     }
 
     fn install_local(&mut self, specs: &[PluginSpec]) {
@@ -478,11 +499,17 @@ impl StreamReader {
         // writer-side plug-in (exactly-once conditioning across handover).
         let already_conditioned =
             extras.iter().any(|(n, _)| n == crate::plugins::DC_APPLIED_MARKER);
+        if already_conditioned {
+            // The writer's plug-in ran before the chunk crossed the
+            // transport — record that so consumers (the query counters)
+            // can distinguish true pushdown from local fallback.
+            self.wire_conditioned.insert((w, var.clone()));
+        }
         if matches!(value, VarValue::Block(_)) && !already_conditioned {
             if let Some(plugin) = self.installed.get(&var).or_else(|| self.fallback.get(&var)) {
-                // Plug-ins run over owned element storage; materialize the
-                // wire view (one bulk conversion) only when one is installed.
-                value.make_owned();
+                // The plug-in decodes a packed wire view itself (one bulk
+                // conversion); a rejected chunk stays as-is, so read-only
+                // consumers keep borrowing the shared receive buffer.
                 let monitor = self.link.monitor.clone();
                 let applied = monitor.timed(
                     MonitorEvent::PluginExec,
@@ -972,6 +999,7 @@ impl ReadEngine for StreamReader {
     fn end_step(&mut self) {
         assert!(self.current_step.take().is_some(), "end_step without begin_step");
         self.store.clear();
+        self.wire_conditioned.clear();
     }
 
     fn close(&mut self) {

@@ -35,6 +35,10 @@ fn event_from_name(name: &str) -> Option<MonitorEvent> {
         "sync_wait" => MonitorEvent::SyncWait,
         "pubsub_deliver" => MonitorEvent::PubSubDeliver,
         "pubsub_spill" => MonitorEvent::PubSubSpill,
+        "query_rows_in" => MonitorEvent::QueryRowsIn,
+        "query_rows_out" => MonitorEvent::QueryRowsOut,
+        "query_bytes_pushed" => MonitorEvent::QueryBytesPushed,
+        "query_bytes_saved" => MonitorEvent::QueryBytesSaved,
         _ => return None,
     })
 }
@@ -91,6 +95,10 @@ impl MonitorRelay {
             MonitorEvent::SyncWait => "sync_wait",
             MonitorEvent::PubSubDeliver => "pubsub_deliver",
             MonitorEvent::PubSubSpill => "pubsub_spill",
+            MonitorEvent::QueryRowsIn => "query_rows_in",
+            MonitorEvent::QueryRowsOut => "query_rows_out",
+            MonitorEvent::QueryBytesPushed => "query_bytes_pushed",
+            MonitorEvent::QueryBytesSaved => "query_bytes_saved",
         };
         let record = Record::new()
             .with("seq", FieldValue::U64(self.sent))

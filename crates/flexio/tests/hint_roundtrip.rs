@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use adios::IoConfig;
 use flexio::{
-    CachingLevel, DirectoryConfig, HintKey, PubSubConfig, Qos, Runtime, StreamHints, Transport,
-    WriteMode,
+    CachingLevel, DirectoryConfig, HintKey, PubSubConfig, Qos, QueryConfig, Runtime, StreamHints,
+    Transport, WriteMode,
 };
 
 /// The non-default value each key is set to in the round-trip config.
@@ -50,6 +50,10 @@ fn nondefault_value(key: HintKey) -> &'static str {
         HintKey::PubsubReplaySteps => "3",
         HintKey::PubsubSpillDir => "/tmp/flexio-pubsub-hint",
         HintKey::PubsubQos => "latest",
+        HintKey::QueryPushdown => "false",
+        HintKey::QueryWindowSteps => "4",
+        HintKey::QueryMaxRows => "99",
+        HintKey::QueryOracle => "true",
     }
 }
 
@@ -102,6 +106,12 @@ fn every_hint_key_round_trips_through_xml() {
     assert_eq!(p.spill_dir.as_deref(), Some(Path::new("/tmp/flexio-pubsub-hint")));
     assert_eq!(p.qos, Qos::LatestOnly);
 
+    let q = QueryConfig::from_config(group);
+    assert!(!q.pushdown, "query.pushdown hint must be parsed");
+    assert_eq!(q.window_steps, 4);
+    assert_eq!(q.max_rows, 99);
+    assert!(q.oracle, "query.oracle hint must be parsed");
+
     // Each asserted value differs from the default, so a silently
     // ignored key cannot pass by accident.
     let defaults = StreamHints::default();
@@ -130,6 +140,11 @@ fn every_hint_key_round_trips_through_xml() {
     assert_ne!(p.replay_steps, pdef.replay_steps);
     assert_ne!(p.spill_dir, pdef.spill_dir);
     assert_ne!(p.qos, pdef.qos);
+    let qdef = QueryConfig::default();
+    assert_ne!(q.pushdown, qdef.pushdown);
+    assert_ne!(q.window_steps, qdef.window_steps);
+    assert_ne!(q.max_rows, qdef.max_rows);
+    assert_ne!(q.oracle, qdef.oracle);
 }
 
 #[test]

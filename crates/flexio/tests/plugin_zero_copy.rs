@@ -1,0 +1,176 @@
+//! Zero-copy read path through the stream reader.
+//!
+//! Regression fence for the eager-normalization bug: the reader used to
+//! call `make_owned()` on every stored chunk before checking whether any
+//! plug-in applied, which copied every payload out of the shared receive
+//! buffer even for read-only consumers. After the fix, a chunk with no
+//! applicable plug-in stays a packed view borrowing the receive buffer,
+//! and the query executor consumes it without a payload-sized
+//! allocation (same counting-allocator pattern as evpath's
+//! `zero_copy.rs`).
+
+mod common;
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use adios::{ReadEngine, Selection, StepStatus, VarValue, WriteEngine};
+use common::{block_1d, couple};
+use flexio::query::{AggFunc, Plan};
+use flexio::StreamHints;
+use flexio_query::{ChunkView, Executor};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static THRESHOLD: AtomicUsize = AtomicUsize::new(usize::MAX);
+static LARGE_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) && layout.size() >= THRESHOLD.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) && new_size >= THRESHOLD.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn count_large_allocs<R>(threshold: usize, f: impl FnOnce() -> R) -> (usize, R) {
+    THRESHOLD.store(threshold, Ordering::SeqCst);
+    LARGE_ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (LARGE_ALLOCS.load(Ordering::SeqCst), out)
+}
+
+/// 128 KiB payload: far above the wire format's zero-copy threshold, so
+/// any hidden payload copy is a >= `PAYLOAD_BYTES` allocation.
+const ELEMS: usize = 16 * 1024;
+const PAYLOAD_BYTES: usize = ELEMS * 8;
+const STEPS: u64 = 3;
+
+#[test]
+fn unconditioned_chunks_stay_packed_and_aggregate_without_payload_allocs() {
+    let (_w, reads) = couple(
+        1,
+        1,
+        StreamHints::default(),
+        |mut w, _rank| {
+            for step in 0..STEPS {
+                w.begin_step(step);
+                let data: Vec<f64> = (0..ELEMS).map(|i| (i as f64) + step as f64).collect();
+                w.write("field", block_1d(0, data, ELEMS as u64));
+                w.end_step();
+            }
+            w.close();
+        },
+        |mut r, _rank| {
+            r.subscribe("field", Selection::ProcessGroup(0));
+            let plan = Plan::select(&["field"]).aggregate(AggFunc::Sum, "field");
+            let mut exec = Executor::new(plan).expect("plan");
+            let mut packed_steps = 0u64;
+            let mut fed = 0u64;
+            loop {
+                match r.try_begin_step().expect("begin_step") {
+                    StepStatus::Step(step) => {
+                        {
+                            let stored = r.stored(0, "field").expect("chunk stored");
+                            let VarValue::Block(b) = &stored[0] else { panic!("block expected") };
+                            if b.data.is_packed() {
+                                packed_steps += 1;
+                            }
+                            let chunk = ChunkView::raw(vec![&b.data]);
+                            if fed == 0 {
+                                // First step warms the executor's reusable
+                                // scratch; afterwards consumption must not
+                                // touch a payload-sized buffer again.
+                                exec.feed_step(step, &[chunk]);
+                            } else {
+                                let (large, _) = count_large_allocs(PAYLOAD_BYTES, || {
+                                    exec.feed_step(step, &[chunk])
+                                });
+                                assert_eq!(
+                                    large, 0,
+                                    "aggregating a stored packed chunk allocated {large} \
+                                     payload-sized buffer(s); expected a zero-copy read"
+                                );
+                            }
+                            fed += 1;
+                        }
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            let flexio_query::QueryOutput::Aggregates(rows) = exec.finish() else {
+                panic!("aggregate plan yields aggregates")
+            };
+            assert_eq!(rows.len(), 1, "one growing window");
+            (packed_steps, fed, rows[0].value)
+        },
+    );
+    let (packed_steps, fed, total) = reads[0];
+    assert_eq!(fed, STEPS);
+    assert_eq!(
+        packed_steps, STEPS,
+        "large unconditioned chunks must stay packed views into the receive buffer \
+         (eager make_owned() normalization crept back into the store path)"
+    );
+    // And the aggregate over the packed views is the right answer: per
+    // step sum = sum(0..ELEMS) + ELEMS*step.
+    let base: f64 = (0..ELEMS).map(|i| i as f64).sum();
+    let expect: f64 = (0..STEPS).map(|s| base + ELEMS as f64 * s as f64).sum();
+    assert_eq!(total, expect);
+}
+
+#[test]
+fn materializing_read_still_returns_owned_values() {
+    // The zero-copy store must not change what the application-facing
+    // `read()` API returns.
+    let (_w, reads) = couple(
+        1,
+        1,
+        StreamHints::default(),
+        |mut w, _rank| {
+            w.begin_step(0);
+            let data: Vec<f64> = (0..ELEMS).map(|i| i as f64 * 0.5).collect();
+            w.write("field", block_1d(0, data, ELEMS as u64));
+            w.end_step();
+            w.close();
+        },
+        |mut r, _rank| {
+            r.subscribe("field", Selection::ProcessGroup(0));
+            let mut got = Vec::new();
+            loop {
+                match r.try_begin_step().expect("begin_step") {
+                    StepStatus::Step(_) => {
+                        let v = r.read("field", &Selection::ProcessGroup(0)).expect("read");
+                        let VarValue::Block(b) = v else { panic!("block expected") };
+                        assert!(!b.data.is_packed(), "read() materializes for the application");
+                        got = b.data.as_f64().to_vec();
+                        r.end_step();
+                    }
+                    StepStatus::EndOfStream => break,
+                }
+            }
+            got
+        },
+    );
+    assert_eq!(reads[0].len(), ELEMS);
+    assert_eq!(reads[0][2], 1.0);
+}

@@ -1,0 +1,547 @@
+//! Vectorized plan executor.
+//!
+//! Operators consume [`ArrayData`] chunk views directly — packed
+//! zero-copy receive-buffer windows included — with per-dtype
+//! monomorphic inner loops over the LE byte windows. No `make_owned()`
+//! materialization happens on the read path: widening, masking and
+//! gathering all read straight out of the shared buffer.
+//!
+//! Bit-exactness contract: every arithmetic step (widening to `f64`,
+//! predicate evaluation, sequential aggregation in feed order) matches
+//! the naive row-at-a-time oracle in [`crate::naive`] operation for
+//! operation, so outputs digest identically.
+
+use crate::expr::{CmpOp, Op, Program, MAX_DEPTH};
+use crate::plan::{AggFunc, AggRow, Plan, PlanError, QueryOutput, StepRows};
+use adios::ArrayData;
+use evpath::ffs::PackedDtype;
+
+/// One writer's chunk for one step: columns aligned with the plan's
+/// selected variables (`plan.vars` order).
+pub struct ChunkView<'a> {
+    /// One entry per plan variable, in plan order.
+    pub columns: Vec<&'a ArrayData>,
+    /// True when the writer-side pushdown codelet already applied the
+    /// plan's filter (the chunk arrived conditioned); the executor then
+    /// skips re-filtering and trusts `rows_in` for the pre-filter count.
+    pub pre_filtered: bool,
+    /// Rows entering the filter: the original element count before any
+    /// writer-side filtering.
+    pub rows_in: u64,
+}
+
+impl<'a> ChunkView<'a> {
+    /// An unconditioned chunk: the filter (if any) runs reader-side.
+    pub fn raw(columns: Vec<&'a ArrayData>) -> ChunkView<'a> {
+        let rows = columns.first().map_or(0, |c| c.len() as u64);
+        ChunkView { columns, pre_filtered: false, rows_in: rows }
+    }
+
+    /// A chunk the writer-side codelet already filtered; `rows_in` is
+    /// the pre-filter element count reported by the codelet.
+    pub fn conditioned(columns: Vec<&'a ArrayData>, rows_in: u64) -> ChunkView<'a> {
+        ChunkView { columns, pre_filtered: true, rows_in }
+    }
+
+    fn len(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+}
+
+/// Per-step throughput stats, fed into the query counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Rows entering the filter (writer-side original counts).
+    pub rows_in: u64,
+    /// Rows surviving into the output/aggregate.
+    pub rows_out: u64,
+}
+
+// ---------------------------------------------------------------- columns
+
+/// A typed, borrow-only view over one column's elements. Packed
+/// variants read the LE wire bytes in place.
+enum ColView<'a> {
+    F64(&'a [f64]),
+    U64(&'a [u64]),
+    I64(&'a [i64]),
+    U8(&'a [u8]),
+    PackedF64(&'a [u8]),
+    PackedU64(&'a [u8]),
+    PackedI64(&'a [u8]),
+    PackedU8(&'a [u8]),
+}
+
+impl<'a> ColView<'a> {
+    fn of(data: &'a ArrayData) -> ColView<'a> {
+        match data {
+            ArrayData::F64(v) => ColView::F64(v),
+            ArrayData::U64(v) => ColView::U64(v),
+            ArrayData::I64(v) => ColView::I64(v),
+            ArrayData::U8(v) => ColView::U8(v),
+            ArrayData::Packed(p) => match p.dtype() {
+                PackedDtype::F64 => ColView::PackedF64(p.bytes()),
+                PackedDtype::U64 => ColView::PackedU64(p.bytes()),
+                PackedDtype::I64 => ColView::PackedI64(p.bytes()),
+                PackedDtype::U8 => ColView::PackedU8(p.bytes()),
+            },
+        }
+    }
+
+    /// Bulk-widen every element to `f64` into `out` (cleared first).
+    /// Each arm is a monomorphic loop the compiler can vectorize; the
+    /// packed arms decode straight from the LE wire bytes.
+    fn widen_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        match self {
+            ColView::F64(v) => out.extend_from_slice(v),
+            ColView::U64(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColView::I64(v) => out.extend(v.iter().map(|&x| x as f64)),
+            ColView::U8(v) => out.extend(v.iter().map(|&x| f64::from(x))),
+            ColView::PackedF64(b) => {
+                out.extend(b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())))
+            }
+            ColView::PackedU64(b) => out.extend(
+                b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap()) as f64),
+            ),
+            ColView::PackedI64(b) => out.extend(
+                b.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().unwrap()) as f64),
+            ),
+            ColView::PackedU8(b) => out.extend(b.iter().map(|&x| f64::from(x))),
+        }
+    }
+
+    fn fresh_output(&self) -> ArrayData {
+        match self {
+            ColView::F64(_) | ColView::PackedF64(_) => ArrayData::F64(Vec::new()),
+            ColView::U64(_) | ColView::PackedU64(_) => ArrayData::U64(Vec::new()),
+            ColView::I64(_) | ColView::PackedI64(_) => ArrayData::I64(Vec::new()),
+            ColView::U8(_) | ColView::PackedU8(_) => ArrayData::U8(Vec::new()),
+        }
+    }
+
+    /// Append rows where `mask` is set (all rows when `mask` is `None`)
+    /// into `out`, stopping when `budget` (if any) runs out. Returns
+    /// the number of rows appended. Per-dtype gather loops; the packed
+    /// arms decode each kept element from the wire bytes.
+    fn gather_into(
+        &self,
+        mask: Option<&[bool]>,
+        out: &mut ArrayData,
+        budget: &mut Option<u64>,
+    ) -> u64 {
+        #[inline]
+        fn keep(mask: Option<&[bool]>, i: usize) -> bool {
+            mask.is_none_or(|m| m[i])
+        }
+        #[inline]
+        fn take(budget: &mut Option<u64>) -> bool {
+            match budget {
+                None => true,
+                Some(0) => false,
+                Some(b) => {
+                    *b -= 1;
+                    true
+                }
+            }
+        }
+        let mut appended = 0u64;
+        macro_rules! gather_owned {
+            ($src:expr, $dst:expr) => {{
+                for (i, &x) in $src.iter().enumerate() {
+                    if keep(mask, i) {
+                        if !take(budget) {
+                            break;
+                        }
+                        $dst.push(x);
+                        appended += 1;
+                    }
+                }
+            }};
+        }
+        macro_rules! gather_packed {
+            ($bytes:expr, $dst:expr, $ty:ty) => {{
+                for (i, c) in $bytes.chunks_exact(8).enumerate() {
+                    if keep(mask, i) {
+                        if !take(budget) {
+                            break;
+                        }
+                        $dst.push(<$ty>::from_le_bytes(c.try_into().unwrap()));
+                        appended += 1;
+                    }
+                }
+            }};
+        }
+        match (self, out) {
+            (ColView::F64(s), ArrayData::F64(d)) => gather_owned!(s, d),
+            (ColView::U64(s), ArrayData::U64(d)) => gather_owned!(s, d),
+            (ColView::I64(s), ArrayData::I64(d)) => gather_owned!(s, d),
+            (ColView::U8(s), ArrayData::U8(d)) => gather_owned!(s, d),
+            (ColView::PackedF64(s), ArrayData::F64(d)) => gather_packed!(s, d, f64),
+            (ColView::PackedU64(s), ArrayData::U64(d)) => gather_packed!(s, d, u64),
+            (ColView::PackedI64(s), ArrayData::I64(d)) => gather_packed!(s, d, i64),
+            (ColView::PackedU8(s), ArrayData::U8(d)) => gather_owned!(s, d),
+            _ => panic!("column dtype changed between chunks of the same variable"),
+        }
+        appended
+    }
+}
+
+// --------------------------------------------------------------- aggregate
+
+/// Sequential aggregate accumulator. `accumulate` is called once per
+/// surviving row in feed order — the same order the naive oracle uses —
+/// so `f64` results are bit-identical between the two executors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AggState {
+    func: AggFunc,
+    sum: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
+        AggState { func, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+    }
+
+    #[inline]
+    pub(crate) fn accumulate(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    pub(crate) fn rows(&self) -> u64 {
+        self.count
+    }
+
+    /// The aggregate value; empty windows report `0.0` (and `count`
+    /// reports `0`), never a NaN or an infinity.
+    pub(crate) fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        match self.func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+            AggFunc::Mean => self.sum / self.count as f64,
+            AggFunc::Count => self.count as f64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- executor
+
+/// Shared window bookkeeping (identical in both executors by
+/// construction: the window boundary rule is pure arithmetic on step
+/// numbers).
+pub(crate) fn window_bounds(step: u64, window_steps: u64, first_step: u64) -> (u64, u64) {
+    match step.checked_div(window_steps) {
+        // window_steps == 0: one window spanning the whole stream,
+        // bounds growing with input.
+        None => (first_step, step),
+        Some(idx) => (idx * window_steps, (idx + 1) * window_steps - 1),
+    }
+}
+
+/// The vectorized executor: feed one step at a time, then [`Executor::finish`].
+pub struct Executor {
+    plan: Plan,
+    program: Option<Program>,
+    /// Column indexes the filter actually references (only these get
+    /// widened into scratch buffers).
+    referenced: Vec<usize>,
+    agg: Option<(AggState, usize)>,
+    rows: Vec<StepRows>,
+    row_budget: Option<u64>,
+    windows: Vec<AggRow>,
+    current_window: Option<(u64, u64)>,
+    first_step: Option<u64>,
+    last_step: u64,
+    // Reused scratch buffers, one widened f64 vector per plan column.
+    scratch: Vec<Vec<f64>>,
+    mask: Vec<bool>,
+}
+
+impl Executor {
+    /// Validate the plan and build the executor.
+    pub fn new(plan: Plan) -> Result<Executor, PlanError> {
+        plan.validate()?;
+        let program = plan.filter.as_ref().map(|f| Program::compile(f, &plan.vars));
+        let referenced = plan
+            .filter
+            .as_ref()
+            .map(|f| {
+                f.columns()
+                    .iter()
+                    .map(|c| plan.vars.iter().position(|v| v == c).expect("validated"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let agg = plan.agg.as_ref().map(|(func, col)| {
+            let idx = plan.vars.iter().position(|v| v == col).expect("validated");
+            (AggState::new(*func), idx)
+        });
+        let row_budget =
+            if plan.max_rows > 0 && agg.is_none() { Some(plan.max_rows) } else { None };
+        let ncols = plan.vars.len();
+        Ok(Executor {
+            plan,
+            program,
+            referenced,
+            agg,
+            rows: Vec::new(),
+            row_budget,
+            windows: Vec::new(),
+            current_window: None,
+            first_step: None,
+            last_step: 0,
+            scratch: (0..ncols).map(|_| Vec::new()).collect(),
+            mask: Vec::new(),
+        })
+    }
+
+    /// The validated plan this executor runs.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Feed one step's chunks (all writers, in writer order). Steps
+    /// must be fed in nondecreasing order.
+    pub fn feed_step(&mut self, step: u64, chunks: &[ChunkView<'_>]) -> StepStats {
+        self.roll_window(step);
+        let mut stats = StepStats::default();
+        let mut step_cols: Option<Vec<(String, ArrayData)>> = None;
+        for chunk in chunks {
+            debug_assert_eq!(chunk.columns.len(), self.plan.vars.len(), "chunk/plan arity");
+            let n = chunk.len();
+            stats.rows_in += chunk.rows_in;
+            let views: Vec<ColView<'_>> = chunk.columns.iter().map(|c| ColView::of(c)).collect();
+
+            // Build the survivor mask (None = all rows pass).
+            let use_mask = if chunk.pre_filtered || self.program.is_none() {
+                false
+            } else {
+                self.build_mask(&views, n);
+                true
+            };
+            let mask = use_mask.then(|| &self.mask[..n]);
+
+            if let Some((state, agg_idx)) = &mut self.agg {
+                // Aggregate mode: sequential accumulation over the
+                // widened aggregate column, feed order preserved.
+                let idx = *agg_idx;
+                let (head, tail) = self.scratch.split_at_mut(idx + 1);
+                let buf = &mut head[idx];
+                let _ = tail;
+                views[idx].widen_into(buf);
+                match mask {
+                    None => {
+                        for &v in buf.iter() {
+                            state.accumulate(v);
+                        }
+                        stats.rows_out += n as u64;
+                    }
+                    Some(m) => {
+                        for (i, &v) in buf.iter().enumerate() {
+                            if m[i] {
+                                state.accumulate(v);
+                                stats.rows_out += 1;
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Row mode: per-dtype gather of every selected column.
+                let cols = step_cols.get_or_insert_with(|| {
+                    self.plan
+                        .vars
+                        .iter()
+                        .zip(&views)
+                        .map(|(name, v)| (name.clone(), v.fresh_output()))
+                        .collect()
+                });
+                // All columns must gather the same rows: snapshot the
+                // budget and apply the per-column outcome once.
+                let budget_before = self.row_budget;
+                let mut appended = 0;
+                for (ci, view) in views.iter().enumerate() {
+                    let mut b = budget_before;
+                    appended = view.gather_into(mask, &mut cols[ci].1, &mut b);
+                    if ci + 1 == views.len() {
+                        self.row_budget = b;
+                    }
+                }
+                stats.rows_out += appended;
+            }
+        }
+        if let Some(cols) = step_cols {
+            self.rows.push(StepRows { step, columns: cols });
+        }
+        stats
+    }
+
+    /// Flush the last window and return the output.
+    pub fn finish(mut self) -> QueryOutput {
+        if self.agg.is_some() {
+            self.flush_window();
+            QueryOutput::Aggregates(std::mem::take(&mut self.windows))
+        } else {
+            QueryOutput::Rows(std::mem::take(&mut self.rows))
+        }
+    }
+
+    fn build_mask(&mut self, views: &[ColView<'_>], n: usize) {
+        let program = self.program.as_ref().expect("caller checked");
+        for &ci in &self.referenced {
+            views[ci].widen_into(&mut self.scratch[ci]);
+        }
+        self.mask.clear();
+        self.mask.resize(n, false);
+        // Fast path: the ubiquitous `col <op> literal` shape becomes a
+        // single monomorphic compare loop per operator.
+        if let [Op::PushCol(ci), Op::PushLit(lit), Op::Cmp(op)] = program.ops[..] {
+            let col = &self.scratch[ci];
+            macro_rules! cmp_loop {
+                ($op:tt) => {
+                    for i in 0..n {
+                        self.mask[i] = col[i] $op lit;
+                    }
+                };
+            }
+            match op {
+                CmpOp::Lt => cmp_loop!(<),
+                CmpOp::Le => cmp_loop!(<=),
+                CmpOp::Gt => cmp_loop!(>),
+                CmpOp::Ge => cmp_loop!(>=),
+                CmpOp::Eq => cmp_loop!(==),
+                CmpOp::Ne => cmp_loop!(!=),
+            }
+            return;
+        }
+        // General path: evaluate the compiled program row by row over
+        // the widened scratch columns.
+        let mut row = vec![0.0f64; self.plan.vars.len().max(1)];
+        debug_assert!(program.depth() <= MAX_DEPTH);
+        for i in 0..n {
+            for &ci in &self.referenced {
+                row[ci] = self.scratch[ci][i];
+            }
+            self.mask[i] = program.eval_bool(&row);
+        }
+    }
+
+    fn roll_window(&mut self, step: u64) {
+        self.last_step = step;
+        if self.first_step.is_none() {
+            self.first_step = Some(step);
+        }
+        if self.agg.is_none() {
+            return;
+        }
+        let bounds = window_bounds(step, self.plan.window_steps, self.first_step.unwrap());
+        match self.current_window {
+            None => self.current_window = Some(bounds),
+            Some(cur) if self.plan.window_steps > 0 && bounds.0 != cur.0 => {
+                self.flush_window();
+                self.current_window = Some(bounds);
+            }
+            Some(_) if self.plan.window_steps == 0 => {
+                // The whole-stream window's end tracks the last step.
+                self.current_window = Some((self.first_step.unwrap(), step));
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn flush_window(&mut self) {
+        let Some((state, idx)) = &mut self.agg else { return };
+        let Some((start, end)) = self.current_window.take() else { return };
+        self.windows.push(AggRow {
+            window_start: start,
+            window_end: end,
+            rows: state.rows(),
+            value: state.value(),
+        });
+        let func = state.func;
+        *state = AggState::new(func);
+        let _ = idx;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn f64s(v: &[f64]) -> ArrayData {
+        ArrayData::F64(v.to_vec())
+    }
+
+    #[test]
+    fn filter_and_gather_rows() {
+        let plan = Plan::select(&["v"]).filter(Expr::col("v").lt(Expr::lit(3.0)));
+        let mut ex = Executor::new(plan).unwrap();
+        let data = f64s(&[1.0, 5.0, 2.0, 9.0, 0.5]);
+        let stats = ex.feed_step(0, &[ChunkView::raw(vec![&data])]);
+        assert_eq!(stats, StepStats { rows_in: 5, rows_out: 3 });
+        let QueryOutput::Rows(steps) = ex.finish() else { panic!() };
+        assert_eq!(steps.len(), 1);
+        assert_eq!(steps[0].columns[0].1, f64s(&[1.0, 2.0, 0.5]));
+    }
+
+    #[test]
+    fn pre_filtered_chunks_skip_refiltering() {
+        let plan = Plan::select(&["v"]).filter(Expr::col("v").lt(Expr::lit(3.0)));
+        let mut ex = Executor::new(plan).unwrap();
+        // Writer already filtered: 2 survivors out of 10 original rows.
+        let data = f64s(&[1.0, 2.0]);
+        let stats = ex.feed_step(0, &[ChunkView::conditioned(vec![&data], 10)]);
+        assert_eq!(stats, StepStats { rows_in: 10, rows_out: 2 });
+    }
+
+    #[test]
+    fn windowed_mean() {
+        let plan = Plan::select(&["v"]).aggregate(AggFunc::Mean, "v").window(2);
+        let mut ex = Executor::new(plan).unwrap();
+        for step in 0..4u64 {
+            let data = f64s(&[step as f64, step as f64 + 1.0]);
+            ex.feed_step(step, &[ChunkView::raw(vec![&data])]);
+        }
+        let QueryOutput::Aggregates(rows) = ex.finish() else { panic!() };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], AggRow { window_start: 0, window_end: 1, rows: 4, value: 1.0 });
+        assert_eq!(rows[1], AggRow { window_start: 2, window_end: 3, rows: 4, value: 3.0 });
+    }
+
+    #[test]
+    fn row_limit_caps_output() {
+        let plan = Plan::select(&["v"]).limit(3);
+        let mut ex = Executor::new(plan).unwrap();
+        let data = f64s(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let stats = ex.feed_step(0, &[ChunkView::raw(vec![&data])]);
+        assert_eq!(stats.rows_out, 3);
+        let QueryOutput::Rows(steps) = ex.finish() else { panic!() };
+        assert_eq!(steps[0].columns[0].1, f64s(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn mixed_dtypes_and_multi_column() {
+        let plan = Plan::select(&["k", "v"]).filter(Expr::col("k").ge(Expr::lit(2.0)));
+        let mut ex = Executor::new(plan).unwrap();
+        let keys = ArrayData::U64(vec![0, 1, 2, 3]);
+        let vals = f64s(&[10.0, 11.0, 12.0, 13.0]);
+        ex.feed_step(0, &[ChunkView::raw(vec![&keys, &vals])]);
+        let QueryOutput::Rows(steps) = ex.finish() else { panic!() };
+        assert_eq!(steps[0].columns[0].1, ArrayData::U64(vec![2, 3]));
+        assert_eq!(steps[0].columns[1].1, f64s(&[12.0, 13.0]));
+    }
+}

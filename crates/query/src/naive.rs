@@ -1,0 +1,279 @@
+//! Naive row-at-a-time oracle.
+//!
+//! A deliberately simple, independent evaluator: it walks the
+//! expression AST recursively for every row, appends survivors one
+//! element at a time and accumulates aggregates with its own scalar
+//! accumulator. Every `f64` operation (widening casts, IEEE
+//! arithmetic, comparison order, sequential accumulation) is specified
+//! identically to the vectorized executor, so the two must produce
+//! bit-identical [`QueryOutput`]s — that equivalence is the
+//! differential-testing contract enforced in CI and (optionally) at
+//! query runtime via `query.oracle`.
+
+use crate::exec::{window_bounds, ChunkView, StepStats};
+use crate::expr::Expr;
+use crate::plan::{AggFunc, AggRow, Plan, PlanError, QueryOutput, StepRows};
+use adios::ArrayData;
+use evpath::ffs::PackedDtype;
+
+/// Widen one element to `f64` — the same casts the vectorized widening
+/// loops perform, applied per row.
+fn value_at(data: &ArrayData, i: usize) -> f64 {
+    match data {
+        ArrayData::F64(v) => v[i],
+        ArrayData::U64(v) => v[i] as f64,
+        ArrayData::I64(v) => v[i] as f64,
+        ArrayData::U8(v) => f64::from(v[i]),
+        ArrayData::Packed(p) => match p.dtype() {
+            PackedDtype::F64 => p.f64_at(i),
+            PackedDtype::U64 => p.u64_at(i) as f64,
+            PackedDtype::I64 => p.i64_at(i) as f64,
+            PackedDtype::U8 => f64::from(p.bytes()[i]),
+        },
+    }
+}
+
+/// Append row `i` of `src` onto `out`, preserving the native dtype
+/// (and, for `f64`, the exact payload bits).
+fn append_at(out: &mut ArrayData, src: &ArrayData, i: usize) {
+    match (out, src) {
+        (ArrayData::F64(d), ArrayData::F64(s)) => d.push(s[i]),
+        (ArrayData::U64(d), ArrayData::U64(s)) => d.push(s[i]),
+        (ArrayData::I64(d), ArrayData::I64(s)) => d.push(s[i]),
+        (ArrayData::U8(d), ArrayData::U8(s)) => d.push(s[i]),
+        (ArrayData::F64(d), ArrayData::Packed(p)) => d.push(p.f64_at(i)),
+        (ArrayData::U64(d), ArrayData::Packed(p)) => d.push(p.u64_at(i)),
+        (ArrayData::I64(d), ArrayData::Packed(p)) => d.push(p.i64_at(i)),
+        (ArrayData::U8(d), ArrayData::Packed(p)) => d.push(p.bytes()[i]),
+        _ => panic!("column dtype changed between chunks of the same variable"),
+    }
+}
+
+fn fresh_output(src: &ArrayData) -> ArrayData {
+    match src {
+        ArrayData::F64(_) => ArrayData::F64(Vec::new()),
+        ArrayData::U64(_) => ArrayData::U64(Vec::new()),
+        ArrayData::I64(_) => ArrayData::I64(Vec::new()),
+        ArrayData::U8(_) => ArrayData::U8(Vec::new()),
+        ArrayData::Packed(p) => match p.dtype() {
+            PackedDtype::F64 => ArrayData::F64(Vec::new()),
+            PackedDtype::U64 => ArrayData::U64(Vec::new()),
+            PackedDtype::I64 => ArrayData::I64(Vec::new()),
+            PackedDtype::U8 => ArrayData::U8(Vec::new()),
+        },
+    }
+}
+
+/// Recursive AST evaluation over one row. Numeric nodes return the
+/// value, boolean nodes `1.0`/`0.0` — same untagged convention as the
+/// compiled program, same operation order (left before right).
+fn eval(expr: &Expr, plan: &Plan, chunk: &ChunkView<'_>, row: usize) -> f64 {
+    match expr {
+        Expr::Col(name) => {
+            let ci = plan.vars.iter().position(|v| v == name).expect("validated");
+            value_at(chunk.columns[ci], row)
+        }
+        Expr::Lit(v) => *v,
+        Expr::Bin(op, a, b) => op.apply(eval(a, plan, chunk, row), eval(b, plan, chunk, row)),
+        Expr::Cmp(op, a, b) => {
+            f64::from(op.apply(eval(a, plan, chunk, row), eval(b, plan, chunk, row)))
+        }
+        Expr::And(a, b) => {
+            f64::from(eval(a, plan, chunk, row) != 0.0 && eval(b, plan, chunk, row) != 0.0)
+        }
+        Expr::Or(a, b) => {
+            f64::from(eval(a, plan, chunk, row) != 0.0 || eval(b, plan, chunk, row) != 0.0)
+        }
+        Expr::Not(a) => f64::from(eval(a, plan, chunk, row) == 0.0),
+    }
+}
+
+/// Independent scalar accumulator (same operations, same order as the
+/// vectorized one — written separately on purpose).
+struct NaiveAgg {
+    func: AggFunc,
+    sum: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl NaiveAgg {
+    fn new(func: AggFunc) -> NaiveAgg {
+        NaiveAgg { func, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, count: 0 }
+    }
+
+    fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        match self.func {
+            AggFunc::Sum => self.sum,
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+            AggFunc::Mean => self.sum / self.count as f64,
+            AggFunc::Count => self.count as f64,
+        }
+    }
+}
+
+/// The oracle executor; same API shape as [`crate::Executor`].
+pub struct NaiveExecutor {
+    plan: Plan,
+    agg: Option<NaiveAgg>,
+    rows: Vec<StepRows>,
+    remaining: Option<u64>,
+    windows: Vec<AggRow>,
+    current_window: Option<(u64, u64)>,
+    first_step: Option<u64>,
+}
+
+impl NaiveExecutor {
+    pub fn new(plan: Plan) -> Result<NaiveExecutor, PlanError> {
+        plan.validate()?;
+        let agg = plan.agg.as_ref().map(|(f, _)| NaiveAgg::new(*f));
+        let remaining = if plan.max_rows > 0 && agg.is_none() { Some(plan.max_rows) } else { None };
+        Ok(NaiveExecutor {
+            plan,
+            agg,
+            rows: Vec::new(),
+            remaining,
+            windows: Vec::new(),
+            current_window: None,
+            first_step: None,
+        })
+    }
+
+    pub fn feed_step(&mut self, step: u64, chunks: &[ChunkView<'_>]) -> StepStats {
+        self.roll_window(step);
+        let mut stats = StepStats::default();
+        let mut step_cols: Option<Vec<(String, ArrayData)>> = None;
+        let agg_idx = self
+            .plan
+            .agg
+            .as_ref()
+            .map(|(_, col)| self.plan.vars.iter().position(|v| v == col).expect("validated"));
+        for chunk in chunks {
+            let n = chunk.columns.first().map_or(0, |c| c.len());
+            stats.rows_in += chunk.rows_in;
+            if self.agg.is_none() && step_cols.is_none() {
+                step_cols = Some(
+                    self.plan
+                        .vars
+                        .iter()
+                        .zip(&chunk.columns)
+                        .map(|(name, src)| (name.clone(), fresh_output(src)))
+                        .collect(),
+                );
+            }
+            for i in 0..n {
+                let pass = chunk.pre_filtered
+                    || self
+                        .plan
+                        .filter
+                        .as_ref()
+                        .is_none_or(|f| eval(f, &self.plan, chunk, i) != 0.0);
+                if !pass {
+                    continue;
+                }
+                if let Some(state) = &mut self.agg {
+                    state.push(value_at(chunk.columns[agg_idx.unwrap()], i));
+                    stats.rows_out += 1;
+                } else {
+                    match &mut self.remaining {
+                        Some(0) => continue,
+                        Some(r) => *r -= 1,
+                        None => {}
+                    }
+                    let cols = step_cols.as_mut().unwrap();
+                    for (ci, src) in chunk.columns.iter().enumerate() {
+                        append_at(&mut cols[ci].1, src, i);
+                    }
+                    stats.rows_out += 1;
+                }
+            }
+        }
+        if let Some(cols) = step_cols {
+            self.rows.push(StepRows { step, columns: cols });
+        }
+        stats
+    }
+
+    pub fn finish(mut self) -> QueryOutput {
+        if self.agg.is_some() {
+            self.flush_window();
+            QueryOutput::Aggregates(std::mem::take(&mut self.windows))
+        } else {
+            QueryOutput::Rows(std::mem::take(&mut self.rows))
+        }
+    }
+
+    fn roll_window(&mut self, step: u64) {
+        if self.first_step.is_none() {
+            self.first_step = Some(step);
+        }
+        if self.agg.is_none() {
+            return;
+        }
+        let bounds = window_bounds(step, self.plan.window_steps, self.first_step.unwrap());
+        match self.current_window {
+            None => self.current_window = Some(bounds),
+            Some(cur) if self.plan.window_steps > 0 && bounds.0 != cur.0 => {
+                self.flush_window();
+                self.current_window = Some(bounds);
+            }
+            Some(_) if self.plan.window_steps == 0 => {
+                self.current_window = Some((self.first_step.unwrap(), step));
+            }
+            Some(_) => {}
+        }
+    }
+
+    fn flush_window(&mut self) {
+        let Some(state) = &mut self.agg else { return };
+        let Some((start, end)) = self.current_window.take() else { return };
+        self.windows.push(AggRow {
+            window_start: start,
+            window_end: end,
+            rows: state.count,
+            value: state.value(),
+        });
+        let func = state.func;
+        *self.agg.as_mut().unwrap() = NaiveAgg::new(func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::Executor;
+
+    #[test]
+    fn naive_matches_vectorized_on_a_small_case() {
+        let plan = Plan::select(&["v"]).filter(
+            Expr::col("v")
+                .mul(Expr::lit(2.0))
+                .ge(Expr::lit(3.0))
+                .and(Expr::col("v").lt(Expr::lit(100.0))),
+        );
+        let data = ArrayData::F64(vec![0.1, 1.6, 2.0, 500.0, 1.5, -3.0]);
+        let mut vx = Executor::new(plan.clone()).unwrap();
+        let mut nx = NaiveExecutor::new(plan).unwrap();
+        let sv = vx.feed_step(0, &[ChunkView::raw(vec![&data])]);
+        let sn = nx.feed_step(0, &[ChunkView::raw(vec![&data])]);
+        assert_eq!(sv, sn);
+        assert_eq!(vx.finish().digest(), nx.finish().digest());
+    }
+}

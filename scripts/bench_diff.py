@@ -46,11 +46,18 @@ def rate_of(row):
 
 def main():
     fresh_path, threshold = sys.argv[1], float(sys.argv[2])
-    baseline = json.load(sys.stdin)
+    raw = sys.stdin.read()
     with open(fresh_path) as f:
         fresh = json.load(f)
 
     name = fresh.get("bench", fresh_path)
+    if not raw.strip():
+        # A bench present in this run but absent from the baseline is a
+        # new bench, not a regression: first runs must pass so the file
+        # can be committed and become the baseline.
+        print(f"  {name}: no baseline (new bench) — {len(fresh.get('results', []))} rows, passing")
+        sys.exit(0)
+    baseline = json.loads(raw)
     base_rows = {key_of(r): r for r in baseline.get("results", [])}
     fresh_rows = {key_of(r): r for r in fresh.get("results", [])}
 

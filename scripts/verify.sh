@@ -78,6 +78,23 @@ cargo test -q --offline -p flexio \
     >/dev/null || { echo "pubsub battery FAILED"; exit 1; }
 echo "pubsub battery ok"
 
+echo "== query battery (differential + pushdown under faults) =="
+# The vectorized executor must match the naive oracle bit-for-bit
+# (property suite in flexio-query), and writer-side pushdown must be
+# result-invisible end-to-end — including replayed under a seeded
+# dup/reorder fault storm on both single-threaded backends and the fleet.
+cargo test -q --offline -p flexio-query \
+    >/dev/null || { echo "query differential suite FAILED"; exit 1; }
+cargo test -q --offline -p flexio --test query_stream --test plugin_zero_copy \
+    >/dev/null || { echo "query stream battery FAILED"; exit 1; }
+for seed in 7 1234 99991; do
+    FLEXIO_FAULT_SEED=$seed \
+        cargo test -q --offline -p flexio --test query_stream \
+        pushdown_equivalence_survives_a_fault_storm \
+        >/dev/null || { echo "query fault replay seed $seed FAILED"; exit 1; }
+done
+echo "query battery ok"
+
 echo "== cross-process chaos battery (worker binary + kill -9) =="
 # Includes the pub/sub passes: kill -9 a subscriber mid-replay (restart
 # resumes from its durable cursor) and kill -9 the publisher (groups
@@ -102,11 +119,17 @@ PUBSUB_QUICK=1 cargo bench -q --offline -p bench --bench pubsub \
     >/dev/null || { echo "pubsub bench FAILED"; exit 1; }
 echo "pubsub bench ok ($(head -c 120 BENCH_pubsub.json)...)"
 
+echo "== query pushdown sweep (BENCH_query.json) =="
+QUERY_QUICK=1 cargo bench -q --offline -p bench --bench query \
+    >/dev/null || { echo "query bench FAILED"; exit 1; }
+echo "query bench ok ($(head -c 120 BENCH_query.json)...)"
+
 echo "== bench regression check (quick runs vs committed baselines) =="
 # Quick-mode runs are noisy (fewer steps amortize less setup), so the
 # verify gate uses a loose 50% bar; scripts/bench_diff.sh defaults to
 # 20% for full-length runs.
 ./scripts/bench_diff.sh --threshold 50 BENCH_net.json BENCH_reactor_fleet.json BENCH_pubsub.json \
+    BENCH_query.json \
     || { echo "bench regression FAILED"; exit 1; }
 
 echo "== chaos soak (10s, alternating backends) =="
