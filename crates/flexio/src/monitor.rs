@@ -16,7 +16,15 @@ use evpath::{FieldValue, Record};
 use parking_lot::Mutex;
 
 /// What a measurement point observed.
+///
+/// Non-exhaustive: new measurement points are added as the middleware
+/// grows (most recently [`MonitorEvent::StepSeal`] for the elastic
+/// controller), and downstream consumers must tolerate variants they do
+/// not know. Relay sinks forward records with unrecognised event names
+/// into the named-aggregate table (see [`PerfMonitor::record_named`])
+/// instead of dropping them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MonitorEvent {
     /// One data message sent (bytes on the wire).
     DataSend,
@@ -43,10 +51,14 @@ pub enum MonitorEvent {
     /// Payload bytes that never crossed the transport thanks to
     /// writer-side pushdown (dropped rows × element width).
     QueryBytesSaved,
+    /// A writer sealed a step. `nanos` is the gap since the previous
+    /// seal — the live estimate of the simulation's I/O interval that the
+    /// elastic controller feeds into the holistic allocation formula.
+    StepSeal,
 }
 
 impl MonitorEvent {
-    fn name(&self) -> &'static str {
+    pub(crate) fn name(&self) -> &'static str {
         match self {
             MonitorEvent::DataSend => "data_send",
             MonitorEvent::DataRecv => "data_recv",
@@ -60,6 +72,7 @@ impl MonitorEvent {
             MonitorEvent::QueryRowsOut => "query_rows_out",
             MonitorEvent::QueryBytesPushed => "query_bytes_pushed",
             MonitorEvent::QueryBytesSaved => "query_bytes_saved",
+            MonitorEvent::StepSeal => "step_seal",
         }
     }
 }
@@ -91,7 +104,11 @@ const DEFAULT_SAMPLE_CAPACITY: usize = 100_000;
 #[derive(Default)]
 struct Inner {
     samples: std::collections::VecDeque<Sample>,
-    aggregates: [Aggregate; 12],
+    aggregates: [Aggregate; 13],
+    /// Aggregates for event names this build does not know — a newer
+    /// relay publishing through an older sink. Never dropped, so the
+    /// counters survive a version skew and can be inspected by name.
+    named: Vec<(String, Aggregate)>,
     epoch: Option<Instant>,
 }
 
@@ -109,6 +126,7 @@ fn event_index(event: MonitorEvent) -> usize {
         MonitorEvent::QueryRowsOut => 9,
         MonitorEvent::QueryBytesPushed => 10,
         MonitorEvent::QueryBytesSaved => 11,
+        MonitorEvent::StepSeal => 12,
     }
 }
 
@@ -136,6 +154,42 @@ impl PerfMonitor {
             inner.samples.pop_front();
         }
         inner.samples.push_back(Sample { event, step, rank, bytes, nanos });
+    }
+
+    /// Record one event under a raw name — the forward-compatibility
+    /// path a relay sink takes when a record arrives with an event name
+    /// this build has no [`MonitorEvent`] variant for. The counters land
+    /// in a by-name aggregate table instead of being dropped.
+    pub fn record_named(&self, name: &str, bytes: u64, nanos: u64) {
+        let mut inner = self.inner.lock();
+        inner.epoch.get_or_insert_with(Instant::now);
+        let idx = match inner.named.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                inner.named.push((name.to_string(), Aggregate::default()));
+                inner.named.len() - 1
+            }
+        };
+        let agg = &mut inner.named[idx].1;
+        agg.count += 1;
+        agg.bytes += bytes;
+        agg.nanos += nanos;
+    }
+
+    /// Aggregate `(count, bytes, nanos)` for a by-name event recorded via
+    /// [`PerfMonitor::record_named`]; `None` if the name was never seen.
+    pub fn named(&self, name: &str) -> Option<(u64, u64, u64)> {
+        self.inner
+            .lock()
+            .named
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| (a.count, a.bytes, a.nanos))
+    }
+
+    /// Every by-name event this monitor has absorbed, in first-seen order.
+    pub fn named_events(&self) -> Vec<String> {
+        self.inner.lock().named.iter().map(|(n, _)| n.clone()).collect()
     }
 
     /// Time a closure and record it.
@@ -203,6 +257,22 @@ impl PerfMonitor {
         per_step.sort_by_key(|&(st, _)| st);
         per_step
     }
+
+    /// Per-step duration series for one rank over the retained sample
+    /// window — for [`MonitorEvent::StepSeal`] this is the live
+    /// inter-step interval the elastic controller converges on.
+    pub fn nanos_per_step(&self, event: MonitorEvent, rank: usize) -> Vec<(u64, u64)> {
+        let inner = self.inner.lock();
+        let mut per_step: Vec<(u64, u64)> = Vec::new();
+        for s in inner.samples.iter().filter(|s| s.event == event && s.rank == rank) {
+            match per_step.iter_mut().find(|(st, _)| *st == s.step) {
+                Some((_, n)) => *n += s.nanos,
+                None => per_step.push((s.step, s.nanos)),
+            }
+        }
+        per_step.sort_by_key(|&(st, _)| st);
+        per_step
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +312,30 @@ mod tests {
         assert_eq!(r.get_str("event"), Some("handshake"));
         assert_eq!(r.get_u64("step"), Some(5));
         assert_eq!(r.get_u64("nanos"), Some(123));
+    }
+
+    #[test]
+    fn named_aggregates_absorb_unknown_events() {
+        let m = PerfMonitor::new();
+        m.record_named("gpu_kernel", 100, 5);
+        m.record_named("gpu_kernel", 200, 7);
+        m.record_named("rdma_poll", 0, 1);
+        assert_eq!(m.named("gpu_kernel"), Some((2, 300, 12)));
+        assert_eq!(m.named("rdma_poll"), Some((1, 0, 1)));
+        assert_eq!(m.named("never_seen"), None);
+        assert_eq!(m.named_events(), vec!["gpu_kernel".to_string(), "rdma_poll".to_string()]);
+    }
+
+    #[test]
+    fn seal_interval_series() {
+        let m = PerfMonitor::new();
+        m.record(MonitorEvent::StepSeal, 0, 0, 0, 1_000);
+        m.record(MonitorEvent::StepSeal, 1, 0, 0, 2_000);
+        m.record(MonitorEvent::StepSeal, 2, 0, 0, 4_000);
+        assert_eq!(
+            m.nanos_per_step(MonitorEvent::StepSeal, 0),
+            vec![(0, 1_000), (1, 2_000), (2, 4_000)]
+        );
     }
 
     #[test]

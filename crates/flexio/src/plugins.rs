@@ -34,6 +34,14 @@ pub struct PluginSpec {
 }
 
 impl PluginSpec {
+    /// The same plug-in at a different placement — how migration call
+    /// sites (the elastic controller, tests) respell a spec without
+    /// repeating its source.
+    pub fn with_placement(mut self, placement: PluginPlacement) -> PluginSpec {
+        self.placement = placement;
+        self
+    }
+
     /// Encode for the deployment channel.
     pub fn to_record(&self) -> Record {
         Record::new()

@@ -344,11 +344,17 @@ impl QuerySession {
             steps: Mutex::new(Vec::new()),
             output: Mutex::new(None),
             done: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
             counters: Arc::clone(&self.counters),
         });
         let shared = Arc::clone(&state);
         let task = async move {
             loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    self.reader.close();
+                    *shared.output.lock() = Some(self.finish());
+                    break;
+                }
                 match self.step_rt().await {
                     Ok(Some(stats)) => shared.steps.lock().push(stats),
                     Ok(None) => {
@@ -372,10 +378,13 @@ struct TaskState {
     steps: Mutex<Vec<StepStats>>,
     output: Mutex<Option<Result<QueryOutput, StreamError>>>,
     done: AtomicBool,
+    stop: AtomicBool,
     counters: Arc<QueryCounters>,
 }
 
-/// Handle onto a spawned query task.
+/// Handle onto a spawned query task. Cloning shares the underlying
+/// state.
+#[derive(Clone)]
 pub struct QueryHandle {
     state: Arc<TaskState>,
 }
@@ -400,5 +409,39 @@ impl QueryHandle {
     /// task completes; consumes the result.
     pub fn take_output(&self) -> Option<Result<QueryOutput, StreamError>> {
         self.state.output.lock().take()
+    }
+
+    /// Ask the task to finish early: it stops consuming steps at the
+    /// next boundary and finalizes its output.
+    pub fn stop(&self) {
+        self.state.stop.store(true, Ordering::Release);
+    }
+}
+
+impl crate::task::ControlTask for QueryHandle {
+    fn kind(&self) -> &'static str {
+        "query"
+    }
+
+    fn stop(&self) {
+        QueryHandle::stop(self);
+    }
+
+    fn is_done(&self) -> bool {
+        QueryHandle::is_done(self)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        let (rows_in, rows_out, pushed, saved) = self.state.counters.snapshot();
+        vec![
+            ("rows_in", rows_in),
+            ("rows_out", rows_out),
+            ("bytes_pushed_down", pushed),
+            ("bytes_saved", saved),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }

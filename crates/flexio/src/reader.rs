@@ -66,6 +66,15 @@ pub struct StreamReader {
     /// the writer-side plug-in really ran before the transport.
     wire_conditioned: HashSet<(usize, String)>,
     eos: bool,
+    /// Elastic membership (coordinator only): the roster whose desired
+    /// member count gets announced inside each `go` broadcast.
+    elastic: Option<Arc<crate::elastic::ElasticRoster>>,
+    /// Reader ranks participating in the *next* step (coordinator only;
+    /// committed by the previous step's announcement).
+    elastic_active: usize,
+    /// Latest `(generation, active)` announcement this rank stamped into
+    /// (rank 0) or parsed from (ranks > 0) a `go`.
+    announced: Option<(u64, usize)>,
 }
 
 impl StreamReader {
@@ -117,6 +126,9 @@ impl StreamReader {
             store: HashMap::new(),
             wire_conditioned: HashSet::new(),
             eos: false,
+            elastic: None,
+            elastic_active: nranks,
+            announced: None,
         }
     }
 
@@ -144,6 +156,42 @@ impl StreamReader {
             "subscriptions are frozen after the first step unless NO_CACHING"
         );
         self.subscriptions.push(Subscription { var: var.to_string(), sel });
+    }
+
+    /// Drop every subscription (same freeze rule as [`Self::subscribe`]).
+    /// Elastic member ranks use this to re-slice their share of the
+    /// global array when the roster resizes between steps.
+    pub fn clear_subscriptions(&mut self) {
+        assert!(
+            self.steps_read == 0 || self.hints.caching == CachingLevel::NoCaching,
+            "subscriptions are frozen after the first step unless NO_CACHING"
+        );
+        self.subscriptions.clear();
+    }
+
+    /// Put this coordinator's membership under `roster` control: from
+    /// the next step on, every `go` broadcast carries the roster's
+    /// desired member count, committing membership changes exactly at
+    /// step boundaries. Requires `NO_CACHING` — elastic membership rides
+    /// the per-step re-gather/re-plan handshake — and rank 0.
+    pub fn enable_elastic(&mut self, roster: Arc<crate::elastic::ElasticRoster>) {
+        assert_eq!(self.rank, 0, "the reader coordinator owns the roster");
+        assert_eq!(
+            self.hints.caching,
+            CachingLevel::NoCaching,
+            "elastic membership requires NO_CACHING (per-step re-plan)"
+        );
+        self.elastic_active = roster.active().min(self.nranks);
+        self.elastic = Some(roster);
+    }
+
+    /// The latest `(generation, active)` roster announcement this rank
+    /// has seen — the membership in force for the *next* step. Member
+    /// ranks read this after `end_step` to learn whether they just
+    /// retired; the coordinator's step loop reads it to drive its rank
+    /// pool.
+    pub fn elastic_announcement(&self) -> Option<(u64, usize)> {
+        self.announced
     }
 
     /// Install or migrate a Data Conditioning plug-in. Reader-side
@@ -205,6 +253,14 @@ impl StreamReader {
         let hints = self.hints.clone();
         let link = Arc::clone(&self.link);
         let nranks = self.nranks;
+        // Elastic membership: `participants` are the ranks committed for
+        // *this* step (by the previous step's announcement); the roster
+        // is re-read here so this step's `go` carries the freshest
+        // desired membership for the next step.
+        let elastic = self.elastic.is_some();
+        let participants = if elastic { self.elastic_active } else { nranks };
+        let roster_note =
+            self.elastic.as_ref().map(|r| (r.generation(), r.active().clamp(1, nranks)));
 
         if self.rank != 0 {
             if need_sub_gather {
@@ -230,6 +286,9 @@ impl StreamReader {
                         let specs = decode_plugin_specs(pl)
                             .ok_or_else(|| StreamError::Corrupt("bad plugin specs".into()))?;
                         self.install_local(&specs);
+                    }
+                    if let (Some(g), Some(a)) = (go.get_u64("e_gen"), go.get_u64("e_active")) {
+                        self.announced = Some((g, a as usize));
                     }
                     Ok(Some(step))
                 }
@@ -271,7 +330,10 @@ impl StreamReader {
             };
             if protocol::kind_of(&header) == msg::EOS {
                 let coord = self.coord.as_mut().expect("rank 0 is coordinator");
-                for r in 1..nranks {
+                for r in 1..participants {
+                    if elastic && link.is_evicted(r) {
+                        continue;
+                    }
                     let tx = coord.to_ranks[r].get_or_insert_with(|| {
                         link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
                     });
@@ -320,15 +382,35 @@ impl StreamReader {
                 if need_sub_gather {
                     coord.cached_sels[0] = self.subscriptions.clone();
                     for r in 1..nranks {
+                        if r >= participants || (elastic && link.is_evicted(r)) {
+                            // Outside the committed roster (or gone for
+                            // good): contributes nothing this step.
+                            coord.cached_sels[r].clear();
+                            continue;
+                        }
                         let rx = coord.from_ranks[r].get_or_insert_with(|| {
                             link.claim_receiver(ChannelId::ReaderSide { rank: r, up: true })
                         });
-                        let m = recv_record(rx, &hints, &counters)?;
-                        let sels = m
-                            .get_record("sels")
-                            .and_then(decode_subscriptions)
-                            .ok_or_else(|| StreamError::Corrupt("bad subs".into()))?;
-                        coord.cached_sels[r] = sels;
+                        match recv_record(rx, &hints, &counters) {
+                            Ok(m) => {
+                                coord.cached_sels[r] = m
+                                    .get_record("sels")
+                                    .and_then(decode_subscriptions)
+                                    .ok_or_else(|| StreamError::Corrupt("bad subs".into()))?;
+                            }
+                            // An elastic member that never showed up
+                            // (e.g. a freshly-activated rank killed
+                            // before its first step): evict and re-plan
+                            // around it instead of failing the coupling.
+                            Err(StreamError::Timeout) if elastic => {
+                                if link.evict_reader(r) {
+                                    counters.bump(&counters.evictions);
+                                }
+                                counters.bump(&counters.degraded_steps);
+                                coord.cached_sels[r].clear();
+                            }
+                            Err(e) => return Err(e),
+                        }
                     }
                 }
                 // Reply with selections (and, on the first step, plug-ins).
@@ -351,7 +433,11 @@ impl StreamReader {
 
             // Compute and distribute the plan.
             let coord = self.coord.as_mut().expect("rank 0 is coordinator");
-            let plugin_record = plugin_dirty.then(|| encode_plugin_specs(&coord.all_plugins));
+            // Under elastic membership the plug-in registry rides every
+            // `go`: a rank activated mid-run must not miss specs that
+            // were only broadcast before it joined.
+            let plugin_record = (plugin_dirty || (elastic && !coord.all_plugins.is_empty()))
+                .then(|| encode_plugin_specs(&coord.all_plugins));
             let mut my_col = None;
             if plan_dirty {
                 let dists = writer_dists.as_ref().expect("exchange delivered dists");
@@ -363,6 +449,9 @@ impl StreamReader {
                         my_col = Some(col);
                         continue;
                     }
+                    if r >= participants || (elastic && link.is_evicted(r)) {
+                        continue;
+                    }
                     let tx = coord.to_ranks[r].get_or_insert_with(|| {
                         link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
                     });
@@ -372,17 +461,28 @@ impl StreamReader {
                     if let Some(pl) = &plugin_record {
                         go.set("plugins", FieldValue::Record(pl.clone()));
                     }
+                    if let Some((g, a)) = roster_note {
+                        go.set("e_gen", FieldValue::U64(g));
+                        go.set("e_active", FieldValue::U64(a as u64));
+                    }
                     tx.send(&go.encode());
                     counters.bump(&counters.bcast_msgs);
                 }
             } else {
-                for r in 1..nranks {
+                for r in 1..participants {
+                    if elastic && link.is_evicted(r) {
+                        continue;
+                    }
                     let tx = coord.to_ranks[r].get_or_insert_with(|| {
                         link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
                     });
                     let mut go = protocol::message("go").with("step", FieldValue::U64(step));
                     if let Some(pl) = &plugin_record {
                         go.set("plugins", FieldValue::Record(pl.clone()));
+                    }
+                    if let Some((g, a)) = roster_note {
+                        go.set("e_gen", FieldValue::U64(g));
+                        go.set("e_active", FieldValue::U64(a as u64));
                     }
                     tx.send(&go.encode());
                     counters.bump(&counters.step_msgs);
@@ -394,6 +494,13 @@ impl StreamReader {
             if plugin_dirty {
                 let specs = self.coord.as_ref().expect("coordinator").all_plugins.clone();
                 self.install_local(&specs);
+            }
+            if let Some((g, a)) = roster_note {
+                // Commit the announcement: every participant of this
+                // step (including this coordinator) now knows the
+                // roster the next step runs on.
+                self.announced = Some((g, a));
+                self.elastic_active = a;
             }
             Ok(Some(step))
         }
@@ -648,6 +755,11 @@ impl StreamReader {
         let hints = self.hints.clone();
         let link = Arc::clone(&self.link);
         let nranks = self.nranks;
+        // Elastic membership (see [`Self::coordinate_begin`]).
+        let elastic = self.elastic.is_some();
+        let participants = if elastic { self.elastic_active } else { nranks };
+        let roster_note =
+            self.elastic.as_ref().map(|r| (r.generation(), r.active().clamp(1, nranks)));
 
         if self.rank != 0 {
             if need_sub_gather {
@@ -673,6 +785,9 @@ impl StreamReader {
                         let specs = decode_plugin_specs(pl)
                             .ok_or_else(|| StreamError::Corrupt("bad plugin specs".into()))?;
                         self.install_local(&specs);
+                    }
+                    if let (Some(g), Some(a)) = (go.get_u64("e_gen"), go.get_u64("e_active")) {
+                        self.announced = Some((g, a as usize));
                     }
                     Ok(Some(step))
                 }
@@ -710,7 +825,10 @@ impl StreamReader {
             };
             if protocol::kind_of(&header) == msg::EOS {
                 let coord = self.coord.as_mut().expect("rank 0 is coordinator");
-                for r in 1..nranks {
+                for r in 1..participants {
+                    if elastic && link.is_evicted(r) {
+                        continue;
+                    }
                     let tx = coord.to_ranks[r].get_or_insert_with(|| {
                         link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
                     });
@@ -757,15 +875,31 @@ impl StreamReader {
                 if need_sub_gather {
                     coord.cached_sels[0] = self.subscriptions.clone();
                     for r in 1..nranks {
+                        if r >= participants || (elastic && link.is_evicted(r)) {
+                            coord.cached_sels[r].clear();
+                            continue;
+                        }
                         let rx = coord.from_ranks[r].get_or_insert_with(|| {
                             link.claim_receiver(ChannelId::ReaderSide { rank: r, up: true })
                         });
-                        let m = recv_record_rt(rx, &hints, &counters).await?;
-                        let sels = m
-                            .get_record("sels")
-                            .and_then(decode_subscriptions)
-                            .ok_or_else(|| StreamError::Corrupt("bad subs".into()))?;
-                        coord.cached_sels[r] = sels;
+                        match recv_record_rt(rx, &hints, &counters).await {
+                            Ok(m) => {
+                                coord.cached_sels[r] = m
+                                    .get_record("sels")
+                                    .and_then(decode_subscriptions)
+                                    .ok_or_else(|| StreamError::Corrupt("bad subs".into()))?;
+                            }
+                            // Same gather-timeout eviction as the
+                            // blocking engine (elastic mode only).
+                            Err(StreamError::Timeout) if elastic => {
+                                if link.evict_reader(r) {
+                                    counters.bump(&counters.evictions);
+                                }
+                                counters.bump(&counters.degraded_steps);
+                                coord.cached_sels[r].clear();
+                            }
+                            Err(e) => return Err(e),
+                        }
                     }
                 }
                 let mut reply = protocol::message(msg::READER_INFO)
@@ -787,7 +921,11 @@ impl StreamReader {
 
             // Compute and distribute the plan.
             let coord = self.coord.as_mut().expect("rank 0 is coordinator");
-            let plugin_record = plugin_dirty.then(|| encode_plugin_specs(&coord.all_plugins));
+            // Under elastic membership the plug-in registry rides every
+            // `go`: a rank activated mid-run must not miss specs that
+            // were only broadcast before it joined.
+            let plugin_record = (plugin_dirty || (elastic && !coord.all_plugins.is_empty()))
+                .then(|| encode_plugin_specs(&coord.all_plugins));
             let mut my_col = None;
             if plan_dirty {
                 let dists = writer_dists.as_ref().expect("exchange delivered dists");
@@ -796,6 +934,9 @@ impl StreamReader {
                     let col: Vec<Vec<ChunkPlan>> = full.iter().map(|row| row[r].clone()).collect();
                     if r == 0 {
                         my_col = Some(col);
+                        continue;
+                    }
+                    if r >= participants || (elastic && link.is_evicted(r)) {
                         continue;
                     }
                     let tx = coord.to_ranks[r].get_or_insert_with(|| {
@@ -807,17 +948,28 @@ impl StreamReader {
                     if let Some(pl) = &plugin_record {
                         go.set("plugins", FieldValue::Record(pl.clone()));
                     }
+                    if let Some((g, a)) = roster_note {
+                        go.set("e_gen", FieldValue::U64(g));
+                        go.set("e_active", FieldValue::U64(a as u64));
+                    }
                     tx.send(&go.encode());
                     counters.bump(&counters.bcast_msgs);
                 }
             } else {
-                for r in 1..nranks {
+                for r in 1..participants {
+                    if elastic && link.is_evicted(r) {
+                        continue;
+                    }
                     let tx = coord.to_ranks[r].get_or_insert_with(|| {
                         link.claim_sender(ChannelId::ReaderSide { rank: r, up: false })
                     });
                     let mut go = protocol::message("go").with("step", FieldValue::U64(step));
                     if let Some(pl) = &plugin_record {
                         go.set("plugins", FieldValue::Record(pl.clone()));
+                    }
+                    if let Some((g, a)) = roster_note {
+                        go.set("e_gen", FieldValue::U64(g));
+                        go.set("e_active", FieldValue::U64(a as u64));
                     }
                     tx.send(&go.encode());
                     counters.bump(&counters.step_msgs);
@@ -829,6 +981,13 @@ impl StreamReader {
             if plugin_dirty {
                 let specs = self.coord.as_ref().expect("coordinator").all_plugins.clone();
                 self.install_local(&specs);
+            }
+            if let Some((g, a)) = roster_note {
+                // Commit the announcement: every participant of this
+                // step (including this coordinator) now knows the
+                // roster the next step runs on.
+                self.announced = Some((g, a));
+                self.elastic_active = a;
             }
             Ok(Some(step))
         }

@@ -194,6 +194,36 @@ pub fn plan(
     out
 }
 
+/// Split a global box into `parts` contiguous slabs along its slowest
+/// (first) dimension, remainder spread over the leading slabs — the
+/// equal-share decomposition an elastic reader roster re-subscribes
+/// with after every resize. Slots beyond the dimension's extent get
+/// `None` (that rank subscribes to nothing and still participates in
+/// the handshake).
+pub fn split_box(sel: &BoxSel, parts: usize) -> Vec<Option<BoxSel>> {
+    assert!(parts >= 1, "split into at least one part");
+    assert!(!sel.count.is_empty(), "cannot split a zero-dimensional box");
+    let extent = sel.count[0];
+    let base = extent / parts as u64;
+    let rem = extent % parts as u64;
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = sel.offset[0];
+    for p in 0..parts as u64 {
+        let len = base + u64::from(p < rem);
+        if len == 0 {
+            out.push(None);
+            continue;
+        }
+        let mut offset = sel.offset.clone();
+        let mut count = sel.count.clone();
+        offset[0] = cursor;
+        count[0] = len;
+        cursor += len;
+        out.push(Some(BoxSel::new(offset, count)));
+    }
+    out
+}
+
 /// Messages reader `r` should expect from writer `w` under a plan.
 pub fn expected_messages(plan_wr: &[ChunkPlan], batching: bool) -> usize {
     if batching {
@@ -477,5 +507,32 @@ mod tests {
         let s = VarValue::Scalar(ScalarValue::U64(7));
         assert_eq!(extract_chunk(&s, &ChunkPlan { var: "x".into(), region: None }).as_ref(), &s);
         let _ = DataType::F64; // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn split_box_covers_exactly_with_remainder_up_front() {
+        let global = BoxSel::new(vec![2, 5], vec![10, 4]);
+        let slabs = split_box(&global, 3);
+        assert_eq!(
+            slabs,
+            vec![
+                Some(BoxSel::new(vec![2, 5], vec![4, 4])),
+                Some(BoxSel::new(vec![6, 5], vec![3, 4])),
+                Some(BoxSel::new(vec![9, 5], vec![3, 4])),
+            ]
+        );
+        // Union is the original; slabs are disjoint and contiguous.
+        let total: u64 = slabs.iter().flatten().map(|b| b.count[0]).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn split_box_one_part_is_identity_and_overcommit_yields_none() {
+        let global = BoxSel::new(vec![0], vec![3]);
+        assert_eq!(split_box(&global, 1), vec![Some(global.clone())]);
+        let slabs = split_box(&global, 5);
+        assert_eq!(slabs.iter().flatten().count(), 3);
+        assert_eq!(slabs[3], None);
+        assert_eq!(slabs[4], None);
     }
 }

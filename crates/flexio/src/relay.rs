@@ -39,6 +39,7 @@ fn event_from_name(name: &str) -> Option<MonitorEvent> {
         "query_rows_out" => MonitorEvent::QueryRowsOut,
         "query_bytes_pushed" => MonitorEvent::QueryBytesPushed,
         "query_bytes_saved" => MonitorEvent::QueryBytesSaved,
+        "step_seal" => MonitorEvent::StepSeal,
         _ => return None,
     })
 }
@@ -86,20 +87,14 @@ impl MonitorRelay {
 
     /// Submit one monitoring sample into the relay.
     pub fn publish(&mut self, event: MonitorEvent, step: u64, rank: usize, bytes: u64, nanos: u64) {
-        let name = match event {
-            MonitorEvent::DataSend => "data_send",
-            MonitorEvent::DataRecv => "data_recv",
-            MonitorEvent::Handshake => "handshake",
-            MonitorEvent::PluginExec => "plugin_exec",
-            MonitorEvent::Allocation => "allocation",
-            MonitorEvent::SyncWait => "sync_wait",
-            MonitorEvent::PubSubDeliver => "pubsub_deliver",
-            MonitorEvent::PubSubSpill => "pubsub_spill",
-            MonitorEvent::QueryRowsIn => "query_rows_in",
-            MonitorEvent::QueryRowsOut => "query_rows_out",
-            MonitorEvent::QueryBytesPushed => "query_bytes_pushed",
-            MonitorEvent::QueryBytesSaved => "query_bytes_saved",
-        };
+        self.publish_named(event.name(), step, rank, bytes, nanos);
+    }
+
+    /// Submit a sample under a raw event name. This is how a newer
+    /// producer ships an event class an older sink has no
+    /// [`MonitorEvent`] variant for — the sink forwards it into its
+    /// replica's named-aggregate table rather than dropping it.
+    pub fn publish_named(&mut self, name: &str, step: u64, rank: usize, bytes: u64, nanos: u64) {
         let record = Record::new()
             .with("seq", FieldValue::U64(self.sent))
             .with("event", FieldValue::Str(name.to_string()))
@@ -112,10 +107,12 @@ impl MonitorRelay {
     }
 
     /// Forward an entire trace (e.g. [`PerfMonitor::dump_trace`] output).
+    /// Event names are forwarded verbatim — a trace from a newer build
+    /// loses nothing on its way through an older relay.
     pub fn publish_trace(&mut self, trace: &[Record]) {
         for r in trace {
             let (Some(event), Some(step), Some(rank), Some(bytes), Some(nanos)) = (
-                r.get_str("event").and_then(event_from_name),
+                r.get_str("event").map(str::to_string),
                 r.get_u64("step"),
                 r.get_u64("rank"),
                 r.get_u64("bytes"),
@@ -123,7 +120,7 @@ impl MonitorRelay {
             ) else {
                 continue;
             };
-            self.publish(event, step, rank as usize, bytes, nanos);
+            self.publish_named(&event, step, rank as usize, bytes, nanos);
         }
     }
 }
@@ -203,16 +200,28 @@ impl MonitorSink {
                 }
             };
             let Ok(r) = Record::decode(&bytes) else { continue };
-            let (Some(event), Some(step), Some(rank), Some(payload), Some(nanos)) = (
-                r.get_str("event").and_then(event_from_name),
-                r.get_u64("step"),
-                r.get_u64("rank"),
-                r.get_u64("bytes"),
-                r.get_u64("nanos"),
-            ) else {
-                continue;
-            };
-            self.replica.record(event, step, rank as usize, payload, nanos);
+            let Some(name) = r.get_str("event") else { continue };
+            match event_from_name(name) {
+                Some(event) => {
+                    let (Some(step), Some(rank), Some(payload), Some(nanos)) = (
+                        r.get_u64("step"),
+                        r.get_u64("rank"),
+                        r.get_u64("bytes"),
+                        r.get_u64("nanos"),
+                    ) else {
+                        continue;
+                    };
+                    self.replica.record(event, step, rank as usize, payload, nanos);
+                }
+                // An event class this build does not know — a newer
+                // producer on the other end. Forward the counters into
+                // the by-name table instead of silently dropping them.
+                None => {
+                    let payload = r.get_u64("bytes").unwrap_or(0);
+                    let nanos = r.get_u64("nanos").unwrap_or(0);
+                    self.replica.record_named(name, payload, nanos);
+                }
+            }
             absorbed += 1;
         }
         absorbed
@@ -251,13 +260,15 @@ impl MonitorSink {
             corrupt: Arc::new(AtomicU64::new(0)),
             closed: Arc::new(AtomicBool::new(false)),
             stop: Arc::new(AtomicBool::new(false)),
+            done: Arc::new(AtomicBool::new(false)),
             replica: self.replica.clone(),
         };
-        let (absorbed, corrupt, closed, stop) = (
+        let (absorbed, corrupt, closed, stop, done) = (
             Arc::clone(&handle.absorbed),
             Arc::clone(&handle.corrupt),
             Arc::clone(&handle.closed),
             Arc::clone(&handle.stop),
+            Arc::clone(&handle.done),
         );
         let task = async move {
             while !stop.load(Ordering::Acquire) {
@@ -273,6 +284,7 @@ impl MonitorSink {
                 }
                 flexio_reactor::sleep(interval).await;
             }
+            done.store(true, Ordering::Release);
         };
         (handle, task)
     }
@@ -286,6 +298,7 @@ pub struct SinkTaskHandle {
     corrupt: Arc<AtomicU64>,
     closed: Arc<AtomicBool>,
     stop: Arc<AtomicBool>,
+    done: Arc<AtomicBool>,
     replica: PerfMonitor,
 }
 
@@ -316,10 +329,36 @@ impl SinkTaskHandle {
     }
 }
 
+impl crate::task::ControlTask for SinkTaskHandle {
+    fn kind(&self) -> &'static str {
+        "monitor_sink"
+    }
+
+    fn stop(&self) {
+        SinkTaskHandle::stop(self);
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("absorbed", self.absorbed()),
+            ("corrupt_frames", self.corrupt_frames()),
+            ("peer_closed", u64::from(self.peer_closed())),
+        ]
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::manager::{ManagerPolicy, PlacementManager};
+    use crate::manager::PlacementManager;
     use crate::plugins::PluginPlacement;
     use evpath::inproc_pair;
 
@@ -387,18 +426,52 @@ mod tests {
         }
         let mut sink = MonitorSink::new(rx);
         sink.drain();
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::ReaderSide)
+            .build_manager();
         let rec = mgr.decide(sink.monitor(), 0);
         assert_eq!(rec.placement, PluginPlacement::WriterSide);
     }
 
     #[test]
-    fn garbage_on_the_relay_is_ignored() {
+    fn garbage_is_ignored_but_unknown_events_are_forwarded() {
         let (mut tx, rx) = inproc_pair();
+        // Undecodable bytes and event-less records stay ignored…
         tx.send(b"not a record");
-        tx.send(&Record::new().with("event", FieldValue::Str("bogus".into())).encode());
+        tx.send(&Record::new().with("step", FieldValue::U64(1)).encode());
+        // …but a well-formed record with an event name this build does
+        // not know is forwarded into the named-aggregate table (a newer
+        // producer must not lose counters through an older sink).
+        tx.send(
+            &Record::new()
+                .with("event", FieldValue::Str("gpu_kernel".into()))
+                .with("step", FieldValue::U64(3))
+                .with("rank", FieldValue::U64(0))
+                .with("bytes", FieldValue::U64(512))
+                .with("nanos", FieldValue::U64(9))
+                .encode(),
+        );
         let mut sink = MonitorSink::new(rx);
-        assert_eq!(sink.drain(), 0);
+        assert_eq!(sink.drain(), 1);
+        assert_eq!(sink.monitor().named("gpu_kernel"), Some((1, 512, 9)));
+    }
+
+    #[test]
+    fn trace_replay_preserves_unknown_event_names() {
+        let origin = PerfMonitor::new();
+        origin.record_named("gpu_kernel", 64, 5);
+        let trace = vec![Record::new()
+            .with("event", FieldValue::Str("gpu_kernel".into()))
+            .with("step", FieldValue::U64(0))
+            .with("rank", FieldValue::U64(0))
+            .with("bytes", FieldValue::U64(64))
+            .with("nanos", FieldValue::U64(5))];
+        let (tx, rx) = inproc_pair();
+        let mut relay = MonitorRelay::new(tx, 0, 1);
+        relay.publish_trace(&trace);
+        let mut sink = MonitorSink::new(rx);
+        sink.drain();
+        assert_eq!(sink.monitor().named("gpu_kernel"), origin.named("gpu_kernel"));
     }
 
     #[test]

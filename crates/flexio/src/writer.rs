@@ -19,6 +19,7 @@
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 use adios::{ProcessGroup, VarValue, WriteEngine};
 use evpath::{BoxedReceiver, BoxedSender, FieldValue, Record};
@@ -144,6 +145,13 @@ pub struct StreamWriter {
     reader_count: usize,
     installed: HashMap<String, InstalledPlugin>,
     closed: bool,
+    /// When the previous step sealed — the gap between seals is the live
+    /// estimate of the simulation's I/O interval (`StepSeal` nanos).
+    last_seal: Option<Instant>,
+    /// Optional monitoring relay: when attached, each sealed step ships
+    /// its wire volume, plug-in cost and seal interval to the analytics
+    /// side, closing the §II.G loop for the elastic controller.
+    relay: Option<crate::relay::MonitorRelay>,
 }
 
 impl StreamWriter {
@@ -190,6 +198,49 @@ impl StreamWriter {
             reader_count: 0,
             installed: HashMap::new(),
             closed: false,
+            last_seal: None,
+            relay: None,
+        }
+    }
+
+    /// Attach a monitoring relay: from now on every sealed step publishes
+    /// its per-step wire volume ([`MonitorEvent::DataSend`]), plug-in
+    /// execution time ([`MonitorEvent::PluginExec`]) and seal-to-seal
+    /// interval ([`MonitorEvent::StepSeal`]) to the analytics side, where
+    /// an elastic controller's [`crate::relay::MonitorSink`] replica
+    /// drives allocation and placement decisions.
+    pub fn attach_relay(&mut self, relay: crate::relay::MonitorRelay) {
+        self.relay = Some(relay);
+    }
+
+    /// Step-seal measurement point: record the seal (and the gap since
+    /// the previous one) locally, and ship this step's monitor deltas
+    /// through the attached relay, if any.
+    fn seal_step(&mut self, step: u64) {
+        let gap = self.last_seal.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        self.last_seal = Some(Instant::now());
+        let monitor = self.link.monitor.clone();
+        let wire = monitor
+            .bytes_per_step(MonitorEvent::DataSend, self.rank)
+            .iter()
+            .rev()
+            .find(|&&(s, _)| s == step)
+            .map(|&(_, b)| b)
+            .unwrap_or(0);
+        monitor.record(MonitorEvent::StepSeal, step, self.rank, wire, gap);
+        if let Some(relay) = &mut self.relay {
+            relay.publish(MonitorEvent::DataSend, step, self.rank, wire, 0);
+            let plugin_ns = monitor
+                .nanos_per_step(MonitorEvent::PluginExec, self.rank)
+                .iter()
+                .rev()
+                .find(|&&(s, _)| s == step)
+                .map(|&(_, n)| n)
+                .unwrap_or(0);
+            if plugin_ns > 0 {
+                relay.publish(MonitorEvent::PluginExec, step, self.rank, 0, plugin_ns);
+            }
+            relay.publish(MonitorEvent::StepSeal, step, self.rank, wire, gap);
         }
     }
 
@@ -669,6 +720,7 @@ impl StreamWriter {
         match result {
             Ok(()) => {
                 self.steps_written += 1;
+                self.seal_step(step);
                 Ok(())
             }
             Err(e) => {
@@ -767,6 +819,7 @@ impl StreamWriter {
         match result {
             Ok(()) => {
                 self.steps_written += 1;
+                self.seal_step(step);
                 // Feed the fleet's per-shard steps/s counter (no-op
                 // outside a reactor).
                 flexio_reactor::note_step();

@@ -67,7 +67,10 @@ fn manager_migrates_plugin_when_wire_volume_spikes() {
                 sim_step_ns: 1_000_000_000,
                 window: 2,
             };
-            let mut manager = PlacementManager::new(policy, PluginPlacement::ReaderSide);
+            let mut manager = PlacementManager::builder()
+                .policy(policy)
+                .initial_placement(PluginPlacement::ReaderSide)
+                .build_manager();
             let monitor = r.link().monitor.clone();
             let mut migration_step = None;
             let mut lens = Vec::new();

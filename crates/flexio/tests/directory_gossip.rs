@@ -13,8 +13,8 @@ use evpath::{FaultPlan, FaultSpec};
 use flexio::link::LinkState;
 use flexio::plugins::PluginPlacement;
 use flexio::{
-    DirectoryCluster, DirectoryError, DirectoryService, InProcDirectory, ManagerPolicy,
-    MonitorEvent, PlacementManager, ShardedDirectory,
+    DirectoryCluster, DirectoryError, DirectoryService, InProcDirectory, MonitorEvent,
+    PlacementManager, ShardedDirectory,
 };
 
 fn dummy_link() -> Arc<LinkState> {
@@ -171,7 +171,9 @@ fn trait_object_api_spans_every_backend() {
         dir.register("managed", Arc::clone(&link)).unwrap();
         assert!(Arc::ptr_eq(&link, &dir.lookup("managed", Duration::from_secs(1)).unwrap()));
 
-        let mut mgr = PlacementManager::new(ManagerPolicy::default(), PluginPlacement::ReaderSide);
+        let mut mgr = PlacementManager::builder()
+            .initial_placement(PluginPlacement::ReaderSide)
+            .build_manager();
         let rec = mgr.decide_stream(dir.as_ref(), "managed", 0).unwrap();
         assert_eq!(rec.placement, PluginPlacement::WriterSide, "{kind}: heavy wire ⇒ writer side");
         assert!(matches!(

@@ -230,19 +230,32 @@ fn control_plane_rides_the_fleet() {
     link.wait_reader_info(Duration::from_secs(2)).expect("reader attached");
     let sink = MonitorSink::for_stream(io.directory().as_ref(), "mon", Duration::from_secs(2))
         .expect("sink attaches to the registered link");
-    let sink_handle = fleet.spawn_monitor_sink(sink, Duration::from_millis(1));
+    let sink_task = fleet.spawn_monitor_sink(sink, Duration::from_millis(1));
     // The manager reads the coupling's live link monitor, where the
     // engines record real per-step wire volume (2 KiB here) — set the
     // threshold below it so the decision loop has something to decide.
     let policy = ManagerPolicy { wire_bytes_threshold: 1024, ..ManagerPolicy::default() };
-    let manager = PlacementManager::new(policy, PluginPlacement::ReaderSide);
-    let mgr_handle = fleet.spawn_manager(
+    let manager = PlacementManager::builder()
+        .policy(policy)
+        .initial_placement(PluginPlacement::ReaderSide)
+        .build_manager();
+    let mgr_task = fleet.spawn_manager(
         manager,
         Arc::clone(io.directory()),
         "mon",
         0,
         Duration::from_millis(1),
     );
+
+    // Every spawn_* now returns the unified TaskHandle; the typed
+    // observers (live replica, latest recommendation) come back via
+    // downcast when the generic kind/counters surface isn't enough.
+    assert_eq!(sink_task.kind(), "monitor_sink");
+    assert_eq!(mgr_task.kind(), "manager");
+    let sink_handle =
+        sink_task.typed::<flexio::relay::SinkTaskHandle>().expect("monitor_sink downcast").clone();
+    let mgr_handle =
+        mgr_task.typed::<flexio::manager::ManagerTaskHandle>().expect("manager downcast").clone();
 
     // Wait (off-fleet) until the data plane finished and the control
     // plane observed it, then release the two periodic loops.
@@ -257,9 +270,16 @@ fn control_plane_rides_the_fleet() {
         assert!(Instant::now() < deadline, "control plane never caught up");
         std::thread::sleep(Duration::from_millis(2));
     }
-    sink_handle.stop();
-    mgr_handle.stop();
+    sink_task.stop();
+    mgr_task.stop();
     fleet.join();
+    assert!(sink_task.is_done() && mgr_task.is_done(), "fleet joined ⇒ control tasks finished");
+    assert_eq!(
+        sink_task.counter("absorbed"),
+        Some(sink_handle.absorbed()),
+        "unified counters mirror the typed observer"
+    );
+    assert_eq!(mgr_task.counter("decisions"), Some(mgr_handle.decisions()));
 
     // The sink's shared monitor replica saw the relayed samples, and the
     // manager turned them into a placement decision.

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use adios::IoConfig;
 use flexio::{
-    CachingLevel, DirectoryConfig, HintKey, PubSubConfig, Qos, QueryConfig, Runtime, StreamHints,
-    Transport, WriteMode,
+    CachingLevel, DirectoryConfig, ElasticConfig, HintKey, PubSubConfig, Qos, QueryConfig, Runtime,
+    StreamHints, Transport, WriteMode,
 };
 
 /// The non-default value each key is set to in the round-trip config.
@@ -54,6 +54,10 @@ fn nondefault_value(key: HintKey) -> &'static str {
         HintKey::QueryWindowSteps => "4",
         HintKey::QueryMaxRows => "99",
         HintKey::QueryOracle => "true",
+        HintKey::ElasticIntervalMs => "40",
+        HintKey::ElasticMinReaders => "2",
+        HintKey::ElasticMaxReaders => "6",
+        HintKey::ElasticTargetLag => "5",
     }
 }
 
@@ -112,6 +116,12 @@ fn every_hint_key_round_trips_through_xml() {
     assert_eq!(q.max_rows, 99);
     assert!(q.oracle, "query.oracle hint must be parsed");
 
+    let e = ElasticConfig::from_config(group);
+    assert_eq!(e.interval, Duration::from_millis(40));
+    assert_eq!(e.min_readers, 2);
+    assert_eq!(e.max_readers, 6);
+    assert_eq!(e.target_lag, 5);
+
     // Each asserted value differs from the default, so a silently
     // ignored key cannot pass by accident.
     let defaults = StreamHints::default();
@@ -145,6 +155,11 @@ fn every_hint_key_round_trips_through_xml() {
     assert_ne!(q.window_steps, qdef.window_steps);
     assert_ne!(q.max_rows, qdef.max_rows);
     assert_ne!(q.oracle, qdef.oracle);
+    let edef = ElasticConfig::default();
+    assert_ne!(e.interval, edef.interval);
+    assert_ne!(e.min_readers, edef.min_readers);
+    assert_ne!(e.max_readers, edef.max_readers);
+    assert_ne!(e.target_lag, edef.target_lag);
 }
 
 #[test]

@@ -292,6 +292,71 @@ fn killing_a_reader_rank_evicts_it_and_the_step_loop_completes() {
     assert_eq!(field(survivor, "eos_synth"), 0, "writer closed cleanly, no synthesized EOS");
 }
 
+/// Scale-out under fire: rank 0 starts as the lone active elastic
+/// reader over a provisioned pool of 3 rank slots, commits a scale-out
+/// to the full pool after step 1 — and one of the newly-added members is
+/// `kill -9`'d right after attaching, before its first step. The
+/// coordinator's sub-gather must time out on the dead member, evict it,
+/// re-plan the MxN distribution around it and complete every step; the
+/// surviving member joins mid-run and rides to a clean EOS.
+#[test]
+fn killing_a_newly_added_elastic_rank_evicts_it_and_the_run_completes() {
+    const STEPS: u64 = 8;
+    let (_dirs, dir_addrs) = start_directory("tcp");
+    let mut envs = worker_envs("tcp", "chaos-elastic-kill", &dir_addrs, STEPS, 150);
+    // Elastic membership rides the per-step re-gather/re-plan handshake.
+    envs.push(("FLEXIO_CACHING".to_string(), "none".to_string()));
+    // The writer must outwait the reader coordinator's eviction stall
+    // (the gather burns its full timeout × retries budget on the dead
+    // member before evicting), so its own patience is set well above it.
+    let mut writer_envs_ = envs.clone();
+    for (k, v) in &mut writer_envs_ {
+        if k == "FLEXIO_TIMEOUT_MS" {
+            *v = "2000".to_string();
+        }
+    }
+    let (tx, rx) = channel();
+    let _writers = start_workers("writer", 1, &writer_envs_, &tx);
+    let mut elastics = start_workers("elastic", 3, &envs, &tx);
+
+    let deadline = Instant::now() + DEADLINE;
+    let mut killed = false;
+    let mut victim_stepped = false;
+    let mut results: HashMap<(&'static str, usize), HashMap<String, String>> = HashMap::new();
+    while !(results.contains_key(&("elastic", 0)) && results.contains_key(&("elastic", 1))) {
+        let ev = next_event(&rx, deadline);
+        if ev.role == "elastic" && ev.rank == 2 {
+            if ev.line.starts_with("WORKER step=") {
+                victim_stepped = true;
+            }
+            if !killed && ev.line == "WORKER attached" {
+                elastics.kill(2);
+                killed = true;
+            }
+        }
+        if ev.line.starts_with("RESULT ") {
+            results.insert((ev.role, ev.rank), parse_result(&ev.line));
+        }
+    }
+    assert!(killed, "the victim rank announced its attach");
+    assert!(!victim_stepped, "rank 2 must die before completing its first step");
+
+    let coord = &results[&("elastic", 0)];
+    assert_eq!(field(coord, "steps"), STEPS, "no dropped steps despite the eviction: {coord:?}");
+    assert!(field(coord, "evictions") >= 1, "dead member was evicted: {coord:?}");
+    assert!(field(coord, "degraded") >= 1, "the eviction step ran degraded: {coord:?}");
+    assert_eq!(field(coord, "eos_synth"), 0, "writers closed cleanly: {coord:?}");
+
+    let survivor = &results[&("elastic", 1)];
+    let joined = field(survivor, "steps");
+    assert!(joined >= 1, "surviving member joined mid-run: {survivor:?}");
+    assert!(
+        joined <= STEPS - 3,
+        "scale-out commits at a step boundary, two steps after the resize: {survivor:?}"
+    );
+    assert_eq!(field(survivor, "eos_synth"), 0, "survivor got a real EOS fan-out: {survivor:?}");
+}
+
 /// Kill -9 the writer between steps: the reader coordinator's control
 /// channel goes silent, so it must synthesize end-of-stream and forward
 /// it to every reader rank — both readers exit cleanly having seen only

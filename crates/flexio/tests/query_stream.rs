@@ -223,13 +223,16 @@ fn fleet_query_task_matches_the_blocking_backend() {
         .expect("open reader");
     let session = QuerySession::attach(reader, WRITERS, test_plan(false), QueryConfig::default())
         .expect("attach query");
-    let handle = fleet.spawn_query(session, &[reader_core(0)]);
+    let task = fleet.spawn_query(session, &[reader_core(0)]);
     fleet.join();
 
-    assert!(handle.is_done());
+    assert!(task.is_done());
+    assert_eq!(task.kind(), "query");
+    let handle = task.typed::<flexio::query::QueryHandle>().expect("query downcast");
     let out = handle.take_output().expect("task finished").expect("query ok");
     assert_eq!(out.digest(), reference.0, "fleet query diverged from the blocking backend");
     let c = handle.counters();
     assert_eq!(c.snapshot().0, reference.1 .0, "fleet query saw a different number of input rows");
+    assert_eq!(task.counter("rows_in"), Some(reference.1 .0), "unified counter mirrors snapshot");
     assert_eq!(handle.steps().len() as u64, STEPS);
 }

@@ -67,10 +67,10 @@ fn main() {
                 placement,
             };
             r.install_plugin(summarize(PluginPlacement::ReaderSide));
-            let mut manager = PlacementManager::new(
-                ManagerPolicy { wire_bytes_threshold: 100_000, ..ManagerPolicy::default() },
-                PluginPlacement::ReaderSide,
-            );
+            let mut manager = PlacementManager::builder()
+                .policy(ManagerPolicy { wire_bytes_threshold: 100_000, ..ManagerPolicy::default() })
+                .initial_placement(PluginPlacement::ReaderSide)
+                .build_manager();
             let monitor = r.link().monitor.clone();
             println!(
                 "{:<6} {:>12} {:>14} {:<14} reasoning",

@@ -95,6 +95,22 @@ for seed in 7 1234 99991; do
 done
 echo "query battery ok"
 
+echo "== elastic battery (migration equivalence + roster membership) =="
+# Mid-run plug-in migration must be byte-invisible on every backend —
+# replayed under seeded dup/reorder storms — and roster resizes must
+# commit exactly at step boundaries. The placement loop's decision tests
+# ride the flexio unit suite; the adaptive_placement integration pass
+# covers the manager half of the control plane.
+cargo test -q --offline -p flexio --test elastic_migration --test adaptive_placement \
+    >/dev/null || { echo "elastic battery FAILED"; exit 1; }
+for seed in 7 1234 99991; do
+    FLEXIO_FAULT_SEED=$seed \
+        cargo test -q --offline -p flexio --test elastic_migration \
+        migration_is_byte_invisible \
+        >/dev/null || { echo "elastic fault replay seed $seed FAILED"; exit 1; }
+done
+echo "elastic battery ok"
+
 echo "== cross-process chaos battery (worker binary + kill -9) =="
 # Includes the pub/sub passes: kill -9 a subscriber mid-replay (restart
 # resumes from its durable cursor) and kill -9 the publisher (groups
@@ -124,12 +140,17 @@ QUERY_QUICK=1 cargo bench -q --offline -p bench --bench query \
     >/dev/null || { echo "query bench FAILED"; exit 1; }
 echo "query bench ok ($(head -c 120 BENCH_query.json)...)"
 
+echo "== elastic closed-loop sweep (BENCH_elastic.json) =="
+ELASTIC_QUICK=1 cargo bench -q --offline -p bench --bench elastic \
+    >/dev/null || { echo "elastic bench FAILED"; exit 1; }
+echo "elastic bench ok ($(head -c 120 BENCH_elastic.json)...)"
+
 echo "== bench regression check (quick runs vs committed baselines) =="
 # Quick-mode runs are noisy (fewer steps amortize less setup), so the
 # verify gate uses a loose 50% bar; scripts/bench_diff.sh defaults to
 # 20% for full-length runs.
 ./scripts/bench_diff.sh --threshold 50 BENCH_net.json BENCH_reactor_fleet.json BENCH_pubsub.json \
-    BENCH_query.json \
+    BENCH_query.json BENCH_elastic.json \
     || { echo "bench regression FAILED"; exit 1; }
 
 echo "== chaos soak (10s, alternating backends) =="
